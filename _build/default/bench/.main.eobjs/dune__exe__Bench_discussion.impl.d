@@ -1,0 +1,1 @@
+bench/bench_discussion.ml: Bench_support Contexts Cost_model Fun List Mgq_core Mgq_cypher Mgq_neo Mgq_queries Params Printf Sim_disk Stats Text_table

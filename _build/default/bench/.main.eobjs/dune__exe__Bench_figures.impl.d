@@ -1,0 +1,1 @@
+bench/bench_figures.ml: Array Bench_support Buffer Char Contexts List Mgq_queries Mgq_twitter Params Printf Stats String Text_table

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Bench_support Benchmark Hashtbl List Measure Mgq_queries Params Printf Text_table Time Toolkit

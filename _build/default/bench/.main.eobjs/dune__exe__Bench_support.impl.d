@@ -1,0 +1,1 @@
+bench/bench_support.ml: Filename Fun List Mgq_neo Mgq_queries Mgq_sparks Mgq_storage Mgq_twitter Mgq_util Printf String Sys

@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Array Bench_support Contexts List Mgq_twitter Params Printf Reference String Text_table Workload

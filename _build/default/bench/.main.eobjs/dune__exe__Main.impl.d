@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_discussion Bench_extensions Bench_figures Bench_micro Bench_support Bench_tables List Printf Sys

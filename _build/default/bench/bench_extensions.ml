@@ -1,0 +1,402 @@
+(* Beyond-the-paper experiments implementing its Section 5 future
+   work, plus design ablations for DESIGN.md's decision points:
+
+   E1 update workload   - streaming users/follows/tweets into loaded engines
+   A1 index ablation    - index seek vs label-scan-and-filter start points
+   A2 pool ablation     - buffer-pool size vs cold-query fault rate
+   A3 placement ablation- semantic (by-author) vs scattered tweet records *)
+
+open Bench_support
+module Stream = Mgq_twitter.Stream
+module Live = Mgq_twitter.Live
+module Import_neo = Mgq_twitter.Import_neo
+module Cypher = Mgq_cypher.Cypher
+module Q_cypher = Mgq_queries.Q_cypher
+module Value = Mgq_core.Value
+
+(* ------------------------------------------------------------------ *)
+(* E1: update workload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_updates env =
+  section
+    "E1 (Section 5 future work): streaming update workload\n\
+     new users / follows / unfollows / tweets applied to the loaded engines";
+  let n_events = 20_000 in
+  let live_neo =
+    Live.Live_neo.attach env.neo.Contexts.db ~users:env.neo.Contexts.users
+      ~tweets:env.neo.Contexts.tweets ~hashtags:env.neo.Contexts.hashtags env.dataset
+  in
+  let live_sparks =
+    Live.Live_sparks.attach env.sparks.Contexts.sdb ~users:env.sparks.Contexts.s_users
+      ~tweets:env.sparks.Contexts.s_tweets ~hashtags:env.sparks.Contexts.s_hashtags
+      env.dataset
+  in
+  let events = Stream.take (Stream.create ~seed:777 env.dataset) n_events in
+  let apply name cost apply_one =
+    let before = Cost_model.snapshot cost in
+    let _, wall_ms = Stats.Timing.time_ms (fun () -> List.iter apply_one events) in
+    let delta = Cost_model.sub_counters (Cost_model.snapshot cost) before in
+    [
+      name;
+      Text_table.fmt_int n_events;
+      Text_table.fmt_ms wall_ms;
+      Text_table.fmt_int (int_of_float (float_of_int n_events /. (wall_ms /. 1000.)));
+      Text_table.fmt_ms (Cost_model.simulated_ms delta);
+      Text_table.fmt_int delta.Cost_model.db_hits;
+    ]
+  in
+  let rows =
+    [
+      apply "neo (record store, tx per event)" (neo_cost env) (Live.Live_neo.apply live_neo);
+      apply "sparks (bitmap)" (sparks_cost env) (Live.Live_sparks.apply live_sparks);
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right; Right; Right; Right ]
+    ~header:[ "engine"; "events"; "wall ms"; "events/s (wall)"; "sim ms"; "db hits" ]
+    rows;
+  (* Freshness: a query sees the streamed data immediately. *)
+  let streamed_follower =
+    List.fold_left
+      (fun acc e -> match e with Stream.New_follow { follower; _ } -> Some follower | _ -> acc)
+      None events
+  in
+  match streamed_follower with
+  | Some uid ->
+    let result = Q_cypher.q2_1 env.neo ~uid in
+    Printf.printf
+      "\nfreshness check: Q2.1 for user %d (last streamed follow) sees %d followees \
+       immediately\n"
+      uid
+      (Mgq_queries.Results.cardinality result)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* A1: index seek vs label scan                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_seek env =
+  section
+    "A1 ablation: start-point selection - index seek vs label scan + filter\n\
+     (same unique selectivity; only the uid property is indexed)";
+  let uids = List.init 6 (fun i -> i * (env.scale / 7)) in
+  let session = env.neo.Contexts.session in
+  let variant name text to_params =
+    let summary = Stats.Summary.create () in
+    let hits = ref 0 in
+    List.iter
+      (fun uid ->
+        let m =
+          measure (neo_cost env) (fun () ->
+              let r = Cypher.run session ~params:(to_params uid) text in
+              Mgq_queries.Results.Ids (List.init (List.length r.Cypher.rows) Fun.id))
+        in
+        Stats.Summary.add summary m.wall_mean_ms;
+        hits := !hits + m.db_hits)
+      uids;
+    [
+      name;
+      Text_table.fmt_ms (Stats.Summary.mean summary);
+      Text_table.fmt_int (!hits / List.length uids);
+      (Cypher.explain session text
+      |> String.split_on_char '\n'
+      |> fun lines -> List.nth_opt lines 0 |> Option.value ~default:"");
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right; Left ]
+    ~header:[ "variant"; "avg wall ms"; "avg db hits"; "plan leaf" ]
+    [
+      variant "indexed: {uid: $uid}"
+        "MATCH (u:user {uid: $uid})-[:follows]->(f:user) RETURN f.uid"
+        (fun uid -> [ ("uid", Value.Int uid) ]);
+      variant "unindexed: {name: $name}"
+        "MATCH (u:user {name: $name})-[:follows]->(f:user) RETURN f.uid"
+        (fun uid -> [ ("name", Value.Str (Printf.sprintf "u%d" uid)) ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: buffer-pool size                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_pool env =
+  section "A2 ablation: buffer-pool capacity vs cold-query fault rate";
+  let sizes = [ 64; 256; 1024; 4096 ] in
+  let seeds = Params.spread 6 (Params.users_by_two_step_fanout env.reference) in
+  let rows =
+    List.map
+      (fun pool_pages ->
+        (* A fresh engine per pool size, same dataset. *)
+        let ctx = Contexts.build_neo ~pool_pages env.dataset in
+        let cost = Sim_disk.cost (Mgq_neo.Db.disk ctx.Contexts.db) in
+        Sim_disk.evict_all (Mgq_neo.Db.disk ctx.Contexts.db);
+        let before = Cost_model.snapshot cost in
+        List.iter (fun (_, uid) -> ignore (Q_cypher.q2_3 ctx ~uid)) seeds;
+        let delta = Cost_model.sub_counters (Cost_model.snapshot cost) before in
+        [
+          Text_table.fmt_int pool_pages;
+          Text_table.fmt_int delta.Cost_model.page_faults;
+          Text_table.fmt_int delta.Cost_model.page_hits;
+          Text_table.fmt_ms (Cost_model.simulated_ms delta);
+        ])
+      sizes
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Right; Right; Right; Right ]
+    ~header:[ "pool pages"; "page faults"; "page hits"; "sim ms (6 cold queries)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A3: semantic placement                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_placement env =
+  section
+    "A3 ablation (Section 5 future work): semantic-aware record placement\n\
+     tweets stored by author vs scattered; cold-cache Q2.2 page faults";
+  let build placement =
+    let db =
+      Mgq_neo.Db.create ~checkpoint_dirty_pages:Import_neo.default_checkpoint_pages ()
+    in
+    let _, users, _, _ = Import_neo.run ~placement db env.dataset in
+    (db, Cypher.create db, users)
+  in
+  (* Placement matters only for queries that actually touch many
+     tweet records: seed with followers of the prolific authors. *)
+  let seeds =
+    let authors = Hashtbl.create 64 in
+    Array.iter
+      (fun (tw : Mgq_twitter.Dataset.tweet) ->
+        Hashtbl.replace authors tw.Mgq_twitter.Dataset.author ())
+      env.dataset.Mgq_twitter.Dataset.tweets;
+    let followers_of_authors =
+      Hashtbl.fold
+        (fun author () acc -> env.reference.Reference.followers.(author) @ acc)
+        authors []
+    in
+    List.filteri (fun i _ -> i < 8) (List.sort_uniq compare followers_of_authors)
+    |> List.map (fun uid -> (0, uid))
+  in
+  let measure_faults (db, session, _users) =
+    let cost = Sim_disk.cost (Mgq_neo.Db.disk db) in
+    let total_faults = ref 0 in
+    let total_ms = ref 0. in
+    List.iter
+      (fun (_, uid) ->
+        Sim_disk.evict_all (Mgq_neo.Db.disk db);
+        let before = Cost_model.snapshot cost in
+        ignore
+          (Cypher.run session ~params:[ ("uid", Value.Int uid) ] Q_cypher.text_q2_2);
+        let delta = Cost_model.sub_counters (Cost_model.snapshot cost) before in
+        total_faults := !total_faults + delta.Cost_model.page_faults;
+        total_ms := !total_ms +. Cost_model.simulated_ms delta)
+      seeds;
+    (!total_faults, !total_ms)
+  in
+  let by_author = measure_faults (build Import_neo.By_author) in
+  let scattered = measure_faults (build (Import_neo.Shuffled 99)) in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right ]
+    ~header:[ "placement"; "cold page faults (6 queries)"; "cold sim ms" ]
+    [
+      [
+        "semantic (tweets by author)";
+        Text_table.fmt_int (fst by_author);
+        Text_table.fmt_ms (snd by_author);
+      ];
+      [
+        "scattered (random order)";
+        Text_table.fmt_int (fst scattered);
+        Text_table.fmt_ms (snd scattered);
+      ];
+    ];
+  Printf.printf
+    "Keeping semantically related records together cuts cold-cache faults %.1fx -\n\
+     the speed-up the paper's Section 5 hypothesises.\n"
+    (float_of_int (fst scattered) /. float_of_int (max 1 (fst by_author)))
+
+
+(* ------------------------------------------------------------------ *)
+(* A4: dense-node relationship groups                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation_dense env =
+  section
+    "A4 ablation: dense-node relationship groups\n\
+     typed expansion on hub users, groups enabled (threshold 50) vs disabled";
+  let build threshold =
+    let db = Mgq_neo.Db.create ~dense_node_threshold:threshold () in
+    let _, users, _, _ = Import_neo.run db env.dataset in
+    (db, users)
+  in
+  let with_groups = build 50 in
+  let without_groups = build max_int in
+  (* Hubs by follower count. *)
+  let hubs =
+    let counts = Mgq_twitter.Dataset.follower_counts env.dataset in
+    let indexed = Array.mapi (fun uid c -> (c, uid)) counts in
+    Array.sort (fun a b -> compare b a) indexed;
+    Array.to_list (Array.sub indexed 0 5)
+  in
+  let measure_hits (db, users) uid =
+    let cost = Sim_disk.cost (Mgq_neo.Db.disk db) in
+    let before = (Cost_model.snapshot cost).Cost_model.db_hits in
+    (* Typed expansion of the rare type on a follows-heavy hub. *)
+    ignore
+      (Seq.length
+         (Mgq_neo.Db.edges_of db users.(uid) ~etype:"mentions" Mgq_core.Types.In));
+    (Cost_model.snapshot cost).Cost_model.db_hits - before
+  in
+  let rows =
+    List.map
+      (fun (followers, uid) ->
+        let dense_hits = measure_hits with_groups uid in
+        let sparse_hits = measure_hits without_groups uid in
+        [
+          string_of_int uid;
+          Text_table.fmt_int followers;
+          (if Mgq_neo.Db.is_dense_node (fst with_groups) (snd with_groups).(uid) then "yes"
+           else "no");
+          Text_table.fmt_int dense_hits;
+          Text_table.fmt_int sparse_hits;
+          Printf.sprintf "%.1fx" (float_of_int sparse_hits /. float_of_int (max 1 dense_hits));
+        ])
+      hubs
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Right; Right; Left; Right; Right; Right ]
+    ~header:
+      [
+        "hub uid"; "followers"; "dense?"; "db hits (groups)"; "db hits (mixed chain)";
+        "saving";
+      ]
+    rows;
+  Printf.printf
+    "Typed expansion on a dense node walks only that type's group chain instead of\n\
+     the whole mixed relationship chain - Neo4j's dense-node optimisation.\n"
+
+
+(* ------------------------------------------------------------------ *)
+(* E2: whole-graph analytics vs the navigational workload             *)
+(* ------------------------------------------------------------------ *)
+
+let run_analytics env =
+  section
+    "E2 (extension): PageRank / connected components vs navigational queries\n\
+     (the paper excludes these as 'better suited for distributed graph\n\
+     processing platforms' - this measures how much heavier they are)";
+  let module Analytics = Mgq_queries.Analytics in
+  let db = env.neo.Contexts.db in
+  let sdb = env.sparks.Contexts.sdb in
+  let user_t = env.sparks.Contexts.t_user in
+  let follows_t = env.sparks.Contexts.t_follows in
+  let timed name cost f =
+    let before = Cost_model.snapshot cost in
+    let _, wall_ms = Stats.Timing.time_ms f in
+    let delta = Cost_model.sub_counters (Cost_model.snapshot cost) before in
+    [
+      name;
+      Text_table.fmt_ms wall_ms;
+      Text_table.fmt_ms (Cost_model.simulated_ms delta);
+      Text_table.fmt_int delta.Cost_model.db_hits;
+    ]
+  in
+  (* The heaviest navigational query from Table 2 as the yardstick. *)
+  let uid =
+    match List.rev (Params.users_by_mention_degree env.reference) with
+    | (_, u) :: _ -> u
+    | [] -> 0
+  in
+  let rows =
+    [
+      timed "Q5.2 influence (yardstick)" (neo_cost env) (fun () ->
+          ignore (Mgq_queries.Q_cypher.q5_2 env.neo ~uid ~n:10));
+      timed "neo pagerank (20 iters)" (neo_cost env) (fun () ->
+          ignore (Analytics.pagerank_neo db ~etype:"follows"));
+      timed "neo components" (neo_cost env) (fun () ->
+          ignore (Analytics.components_neo db ~etype:"follows"));
+      timed "sparks pagerank (20 iters)" (sparks_cost env) (fun () ->
+          ignore (Analytics.pagerank_sparks sdb ~node_types:[ user_t ] ~etype:follows_t));
+      timed "sparks components" (sparks_cost env) (fun () ->
+          ignore (Analytics.components_sparks sdb ~node_types:[ user_t ] ~etype:follows_t));
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right; Right ]
+    ~header:[ "computation"; "wall ms"; "sim ms"; "db hits" ]
+    rows
+
+
+(* ------------------------------------------------------------------ *)
+(* E3: relational baseline                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_relational env =
+  section
+    "E3 (related-work baseline): the workload on a relational engine\n\
+     ('We believe that graph data management systems are better equipped\n\
+     to test the particular type of microblogging data workloads')";
+  let rdb = Mgq_rel.Rdb.create () in
+  ignore (Mgq_rel.Rdb.load rdb env.dataset);
+  let rel_cost = Sim_disk.cost (Mgq_rel.Rdb.disk rdb) in
+  let uid =
+    match List.rev (Params.users_by_mention_degree env.reference) with
+    | (_, u) :: _ -> u
+    | [] -> 0
+  in
+  let row name cypher_meas api_meas rel_run =
+    let rel = measure rel_cost rel_run in
+    [
+      name;
+      Text_table.fmt_int cypher_meas.db_hits;
+      Text_table.fmt_int api_meas.db_hits;
+      Text_table.fmt_int rel.db_hits;
+      Printf.sprintf "%.1fx"
+        (float_of_int rel.db_hits /. float_of_int (max 1 api_meas.db_hits));
+    ]
+  in
+  let module Q_api = Mgq_queries.Q_neo_api in
+  let rows =
+    [
+      row "Q2.1 adjacency"
+        (measure (neo_cost env) (fun () -> Q_cypher.q2_1 env.neo ~uid))
+        (measure (neo_cost env) (fun () -> Q_api.q2_1 env.neo ~uid))
+        (fun () -> Mgq_queries.Results.Ids (Mgq_rel.Rel_queries.q2_1 rdb ~uid));
+      row "Q2.3 3-step"
+        (measure (neo_cost env) (fun () -> Q_cypher.q2_3 env.neo ~uid))
+        (measure (neo_cost env) (fun () -> Q_api.q2_3 env.neo ~uid))
+        (fun () -> Mgq_queries.Results.Tags (Mgq_rel.Rel_queries.q2_3 rdb ~uid));
+      row "Q3.1 co-mention"
+        (measure (neo_cost env) (fun () -> Q_cypher.q3_1 env.neo ~uid ~n:10))
+        (measure (neo_cost env) (fun () -> Q_api.q3_1 env.neo ~uid ~n:10))
+        (fun () -> Mgq_queries.Results.Counted (Mgq_rel.Rel_queries.q3_1 rdb ~uid ~n:10));
+      row "Q4.1 recommend"
+        (measure (neo_cost env) (fun () -> Q_cypher.q4_1 env.neo ~uid ~n:10))
+        (measure (neo_cost env) (fun () -> Q_api.q4_1 env.neo ~uid ~n:10))
+        (fun () -> Mgq_queries.Results.Counted (Mgq_rel.Rel_queries.q4_1 rdb ~uid ~n:10));
+      row "Q5.2 influence"
+        (measure (neo_cost env) (fun () -> Q_cypher.q5_2 env.neo ~uid ~n:10))
+        (measure (neo_cost env) (fun () -> Q_api.q5_2 env.neo ~uid ~n:10))
+        (fun () -> Mgq_queries.Results.Counted (Mgq_rel.Rel_queries.q5_2 rdb ~uid ~n:10));
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right; Right; Right ]
+    ~header:
+      [ "query"; "neo/cypher hits"; "neo/api hits"; "relational hits"; "rel vs api" ]
+    rows;
+  let depth_here =
+    let rec levels n acc = if n <= 16 then acc else levels (n / 16) (acc + 1) in
+    1 + levels (Array.length env.dataset.Mgq_twitter.Dataset.follows) 0
+  in
+  let depth_paper =
+    let rec levels n acc = if n <= 16 then acc else levels (n / 16) (acc + 1) in
+    1 + levels 284_000_284 0
+  in
+  Printf.printf
+    "Every relational hop pays a B-tree descent (%d levels at this scale; %d at the\n\
+     paper's 284M follows) plus leaf and row fetches; graph adjacency stays O(degree).\n\
+     At this scale the baseline is competitive on shallow hops - the graph advantage\n\
+     the paper asserts is a deep-traversal and large-N effect.\n"
+    depth_here depth_paper

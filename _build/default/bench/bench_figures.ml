@@ -1,0 +1,234 @@
+(* Figures 2-4: import-time series for both engines and the four
+   query-execution sweeps. *)
+
+open Bench_support
+module Import_report = Mgq_twitter.Import_report
+module Q_cypher = Mgq_queries.Q_cypher
+module Q_sparks = Mgq_queries.Q_sparks
+module Results = Mgq_queries.Results
+
+(* "fig4 (a) record store (Cypher)" -> "fig4_a_record_store_cypher" *)
+let slug title =
+  let buf = Buffer.create (String.length title) in
+  let last_sep = ref true in
+  String.iter
+    (fun c ->
+      let c = Char.lowercase_ascii c in
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '.' then begin
+        Buffer.add_char buf c;
+        last_sep := false
+      end
+      else if not !last_sep then begin
+        Buffer.add_char buf '_';
+        last_sep := true
+      end)
+    title;
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '_' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+(* Downsample a per-batch series to at most [max_rows] printed rows,
+   keeping local maxima visible (flush spikes must survive). *)
+let downsample max_rows points =
+  let n = List.length points in
+  if n <= max_rows then points
+  else begin
+    let arr = Array.of_list points in
+    let group = (n + max_rows - 1) / max_rows in
+    List.init
+      ((n + group - 1) / group)
+      (fun g ->
+        let lo = g * group and hi = min n ((g + 1) * group) in
+        let best = ref arr.(lo) in
+        for i = lo + 1 to hi - 1 do
+          if arr.(i).Import_report.batch_sim_ms > !best.Import_report.batch_sim_ms then
+            best := arr.(i)
+        done;
+        !best)
+  end
+
+let bar ms =
+  let n = min 40 (int_of_float (ms /. 2.)) in
+  String.make (max 0 n) '#'
+
+let print_series ~fig title series =
+  Printf.printf "\n-- %s --\n" title;
+  List.iter
+    (fun (s : Import_report.series) ->
+      Printf.printf "series: %s\n" s.Import_report.label;
+      export_csv
+        (slug (Printf.sprintf "%s %s %s" fig
+                 (String.sub title 0 (min 9 (String.length title)))
+                 s.Import_report.label))
+        ~header:[ "items"; "batch_sim_ms" ]
+        (Import_report.points_rows s);
+      let rows =
+        List.map
+          (fun (p : Import_report.point) ->
+            [
+              Text_table.fmt_int p.Import_report.cumulative;
+              Printf.sprintf "%.2f" p.Import_report.batch_sim_ms;
+              bar p.Import_report.batch_sim_ms;
+            ])
+          (downsample 18 s.Import_report.points)
+      in
+      Text_table.print
+        ~aligns:[ Text_table.Right; Right; Left ]
+        ~header:[ "items"; "batch sim ms"; "" ]
+        rows)
+    series
+
+let run_fig2 env =
+  section "Figure 2: import times for nodes and edges (record-store engine)";
+  let r = env.neo.Contexts.report in
+  print_series ~fig:"fig2" "(a) nodes" r.Import_report.node_series;
+  Printf.printf "\nintermediate (dense-node computation): %.1f sim ms\n"
+    r.Import_report.intermediate_sim_ms;
+  print_series ~fig:"fig2" "(b) edges" r.Import_report.edge_series;
+  Printf.printf "\nindex creation: %.1f sim ms; total import: %.1f sim ms\n"
+    r.Import_report.index_sim_ms r.Import_report.total_sim_ms
+
+let run_fig3 env =
+  section "Figure 3: import times for nodes and edges (bitmap engine)";
+  let r = env.sparks.Contexts.s_report in
+  print_series ~fig:"fig3" "(a) nodes (three payload regions: hashtag | tweet | user)"
+    r.Import_report.node_series;
+  print_series ~fig:"fig3" "(b) edges (follows first ~80%, then the rest)"
+    r.Import_report.edge_series;
+  Printf.printf "\ntotal import: %.1f sim ms\n" r.Import_report.total_sim_ms
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 sweeps                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_table title header rows =
+  Printf.printf "\n-- %s --\n" title;
+  table ~name:(slug title) ~aligns:[ Text_table.Right; Right; Right; Right; Right ] ~header
+    rows
+
+(* (a)/(b): Q3.1 against rows returned. *)
+let active_spread count sorted =
+  (* Keep one inactive seed (the paper's plots start near zero) and
+     spread the rest over users with non-zero activity, preferring
+     distinct activity levels so the x-axis actually sweeps. *)
+  let distinct_weights xs =
+    let rec dedup last = function
+      | [] -> []
+      | (w, v) :: rest -> if Some w = last then dedup last rest else (w, v) :: dedup (Some w) rest
+    in
+    dedup None xs
+  in
+  match List.partition (fun (w, _) -> w = 0) sorted with
+  | [], active -> Params.spread count (distinct_weights active)
+  | zero :: _, active ->
+    let pool = distinct_weights active in
+    let pool = if List.length pool >= count - 1 then pool else active in
+    zero :: Params.spread (count - 1) pool
+
+let run_fig4ab env =
+  section "Figure 4 (a,b): co-occurrence query Q3.1 vs rows returned";
+  let seeds = active_spread 8 (Params.users_by_mention_degree env.reference) in
+  let run label cost runner =
+    let rows =
+      List.map
+        (fun (_, uid) ->
+          let m = measure cost (fun () -> runner ~uid ~n:max_int) in
+          [
+            string_of_int m.result_cardinality;
+            Text_table.fmt_ms m.wall_mean_ms;
+            Text_table.fmt_ms m.sim_ms;
+            Text_table.fmt_int m.db_hits;
+          ])
+        seeds
+    in
+    sweep_table label [ "rows returned"; "wall ms"; "sim ms"; "db hits" ] rows
+  in
+  run "(a) record store (Cypher)" (neo_cost env) (fun ~uid ~n ->
+      Q_cypher.q3_1 env.neo ~uid ~n);
+  run "(b) bitmap engine (API)" (sparks_cost env) (fun ~uid ~n ->
+      Q_sparks.q3_1 env.sparks ~uid ~n)
+
+(* (c)/(d): Q4.1 against rows returned (2-step fan-out). *)
+let run_fig4cd env =
+  section "Figure 4 (c,d): recommendation query Q4.1 vs rows returned";
+  let seeds = Params.spread 8 (Params.users_by_two_step_fanout env.reference) in
+  let run label cost runner =
+    let rows =
+      List.map
+        (fun (fanout, uid) ->
+          let m = measure cost (fun () -> runner ~uid ~n:max_int) in
+          [
+            string_of_int m.result_cardinality;
+            string_of_int fanout;
+            Text_table.fmt_ms m.wall_mean_ms;
+            Text_table.fmt_ms m.sim_ms;
+            Text_table.fmt_int m.db_hits;
+          ])
+        seeds
+    in
+    sweep_table label
+      [ "rows returned"; "2-step fanout"; "wall ms"; "sim ms"; "db hits" ]
+      rows
+  in
+  run "(c) record store (Cypher)" (neo_cost env) (fun ~uid ~n ->
+      Q_cypher.q4_1 env.neo ~uid ~n);
+  run "(d) bitmap engine (API)" (sparks_cost env) (fun ~uid ~n ->
+      Q_sparks.q4_1 env.sparks ~uid ~n)
+
+(* (e)/(f): Q5.2 against the user's mention degree. *)
+let run_fig4ef env =
+  section "Figure 4 (e,f): influence query Q5.2 vs mention degree";
+  let seeds = active_spread 8 (Params.users_by_mention_degree env.reference) in
+  let run label cost runner =
+    let rows =
+      List.map
+        (fun (degree, uid) ->
+          let m = measure cost (fun () -> runner ~uid ~n:max_int) in
+          [
+            string_of_int degree;
+            Text_table.fmt_ms m.wall_mean_ms;
+            Text_table.fmt_ms m.sim_ms;
+            Text_table.fmt_int m.db_hits;
+          ])
+        seeds
+    in
+    sweep_table label [ "mention degree"; "wall ms"; "sim ms"; "db hits" ] rows
+  in
+  run "(e) record store (Cypher)" (neo_cost env) (fun ~uid ~n ->
+      Q_cypher.q5_2 env.neo ~uid ~n);
+  run "(f) bitmap engine (API)" (sparks_cost env) (fun ~uid ~n ->
+      Q_sparks.q5_2 env.sparks ~uid ~n)
+
+(* (g)/(h): Q6.1 against path length. *)
+let run_fig4gh env =
+  section "Figure 4 (g,h): shortest-path query Q6.1 vs path length";
+  let pairs = Params.pairs_by_path_length ~per_bucket:4 ~max_hops:3 env.reference in
+  let buckets = List.sort_uniq compare (List.map fst pairs) in
+  let run label cost runner =
+    let rows =
+      List.map
+        (fun length ->
+          let bucket = List.filter (fun (l, _) -> l = length) pairs in
+          let summary = Stats.Summary.create () in
+          let hits = ref 0 in
+          List.iter
+            (fun (_, (a, b)) ->
+              let m = measure cost (fun () -> runner ~uid1:a ~uid2:b ~max_hops:3) in
+              Stats.Summary.add summary m.wall_mean_ms;
+              hits := !hits + m.db_hits)
+            bucket;
+          [
+            string_of_int length;
+            string_of_int (List.length bucket);
+            Text_table.fmt_ms (Stats.Summary.mean summary);
+            Text_table.fmt_int (!hits / max 1 (List.length bucket));
+          ])
+        buckets
+    in
+    sweep_table label [ "path length"; "pairs"; "avg wall ms"; "avg db hits" ] rows
+  in
+  run "(g) record store (Cypher shortestPath)" (neo_cost env)
+    (fun ~uid1 ~uid2 ~max_hops -> Q_cypher.q6_1 env.neo ~uid1 ~uid2 ~max_hops);
+  run "(h) bitmap engine (SinglePairShortestPathBFS)" (sparks_cost env)
+    (fun ~uid1 ~uid2 ~max_hops -> Q_sparks.q6_1 env.sparks ~uid1 ~uid2 ~max_hops)

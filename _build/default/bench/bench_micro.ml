@@ -1,0 +1,61 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table, measuring
+   the steady-state cost of each workload query on each system. These
+   complement the paper-protocol tables with allocation-aware,
+   statistically fitted timings. *)
+
+open Bench_support
+module Workload = Mgq_queries.Workload
+
+let make_tests env =
+  let args =
+    {
+      Workload.default_args with
+      Workload.uid =
+        (match List.rev (Params.users_by_mention_degree env.reference) with
+        | (_, uid) :: _ -> uid
+        | [] -> 0);
+      n = 10;
+      threshold = env.scale / 100;
+    }
+  in
+  (* Table 2 rows: every query on both systems. *)
+  let table2 =
+    List.concat_map
+      (fun (q : Workload.query) ->
+        [
+          Bechamel.Test.make
+            ~name:(q.Workload.id ^ "/neo-cypher")
+            (Bechamel.Staged.stage (fun () -> ignore (q.Workload.run_cypher env.neo args)));
+          Bechamel.Test.make
+            ~name:(q.Workload.id ^ "/sparks")
+            (Bechamel.Staged.stage (fun () -> ignore (q.Workload.run_sparks env.sparks args)));
+        ])
+      Workload.all
+  in
+  Bechamel.Test.make_grouped ~name:"table2" table2
+
+let run_micro env =
+  section "Bechamel micro-benchmarks (monotonic clock, fitted)";
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (make_tests env) in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance raw) instances
+  in
+  match results with
+  | [ by_clock ] ->
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ ns_per_run ] ->
+          rows := [ name; Text_table.fmt_ms (ns_per_run /. 1e6) ] :: !rows
+        | _ -> ())
+      by_clock;
+    let sorted = List.sort compare !rows in
+    Text_table.print
+      ~aligns:[ Text_table.Left; Text_table.Right ]
+      ~header:[ "benchmark"; "ms/run (OLS)" ]
+      sorted
+  | _ -> Printf.printf "(no results)\n"

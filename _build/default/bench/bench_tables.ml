@@ -1,0 +1,147 @@
+(* Table 1 (dataset characteristics) and Table 2 (query workload,
+   timed on both systems). *)
+
+open Bench_support
+module Import_report = Mgq_twitter.Import_report
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Table 1 counts, for side-by-side ratio comparison. *)
+let paper_table1 =
+  [
+    ("user", 24_789_792);
+    ("tweet", 24_000_023 (* reported as 24,...,23 in the text *));
+    ("hashtag", 616_109);
+    ("follows", 284_000_284);
+    ("posts", 24_000_023);
+    ("mentions", 11_100_547);
+    ("tags", 7_137_992);
+  ]
+
+let run_table1 env =
+  section "Table 1: characteristics of the (synthetic) data set";
+  let s = Mgq_twitter.Dataset.stats env.dataset in
+  let paper name = List.assoc name paper_table1 in
+  let row name mine =
+    let p = paper name in
+    [
+      name;
+      Text_table.fmt_int mine;
+      Text_table.fmt_int p;
+      Printf.sprintf "%.4f" (float_of_int mine /. float_of_int s.Mgq_twitter.Dataset.users);
+      Printf.sprintf "%.4f" (float_of_int p /. 24_789_792.);
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right; Right; Right ]
+    ~header:[ "node/edge type"; "this repo"; "paper"; "ratio/user (repo)"; "ratio/user (paper)" ]
+    [
+      row "user" s.Mgq_twitter.Dataset.users;
+      row "tweet" s.Mgq_twitter.Dataset.tweet_nodes;
+      row "hashtag" s.Mgq_twitter.Dataset.hashtag_nodes;
+      row "follows" s.Mgq_twitter.Dataset.follows_edges;
+      row "posts" s.Mgq_twitter.Dataset.posts_edges;
+      row "mentions" s.Mgq_twitter.Dataset.mentions_edges;
+      row "tags" s.Mgq_twitter.Dataset.tags_edges;
+    ];
+  Printf.printf "Total nodes: %s   Total edges: %s\n"
+    (Text_table.fmt_int s.Mgq_twitter.Dataset.total_nodes)
+    (Text_table.fmt_int s.Mgq_twitter.Dataset.total_edges)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_table2 env =
+  section "Table 2: query workload (avg over 10 runs after warm-up, per system)";
+  (* A mid-activity seed user, a popular hashtag, a known-connected
+     pair. *)
+  let by_mentions = Params.users_by_mention_degree env.reference in
+  let uid =
+    match List.rev by_mentions with
+    | (_, uid) :: _ -> uid
+    | [] -> 0
+  in
+  (* A target two hops out from the seed keeps Q6 non-trivial but
+     reachable. *)
+  let uid2 =
+    match env.reference.Reference.followees.(uid) with
+    | f :: _ -> (
+      match env.reference.Reference.followees.(f) with
+      | fof :: _ when fof <> uid -> fof
+      | _ -> f)
+    | [] -> (uid + 1) mod env.scale
+  in
+  let args =
+    {
+      Workload.uid;
+      uid2;
+      tag = "topic0";
+      n = 10;
+      threshold = env.scale / 100;
+      max_hops = 3;
+    }
+  in
+  (* Adjacency queries need a seed whose followees actually tweet;
+     only a small active fraction of users posts. *)
+  let follower_of_author =
+    let authors =
+      Array.fold_left
+        (fun acc (tw : Mgq_twitter.Dataset.tweet) -> tw.Mgq_twitter.Dataset.author :: acc)
+        [] env.dataset.Mgq_twitter.Dataset.tweets
+    in
+    let is_author u = List.mem u authors in
+    let rec find u =
+      if u >= env.scale then uid
+      else if List.exists is_author env.reference.Reference.followees.(u) then u
+      else find (u + 1)
+    in
+    find 0
+  in
+  let rows =
+    List.concat_map
+      (fun (q : Workload.query) ->
+        let args =
+          if String.length q.Workload.id >= 2 && String.sub q.Workload.id 0 2 = "Q2" then
+            { args with Workload.uid = follower_of_author }
+          else args
+        in
+        let star = if q.Workload.starred then " (*)" else "" in
+        let cyp = measure (neo_cost env) (fun () -> q.Workload.run_cypher env.neo args) in
+        let api = measure (neo_cost env) (fun () -> q.Workload.run_neo_api env.neo args) in
+        let spk = measure (sparks_cost env) (fun () -> q.Workload.run_sparks env.sparks args) in
+        [
+          [ q.Workload.id ^ star; q.Workload.category; "neo/cypher" ] @ fmt_meas cyp;
+          [ ""; ""; "neo/core-api" ] @ fmt_meas api;
+          [ ""; ""; "sparks/api" ] @ fmt_meas spk;
+        ])
+      Workload.all
+  in
+  Text_table.print
+    ~aligns:
+      [ Text_table.Left; Left; Left; Right; Right; Right; Right ]
+    ~header:[ "query"; "category"; "system"; "wall ms"; "sim ms"; "db hits"; "rows" ]
+    rows
+
+let run_import_summary env =
+  section "Import summary (paper: Neo4j 45 min / 20.8 GB; Sparksee 72 min / 15.1 GB)";
+  let describe name (r : Import_report.t) =
+    [
+      name;
+      Printf.sprintf "%.1f" r.Import_report.total_sim_ms;
+      Printf.sprintf "%.1f" r.Import_report.total_wall_ms;
+      Printf.sprintf "%.1f" r.Import_report.intermediate_sim_ms;
+      Printf.sprintf "%.1f" r.Import_report.index_sim_ms;
+      Text_table.fmt_int (r.Import_report.size_words * 8);
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right; Right; Right; Right; Right ]
+    ~header:
+      [ "system"; "sim ms"; "wall ms"; "intermediate sim ms"; "index sim ms"; "db bytes" ]
+    [
+      describe "neo (record store)" env.neo.Contexts.report;
+      describe "sparks (bitmap)" env.sparks.Contexts.s_report;
+    ]

@@ -1,0 +1,83 @@
+(* Bench harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1      # one experiment
+     MGQ_BENCH_USERS=2000 dune exec bench/main.exe
+
+   Experiment ids follow DESIGN.md's index: table1 table2 fig2 fig3
+   fig4ab fig4cd fig4ef fig4gh disc-variants disc-plancache disc-topn
+   disc-coldcache micro import. *)
+
+open Bench_support
+
+let experiments =
+  [
+    ("table1", ("Table 1: dataset characteristics", Bench_tables.run_table1));
+    ("table2", ("Table 2: query workload on both systems", Bench_tables.run_table2));
+    ("import", ("Import summary (Section 3.2)", Bench_tables.run_import_summary));
+    ("fig2", ("Figure 2: record-store import series", Bench_figures.run_fig2));
+    ("fig3", ("Figure 3: bitmap-engine import series", Bench_figures.run_fig3));
+    ("fig4ab", ("Figure 4(a,b): Q3.1 sweep", Bench_figures.run_fig4ab));
+    ("fig4cd", ("Figure 4(c,d): Q4.1 sweep", Bench_figures.run_fig4cd));
+    ("fig4ef", ("Figure 4(e,f): Q5.2 sweep", Bench_figures.run_fig4ef));
+    ("fig4gh", ("Figure 4(g,h): Q6.1 sweep", Bench_figures.run_fig4gh));
+    ("disc-variants", ("D1: Cypher phrasings", Bench_discussion.run_variants));
+    ("disc-plancache", ("D2: plan cache", Bench_discussion.run_plancache));
+    ("disc-topn", ("D3: top-n overhead", Bench_discussion.run_topn));
+    ("disc-coldcache", ("D4: cold cache", Bench_discussion.run_coldcache));
+    ( "disc-navigation",
+      ("D5: raw navigation vs Traversal classes", Bench_discussion.run_navigation_vs_traversal)
+    );
+    ("micro", ("Bechamel micro-benchmarks", Bench_micro.run_micro));
+    ("updates", ("E1: streaming update workload (Section 5)", Bench_extensions.run_updates));
+    ("ablation-seek", ("A1: index seek vs label scan", Bench_extensions.run_ablation_seek));
+    ("ablation-pool", ("A2: buffer-pool size sweep", Bench_extensions.run_ablation_pool));
+    ( "ablation-placement",
+      ("A3: semantic record placement (Section 5)", Bench_extensions.run_ablation_placement)
+    );
+    ( "ablation-dense",
+      ("A4: dense-node relationship groups", Bench_extensions.run_ablation_dense) );
+    ("analytics", ("E2: whole-graph analytics", Bench_extensions.run_analytics));
+    ("relational", ("E3: relational baseline comparison", Bench_extensions.run_relational));
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [all | <experiment> ...]";
+  print_endline "experiments:";
+  List.iter (fun (id, (title, _)) -> Printf.printf "  %-16s %s\n" id title) experiments
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: [] | _ :: "all" :: _ -> List.map fst experiments
+    | _ :: ids ->
+      if List.mem "--help" ids || List.mem "-h" ids then begin
+        usage ();
+        exit 0
+      end;
+      List.iter
+        (fun id ->
+          if not (List.mem_assoc id experiments) then begin
+            Printf.eprintf "unknown experiment %S\n" id;
+            usage ();
+            exit 2
+          end)
+        ids;
+      ids
+    | [] -> []
+  in
+  let scale =
+    match Sys.getenv_opt "MGQ_BENCH_USERS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 10 -> n | _ -> default_users)
+    | None -> default_users
+  in
+  Printf.printf "mgq bench harness - reproducing 'Microblogging Queries on Graph Databases'\n";
+  Printf.printf "scale: %d users (paper: 24.8M); set MGQ_BENCH_USERS to change\n%!" scale;
+  let env = build_env scale in
+  List.iter
+    (fun id ->
+      let _, run = List.assoc id experiments in
+      run env)
+    requested;
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,297 @@
+(* mgq: command-line front end.
+
+     mgq generate --users 5000 --out crawl/       write TSV source files
+     mgq stats --dir crawl/                       Table-1 style counts
+     mgq import --dir crawl/ --engine neo         batch-load and summarise
+     mgq query --dir crawl/ --id Q3.1 --uid 42    run a workload query
+     mgq cypher --dir crawl/ "MATCH ... RETURN ..."  ad-hoc declarative query
+
+   Databases are in-memory: import happens per invocation. *)
+
+module Generator = Mgq_twitter.Generator
+module Dataset = Mgq_twitter.Dataset
+module Source_files = Mgq_twitter.Source_files
+module Import_report = Mgq_twitter.Import_report
+module Contexts = Mgq_queries.Contexts
+module Reference = Mgq_queries.Reference
+module Workload = Mgq_queries.Workload
+module Results = Mgq_queries.Results
+module Cypher = Mgq_cypher.Cypher
+module Text_table = Mgq_util.Text_table
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let dir_arg =
+  let doc = "Directory holding the TSV source files." in
+  Arg.(required & opt (some string) None & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
+
+let load_dataset dir =
+  let dataset = Source_files.read (Source_files.paths_in dir) in
+  match Dataset.validate dataset with
+  | Ok () -> dataset
+  | Error msg -> failwith ("invalid source files: " ^ msg)
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let users =
+    Arg.(value & opt int 5000 & info [ "users"; "u" ] ~docv:"N" ~doc:"Number of users.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory for the TSV files.")
+  in
+  let retweets =
+    Arg.(value & flag & info [ "retweets" ] ~doc:"Also generate retweet edges.")
+  in
+  let run users seed out retweets =
+    let config =
+      { (Generator.scaled ~seed ~n_users:users ()) with Generator.with_retweets = retweets }
+    in
+    let dataset = Generator.generate config in
+    let paths = Source_files.write dataset out in
+    let s = Dataset.stats dataset in
+    Printf.printf "wrote %s nodes / %s edges to %s (%s bytes)\n"
+      (Text_table.fmt_int s.Dataset.total_nodes)
+      (Text_table.fmt_int s.Dataset.total_edges)
+      out
+      (Text_table.fmt_int (Source_files.total_bytes paths))
+  in
+  let info = Cmd.info "generate" ~doc:"Generate a synthetic Twitter crawl as TSV files." in
+  Cmd.v info Term.(const run $ users $ seed $ out $ retweets)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let run dir =
+    let s = Dataset.stats (load_dataset dir) in
+    Text_table.print
+      ~aligns:[ Text_table.Left; Text_table.Right ]
+      ~header:[ "node/relationship"; "count" ]
+      [
+        [ "user"; Text_table.fmt_int s.Dataset.users ];
+        [ "tweet"; Text_table.fmt_int s.Dataset.tweet_nodes ];
+        [ "hashtag"; Text_table.fmt_int s.Dataset.hashtag_nodes ];
+        [ "follows"; Text_table.fmt_int s.Dataset.follows_edges ];
+        [ "posts"; Text_table.fmt_int s.Dataset.posts_edges ];
+        [ "mentions"; Text_table.fmt_int s.Dataset.mentions_edges ];
+        [ "tags"; Text_table.fmt_int s.Dataset.tags_edges ];
+        [ "retweets"; Text_table.fmt_int s.Dataset.retweets_edges ];
+        [ "total nodes"; Text_table.fmt_int s.Dataset.total_nodes ];
+        [ "total edges"; Text_table.fmt_int s.Dataset.total_edges ];
+      ]
+  in
+  let info = Cmd.info "stats" ~doc:"Print Table-1 style dataset characteristics." in
+  Cmd.v info Term.(const run $ dir_arg)
+
+(* ---------------- import ---------------- *)
+
+let engine_arg =
+  let doc = "Engine: $(b,neo) (record store) or $(b,sparks) (bitmap)." in
+  Arg.(value & opt (enum [ ("neo", `Neo); ("sparks", `Sparks) ]) `Neo & info [ "engine"; "e" ] ~doc)
+
+let import_cmd =
+  let materialize =
+    Arg.(
+      value & flag
+      & info [ "materialize-neighbors" ]
+          ~doc:"Sparksee-style neighbor materialisation during import (slow).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Persist the loaded database to FILE.")
+  in
+  let run dir engine materialize save =
+    let dataset = load_dataset dir in
+    let report =
+      match engine with
+      | `Neo ->
+        let ctx = Contexts.build_neo dataset in
+        (match save with
+        | Some path ->
+          Mgq_neo.Db.save ctx.Contexts.db path;
+          Printf.printf "saved record-store database to %s\n" path
+        | None -> ());
+        ctx.Contexts.report
+      | `Sparks ->
+        let ctx = Contexts.build_sparks ~materialize_neighbors:materialize dataset in
+        (match save with
+        | Some path ->
+          Mgq_sparks.Sdb.save ctx.Contexts.sdb path;
+          Printf.printf "saved bitmap database to %s\n" path
+        | None -> ());
+        ctx.Contexts.s_report
+    in
+    Text_table.print
+      ~aligns:[ Text_table.Left; Text_table.Right ]
+      ~header:[ "metric"; "value" ]
+      [
+        [ "simulated import ms"; Printf.sprintf "%.1f" report.Import_report.total_sim_ms ];
+        [ "wall import ms"; Printf.sprintf "%.1f" report.Import_report.total_wall_ms ];
+        [
+          "intermediate (dense nodes) ms";
+          Printf.sprintf "%.1f" report.Import_report.intermediate_sim_ms;
+        ];
+        [ "index build ms"; Printf.sprintf "%.1f" report.Import_report.index_sim_ms ];
+        [ "database bytes"; Text_table.fmt_int (report.Import_report.size_words * 8) ];
+      ]
+  in
+  let info = Cmd.info "import" ~doc:"Batch-import the source files and report timings." in
+  Cmd.v info Term.(const run $ dir_arg $ engine_arg $ materialize $ save)
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "id"; "q" ] ~docv:"QID" ~doc:"Workload query id (Q1.1 .. Q6.1).")
+  in
+  let uid = Arg.(value & opt int 0 & info [ "uid" ] ~doc:"Seed user id.") in
+  let uid2 = Arg.(value & opt int 1 & info [ "uid2" ] ~doc:"Second user id (Q6.1).") in
+  let tag = Arg.(value & opt string "topic0" & info [ "tag" ] ~doc:"Seed hashtag (Q3.2).") in
+  let n = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Top-n limit.") in
+  let threshold = Arg.(value & opt int 10 & info [ "threshold" ] ~doc:"Q1.1 threshold.") in
+  let system =
+    Arg.(
+      value
+      & opt (enum [ ("cypher", `Cypher); ("neo-api", `Neo_api); ("sparks", `Sparks) ]) `Cypher
+      & info [ "system"; "s" ] ~doc:"Implementation: cypher, neo-api or sparks.")
+  in
+  let run dir id uid uid2 tag n threshold system =
+    match Workload.find id with
+    | None ->
+      Printf.eprintf "unknown query %s; known: %s\n" id
+        (String.concat ", " (List.map (fun q -> q.Workload.id) Workload.all));
+      exit 2
+    | Some q ->
+      let dataset = load_dataset dir in
+      let args = { Workload.uid; uid2; tag; n; threshold; max_hops = 3 } in
+      let result =
+        match system with
+        | `Cypher -> q.Workload.run_cypher (Contexts.build_neo dataset) args
+        | `Neo_api -> q.Workload.run_neo_api (Contexts.build_neo dataset) args
+        | `Sparks -> q.Workload.run_sparks (Contexts.build_sparks dataset) args
+      in
+      Printf.printf "%s (%s): %s\n" q.Workload.id q.Workload.description
+        (Results.to_string result)
+  in
+  let info = Cmd.info "query" ~doc:"Run one workload query against an engine." in
+  Cmd.v info
+    Term.(const run $ dir_arg $ id_arg $ uid $ uid2 $ tag $ n $ threshold $ system)
+
+(* ---------------- cypher ---------------- *)
+
+let cypher_cmd =
+  let text_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Query text.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan instead of executing.")
+  in
+  let dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"TSV source directory to import from.")
+  in
+  let db_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:"Saved record-store database (from $(b,mgq import --save)).")
+  in
+  let save_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Persist the database after the query (for writes).")
+  in
+  let run dir db save text explain =
+    let database =
+      match (db, dir) with
+      | Some path, _ -> Mgq_neo.Db.load path
+      | None, Some dir ->
+        let ctx = Contexts.build_neo (load_dataset dir) in
+        ctx.Contexts.db
+      | None, None -> failwith "cypher: pass --dir or --db"
+    in
+    let session = Cypher.create database in
+    if explain then print_endline (Cypher.explain session text)
+    else begin
+      let result = Cypher.run session text in
+      print_string (Cypher.to_string result);
+      let u = result.Cypher.updates in
+      if u <> Mgq_cypher.Executor.no_updates then
+        Printf.printf
+          "updates: +%d nodes, +%d relationships, %d properties, -%d nodes, -%d \
+           relationships\n"
+          u.Mgq_cypher.Executor.nodes_created u.Mgq_cypher.Executor.edges_created
+          u.Mgq_cypher.Executor.properties_set u.Mgq_cypher.Executor.nodes_deleted
+          u.Mgq_cypher.Executor.edges_deleted
+    end;
+    match save with
+    | Some path ->
+      Mgq_neo.Db.save database path;
+      Printf.printf "saved database to %s\n" path
+    | None -> ()
+  in
+  let info =
+    Cmd.info "cypher"
+      ~doc:
+        "Run an ad-hoc declarative query (prefix with PROFILE for db-hit statistics; \
+         supports CREATE/MERGE/SET/DELETE writes with --save)."
+  in
+  Cmd.v info Term.(const run $ dir_opt $ db_opt $ save_opt $ text_arg $ explain)
+
+(* ---------------- sparksee-style load script ---------------- *)
+
+let script_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc:"Script file.")
+  in
+  let run path =
+    let script = Mgq_sparks.Script.parse_file path in
+    let report = Mgq_sparks.Script.execute ~base_dir:(Filename.dirname path) script in
+    Text_table.print
+      ~aligns:[ Text_table.Left; Text_table.Left; Text_table.Right ]
+      ~header:[ "kind"; "type"; "loaded" ]
+      (List.map (fun (t, n) -> [ "nodes"; t; Text_table.fmt_int n ]) report.Mgq_sparks.Script.nodes_loaded
+      @ List.map (fun (t, n) -> [ "edges"; t; Text_table.fmt_int n ]) report.Mgq_sparks.Script.edges_loaded);
+    Printf.printf "database: %s nodes, %s edges\n"
+      (Text_table.fmt_int (Mgq_sparks.Sdb.node_count report.Mgq_sparks.Script.sdb))
+      (Text_table.fmt_int (Mgq_sparks.Sdb.edge_count report.Mgq_sparks.Script.sdb))
+  in
+  let info =
+    Cmd.info "script" ~doc:"Run a Sparksee-style schema/load script against the bitmap engine."
+  in
+  Cmd.v info Term.(const run $ path_arg)
+
+(* ---------------- workload listing ---------------- *)
+
+let workload_cmd =
+  let run () =
+    Text_table.print
+      ~header:[ "id"; "category"; "description" ]
+      (List.map
+         (fun q -> [ q.Workload.id; q.Workload.category; q.Workload.description ])
+         Workload.all)
+  in
+  let info = Cmd.info "workload" ~doc:"List the Table 2 query workload." in
+  Cmd.v info Term.(const run $ const ())
+
+let main =
+  let doc = "Microblogging queries on (simulated) graph databases" in
+  let info = Cmd.info "mgq" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ generate_cmd; stats_cmd; import_cmd; query_cmd; cypher_cmd; script_cmd; workload_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/friend_recommendations.ml: List Mgq_core Mgq_cypher Mgq_queries Mgq_twitter Printf Unix

@@ -1,0 +1,1 @@
+examples/friend_recommendations.mli:

@@ -1,0 +1,1 @@
+examples/influence_dashboard.ml: List Mgq_queries Mgq_twitter Printf

@@ -1,0 +1,1 @@
+examples/influence_dashboard.mli:

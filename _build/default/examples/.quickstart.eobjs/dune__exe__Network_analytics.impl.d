@@ -1,0 +1,1 @@
+examples/network_analytics.ml: Array List Mgq_core Mgq_neo Mgq_queries Mgq_twitter Mgq_util Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mgq_core Mgq_cypher Mgq_neo Mgq_sparks Printf

@@ -1,0 +1,1 @@
+examples/topic_experts.ml: List Mgq_queries Mgq_twitter Printf

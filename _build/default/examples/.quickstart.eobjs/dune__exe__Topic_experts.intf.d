@@ -1,0 +1,1 @@
+examples/topic_experts.mli:

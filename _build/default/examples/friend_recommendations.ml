@@ -1,0 +1,60 @@
+(* Friend recommendations (the paper's Q4 category): generate a
+   synthetic crawl, import it, and compute "people you may want to
+   follow" for a hub user — comparing the declarative query, its three
+   phrasings from Section 4, and both engines' imperative versions.
+
+     dune exec examples/friend_recommendations.exe
+*)
+
+module Generator = Mgq_twitter.Generator
+module Contexts = Mgq_queries.Contexts
+module Reference = Mgq_queries.Reference
+module Params = Mgq_queries.Params
+module Q_cypher = Mgq_queries.Q_cypher
+module Q_neo_api = Mgq_queries.Q_neo_api
+module Q_sparks = Mgq_queries.Q_sparks
+module Results = Mgq_queries.Results
+module Cypher = Mgq_cypher.Cypher
+module Value = Mgq_core.Value
+
+let () =
+  print_endline "generating a 2,000-user synthetic crawl...";
+  let dataset = Generator.generate (Generator.scaled ~n_users:2000 ()) in
+  let reference = Reference.build dataset in
+  let neo = Contexts.build_neo dataset in
+  let sparks = Contexts.build_sparks dataset in
+
+  (* Pick a user with a meaty 2-step neighborhood. *)
+  let uid =
+    match List.rev (Params.users_by_two_step_fanout reference) with
+    | (_, uid) :: _ -> uid
+    | [] -> 0
+  in
+  Printf.printf "recommending followees for user %d\n\n" uid;
+
+  let show title result = Printf.printf "%-28s %s\n" title (Results.to_string result) in
+  show "Cypher Q4.1:" (Q_cypher.q4_1 neo ~uid ~n:5);
+  show "core API (collect friends):" (Q_neo_api.q4_1 neo ~uid ~n:5);
+  show "core API (traversal fw):" (Q_neo_api.q4_1_traversal neo ~uid ~n:5);
+  show "bitmap navigation API:" (Q_sparks.q4_1 sparks ~uid ~n:5);
+
+  print_endline "\nSection 4's three Cypher phrasings of the same query:";
+  List.iter
+    (fun (name, variant) ->
+      let t0 = Unix.gettimeofday () in
+      let result = Q_cypher.q4_variant neo ~variant ~uid ~n:5 in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Printf.printf "  %-24s %7.2f ms   %s\n" name ms (Results.to_string result))
+    [
+      ("(a) -[:follows*2..2]->", `A);
+      ("(b) staged WITH collect", `B);
+      ("(c) expand *1..2, remove", `C);
+    ];
+
+  print_endline "\nthe PROFILE of the canonical phrasing:";
+  let profiled =
+    Cypher.run neo.Contexts.session
+      ~params:[ ("uid", Value.Int uid); ("n", Value.Int 5) ]
+      ("PROFILE " ^ Q_cypher.text_q4_1)
+  in
+  print_string (Cypher.to_string profiled)

@@ -1,0 +1,89 @@
+(* Quickstart: build a tiny Twittersphere by hand on both engines and
+   ask it questions three ways — declaratively (Cypher dialect),
+   through the record-store core API, and through the bitmap engine's
+   navigation API.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Db = Mgq_neo.Db
+module Cypher = Mgq_cypher.Cypher
+module Sdb = Mgq_sparks.Sdb
+module Objects = Mgq_sparks.Objects
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+open Mgq_core.Types
+
+let () =
+  print_endline "=== 1. The record-store engine (Neo4j analog) ===";
+  let db = Db.create () in
+
+  (* Nodes carry a label and key-value properties. *)
+  let user name uid =
+    Db.create_node db ~label:"user"
+      (Property.of_list [ ("uid", Value.Int uid); ("name", Value.Str name) ])
+  in
+  let ada = user "ada" 1 in
+  let alan = user "alan" 2 in
+  let grace = user "grace" 3 in
+  let tweet = Db.create_node db ~label:"tweet" (Property.of_list [ ("text", Value.Str "hello graphs! #db") ]) in
+
+  (* Relationships are typed and directed; writes are transactional. *)
+  Db.with_tx db (fun () ->
+      ignore (Db.create_edge db ~etype:"follows" ~src:ada ~dst:alan Property.empty);
+      ignore (Db.create_edge db ~etype:"follows" ~src:alan ~dst:grace Property.empty);
+      ignore (Db.create_edge db ~etype:"posts" ~src:alan ~dst:tweet Property.empty));
+
+  Printf.printf "nodes: %d, relationships: %d\n" (Db.node_count db) (Db.edge_count db);
+
+  (* The core API: walk relationship chains directly. *)
+  let followees = List.of_seq (Db.neighbors db ada ~etype:"follows" Out) in
+  Printf.printf "ada follows %d user(s); the first is %s\n" (List.length followees)
+    (match followees with
+    | n :: _ -> Value.to_display (Db.node_property db n "name")
+    | [] -> "nobody");
+
+  print_endline "\n=== 2. The declarative layer (Cypher dialect) ===";
+  Db.create_index db ~label:"user" ~property:"uid";
+  let session = Cypher.create db in
+  let result =
+    Cypher.run session
+      ~params:[ ("uid", Value.Int 1) ]
+      "MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(t:tweet) RETURN t.text"
+  in
+  print_string (Cypher.to_string result);
+
+  (* PROFILE shows the physical plan with db hits per operator. *)
+  let profiled =
+    Cypher.run session
+      ~params:[ ("uid", Value.Int 1) ]
+      "PROFILE MATCH (a:user {uid: $uid})-[:follows]->(f:user) RETURN f.name"
+  in
+  print_string (Cypher.to_string profiled);
+
+  print_endline "\n=== 3. The bitmap engine (Sparksee analog) ===";
+  let sdb = Sdb.create () in
+  let user_t = Sdb.new_node_type sdb "user" in
+  let follows_t = Sdb.new_edge_type sdb "follows" in
+  let uid_a = Sdb.new_attribute sdb user_t "uid" Sdb.Type_int Sdb.Unique in
+
+  let mk uid =
+    let n = Sdb.new_node sdb user_t in
+    Sdb.set_attribute sdb n uid_a (Value.Int uid);
+    n
+  in
+  let s_ada = mk 1 and s_alan = mk 2 and s_grace = mk 3 in
+  ignore (Sdb.new_edge sdb follows_t ~tail:s_ada ~head:s_alan);
+  ignore (Sdb.new_edge sdb follows_t ~tail:s_ada ~head:s_grace);
+  ignore (Sdb.new_edge sdb follows_t ~tail:s_alan ~head:s_grace);
+
+  (* Navigation style: find the object, take its neighbor set, and
+     answer with set algebra. *)
+  match Sdb.find_object sdb uid_a (Value.Int 1) with
+  | None -> print_endline "ada not found?!"
+  | Some a ->
+    let my_followees = Sdb.neighbors sdb a follows_t Out in
+    let alans_followees = Sdb.neighbors sdb s_alan follows_t Out in
+    let common = Objects.inter my_followees alans_followees in
+    Printf.printf "ada and alan both follow %d user(s)\n" (Objects.count common);
+    Printf.printf "done. Next: examples/friend_recommendations.exe\n"

@@ -1,0 +1,1 @@
+lib/bitmap/bitmap.ml: Array Bytes List

@@ -1,0 +1,1 @@
+lib/bitmap/bitmap.mli:

@@ -1,0 +1,1 @@
+lib/core/property.ml: List Map String Value

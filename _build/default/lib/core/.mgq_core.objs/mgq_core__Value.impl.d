@@ -1,0 +1,1 @@
+lib/core/value.ml: Hashtbl Printf String

@@ -1,0 +1,17 @@
+type node_id = int
+type edge_id = int
+
+type direction = Out | In | Both
+
+let flip = function Out -> In | In -> Out | Both -> Both
+
+type edge = { id : edge_id; etype : string; src : node_id; dst : node_id }
+
+let other_end e n =
+  if e.src = n then e.dst
+  else if e.dst = n then e.src
+  else invalid_arg "Types.other_end: node is not an endpoint"
+
+exception Node_not_found of node_id
+exception Edge_not_found of edge_id
+exception Schema_error of string

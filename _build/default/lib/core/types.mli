@@ -1,0 +1,23 @@
+(** Identifiers and schema vocabulary shared by both engines. *)
+
+type node_id = int
+type edge_id = int
+
+type direction = Out | In | Both
+(** Edge traversal direction relative to a source node. *)
+
+val flip : direction -> direction
+(** [Out <-> In]; [Both] is its own flip. *)
+
+type edge = { id : edge_id; etype : string; src : node_id; dst : node_id }
+(** A materialised edge reference: endpoints plus its type name. *)
+
+val other_end : edge -> node_id -> node_id
+(** [other_end e n] is the endpoint of [e] that is not [n]; for
+    self-loops it is [n] itself. Raises [Invalid_argument] when [n] is
+    not an endpoint. *)
+
+exception Node_not_found of node_id
+exception Edge_not_found of edge_id
+exception Schema_error of string
+(** Unknown label, edge type or attribute name. *)

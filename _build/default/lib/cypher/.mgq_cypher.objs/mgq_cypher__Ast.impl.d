@@ -1,0 +1,1 @@
+lib/cypher/ast.ml: List Mgq_core Option

@@ -1,0 +1,1 @@
+lib/cypher/cypher.ml: Ast Executor Hashtbl List Mgq_core Mgq_neo Mgq_storage Mgq_util Parser Plan Printf Runtime

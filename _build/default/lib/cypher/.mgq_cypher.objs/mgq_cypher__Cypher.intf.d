@@ -1,0 +1,1 @@
+lib/cypher/cypher.mli: Executor Mgq_core Mgq_neo Runtime

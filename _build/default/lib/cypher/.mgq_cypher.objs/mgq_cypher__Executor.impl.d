@@ -1,0 +1,1 @@
+lib/cypher/executor.ml: Ast Env Hashtbl List Map Mgq_core Mgq_neo Mgq_storage Mgq_util Option Plan Printf Runtime Seq String

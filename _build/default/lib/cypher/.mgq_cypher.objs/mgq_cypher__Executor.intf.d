@@ -1,0 +1,1 @@
+lib/cypher/executor.mli: Mgq_neo Plan Runtime

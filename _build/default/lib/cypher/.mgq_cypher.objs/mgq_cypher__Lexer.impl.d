@@ -1,0 +1,1 @@
+lib/cypher/lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/cypher/parser.ml: Array Ast Lexer List Mgq_core Printf String

@@ -1,0 +1,1 @@
+lib/cypher/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/cypher/plan.ml: Ast List Mgq_core Mgq_neo Option Parser Printf Set String

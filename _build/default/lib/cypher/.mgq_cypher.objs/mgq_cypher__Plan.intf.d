@@ -1,0 +1,1 @@
+lib/cypher/plan.mli: Ast Mgq_core Mgq_neo

@@ -1,0 +1,1 @@
+lib/cypher/runtime.ml: Ast Hashtbl List Map Mgq_core Mgq_neo Printf String

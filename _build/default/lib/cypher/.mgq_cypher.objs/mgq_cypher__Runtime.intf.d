@@ -1,0 +1,1 @@
+lib/cypher/runtime.mli: Ast Map Mgq_core Mgq_neo

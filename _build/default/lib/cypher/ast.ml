@@ -1,0 +1,93 @@
+(* Abstract syntax of the Cypher-like query language.
+
+   The dialect covers what the paper's workload needs: MATCH patterns
+   with labels, inline property maps, typed/directed relationships and
+   variable-length expansion; WHERE with boolean algebra, comparisons,
+   IN, and (possibly negated) pattern predicates; WITH/RETURN
+   projections with DISTINCT, aggregation, ORDER BY, SKIP and LIMIT;
+   shortestPath; parameters; PROFILE. *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type arith_op = Add | Sub | Mul | Div
+
+type agg_kind = Count_star | Count | Count_distinct | Collect | Sum | Min | Max
+
+type expr =
+  | Lit of Mgq_core.Value.t
+  | Param of string  (** [$name] *)
+  | Var of string
+  | Prop of expr * string  (** [u.name] *)
+  | Cmp of cmp_op * expr * expr
+  | Arith of arith_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | In_coll of expr * expr  (** [x IN coll]; rhs may be a list literal or a collected value *)
+  | List_lit of expr list
+  | Fn of string * expr list  (** scalar functions: id, length, type, size, ... *)
+  | Agg of agg_kind * expr option  (** aggregate call; argument is [None] only for count-star *)
+  | Pattern_pred of pattern_path  (** existence predicate, e.g. [(u)-[:follows]->(a)] *)
+
+and node_pat = {
+  nvar : string option;
+  nlabel : string option;
+  nprops : (string * expr) list;  (** inline property map, equality constraints *)
+}
+
+and rel_pat = {
+  rvar : string option;
+  rtypes : string list;  (** empty = any type *)
+  rdir : Mgq_core.Types.direction;
+  rmin : int;
+  rmax : int;  (** [rmin = rmax = 1] for a plain relationship *)
+}
+
+and pattern_path = {
+  shortest : bool;  (** wrapped in shortestPath(...) *)
+  pvar : string option;  (** [p = ...] *)
+  pstart : node_pat;
+  psteps : (rel_pat * node_pat) list;
+}
+
+type order_item = expr * [ `Asc | `Desc ]
+
+type projection = {
+  distinct : bool;
+  items : (expr * string) list;  (** expression and output alias *)
+  order_by : order_item list;
+  skip : expr option;
+  limit : expr option;
+}
+
+type set_item =
+  | Set_property of string * string * expr  (** [SET x.key = expr] *)
+  | Remove_property of string * string  (** [REMOVE x.key] *)
+
+type clause =
+  | Match of { optional : bool; pattern : pattern_path list; where : expr option }
+  | With of projection * expr option  (** projection plus optional post-WHERE *)
+  | Return of projection
+  | Create of pattern_path list  (** write: create nodes/relationships per row *)
+  | Set_clause of set_item list
+  | Delete of { detach : bool; vars : string list }
+  | Unwind of expr * string  (** [UNWIND expr AS x]: one row per element *)
+  | Merge of node_pat  (** get-or-create a single node pattern *)
+
+type query = { profile : bool; clauses : clause list }
+
+(* ------------------------------------------------------------------ *)
+
+let rec expr_has_agg = function
+  | Agg _ -> true
+  | Lit _ | Param _ | Var _ | Pattern_pred _ -> false
+  | Prop (e, _) | Not e -> expr_has_agg e
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) | In_coll (a, b) ->
+    expr_has_agg a || expr_has_agg b
+  | List_lit es | Fn (_, es) -> List.exists expr_has_agg es
+
+(* Variables a pattern path binds. *)
+let path_vars p =
+  let node_var n = Option.to_list n.nvar in
+  let step_vars (r, n) = Option.to_list r.rvar @ node_var n in
+  Option.to_list p.pvar @ node_var p.pstart @ List.concat_map step_vars p.psteps

@@ -1,0 +1,103 @@
+module Db = Mgq_neo.Db
+module Cost_model = Mgq_storage.Cost_model
+module Sim_disk = Mgq_storage.Sim_disk
+
+type cached_plan = { plan : Plan.t; profile_requested : bool }
+
+type t = {
+  db : Db.t;
+  compile_cost_ns : int;
+  cache : (string, cached_plan) Hashtbl.t;
+  mutable compilations : int;
+}
+
+type query_stats = { compiled : bool; parse_plan_ms : float }
+
+type result = {
+  columns : string list;
+  rows : Runtime.item list list;
+  profile : Executor.profile_entry list option;
+  stats : query_stats;
+  updates : Executor.update_counts;
+}
+
+exception Query_error of string
+
+let create ?(compile_cost_ns = 1_500_000) db =
+  { db; compile_cost_ns; cache = Hashtbl.create 64; compilations = 0 }
+
+let db t = t.db
+
+let compile t text =
+  match Hashtbl.find_opt t.cache text with
+  | Some cached -> (cached, { compiled = false; parse_plan_ms = 0. })
+  | None ->
+    let (cached, ms) =
+      let work () =
+        let ast =
+          try Parser.parse text
+          with Parser.Parse_error msg -> raise (Query_error ("syntax error: " ^ msg))
+        in
+        let plan =
+          try Plan.plan t.db ast
+          with Plan.Plan_error msg -> raise (Query_error ("planning error: " ^ msg))
+        in
+        { plan; profile_requested = ast.Ast.profile }
+      in
+      Mgq_util.Stats.Timing.time_ms work
+    in
+    (* Model the compilation cost the paper attributes to
+       re-compiling unparameterised queries. *)
+    Cost_model.advance_ns (Sim_disk.cost (Db.disk t.db)) t.compile_cost_ns;
+    t.compilations <- t.compilations + 1;
+    Hashtbl.replace t.cache text cached;
+    (cached, { compiled = true; parse_plan_ms = ms })
+
+let run ?(params = []) t text =
+  let cached, stats = compile t text in
+  let execute () = Executor.run t.db ~params ~profile:cached.profile_requested cached.plan in
+  let result =
+    try
+      (* Writes run transactionally so a failing statement leaves the
+         store untouched. *)
+      if Plan.has_writes cached.plan then Db.with_tx t.db execute else execute ()
+    with
+    | Executor.Exec_error msg -> raise (Query_error ("execution error: " ^ msg))
+    | Runtime.Eval_error msg -> raise (Query_error ("evaluation error: " ^ msg))
+  in
+  {
+    columns = result.Executor.columns;
+    rows = result.Executor.rows;
+    profile = result.Executor.profile;
+    stats;
+    updates = result.Executor.updates;
+  }
+
+let explain ?params t text =
+  ignore params;
+  let cached, _stats = compile t text in
+  Plan.to_string cached.plan
+
+let compilations t = t.compilations
+let cache_size t = Hashtbl.length t.cache
+let clear_cache t = Hashtbl.reset t.cache
+
+let value_rows result =
+  List.map (List.map Runtime.item_to_value) result.rows
+
+let to_string result =
+  let render_item item =
+    match item with
+    | Runtime.Ival v -> Mgq_core.Value.to_display v
+    | Runtime.Inode n -> Printf.sprintf "(node %d)" n
+    | Runtime.Iedge e -> Printf.sprintf "[rel %d]" e
+    | Runtime.Ipath p -> Printf.sprintf "<path length %d>" (List.length p - 1)
+    | Runtime.Ilist items -> Printf.sprintf "[%d items]" (List.length items)
+  in
+  let body =
+    Mgq_util.Text_table.render ~header:result.columns
+      (List.map (List.map render_item) result.rows)
+  in
+  match result.profile with
+  | None -> body
+  | Some entries -> body ^ "\n" ^ Executor.profile_to_string entries

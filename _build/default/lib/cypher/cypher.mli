@@ -1,0 +1,61 @@
+(** Public query interface: sessions, plan cache, PROFILE.
+
+    A session wraps a database with a plan cache keyed on the raw
+    query text. Queries that pass values as parameters ([$uid]) keep
+    a stable text and hit the cache on every run after the first;
+    queries that splice literals recompile every time — the exact
+    mechanism behind the paper's advice that "a good speedup can be
+    achieved by specifying parameters, because it allows Cypher to
+    cache the execution plans". Compilation charges a deterministic
+    simulated cost so the cache's benefit shows up in the simulated
+    timings as well as wall-clock. *)
+
+type t
+
+val create : ?compile_cost_ns:int -> Mgq_neo.Db.t -> t
+(** [compile_cost_ns] (default 1_500_000 = 1.5 ms) is the simulated
+    cost charged per compilation. *)
+
+val db : t -> Mgq_neo.Db.t
+
+type query_stats = {
+  compiled : bool;  (** this call compiled the plan (cache miss) *)
+  parse_plan_ms : float;  (** wall-clock time spent compiling (0 on hit) *)
+}
+
+type result = {
+  columns : string list;
+  rows : Runtime.item list list;
+  profile : Executor.profile_entry list option;
+  stats : query_stats;
+  updates : Executor.update_counts;
+      (** what CREATE / SET / DELETE clauses changed (all zero for
+          read-only queries) *)
+}
+
+exception Query_error of string
+(** Wraps parse, plan and execution errors with context. *)
+
+val run : ?params:Runtime.params -> t -> string -> result
+(** Parse (or fetch from cache), plan and execute. A query prefixed
+    with [PROFILE] returns per-operator statistics in [profile].
+    Queries containing write clauses (CREATE / SET / REMOVE / DELETE)
+    execute inside a transaction: an execution error rolls back every
+    change the statement made. *)
+
+val explain : ?params:Runtime.params -> t -> string -> string
+(** The physical plan rendering, without executing. *)
+
+val compilations : t -> int
+(** Number of cache-miss compilations performed by this session. *)
+
+val cache_size : t -> int
+
+val clear_cache : t -> unit
+
+val value_rows : result -> Mgq_core.Value.t list list
+(** Rows converted to plain values (nodes/edges as ids, paths as
+    lengths) for display and tests. *)
+
+val to_string : result -> string
+(** Result table rendering, including the profile when present. *)

@@ -1,0 +1,612 @@
+module Db = Mgq_neo.Db
+module Algo = Mgq_neo.Algo
+module Value = Mgq_core.Value
+module Cost_model = Mgq_storage.Cost_model
+module Sim_disk = Mgq_storage.Sim_disk
+open Mgq_core.Types
+open Runtime
+
+type profile_entry = { name : string; detail : string; rows : int; db_hits : int }
+
+type update_counts = {
+  nodes_created : int;
+  edges_created : int;
+  properties_set : int;
+  nodes_deleted : int;
+  edges_deleted : int;
+}
+
+let no_updates =
+  {
+    nodes_created = 0;
+    edges_created = 0;
+    properties_set = 0;
+    nodes_deleted = 0;
+    edges_deleted = 0;
+  }
+
+type result = {
+  columns : string list;
+  rows : item list list;
+  profile : profile_entry list option;
+  updates : update_counts;
+}
+
+exception Exec_error of string
+
+let get_node row var =
+  match lookup row var with
+  | Some (Inode n) -> n
+  | Some _ -> raise (Exec_error (Printf.sprintf "%s is not a node" var))
+  | None -> raise (Exec_error (Printf.sprintf "unbound variable %s" var))
+
+(* Null bindings (from OPTIONAL MATCH) propagate: expanding from a
+   null source yields no rows rather than an error. *)
+let get_node_opt row var =
+  match lookup row var with
+  | Some (Inode n) -> Some n
+  | Some (Ival Value.Null) -> None
+  | Some _ -> raise (Exec_error (Printf.sprintf "%s is not a node" var))
+  | None -> raise (Exec_error (Printf.sprintf "unbound variable %s" var))
+
+let node_check db ~params row (pat : Ast.node_pat) node =
+  (match pat.Ast.nlabel with
+  | Some label -> String.equal (Db.node_label db node) label
+  | None -> true)
+  && List.for_all
+       (fun (key, expr) ->
+         let expected =
+           match eval db ~params row expr with
+           | Ival v -> v
+           | _ -> raise (Exec_error "property constraint must be a scalar")
+         in
+         Value.equal (Db.node_property db node key) expected)
+       pat.Ast.nprops
+
+let eval_int db ~params row expr what =
+  match eval db ~params row expr with
+  | Ival (Value.Int i) -> i
+  | _ -> raise (Exec_error (Printf.sprintf "%s must evaluate to an integer" what))
+
+(* ---------------- relationship expansion ---------------- *)
+
+let edges db node types dir =
+  match types with
+  | [] -> List.of_seq (Db.edges_of db node dir)
+  | _ -> List.concat_map (fun t -> List.of_seq (Db.edges_of db node ~etype:t dir)) types
+
+let step_target edge src dir =
+  match dir with Out -> edge.dst | In -> edge.src | Both -> other_end edge src
+
+(* All paths of length in [rmin, rmax] with relationship uniqueness
+   (Cypher's variable-length semantics); calls [emit] with the end
+   node and the edges the path consumed, once per distinct path.
+   [used0] seeds the uniqueness set with edges already consumed by the
+   surrounding MATCH. *)
+let var_length_paths db ~src_node ~types ~dir ~rmin ~rmax ~used0 emit =
+  let rec dfs node depth used =
+    if depth >= rmin && depth > 0 then emit node used;
+    if depth < rmax then
+      List.iter
+        (fun e ->
+          if not (List.mem e.id used) then dfs (step_target e node dir) (depth + 1) (e.id :: used))
+        (edges db node types dir)
+  in
+  if rmin = 0 then emit src_node used0;
+  dfs src_node 0 used0
+
+(* The hidden accumulator binding holding edge ids consumed by the
+   current MATCH clause. *)
+let used_edges row uniq =
+  match lookup row uniq with
+  | Some (Ilist items) ->
+    List.filter_map (function Iedge e -> Some e | _ -> None) items
+  | _ -> []
+
+let with_used row uniq ids = bind row uniq (Ilist (List.map (fun e -> Iedge e) ids))
+
+(* ---------------- aggregation ---------------- *)
+
+module Key_map = Map.Make (struct
+  type t = item list
+
+  let compare = List.compare item_compare
+end)
+
+type agg_state = {
+  update : item option -> unit; (* None = count-star tick *)
+  finish : unit -> item;
+}
+
+let make_agg_state kind =
+  match kind with
+  | Ast.Count_star ->
+    let n = ref 0 in
+    { update = (fun _ -> incr n); finish = (fun () -> Ival (Value.Int !n)) }
+  | Ast.Count ->
+    let n = ref 0 in
+    {
+      update =
+        (fun v -> match v with Some (Ival Value.Null) | None -> () | Some _ -> incr n);
+      finish = (fun () -> Ival (Value.Int !n));
+    }
+  | Ast.Count_distinct ->
+    let seen = ref [] in
+    {
+      update =
+        (fun v ->
+          match v with
+          | Some (Ival Value.Null) | None -> ()
+          | Some item -> if not (List.exists (item_equal item) !seen) then seen := item :: !seen);
+      finish = (fun () -> Ival (Value.Int (List.length !seen)));
+    }
+  | Ast.Collect ->
+    let acc = ref [] in
+    {
+      update =
+        (fun v ->
+          match v with Some (Ival Value.Null) | None -> () | Some item -> acc := item :: !acc);
+      finish = (fun () -> Ilist (List.rev !acc));
+    }
+  | Ast.Sum ->
+    let acc = ref (Value.Int 0) in
+    {
+      update =
+        (fun v ->
+          match v with
+          | Some (Ival (Value.Int i)) ->
+            acc :=
+              (match !acc with
+              | Value.Int a -> Value.Int (a + i)
+              | Value.Float a -> Value.Float (a +. float_of_int i)
+              | _ -> assert false)
+          | Some (Ival (Value.Float f)) ->
+            acc :=
+              (match !acc with
+              | Value.Int a -> Value.Float (float_of_int a +. f)
+              | Value.Float a -> Value.Float (a +. f)
+              | _ -> assert false)
+          | Some (Ival Value.Null) | None -> ()
+          | Some _ -> raise (Exec_error "sum() over non-numeric values"));
+      finish = (fun () -> Ival !acc);
+    }
+  | Ast.Min ->
+    let best = ref None in
+    {
+      update =
+        (fun v ->
+          match v with
+          | Some (Ival Value.Null) | None -> ()
+          | Some item -> (
+            match !best with
+            | None -> best := Some item
+            | Some b -> if item_compare item b < 0 then best := Some item));
+      finish =
+        (fun () -> match !best with Some b -> b | None -> Ival Value.Null);
+    }
+  | Ast.Max ->
+    let best = ref None in
+    {
+      update =
+        (fun v ->
+          match v with
+          | Some (Ival Value.Null) | None -> ()
+          | Some item -> (
+            match !best with
+            | None -> best := Some item
+            | Some b -> if item_compare item b > 0 then best := Some item));
+      finish =
+        (fun () -> match !best with Some b -> b | None -> Ival Value.Null);
+    }
+
+(* ---------------- write support ---------------- *)
+
+type update_acc = {
+  mutable u_nodes_created : int;
+  mutable u_edges_created : int;
+  mutable u_properties_set : int;
+  mutable u_nodes_deleted : int;
+  mutable u_edges_deleted : int;
+}
+
+let eval_props db ~params row props =
+  Mgq_core.Property.of_list
+    (List.map
+       (fun (key, expr) ->
+         match eval db ~params row expr with
+         | Ival v -> (key, v)
+         | _ -> raise (Exec_error "property values must be scalars"))
+       props)
+
+(* Instantiate one CREATE pattern for one row: resolve or create the
+   start node, then create each relationship (and any unbound target
+   nodes) along the path. Returns the row extended with new bindings. *)
+let create_path db ~params ~acc row (p : Ast.pattern_path) =
+  let resolve_node row (pat : Ast.node_pat) =
+    match pat.Ast.nvar with
+    | Some v when lookup row v <> None -> (get_node row v, row)
+    | var ->
+      let label =
+        match pat.Ast.nlabel with
+        | Some l -> l
+        | None -> raise (Exec_error "CREATE node needs a label")
+      in
+      let node = Db.create_node db ~label (eval_props db ~params row pat.Ast.nprops) in
+      acc.u_nodes_created <- acc.u_nodes_created + 1;
+      acc.u_properties_set <- acc.u_properties_set + List.length pat.Ast.nprops;
+      let row = match var with Some v -> bind row v (Inode node) | None -> row in
+      (node, row)
+  in
+  let start, row = resolve_node row p.Ast.pstart in
+  List.fold_left
+    (fun (current, row) ((rel : Ast.rel_pat), node_pat) ->
+      let target, row = resolve_node row node_pat in
+      let etype = match rel.Ast.rtypes with [ t ] -> t | _ -> assert false in
+      let src, dst =
+        match rel.Ast.rdir with
+        | Out -> (current, target)
+        | In -> (target, current)
+        | Both -> assert false
+      in
+      let edge = Db.create_edge db ~etype ~src ~dst Mgq_core.Property.empty in
+      acc.u_edges_created <- acc.u_edges_created + 1;
+      let row = match rel.Ast.rvar with Some rv -> bind row rv (Iedge edge) | None -> row in
+      (target, row))
+    (start, row) p.Ast.psteps
+  |> snd
+
+(* ---------------- operators ---------------- *)
+
+let rec apply_op db ~params ~acc (op : Plan.op) (rows : row list) : row list =
+  match op with
+  | Plan.Node_index_seek { var; label; key; value } ->
+    List.concat_map
+      (fun row ->
+        let v =
+          match eval db ~params row value with
+          | Ival v -> v
+          | _ -> raise (Exec_error "index seek value must be a scalar")
+        in
+        List.map (fun n -> bind row var (Inode n)) (Db.index_lookup db ~label ~property:key v))
+      rows
+  | Plan.Node_label_scan { var; label } ->
+    List.concat_map
+      (fun row ->
+        List.of_seq (Seq.map (fun n -> bind row var (Inode n)) (Db.nodes_with_label db label)))
+      rows
+  | Plan.All_nodes_scan { var } ->
+    List.concat_map
+      (fun row -> List.of_seq (Seq.map (fun n -> bind row var (Inode n)) (Db.all_nodes db)))
+      rows
+  | Plan.Expand { src; rel_var; types; dir; dst; dst_new; uniq } ->
+    List.concat_map
+      (fun row ->
+        match get_node_opt row src with
+        | None -> []
+        | Some src_node ->
+        let used = used_edges row uniq in
+        let expansions = edges db src_node types dir in
+        List.filter_map
+          (fun e ->
+            if List.mem e.id used then None
+            else begin
+              let target = step_target e src_node dir in
+              let row = with_used row uniq (e.id :: used) in
+              let row =
+                match rel_var with Some rv -> bind row rv (Iedge e.id) | None -> row
+              in
+              if dst_new then Some (bind row dst (Inode target))
+              else begin
+                match lookup row dst with
+                | Some (Inode bound) when bound = target -> Some row
+                | Some _ -> None
+                | None -> raise (Exec_error "expand-into an unbound variable")
+              end
+            end)
+          expansions)
+      rows
+  | Plan.Var_expand { src; types; dir; rmin; rmax; dst; dst_new; uniq } ->
+    List.concat_map
+      (fun row ->
+        match get_node_opt row src with
+        | None -> []
+        | Some src_node ->
+        let used0 = used_edges row uniq in
+        let out = ref [] in
+        var_length_paths db ~src_node ~types ~dir ~rmin ~rmax ~used0 (fun end_node used ->
+            let row = with_used row uniq used in
+            if dst_new then out := bind row dst (Inode end_node) :: !out
+            else begin
+              match lookup row dst with
+              | Some (Inode bound) when bound = end_node -> out := row :: !out
+              | Some _ -> ()
+              | None -> raise (Exec_error "var-expand into an unbound variable")
+            end);
+        List.rev !out)
+      rows
+  | Plan.Shortest_path { pvar; src; dst; types; dir; rmax } ->
+    let etype =
+      match types with
+      | [] -> None
+      | [ t ] -> Some t
+      | _ -> raise (Exec_error "shortestPath supports at most one relationship type")
+    in
+    List.filter_map
+      (fun row ->
+        match (get_node_opt row src, get_node_opt row dst) with
+        | None, _ | _, None -> None
+        | Some a, Some b ->
+        match Algo.shortest_path ?etype ~direction:dir db ~src:a ~dst:b ~max_hops:rmax with
+        | None -> None
+        | Some nodes -> (
+          match pvar with
+          | Some p -> Some (bind row p (Ipath nodes))
+          | None -> Some row))
+      rows
+  | Plan.Node_check { var; pat } ->
+    List.filter (fun row -> node_check db ~params row pat (get_node row var)) rows
+  | Plan.Filter expr -> List.filter (fun row -> eval_truthy db ~params row expr) rows
+  | Plan.Project items ->
+    List.map
+      (fun row ->
+        List.fold_left
+          (fun acc (expr, alias) -> bind acc alias (eval db ~params row expr))
+          empty_row items)
+      rows
+  | Plan.Aggregate { groups; aggs } ->
+    let grouped =
+      List.fold_left
+        (fun acc row ->
+          let key = List.map (fun (expr, _) -> eval db ~params row expr) groups in
+          let states =
+            match Key_map.find_opt key acc with
+            | Some states -> states
+            | None -> List.map (fun (kind, _, _) -> make_agg_state kind) aggs
+          in
+          List.iter2
+            (fun state (_, arg, _) ->
+              match arg with
+              | None -> state.update None
+              | Some expr -> state.update (Some (eval db ~params row expr)))
+            states aggs;
+          Key_map.add key states acc)
+        Key_map.empty rows
+    in
+    let grouped =
+      (* Global aggregation over zero rows still yields one row. *)
+      if Key_map.is_empty grouped && groups = [] then
+        Key_map.singleton [] (List.map (fun (kind, _, _) -> make_agg_state kind) aggs)
+      else grouped
+    in
+    Key_map.fold
+      (fun key states acc ->
+        let row =
+          List.fold_left2
+            (fun acc (_, alias) item -> bind acc alias item)
+            empty_row groups key
+        in
+        let row =
+          List.fold_left2
+            (fun acc (_, _, alias) state -> bind acc alias (state.finish ()))
+            row aggs states
+        in
+        row :: acc)
+      grouped []
+    |> List.rev
+  | Plan.Distinct ->
+    let seen = Hashtbl.create 64 in
+    let rec canonical_item = function
+      | Ival value -> Value.to_display value
+      | Inode n -> "n" ^ string_of_int n
+      | Iedge e -> "e" ^ string_of_int e
+      | Ipath p -> "p" ^ String.concat "," (List.map string_of_int p)
+      | Ilist items -> "[" ^ String.concat ";" (List.map canonical_item items) ^ "]"
+    in
+    List.filter
+      (fun row ->
+        let canonical =
+          String.concat "|"
+            (List.map (fun (k, v) -> k ^ "=" ^ canonical_item v) (Env.bindings row))
+        in
+        if Hashtbl.mem seen canonical then false
+        else begin
+          Hashtbl.replace seen canonical ();
+          true
+        end)
+      rows
+  | Plan.Sort order_items ->
+    let decorated =
+      List.map
+        (fun row -> (List.map (fun (expr, _) -> eval db ~params row expr) order_items, row))
+        rows
+    in
+    let compare_keys (ka, _) (kb, _) =
+      let rec go ks_a ks_b dirs =
+        match (ks_a, ks_b, dirs) with
+        | [], [], _ -> 0
+        | a :: ra, b :: rb, (_, dir) :: rd ->
+          let c = item_compare a b in
+          let c = match dir with `Asc -> c | `Desc -> -c in
+          if c <> 0 then c else go ra rb rd
+        | _ -> 0
+      in
+      go ka kb order_items
+    in
+    List.map snd (List.stable_sort compare_keys decorated)
+  | Plan.Skip_op expr ->
+    let n = eval_int db ~params empty_row expr "SKIP" in
+    if n <= 0 then rows else List.filteri (fun i _ -> i >= n) rows
+  | Plan.Limit_op expr ->
+    let n = eval_int db ~params empty_row expr "LIMIT" in
+    List.filteri (fun i _ -> i < n) rows
+  | Plan.Create_op paths ->
+    List.map (fun row -> List.fold_left (create_path db ~params ~acc) row paths) rows
+  | Plan.Set_op items ->
+    List.iter
+      (fun row ->
+        List.iter
+          (fun item ->
+            let var, key, value =
+              match item with
+              | Ast.Set_property (v, k, e) -> (
+                ( v,
+                  k,
+                  match eval db ~params row e with
+                  | Ival value -> value
+                  | _ -> raise (Exec_error "SET values must be scalars") ))
+              | Ast.Remove_property (v, k) -> (v, k, Value.Null)
+            in
+            (match lookup row var with
+            | Some (Inode n) -> Db.set_node_property db n key value
+            | Some (Iedge e) -> Db.set_edge_property db e key value
+            | Some _ -> raise (Exec_error (Printf.sprintf "SET on non-entity %s" var))
+            | None -> raise (Exec_error (Printf.sprintf "unbound variable %s" var)));
+            acc.u_properties_set <- acc.u_properties_set + 1)
+          items)
+      rows;
+    rows
+  | Plan.Unwind_op (expr, var) ->
+    List.concat_map
+      (fun row ->
+        match eval db ~params row expr with
+        | Ilist items -> List.map (fun item -> bind row var item) items
+        | Ival Value.Null -> []
+        | scalar -> [ bind row var scalar ])
+      rows
+  | Plan.Merge_op pat ->
+    List.concat_map
+      (fun row ->
+        let label = Option.get pat.Ast.nlabel in
+        let matches =
+          List.of_seq
+            (Seq.filter (node_check db ~params row pat) (Db.nodes_with_label db label))
+        in
+        let nodes =
+          match matches with
+          | [] ->
+            let node = Db.create_node db ~label (eval_props db ~params row pat.Ast.nprops) in
+            acc.u_nodes_created <- acc.u_nodes_created + 1;
+            acc.u_properties_set <- acc.u_properties_set + List.length pat.Ast.nprops;
+            [ node ]
+          | _ -> matches
+        in
+        match pat.Ast.nvar with
+        | Some v -> List.map (fun n -> bind row v (Inode n)) nodes
+        | None -> [ row ])
+      rows
+  | Plan.Optional_op { ops; new_vars } ->
+    List.concat_map
+      (fun row ->
+        let out = List.fold_left (fun rs op -> apply_op db ~params ~acc op rs) [ row ] ops in
+        match out with
+        | [] ->
+          [
+            List.fold_left (fun r v -> bind r v (Ival Value.Null)) row new_vars;
+          ]
+        | rows -> rows)
+      rows
+  | Plan.Delete_op { detach; vars } ->
+    (* Rows may mention the same entity several times; deletes are
+       idempotent within the statement. *)
+    List.iter
+      (fun row ->
+        List.iter
+          (fun var ->
+            match lookup row var with
+            | Some (Iedge e) ->
+              if Db.edge_exists db e then begin
+                Db.delete_edge db e;
+                acc.u_edges_deleted <- acc.u_edges_deleted + 1
+              end
+            | Some (Inode n) ->
+              if Db.node_exists db n then begin
+                if detach then
+                  List.iter
+                    (fun (edge : Mgq_core.Types.edge) ->
+                      if Db.edge_exists db edge.id then begin
+                        Db.delete_edge db edge.id;
+                        acc.u_edges_deleted <- acc.u_edges_deleted + 1
+                      end)
+                    (List.of_seq (Db.edges_of db n Both));
+                (try Db.delete_node db n
+                 with Failure _ ->
+                   raise
+                     (Exec_error
+                        (Printf.sprintf
+                           "cannot delete node %s: it still has relationships (use DETACH \
+                            DELETE)"
+                           var)));
+                acc.u_nodes_deleted <- acc.u_nodes_deleted + 1
+              end
+            | Some _ -> raise (Exec_error (Printf.sprintf "DELETE of non-entity %s" var))
+            | None -> raise (Exec_error (Printf.sprintf "unbound variable %s" var)))
+          vars)
+      rows;
+    rows
+
+(* ---------------- driver ---------------- *)
+
+let run db ~params ~profile (plan : Plan.t) =
+  let rows = ref [ empty_row ] in
+  let entries = ref [] in
+  let acc =
+    {
+      u_nodes_created = 0;
+      u_edges_created = 0;
+      u_properties_set = 0;
+      u_nodes_deleted = 0;
+      u_edges_deleted = 0;
+    }
+  in
+  List.iter
+    (fun op ->
+      if profile then begin
+        let before = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
+        let out = apply_op db ~params ~acc op !rows in
+        let after = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
+        entries :=
+          {
+            name = Plan.op_name op;
+            detail = Plan.op_detail op;
+            rows = List.length out;
+            db_hits = after - before;
+          }
+          :: !entries;
+        rows := out
+      end
+      else rows := apply_op db ~params ~acc op !rows)
+    plan.Plan.ops;
+  let items_of_row row =
+    List.map
+      (fun column ->
+        match lookup row column with
+        | Some item -> item
+        | None -> raise (Exec_error (Printf.sprintf "missing output column %s" column)))
+      plan.Plan.columns
+  in
+  {
+    columns = plan.Plan.columns;
+    rows = List.map items_of_row !rows;
+    profile = (if profile then Some (List.rev !entries) else None);
+    updates =
+      {
+        nodes_created = acc.u_nodes_created;
+        edges_created = acc.u_edges_created;
+        properties_set = acc.u_properties_set;
+        nodes_deleted = acc.u_nodes_deleted;
+        edges_deleted = acc.u_edges_deleted;
+      };
+  }
+
+let total_db_hits entries = List.fold_left (fun acc e -> acc + e.db_hits) 0 entries
+
+let profile_to_string entries =
+  let rows =
+    List.map
+      (fun e -> [ e.name; e.detail; string_of_int e.rows; string_of_int e.db_hits ])
+      entries
+  in
+  Mgq_util.Text_table.render
+    ~aligns:[ Mgq_util.Text_table.Left; Left; Right; Right ]
+    ~header:[ "operator"; "detail"; "rows"; "db hits" ]
+    rows

@@ -1,0 +1,41 @@
+(** Physical plan execution.
+
+    Operators run eagerly, one at a time, over materialised row lists;
+    this makes per-operator profiling exact: the rows produced and the
+    db hits charged by each operator are measured around its whole
+    evaluation, which is what Cypher's PROFILE reports and what the
+    paper used to compare query phrasings. *)
+
+type profile_entry = {
+  name : string;  (** operator name, e.g. "Expand(All)" *)
+  detail : string;
+  rows : int;  (** rows the operator emitted *)
+  db_hits : int;  (** store accesses attributable to the operator *)
+}
+
+type update_counts = {
+  nodes_created : int;
+  edges_created : int;
+  properties_set : int;
+  nodes_deleted : int;
+  edges_deleted : int;
+}
+
+val no_updates : update_counts
+
+type result = {
+  columns : string list;
+  rows : Runtime.item list list;
+  profile : profile_entry list option;
+  updates : update_counts;
+}
+
+exception Exec_error of string
+
+val run :
+  Mgq_neo.Db.t -> params:Runtime.params -> profile:bool -> Plan.t -> result
+
+val total_db_hits : profile_entry list -> int
+
+val profile_to_string : profile_entry list -> string
+(** Table rendering of a profile (operator | detail | rows | db hits). *)

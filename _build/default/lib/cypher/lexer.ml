@@ -1,0 +1,303 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | PARAM of string
+  | MATCH
+  | OPTIONAL
+  | WHERE
+  | RETURN
+  | WITH
+  | AS
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | SKIP
+  | LIMIT
+  | DISTINCT
+  | AND
+  | OR
+  | NOT
+  | IN
+  | TRUE
+  | FALSE
+  | NULL
+  | PROFILE
+  | CREATE
+  | SET
+  | DELETE
+  | DETACH
+  | REMOVE
+  | UNWIND
+  | MERGE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | DOT
+  | DOTDOT
+  | PIPE
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW_RIGHT
+  | ARROW_LEFT
+  | EOF
+
+exception Lex_error of string * int
+
+let keyword_of_ident s =
+  match String.uppercase_ascii s with
+  | "MATCH" -> Some MATCH
+  | "OPTIONAL" -> Some OPTIONAL
+  | "WHERE" -> Some WHERE
+  | "RETURN" -> Some RETURN
+  | "WITH" -> Some WITH
+  | "AS" -> Some AS
+  | "ORDER" -> Some ORDER
+  | "BY" -> Some BY
+  | "ASC" -> Some ASC
+  | "DESC" -> Some DESC
+  | "SKIP" -> Some SKIP
+  | "LIMIT" -> Some LIMIT
+  | "DISTINCT" -> Some DISTINCT
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "NOT" -> Some NOT
+  | "IN" -> Some IN
+  | "TRUE" -> Some TRUE
+  | "FALSE" -> Some FALSE
+  | "NULL" -> Some NULL
+  | "PROFILE" -> Some PROFILE
+  | "CREATE" -> Some CREATE
+  | "SET" -> Some SET
+  | "DELETE" -> Some DELETE
+  | "DETACH" -> Some DETACH
+  | "REMOVE" -> Some REMOVE
+  | "UNWIND" -> Some UNWIND
+  | "MERGE" -> Some MERGE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec scan i =
+    if i >= n then ()
+    else begin
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '(' ->
+        emit LPAREN;
+        scan (i + 1)
+      | ')' ->
+        emit RPAREN;
+        scan (i + 1)
+      | '[' ->
+        emit LBRACKET;
+        scan (i + 1)
+      | ']' ->
+        emit RBRACKET;
+        scan (i + 1)
+      | '{' ->
+        emit LBRACE;
+        scan (i + 1)
+      | '}' ->
+        emit RBRACE;
+        scan (i + 1)
+      | ':' ->
+        emit COLON;
+        scan (i + 1)
+      | ',' ->
+        emit COMMA;
+        scan (i + 1)
+      | '|' ->
+        emit PIPE;
+        scan (i + 1)
+      | '*' ->
+        emit STAR;
+        scan (i + 1)
+      | '+' ->
+        emit PLUS;
+        scan (i + 1)
+      | '/' ->
+        emit SLASH;
+        scan (i + 1)
+      | '=' ->
+        emit EQ;
+        scan (i + 1)
+      | '.' ->
+        if peek (i + 1) = Some '.' then begin
+          emit DOTDOT;
+          scan (i + 2)
+        end
+        else begin
+          emit DOT;
+          scan (i + 1)
+        end
+      | '-' ->
+        if peek (i + 1) = Some '>' then begin
+          emit ARROW_RIGHT;
+          scan (i + 2)
+        end
+        else begin
+          emit MINUS;
+          scan (i + 1)
+        end
+      | '<' -> (
+        match peek (i + 1) with
+        | Some '=' ->
+          emit LE;
+          scan (i + 2)
+        | Some '>' ->
+          emit NEQ;
+          scan (i + 2)
+        | Some '-' when peek (i + 2) = Some '[' || peek (i + 2) = Some '-' ->
+          (* [<-] opens a left-pointing relationship only when a
+             bracket or second dash follows; [x < -1] stays a
+             comparison. *)
+          emit ARROW_LEFT;
+          scan (i + 2)
+        | _ ->
+          emit LT;
+          scan (i + 1))
+      | '>' ->
+        if peek (i + 1) = Some '=' then begin
+          emit GE;
+          scan (i + 2)
+        end
+        else begin
+          emit GT;
+          scan (i + 1)
+        end
+      | '$' ->
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop (i + 1) in
+        if j = i + 1 then raise (Lex_error ("empty parameter name", i));
+        emit (PARAM (String.sub src (i + 1) (j - i - 1)));
+        scan j
+      | ('\'' | '"') as quote ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string", i))
+          else if src.[j] = quote then j + 1
+          else if src.[j] = '\\' && j + 1 < n then begin
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | c -> Buffer.add_char buf c);
+            str (j + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        scan j
+      | c when is_digit c ->
+        let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+        let j = digits i in
+        (* A single dot followed by a digit continues a float; a
+           double dot is a range operator and ends the number. *)
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = digits (j + 1) in
+          emit (FLOAT (float_of_string (String.sub src i (k - i))));
+          scan k
+        end
+        else begin
+          emit (INT (int_of_string (String.sub src i (j - i))));
+          scan j
+        end
+      | c when is_ident_start c ->
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        let word = String.sub src i (j - i) in
+        (match keyword_of_ident word with
+        | Some kw -> emit kw
+        | None -> emit (IDENT word));
+        scan j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+    end
+  in
+  scan 0;
+  emit EOF;
+  Array.of_list (List.rev !tokens)
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | PARAM s -> Printf.sprintf "parameter $%s" s
+  | MATCH -> "MATCH"
+  | OPTIONAL -> "OPTIONAL"
+  | WHERE -> "WHERE"
+  | RETURN -> "RETURN"
+  | WITH -> "WITH"
+  | AS -> "AS"
+  | ORDER -> "ORDER"
+  | BY -> "BY"
+  | ASC -> "ASC"
+  | DESC -> "DESC"
+  | SKIP -> "SKIP"
+  | LIMIT -> "LIMIT"
+  | DISTINCT -> "DISTINCT"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | IN -> "IN"
+  | TRUE -> "TRUE"
+  | FALSE -> "FALSE"
+  | NULL -> "NULL"
+  | PROFILE -> "PROFILE"
+  | CREATE -> "CREATE"
+  | SET -> "SET"
+  | DELETE -> "DELETE"
+  | DETACH -> "DETACH"
+  | REMOVE -> "REMOVE"
+  | UNWIND -> "UNWIND"
+  | MERGE -> "MERGE"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COLON -> ":"
+  | COMMA -> ","
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | PIPE -> "|"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ARROW_RIGHT -> "->"
+  | ARROW_LEFT -> "<-"
+  | EOF -> "end of input"

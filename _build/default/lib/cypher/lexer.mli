@@ -1,0 +1,70 @@
+(** Tokeniser for the Cypher-like language. *)
+
+type token =
+  | IDENT of string  (** identifiers and non-reserved words *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | PARAM of string  (** [$name] *)
+  (* keywords (case-insensitive in source) *)
+  | MATCH
+  | OPTIONAL
+  | WHERE
+  | RETURN
+  | WITH
+  | AS
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | SKIP
+  | LIMIT
+  | DISTINCT
+  | AND
+  | OR
+  | NOT
+  | IN
+  | TRUE
+  | FALSE
+  | NULL
+  | PROFILE
+  | CREATE
+  | SET
+  | DELETE
+  | DETACH
+  | REMOVE
+  | UNWIND
+  | MERGE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | DOT
+  | DOTDOT
+  | PIPE
+  | STAR
+  | PLUS
+  | MINUS  (** also the plain dash of [-\[...\]-] *)
+  | SLASH
+  | EQ
+  | NEQ  (** [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW_RIGHT  (** [->] *)
+  | ARROW_LEFT  (** [<-] *)
+  | EOF
+
+exception Lex_error of string * int  (** message, byte position *)
+
+val tokenize : string -> token array
+(** @raise Lex_error on malformed input. *)
+
+val describe : token -> string
+(** For error messages. *)

@@ -1,0 +1,564 @@
+open Lexer
+open Ast
+
+exception Parse_error of string
+
+type state = { tokens : token array; mutable pos : int }
+
+let fail state msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at token %d: %s)" msg state.pos
+          (describe state.tokens.(min state.pos (Array.length state.tokens - 1)))))
+
+let current state = state.tokens.(state.pos)
+let advance state = state.pos <- state.pos + 1
+
+let accept state tok =
+  if current state = tok then begin
+    advance state;
+    true
+  end
+  else false
+
+let expect state tok =
+  if not (accept state tok) then
+    fail state (Printf.sprintf "expected %s" (describe tok))
+
+let expect_ident state =
+  match current state with
+  | IDENT s ->
+    advance state;
+    s
+  | _ -> fail state "expected identifier"
+
+(* ---------------- expressions ---------------- *)
+
+let is_agg_name s =
+  match String.lowercase_ascii s with
+  | "count" | "collect" | "sum" | "min" | "max" -> true
+  | _ -> false
+
+let agg_kind_of_name s distinct =
+  match (String.lowercase_ascii s, distinct) with
+  | "count", true -> Count_distinct
+  | "count", false -> Count
+  | "collect", _ -> Collect
+  | "sum", _ -> Sum
+  | "min", _ -> Min
+  | "max", _ -> Max
+  | _ -> assert false
+
+let rec parse_or state =
+  let left = parse_and state in
+  if accept state OR then Or (left, parse_or state) else left
+
+and parse_and state =
+  let left = parse_not state in
+  if accept state AND then And (left, parse_and state) else left
+
+and parse_not state =
+  if accept state NOT then Not (parse_not state) else parse_comparison state
+
+and parse_comparison state =
+  let left = parse_additive state in
+  match current state with
+  | EQ ->
+    advance state;
+    Cmp (Eq, left, parse_additive state)
+  | NEQ ->
+    advance state;
+    Cmp (Neq, left, parse_additive state)
+  | LT ->
+    advance state;
+    Cmp (Lt, left, parse_additive state)
+  | LE ->
+    advance state;
+    Cmp (Le, left, parse_additive state)
+  | GT ->
+    advance state;
+    Cmp (Gt, left, parse_additive state)
+  | GE ->
+    advance state;
+    Cmp (Ge, left, parse_additive state)
+  | IN ->
+    advance state;
+    In_coll (left, parse_additive state)
+  | _ -> left
+
+and parse_additive state =
+  let rec loop left =
+    match current state with
+    | PLUS ->
+      advance state;
+      loop (Arith (Add, left, parse_multiplicative state))
+    | MINUS ->
+      advance state;
+      loop (Arith (Sub, left, parse_multiplicative state))
+    | _ -> left
+  in
+  loop (parse_multiplicative state)
+
+and parse_multiplicative state =
+  let rec loop left =
+    match current state with
+    | STAR ->
+      advance state;
+      loop (Arith (Mul, left, parse_unary state))
+    | SLASH ->
+      advance state;
+      loop (Arith (Div, left, parse_unary state))
+    | _ -> left
+  in
+  loop (parse_unary state)
+
+and parse_unary state =
+  if accept state MINUS then Arith (Sub, Lit (Mgq_core.Value.Int 0), parse_unary state)
+  else parse_postfix state
+
+and parse_postfix state =
+  let rec props e =
+    if accept state DOT then props (Prop (e, expect_ident state)) else e
+  in
+  props (parse_atom state)
+
+and parse_atom state =
+  match current state with
+  | INT i ->
+    advance state;
+    Lit (Mgq_core.Value.Int i)
+  | FLOAT f ->
+    advance state;
+    Lit (Mgq_core.Value.Float f)
+  | STRING s ->
+    advance state;
+    Lit (Mgq_core.Value.Str s)
+  | TRUE ->
+    advance state;
+    Lit (Mgq_core.Value.Bool true)
+  | FALSE ->
+    advance state;
+    Lit (Mgq_core.Value.Bool false)
+  | NULL ->
+    advance state;
+    Lit Mgq_core.Value.Null
+  | PARAM p ->
+    advance state;
+    Param p
+  | LBRACKET ->
+    advance state;
+    let rec items acc =
+      if accept state RBRACKET then List.rev acc
+      else begin
+        let e = parse_or state in
+        if accept state COMMA then items (e :: acc)
+        else begin
+          expect state RBRACKET;
+          List.rev (e :: acc)
+        end
+      end
+    in
+    List_lit (items [])
+  | LPAREN -> (
+    (* Either a parenthesised expression or a pattern predicate like
+       [(u)-[:follows]->(a)]. Try the pattern first with backtracking. *)
+    match try_parse_pattern_pred state with
+    | Some pred -> pred
+    | None ->
+      expect state LPAREN;
+      let e = parse_or state in
+      expect state RPAREN;
+      e)
+  | IDENT name ->
+    advance state;
+    if current state = LPAREN then begin
+      advance state;
+      if is_agg_name name then begin
+        if accept state STAR then begin
+          expect state RPAREN;
+          if String.lowercase_ascii name <> "count" then
+            fail state "only count(*) may take *";
+          Agg (Count_star, None)
+        end
+        else begin
+          let distinct = accept state DISTINCT in
+          let arg = parse_or state in
+          expect state RPAREN;
+          Agg (agg_kind_of_name name distinct, Some arg)
+        end
+      end
+      else begin
+        let rec args acc =
+          if accept state RPAREN then List.rev acc
+          else begin
+            let e = parse_or state in
+            if accept state COMMA then args (e :: acc)
+            else begin
+              expect state RPAREN;
+              List.rev (e :: acc)
+            end
+          end
+        in
+        Fn (String.lowercase_ascii name, args [])
+      end
+    end
+    else Var name
+  | _ -> fail state "expected expression"
+
+(* ---------------- patterns ---------------- *)
+
+and parse_node_pat state =
+  expect state LPAREN;
+  let nvar = match current state with
+    | IDENT s ->
+      advance state;
+      Some s
+    | _ -> None
+  in
+  let nlabel =
+    if accept state COLON then Some (expect_ident state) else None
+  in
+  let nprops =
+    if current state = LBRACE then begin
+      advance state;
+      let rec entries acc =
+        if accept state RBRACE then List.rev acc
+        else begin
+          let key = expect_ident state in
+          expect state COLON;
+          let value = parse_or state in
+          if accept state COMMA then entries ((key, value) :: acc)
+          else begin
+            expect state RBRACE;
+            List.rev ((key, value) :: acc)
+          end
+        end
+      in
+      entries []
+    end
+    else []
+  in
+  expect state RPAREN;
+  { nvar; nlabel; nprops }
+
+and parse_rel_body state =
+  (* Inside [...]: optional var, optional :T1|T2, optional *range. *)
+  let rvar = match current state with
+    | IDENT s ->
+      advance state;
+      Some s
+    | _ -> None
+  in
+  let rtypes =
+    if accept state COLON then begin
+      let rec more acc =
+        let t = expect_ident state in
+        if accept state PIPE then begin
+          let _ = accept state COLON in
+          more (t :: acc)
+        end
+        else List.rev (t :: acc)
+      in
+      more []
+    end
+    else []
+  in
+  let rmin, rmax =
+    if accept state STAR then begin
+      match current state with
+      | INT lo ->
+        advance state;
+        if accept state DOTDOT then begin
+          match current state with
+          | INT hi ->
+            advance state;
+            (lo, hi)
+          | _ -> (lo, max_int)
+        end
+        else (lo, lo)
+      | DOTDOT ->
+        advance state;
+        (match current state with
+        | INT hi ->
+          advance state;
+          (1, hi)
+        | _ -> (1, max_int))
+      | _ -> (1, max_int)
+    end
+    else (1, 1)
+  in
+  { rvar; rtypes; rdir = Mgq_core.Types.Both; rmin; rmax }
+
+and parse_rel_pat state =
+  (* Returns None when no relationship follows the node. *)
+  match current state with
+  | MINUS ->
+    advance state;
+    let body =
+      if accept state LBRACKET then begin
+        let b = parse_rel_body state in
+        expect state RBRACKET;
+        b
+      end
+      else { rvar = None; rtypes = []; rdir = Mgq_core.Types.Both; rmin = 1; rmax = 1 }
+    in
+    (match current state with
+    | ARROW_RIGHT ->
+      advance state;
+      Some { body with rdir = Mgq_core.Types.Out }
+    | MINUS ->
+      advance state;
+      Some { body with rdir = Mgq_core.Types.Both }
+    | _ -> fail state "expected -> or - after relationship")
+  | ARROW_LEFT ->
+    advance state;
+    let body =
+      if accept state LBRACKET then begin
+        let b = parse_rel_body state in
+        expect state RBRACKET;
+        b
+      end
+      else { rvar = None; rtypes = []; rdir = Mgq_core.Types.Both; rmin = 1; rmax = 1 }
+    in
+    expect state MINUS;
+    Some { body with rdir = Mgq_core.Types.In }
+  | _ -> None
+
+and parse_path_body state ~shortest ~pvar =
+  let start = parse_node_pat state in
+  let rec steps acc =
+    match parse_rel_pat state with
+    | None -> List.rev acc
+    | Some rel ->
+      let node = parse_node_pat state in
+      steps ((rel, node) :: acc)
+  in
+  { shortest; pvar; pstart = start; psteps = steps [] }
+
+and parse_pattern_path state =
+  (* Forms: [p = shortestPath((...)...)], [shortestPath(...)], [(...)...] *)
+  match current state with
+  | IDENT name when state.tokens.(state.pos + 1) = EQ ->
+    advance state;
+    advance state;
+    parse_pattern_path_tail state ~pvar:(Some name)
+  | _ -> parse_pattern_path_tail state ~pvar:None
+
+and parse_pattern_path_tail state ~pvar =
+  match current state with
+  | IDENT fn when String.lowercase_ascii fn = "shortestpath" ->
+    advance state;
+    expect state LPAREN;
+    let path = parse_path_body state ~shortest:true ~pvar in
+    expect state RPAREN;
+    path
+  | _ -> parse_path_body state ~shortest:false ~pvar
+
+and try_parse_pattern_pred state =
+  let saved = state.pos in
+  match parse_path_body state ~shortest:false ~pvar:None with
+  | path when path.psteps <> [] -> Some (Pattern_pred path)
+  | _ ->
+    state.pos <- saved;
+    None
+  | exception (Parse_error _ | Invalid_argument _) ->
+    state.pos <- saved;
+    None
+
+(* ---------------- clauses ---------------- *)
+
+let rec parse_projection_items state acc =
+  let e = parse_or state in
+  let alias =
+    if accept state AS then expect_ident state else expr_to_string e
+  in
+  let acc = (e, alias) :: acc in
+  if accept state COMMA then parse_projection_items state acc else List.rev acc
+
+and parse_order_items state acc =
+  let e = parse_or state in
+  let dir = if accept state DESC then `Desc else (ignore (accept state ASC); `Asc) in
+  let acc = (e, dir) :: acc in
+  if accept state COMMA then parse_order_items state acc else List.rev acc
+
+and parse_projection state =
+  let distinct = accept state DISTINCT in
+  let items = parse_projection_items state [] in
+  let order_by =
+    if accept state ORDER then begin
+      expect state BY;
+      parse_order_items state []
+    end
+    else []
+  in
+  let skip = if accept state SKIP then Some (parse_or state) else None in
+  let limit = if accept state LIMIT then Some (parse_or state) else None in
+  { distinct; items; order_by; skip; limit }
+
+(* ---------------- expression printer (for aliases) ---------------- *)
+
+and expr_to_string e =
+  let cmp_str = function
+    | Eq -> "="
+    | Neq -> "<>"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+  in
+  let arith_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" in
+  (* Compound operands are parenthesised so the rendering re-parses to
+     the same tree regardless of precedence. *)
+  let atomic = function
+    | Lit _ | Param _ | Var _ | Prop _ | Fn _ | Agg _ | List_lit _ -> true
+    | Cmp _ | Arith _ | And _ | Or _ | Not _ | In_coll _ | Pattern_pred _ -> false
+  in
+  let wrap e = if atomic e then expr_to_string e else "(" ^ expr_to_string e ^ ")" in
+  match e with
+  | Lit v -> Mgq_core.Value.to_display v
+  | Param p -> "$" ^ p
+  | Var v -> v
+  | Prop (e, k) -> wrap e ^ "." ^ k
+  | Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (wrap a) (cmp_str op) (wrap b)
+  | Arith (op, a, b) -> Printf.sprintf "%s %s %s" (wrap a) (arith_str op) (wrap b)
+  | And (a, b) -> Printf.sprintf "%s AND %s" (wrap a) (wrap b)
+  | Or (a, b) -> Printf.sprintf "%s OR %s" (wrap a) (wrap b)
+  | Not a -> "NOT " ^ wrap a
+  | In_coll (a, b) -> Printf.sprintf "%s IN %s" (wrap a) (wrap b)
+  | List_lit es -> "[" ^ String.concat ", " (List.map expr_to_string es) ^ "]"
+  | Fn (name, es) -> name ^ "(" ^ String.concat ", " (List.map expr_to_string es) ^ ")"
+  | Agg (Count_star, _) -> "count(*)"
+  | Agg (kind, arg) ->
+    let name =
+      match kind with
+      | Count -> "count"
+      | Count_distinct -> "count(DISTINCT"
+      | Collect -> "collect"
+      | Sum -> "sum"
+      | Min -> "min"
+      | Max -> "max"
+      | Count_star -> assert false
+    in
+    let inner = match arg with Some a -> expr_to_string a | None -> "" in
+    if kind = Count_distinct then Printf.sprintf "%s %s)" name inner
+    else Printf.sprintf "%s(%s)" name inner
+  | Pattern_pred _ -> "(pattern)"
+
+(* ---------------- query ---------------- *)
+
+let parse_pattern_list state =
+  let rec paths acc =
+    let p = parse_pattern_path state in
+    if accept state COMMA then paths (p :: acc) else List.rev (p :: acc)
+  in
+  paths []
+
+let parse_set_items state =
+  (* SET x.key = expr | REMOVE-style via SET x.key = NULL also works *)
+  let rec items acc =
+    let var = expect_ident state in
+    expect state DOT;
+    let key = expect_ident state in
+    expect state EQ;
+    let value = parse_or state in
+    let acc = Set_property (var, key, value) :: acc in
+    if accept state COMMA then items acc else List.rev acc
+  in
+  items []
+
+let parse_remove_items state =
+  let rec items acc =
+    let var = expect_ident state in
+    expect state DOT;
+    let key = expect_ident state in
+    let acc = Remove_property (var, key) :: acc in
+    if accept state COMMA then items acc else List.rev acc
+  in
+  items []
+
+let parse_delete_vars state =
+  let rec vars acc =
+    let v = expect_ident state in
+    if accept state COMMA then vars (v :: acc) else List.rev (v :: acc)
+  in
+  vars []
+
+let parse_clause state =
+  match current state with
+  | MATCH ->
+    advance state;
+    let pattern = parse_pattern_list state in
+    let where = if accept state WHERE then Some (parse_or state) else None in
+    Match { optional = false; pattern; where }
+  | OPTIONAL ->
+    advance state;
+    expect state MATCH;
+    let pattern = parse_pattern_list state in
+    let where = if accept state WHERE then Some (parse_or state) else None in
+    Match { optional = true; pattern; where }
+  | WITH ->
+    advance state;
+    let projection = parse_projection state in
+    let where = if accept state WHERE then Some (parse_or state) else None in
+    With (projection, where)
+  | RETURN ->
+    advance state;
+    Return (parse_projection state)
+  | CREATE ->
+    advance state;
+    Create (parse_pattern_list state)
+  | SET ->
+    advance state;
+    Set_clause (parse_set_items state)
+  | REMOVE ->
+    advance state;
+    Set_clause (parse_remove_items state)
+  | DELETE ->
+    advance state;
+    Delete { detach = false; vars = parse_delete_vars state }
+  | DETACH ->
+    advance state;
+    expect state DELETE;
+    Delete { detach = true; vars = parse_delete_vars state }
+  | UNWIND ->
+    advance state;
+    let e = parse_or state in
+    expect state AS;
+    Unwind (e, expect_ident state)
+  | MERGE ->
+    advance state;
+    let pat = parse_node_pat state in
+    (match current state with
+    | MINUS | ARROW_LEFT -> fail state "MERGE supports single node patterns only"
+    | _ -> ());
+    Merge pat
+  | _ ->
+    fail state "expected MATCH, OPTIONAL MATCH, WITH, RETURN, CREATE, MERGE, UNWIND, SET, REMOVE or DELETE"
+
+let parse src =
+  let tokens =
+    try tokenize src
+    with Lex_error (msg, pos) ->
+      raise (Parse_error (Printf.sprintf "lex error at %d: %s" pos msg))
+  in
+  let state = { tokens; pos = 0 } in
+  let profile = accept state PROFILE in
+  let rec clauses acc =
+    if current state = EOF then List.rev acc else clauses (parse_clause state :: acc)
+  in
+  let clauses = clauses [] in
+  if clauses = [] then raise (Parse_error "empty query");
+  (* A query ends with RETURN, or — for pure updates — with a write
+     clause. RETURN may not be followed by anything. *)
+  (match List.rev clauses with
+  | Return _ :: _ | Create _ :: _ | Set_clause _ :: _ | Delete _ :: _ | Merge _ :: _ -> ()
+  | (Match _ | With _ | Unwind _) :: _ | [] ->
+    raise (Parse_error "query must end with RETURN or a write clause"));
+  let rec no_clause_after_return = function
+    | [] | [ _ ] -> true
+    | Return _ :: _ -> false
+    | _ :: rest -> no_clause_after_return rest
+  in
+  if not (no_clause_after_return clauses) then
+    raise (Parse_error "RETURN must be the final clause");
+  { profile; clauses }

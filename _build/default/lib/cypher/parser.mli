@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the Cypher-like language. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** @raise Parse_error on syntax errors (lex errors are converted). *)
+
+val expr_to_string : Ast.expr -> string
+(** Compact textual rendering, used for default column aliases. *)

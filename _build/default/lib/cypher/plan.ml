@@ -1,0 +1,487 @@
+module Db = Mgq_neo.Db
+open Mgq_core.Types
+
+type op =
+  | Node_index_seek of { var : string; label : string; key : string; value : Ast.expr }
+  | Node_label_scan of { var : string; label : string }
+  | All_nodes_scan of { var : string }
+  | Expand of {
+      src : string;
+      rel_var : string option;
+      types : string list;
+      dir : direction;
+      dst : string;
+      dst_new : bool;
+      uniq : string;
+    }
+  | Var_expand of {
+      src : string;
+      types : string list;
+      dir : direction;
+      rmin : int;
+      rmax : int;
+      dst : string;
+      dst_new : bool;
+      uniq : string;
+    }
+  | Shortest_path of {
+      pvar : string option;
+      src : string;
+      dst : string;
+      types : string list;
+      dir : direction;
+      rmax : int;
+    }
+  | Node_check of { var : string; pat : Ast.node_pat }
+  | Filter of Ast.expr
+  | Project of (Ast.expr * string) list
+  | Aggregate of {
+      groups : (Ast.expr * string) list;
+      aggs : (Ast.agg_kind * Ast.expr option * string) list;
+    }
+  | Distinct
+  | Sort of Ast.order_item list
+  | Skip_op of Ast.expr
+  | Limit_op of Ast.expr
+  | Create_op of Ast.pattern_path list
+  | Set_op of Ast.set_item list
+  | Delete_op of { detach : bool; vars : string list }
+  | Unwind_op of Ast.expr * string
+  | Merge_op of Ast.node_pat
+  | Optional_op of { ops : op list; new_vars : string list }
+
+type t = { ops : op list; columns : string list }
+
+let rec op_is_write = function
+  | Create_op _ | Set_op _ | Delete_op _ | Merge_op _ -> true
+  | Optional_op { ops; _ } -> List.exists op_is_write ops
+  | Node_index_seek _ | Node_label_scan _ | All_nodes_scan _ | Expand _ | Var_expand _
+  | Shortest_path _ | Node_check _ | Filter _ | Project _ | Aggregate _ | Distinct
+  | Sort _ | Skip_op _ | Limit_op _ | Unwind_op _ -> false
+
+let has_writes t = List.exists op_is_write t.ops
+
+exception Plan_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Planner state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+type state = {
+  db : Db.t;
+  mutable bound : Sset.t;
+  mutable ops : op list; (* reversed *)
+  mutable fresh : int;
+}
+
+let emit st op = st.ops <- op :: st.ops
+
+let bind_var st v = st.bound <- Sset.add v st.bound
+
+let fresh_var st =
+  let v = Printf.sprintf "  UNNAMED%d" st.fresh in
+  st.fresh <- st.fresh + 1;
+  v
+
+let var_of st (pat : Ast.node_pat) =
+  match pat.Ast.nvar with Some v -> v | None -> fresh_var st
+
+let is_bound st (pat : Ast.node_pat) =
+  match pat.Ast.nvar with Some v -> Sset.mem v st.bound | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Leaf selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Score a node pattern as a start point; lower is better. *)
+let leaf_score st (pat : Ast.node_pat) =
+  match pat.Ast.nlabel with
+  | Some label ->
+    let indexed =
+      List.exists
+        (fun (key, _) -> Db.has_index st.db ~label ~property:key)
+        pat.Ast.nprops
+    in
+    if indexed then 0 else 10 + Db.label_count st.db label
+  | None -> 1_000_000 + Db.node_count st.db
+
+(* Emit the leaf operator(s) binding [pat]'s variable, plus residual
+   checks for constraints the leaf did not enforce. *)
+let emit_leaf st (pat : Ast.node_pat) =
+  let var = var_of st pat in
+  (match pat.Ast.nlabel with
+  | Some label -> (
+    let indexed_prop =
+      List.find_opt (fun (key, _) -> Db.has_index st.db ~label ~property:key) pat.Ast.nprops
+    in
+    match indexed_prop with
+    | Some (key, value) ->
+      emit st (Node_index_seek { var; label; key; value });
+      let residual = List.filter (fun (k, _) -> k <> key) pat.Ast.nprops in
+      if residual <> [] then
+        emit st (Node_check { var; pat = { pat with Ast.nlabel = None; nprops = residual } })
+    | None ->
+      emit st (Node_label_scan { var; label });
+      if pat.Ast.nprops <> [] then
+        emit st (Node_check { var; pat = { pat with Ast.nlabel = None } }))
+  | None ->
+    emit st (All_nodes_scan { var });
+    if pat.Ast.nlabel <> None || pat.Ast.nprops <> [] then
+      emit st (Node_check { var; pat }));
+  bind_var st var;
+  var
+
+(* Residual constraints on a node reached by expansion. *)
+let emit_node_residual st var (pat : Ast.node_pat) =
+  if pat.Ast.nlabel <> None || pat.Ast.nprops <> [] then
+    emit st (Node_check { var; pat })
+
+(* ------------------------------------------------------------------ *)
+(* Path planning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let reverse_path (p : Ast.pattern_path) : Ast.pattern_path =
+  let rec build current_start steps acc =
+    match steps with
+    | [] -> (current_start, acc)
+    | (rel, node) :: rest ->
+      let flipped = { rel with Ast.rdir = flip rel.Ast.rdir } in
+      build node rest ((flipped, current_start) :: acc)
+  in
+  let new_start, new_steps = build p.Ast.pstart p.Ast.psteps [] in
+  { p with Ast.pstart = new_start; Ast.psteps = new_steps }
+
+let path_end (p : Ast.pattern_path) =
+  match List.rev p.Ast.psteps with (_, last) :: _ -> last | [] -> p.Ast.pstart
+
+let plan_shortest st (p : Ast.pattern_path) =
+  match p.Ast.psteps with
+  | [ (rel, end_pat) ] ->
+    let src =
+      if is_bound st p.Ast.pstart then var_of st p.Ast.pstart else emit_leaf st p.Ast.pstart
+    in
+    let dst = if is_bound st end_pat then var_of st end_pat else emit_leaf st end_pat in
+    let rmax = if rel.Ast.rmax = max_int then 15 else rel.Ast.rmax in
+    emit st
+      (Shortest_path
+         { pvar = p.Ast.pvar; src; dst; types = rel.Ast.rtypes; dir = rel.Ast.rdir; rmax });
+    (match p.Ast.pvar with Some v -> bind_var st v | None -> ())
+  | _ -> raise (Plan_error "shortestPath requires exactly one relationship pattern")
+
+let plan_path st ~uniq (p : Ast.pattern_path) =
+  if p.Ast.shortest then plan_shortest st p
+  else begin
+    (* Orient the path so it starts from a bound variable when one
+       exists, otherwise from the cheaper end. *)
+    let p =
+      if is_bound st p.Ast.pstart then p
+      else if is_bound st (path_end p) then reverse_path p
+      else if leaf_score st (path_end p) < leaf_score st p.Ast.pstart then reverse_path p
+      else p
+    in
+    (match p.Ast.pvar with
+    | Some _ -> raise (Plan_error "path variables are only supported with shortestPath")
+    | None -> ());
+    let start_var =
+      if is_bound st p.Ast.pstart then begin
+        let v = var_of st p.Ast.pstart in
+        (* A rebound start still needs its label/props verified. *)
+        emit_node_residual st v p.Ast.pstart;
+        v
+      end
+      else emit_leaf st p.Ast.pstart
+    in
+    let rec walk src steps =
+      match steps with
+      | [] -> ()
+      | (rel, node_pat) :: rest ->
+        let dst_bound = is_bound st node_pat in
+        let dst = var_of st node_pat in
+        (match rel.Ast.rvar with
+        | Some rv when Sset.mem rv st.bound ->
+          raise (Plan_error "relationship variable reuse is not supported")
+        | _ -> ());
+        if rel.Ast.rmin = 1 && rel.Ast.rmax = 1 then begin
+          emit st
+            (Expand
+               {
+                 src;
+                 rel_var = rel.Ast.rvar;
+                 types = rel.Ast.rtypes;
+                 dir = rel.Ast.rdir;
+                 dst;
+                 dst_new = not dst_bound;
+                 uniq;
+               });
+          (match rel.Ast.rvar with Some rv -> bind_var st rv | None -> ())
+        end
+        else begin
+          if rel.Ast.rvar <> None then
+            raise (Plan_error "variable-length relationships cannot bind a variable");
+          emit st
+            (Var_expand
+               {
+                 src;
+                 types = rel.Ast.rtypes;
+                 dir = rel.Ast.rdir;
+                 rmin = rel.Ast.rmin;
+                 rmax = (if rel.Ast.rmax = max_int then 15 else rel.Ast.rmax);
+                 dst;
+                 dst_new = not dst_bound;
+                 uniq;
+               })
+        end;
+        if not dst_bound then begin
+          emit_node_residual st dst node_pat;
+          bind_var st dst
+        end;
+        walk dst rest
+    in
+    walk start_var p.Ast.psteps
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Projections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let split_projection (proj : Ast.projection) =
+  let is_agg (e, _) = Ast.expr_has_agg e in
+  let aggs, groups = List.partition is_agg proj.Ast.items in
+  let aggs =
+    List.map
+      (fun (e, alias) ->
+        match e with
+        | Ast.Agg (kind, arg) -> (kind, arg, alias)
+        | _ ->
+          raise
+            (Plan_error
+               "aggregates must appear as top-level projection items (e.g. count(x) AS c)"))
+      aggs
+  in
+  (groups, aggs)
+
+(* ORDER BY may reference projected aliases ([ORDER BY c DESC]), the
+   projected expressions themselves ([ORDER BY u.uid]) or — for
+   non-aggregating projections — any pre-projection variable. The two
+   placements below implement that: with aggregation the sort runs on
+   the aggregated rows with alias references; without aggregation it
+   runs before the projection with aliases substituted away. *)
+let rewrite_order_for_aggregate items order_by =
+  List.map
+    (fun (e, dir) ->
+      let matching (item_expr, alias) = e = Ast.Var alias || e = item_expr in
+      match List.find_opt matching items with
+      | Some (_, alias) -> (Ast.Var alias, dir)
+      | None ->
+        raise
+          (Plan_error
+             "ORDER BY in an aggregating projection must reference projected items"))
+    order_by
+
+let rewrite_order_for_project items order_by =
+  let substitute e =
+    match e with
+    | Ast.Var v -> (
+      match List.find_opt (fun (_, alias) -> alias = v) items with
+      | Some (item_expr, _) -> item_expr
+      | None -> e)
+    | _ -> e
+  in
+  List.map (fun (e, dir) -> (substitute e, dir)) order_by
+
+let plan_projection st (proj : Ast.projection) =
+  let groups, aggs = split_projection proj in
+  if aggs <> [] then begin
+    emit st (Aggregate { groups; aggs });
+    if proj.Ast.order_by <> [] then
+      emit st (Sort (rewrite_order_for_aggregate proj.Ast.items proj.Ast.order_by))
+  end
+  else begin
+    if proj.Ast.order_by <> [] then
+      emit st (Sort (rewrite_order_for_project proj.Ast.items proj.Ast.order_by));
+    emit st (Project proj.Ast.items)
+  end;
+  if proj.Ast.distinct then emit st Distinct;
+  (match proj.Ast.skip with Some e -> emit st (Skip_op e) | None -> ());
+  (match proj.Ast.limit with Some e -> emit st (Limit_op e) | None -> ());
+  let columns = List.map snd proj.Ast.items in
+  st.bound <- Sset.of_list columns;
+  columns
+
+(* CREATE patterns must be fully constructive: fixed-length directed
+   relationships with exactly one type, and any node not already bound
+   needs a label to be created under. New variables become bound. *)
+let validate_create_path st (p : Ast.pattern_path) =
+  if p.Ast.shortest || p.Ast.pvar <> None then
+    raise (Plan_error "CREATE cannot take shortestPath or path variables");
+  let visit_node (pat : Ast.node_pat) =
+    match pat.Ast.nvar with
+    | Some v when Sset.mem v st.bound ->
+      if pat.Ast.nlabel <> None || pat.Ast.nprops <> [] then
+        raise (Plan_error (Printf.sprintf "CREATE reuses bound variable %s with constraints" v))
+    | Some v ->
+      if pat.Ast.nlabel = None then
+        raise (Plan_error (Printf.sprintf "CREATE node %s needs a label" v));
+      bind_var st v
+    | None ->
+      if pat.Ast.nlabel = None then raise (Plan_error "CREATE node needs a label")
+  in
+  visit_node p.Ast.pstart;
+  List.iter
+    (fun ((rel : Ast.rel_pat), node) ->
+      if rel.Ast.rmin <> 1 || rel.Ast.rmax <> 1 then
+        raise (Plan_error "CREATE relationships cannot be variable-length");
+      (match rel.Ast.rtypes with
+      | [ _ ] -> ()
+      | _ -> raise (Plan_error "CREATE relationships need exactly one type"));
+      (match rel.Ast.rdir with
+      | Out | In -> ()
+      | Both -> raise (Plan_error "CREATE relationships must be directed"));
+      (match rel.Ast.rvar with Some rv -> bind_var st rv | None -> ());
+      visit_node node)
+    p.Ast.psteps
+
+(* ------------------------------------------------------------------ *)
+
+let plan db (query : Ast.query) =
+  let st = { db; bound = Sset.empty; ops = []; fresh = 0 } in
+  let columns = ref [] in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Ast.Match { optional = false; pattern; where } ->
+        (* One relationship-uniqueness scope per MATCH clause. *)
+        let uniq = fresh_var st ^ ":rels" in
+        List.iter (plan_path st ~uniq) pattern;
+        (match where with Some e -> emit st (Filter e) | None -> ())
+      | Ast.Match { optional = true; pattern; where } ->
+        (* Plan the optional pattern into a sub-pipeline. *)
+        let bound_before = st.bound in
+        let ops_before = st.ops in
+        st.ops <- [];
+        let uniq = fresh_var st ^ ":rels" in
+        List.iter (plan_path st ~uniq) pattern;
+        (match where with Some e -> emit st (Filter e) | None -> ());
+        let sub_ops = List.rev st.ops in
+        let new_vars =
+          Sset.elements (Sset.diff st.bound bound_before)
+          |> List.filter (fun v -> not (String.length v > 1 && v.[0] = ' '))
+        in
+        st.ops <- ops_before;
+        emit st (Optional_op { ops = sub_ops; new_vars })
+      | Ast.Unwind (e, var) ->
+        emit st (Unwind_op (e, var));
+        bind_var st var
+      | Ast.Merge pat ->
+        (match pat.Ast.nvar with
+        | Some v when Sset.mem v st.bound ->
+          raise (Plan_error (Printf.sprintf "MERGE reuses bound variable %s" v))
+        | _ -> ());
+        if pat.Ast.nlabel = None then raise (Plan_error "MERGE node needs a label");
+        emit st (Merge_op pat);
+        (match pat.Ast.nvar with Some v -> bind_var st v | None -> ())
+      | Ast.With (proj, where) ->
+        let _cols = plan_projection st proj in
+        (match where with Some e -> emit st (Filter e) | None -> ())
+      | Ast.Return proj -> columns := plan_projection st proj
+      | Ast.Create pattern ->
+        List.iter (validate_create_path st) pattern;
+        emit st (Create_op pattern)
+      | Ast.Set_clause items ->
+        List.iter
+          (fun item ->
+            let var =
+              match item with
+              | Ast.Set_property (v, _, _) | Ast.Remove_property (v, _) -> v
+            in
+            if not (Sset.mem var st.bound) then
+              raise (Plan_error (Printf.sprintf "SET on unbound variable %s" var)))
+          items;
+        emit st (Set_op items)
+      | Ast.Delete { detach; vars } ->
+        List.iter
+          (fun v ->
+            if not (Sset.mem v st.bound) then
+              raise (Plan_error (Printf.sprintf "DELETE of unbound variable %s" v)))
+          vars;
+        emit st (Delete_op { detach; vars }))
+    query.Ast.clauses;
+  { ops = List.rev st.ops; columns = !columns }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dir_str = function Out -> "->" | In -> "<-" | Both -> "--"
+
+let types_str = function [] -> "" | ts -> ":" ^ String.concat "|" ts
+
+let op_name = function
+  | Node_index_seek _ -> "NodeIndexSeek"
+  | Node_label_scan _ -> "NodeByLabelScan"
+  | All_nodes_scan _ -> "AllNodesScan"
+  | Expand { dst_new = true; _ } -> "Expand(All)"
+  | Expand { dst_new = false; _ } -> "Expand(Into)"
+  | Var_expand _ -> "VarLengthExpand"
+  | Shortest_path _ -> "ShortestPath"
+  | Node_check _ -> "NodeCheck"
+  | Filter _ -> "Filter"
+  | Project _ -> "Projection"
+  | Aggregate _ -> "EagerAggregation"
+  | Distinct -> "Distinct"
+  | Sort _ -> "Sort"
+  | Skip_op _ -> "Skip"
+  | Limit_op _ -> "Limit"
+  | Create_op _ -> "Create"
+  | Set_op _ -> "SetProperty"
+  | Delete_op { detach = true; _ } -> "DetachDelete"
+  | Delete_op { detach = false; _ } -> "Delete"
+  | Unwind_op _ -> "Unwind"
+  | Merge_op _ -> "Merge"
+  | Optional_op _ -> "Optional"
+
+let op_detail = function
+  | Node_index_seek { var; label; key; _ } -> Printf.sprintf "%s:%s(%s)" var label key
+  | Node_label_scan { var; label } -> Printf.sprintf "%s:%s" var label
+  | All_nodes_scan { var } -> var
+  | Expand { src; types; dir; dst; _ } ->
+    Printf.sprintf "(%s)%s[%s](%s)" src (dir_str dir) (types_str types) dst
+  | Var_expand { src; types; dir; rmin; rmax; dst; _ } ->
+    Printf.sprintf "(%s)%s[%s*%d..%d](%s)" src (dir_str dir) (types_str types) rmin rmax dst
+  | Shortest_path { src; dst; types; rmax; _ } ->
+    Printf.sprintf "(%s)-[%s*..%d]-(%s)" src (types_str types) rmax dst
+  | Node_check { var; pat } ->
+    let label = match pat.Ast.nlabel with Some l -> ":" ^ l | None -> "" in
+    Printf.sprintf "%s%s{%d props}" var label (List.length pat.Ast.nprops)
+  | Filter e -> Parser.expr_to_string e
+  | Project items -> String.concat ", " (List.map snd items)
+  | Aggregate { groups; aggs } ->
+    Printf.sprintf "group(%s) agg(%s)"
+      (String.concat ", " (List.map snd groups))
+      (String.concat ", " (List.map (fun (_, _, a) -> a) aggs))
+  | Distinct -> ""
+  | Sort items -> String.concat ", " (List.map (fun (e, _) -> Parser.expr_to_string e) items)
+  | Skip_op e | Limit_op e -> Parser.expr_to_string e
+  | Create_op paths -> Printf.sprintf "%d pattern(s)" (List.length paths)
+  | Set_op items ->
+    String.concat ", "
+      (List.map
+         (function
+           | Ast.Set_property (v, k, _) -> Printf.sprintf "%s.%s" v k
+           | Ast.Remove_property (v, k) -> Printf.sprintf "-%s.%s" v k)
+         items)
+  | Delete_op { vars; _ } -> String.concat ", " vars
+  | Unwind_op (e, var) -> Printf.sprintf "%s AS %s" (Parser.expr_to_string e) var
+  | Merge_op pat ->
+    Printf.sprintf "(%s:%s)"
+      (Option.value ~default:"" pat.Ast.nvar)
+      (Option.value ~default:"" pat.Ast.nlabel)
+  | Optional_op { ops; _ } -> Printf.sprintf "%d sub-operator(s)" (List.length ops)
+
+let to_string (t : t) =
+  let lines =
+    List.map (fun op -> Printf.sprintf "%-18s %s" (op_name op) (op_detail op)) t.ops
+  in
+  String.concat "\n" lines

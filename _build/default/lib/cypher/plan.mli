@@ -1,0 +1,85 @@
+(** Query planner: AST -> physical operator pipeline.
+
+    The planner mirrors what the paper observes of Cypher's runtime:
+    start points are chosen by selectivity (index seek when a label +
+    property-equality pair is backed by a schema index, then label
+    scan, then all-nodes scan); patterns become chains of Expand
+    operators; different phrasings of the same query (Section 4's
+    three recommendation variants) genuinely produce different plans
+    with different db-hit counts. *)
+
+type op =
+  | Node_index_seek of { var : string; label : string; key : string; value : Ast.expr }
+  | Node_label_scan of { var : string; label : string }
+  | All_nodes_scan of { var : string }
+  | Expand of {
+      src : string;
+      rel_var : string option;
+      types : string list;
+      dir : Mgq_core.Types.direction;
+      dst : string;
+      dst_new : bool;  (** false = expand-into an already-bound variable *)
+      uniq : string;
+          (** hidden accumulator binding enforcing Cypher's per-MATCH
+              relationship uniqueness *)
+    }
+  | Var_expand of {
+      src : string;
+      types : string list;
+      dir : Mgq_core.Types.direction;
+      rmin : int;
+      rmax : int;
+      dst : string;
+      dst_new : bool;
+      uniq : string;
+    }
+  | Shortest_path of {
+      pvar : string option;
+      src : string;
+      dst : string;
+      types : string list;
+      dir : Mgq_core.Types.direction;
+      rmax : int;
+    }
+  | Node_check of { var : string; pat : Ast.node_pat }
+      (** residual label / property-map constraints on a bound node *)
+  | Filter of Ast.expr
+  | Project of (Ast.expr * string) list
+  | Aggregate of {
+      groups : (Ast.expr * string) list;
+      aggs : (Ast.agg_kind * Ast.expr option * string) list;
+    }
+  | Distinct
+  | Sort of Ast.order_item list
+  | Skip_op of Ast.expr
+  | Limit_op of Ast.expr
+  | Create_op of Ast.pattern_path list
+      (** write: instantiate the pattern once per input row *)
+  | Set_op of Ast.set_item list
+  | Delete_op of { detach : bool; vars : string list }
+  | Unwind_op of Ast.expr * string
+  | Merge_op of Ast.node_pat
+      (** get-or-create: bind every matching node, creating one when
+          none match *)
+  | Optional_op of { ops : op list; new_vars : string list }
+      (** OPTIONAL MATCH: run the sub-pipeline per row; when it yields
+          nothing, pass the row through with [new_vars] bound to null *)
+
+type t = { ops : op list; columns : string list }
+
+val has_writes : t -> bool
+(** True when the plan mutates the store — execution must then be
+    wrapped in a transaction. *)
+
+exception Plan_error of string
+
+val plan : Mgq_neo.Db.t -> Ast.query -> t
+(** Compile a parsed query against the database's current schema
+    (available indexes, label statistics).
+    @raise Plan_error on unsupported or inconsistent queries. *)
+
+val op_name : op -> string
+val op_detail : op -> string
+val to_string : t -> string
+(** Multi-line plan rendering, one operator per line, for EXPLAIN-like
+    output. *)

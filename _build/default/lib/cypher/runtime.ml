@@ -1,0 +1,317 @@
+module Db = Mgq_neo.Db
+module Value = Mgq_core.Value
+open Mgq_core.Types
+
+type item =
+  | Inode of node_id
+  | Iedge of edge_id
+  | Ipath of node_id list
+  | Ival of Value.t
+  | Ilist of item list
+
+module Env = Map.Make (String)
+
+type row = item Env.t
+
+let empty_row = Env.empty
+let bind row name item = Env.add name item row
+let lookup row name = Env.find_opt name row
+
+type params = (string * Value.t) list
+
+exception Eval_error of string
+
+let rec item_equal a b =
+  match (a, b) with
+  | Inode x, Inode y -> x = y
+  | Iedge x, Iedge y -> x = y
+  | Ipath x, Ipath y -> x = y
+  | Ival x, Ival y -> Value.equal x y
+  | Ilist x, Ilist y -> List.length x = List.length y && List.for_all2 item_equal x y
+  | (Inode _ | Iedge _ | Ipath _ | Ival _ | Ilist _), _ -> false
+
+let kind_rank = function
+  | Ival Value.Null -> 5 (* nulls last *)
+  | Ival _ -> 0
+  | Inode _ -> 1
+  | Iedge _ -> 2
+  | Ipath _ -> 3
+  | Ilist _ -> 4
+
+let rec item_compare a b =
+  match (a, b) with
+  | Ival x, Ival y -> (
+    match Value.compare_values x y with
+    | Some c -> c
+    | None -> (
+      match (x, y) with
+      | Value.Null, Value.Null -> 0
+      | Value.Null, _ -> 1
+      | _, Value.Null -> -1
+      | _ -> compare (Value.type_name x) (Value.type_name y)))
+  | Inode x, Inode y -> compare x y
+  | Iedge x, Iedge y -> compare x y
+  | Ipath x, Ipath y -> compare x y
+  | Ilist x, Ilist y -> List.compare item_compare x y
+  | _ -> compare (kind_rank a) (kind_rank b)
+
+let item_to_value = function
+  | Ival v -> v
+  | Inode id -> Value.Int id
+  | Iedge id -> Value.Int id
+  | Ipath nodes -> Value.Int (List.length nodes - 1)
+  | Ilist _ -> raise (Eval_error "cannot render a list as a scalar value")
+
+(* ------------------------------------------------------------------ *)
+(* Pattern predicate existence                                         *)
+(* ------------------------------------------------------------------ *)
+
+let node_matches db ~params ~eval_expr row (pat : Ast.node_pat) node =
+  (match pat.Ast.nlabel with
+  | Some label -> String.equal (Db.node_label db node) label
+  | None -> true)
+  && List.for_all
+       (fun (key, expr) ->
+         let expected =
+           match eval_expr db ~params row expr with
+           | Ival v -> v
+           | _ -> raise (Eval_error "property constraint must be a scalar")
+         in
+         Value.equal (Db.node_property db node key) expected)
+       pat.Ast.nprops
+
+(* Nodes reachable from [node] through [rel] at any depth within
+   [rmin, rmax], de-duplicated; used for existence only. *)
+let reachable db (rel : Ast.rel_pat) node =
+  let expand_one n =
+    match rel.Ast.rtypes with
+    | [] -> List.of_seq (Db.neighbors db n rel.Ast.rdir)
+    | types ->
+      List.concat_map (fun t -> List.of_seq (Db.neighbors db n ~etype:t rel.Ast.rdir)) types
+  in
+  if rel.Ast.rmin = 1 && rel.Ast.rmax = 1 then expand_one node
+  else begin
+    let seen = Hashtbl.create 64 in
+    let results = ref [] in
+    let rec bfs frontier depth =
+      if depth < rel.Ast.rmax && frontier <> [] then begin
+        let next =
+          List.concat_map expand_one frontier
+          |> List.filter (fun n ->
+                 if Hashtbl.mem seen (n, depth + 1) then false
+                 else begin
+                   Hashtbl.replace seen (n, depth + 1) ();
+                   true
+                 end)
+        in
+        if depth + 1 >= rel.Ast.rmin then results := next @ !results;
+        bfs next (depth + 1)
+      end
+    in
+    bfs [ node ] 0;
+    List.sort_uniq compare !results
+  end
+
+let flip_path (p : Ast.pattern_path) : Ast.pattern_path =
+  (* (n0) r1 (n1) r2 (n2)  reversed is  (n2) ~r2 (n1) ~r1 (n0). *)
+  let rec build current_start steps acc =
+    match steps with
+    | [] -> (current_start, acc)
+    | (rel, node) :: rest ->
+      let flipped = { rel with Ast.rdir = flip rel.Ast.rdir } in
+      build node rest ((flipped, current_start) :: acc)
+  in
+  let new_start, new_steps = build p.Ast.pstart p.Ast.psteps [] in
+  { p with Ast.pstart = new_start; Ast.psteps = new_steps }
+
+let rec pattern_exists_walk db ~params ~eval_expr row (path : Ast.pattern_path) start_nodes =
+  let bound_node row pat =
+    match pat.Ast.nvar with
+    | Some v -> (
+      match lookup row v with Some (Inode n) -> Some n | _ -> None)
+    | None -> None
+  in
+  let rec walk node steps =
+    match steps with
+    | [] -> true
+    | (rel, node_pat) :: rest ->
+      let candidates = reachable db rel node in
+      let candidates =
+        match bound_node row node_pat with
+        | Some required -> List.filter (fun n -> n = required) candidates
+        | None -> candidates
+      in
+      List.exists
+        (fun n -> node_matches db ~params ~eval_expr row node_pat n && walk n rest)
+        candidates
+  in
+  List.exists
+    (fun n ->
+      node_matches db ~params ~eval_expr row path.Ast.pstart n && walk n path.Ast.psteps)
+    start_nodes
+
+and pattern_exists_impl db ~params ~eval_expr row (path : Ast.pattern_path) =
+  let bound pat =
+    match pat.Ast.nvar with
+    | Some v -> ( match lookup row v with Some (Inode n) -> Some n | _ -> None)
+    | None -> None
+  in
+  match bound path.Ast.pstart with
+  | Some start -> pattern_exists_walk db ~params ~eval_expr row path [ start ]
+  | None -> (
+    let last_pat =
+      match List.rev path.Ast.psteps with
+      | (_, last) :: _ -> last
+      | [] -> path.Ast.pstart
+    in
+    match bound last_pat with
+    | Some _ ->
+      let flipped = flip_path path in
+      pattern_exists_impl db ~params ~eval_expr row flipped
+    | None ->
+      let starts =
+        match path.Ast.pstart.Ast.nlabel with
+        | Some label -> List.of_seq (Db.nodes_with_label db label)
+        | None -> List.of_seq (Db.all_nodes db)
+      in
+      pattern_exists_walk db ~params ~eval_expr row path starts)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let arith_op op a b =
+  let float_op x y =
+    match op with
+    | Ast.Add -> x +. y
+    | Ast.Sub -> x -. y
+    | Ast.Mul -> x *. y
+    | Ast.Div -> x /. y
+  in
+  match (a, b) with
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Ast.Add -> Value.Int (x + y)
+    | Ast.Sub -> Value.Int (x - y)
+    | Ast.Mul -> Value.Int (x * y)
+    | Ast.Div ->
+      if y = 0 then raise (Eval_error "division by zero") else Value.Int (x / y))
+  | Value.Int x, Value.Float y -> Value.Float (float_op (float_of_int x) y)
+  | Value.Float x, Value.Int y -> Value.Float (float_op x (float_of_int y))
+  | Value.Float x, Value.Float y -> Value.Float (float_op x y)
+  | Value.Str x, Value.Str y when op = Ast.Add -> Value.Str (x ^ y)
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> raise (Eval_error "type error in arithmetic")
+
+let rec eval db ~params row (expr : Ast.expr) : item =
+  match expr with
+  | Ast.Lit v -> Ival v
+  | Ast.Param p -> (
+    match List.assoc_opt p params with
+    | Some v -> Ival v
+    | None -> raise (Eval_error (Printf.sprintf "missing parameter $%s" p)))
+  | Ast.Var v -> (
+    match lookup row v with
+    | Some item -> item
+    | None -> raise (Eval_error (Printf.sprintf "unbound variable %s" v)))
+  | Ast.Prop (e, key) -> (
+    match eval db ~params row e with
+    | Inode n -> Ival (Db.node_property db n key)
+    | Iedge e -> Ival (Db.edge_property db e key)
+    | Ival Value.Null -> Ival Value.Null
+    | _ -> raise (Eval_error (Printf.sprintf "property access .%s on a non-entity" key)))
+  | Ast.Cmp (op, a, b) -> (
+    let va = eval db ~params row a and vb = eval db ~params row b in
+    match op with
+    | Ast.Eq -> Ival (Value.Bool (item_equal va vb))
+    | Ast.Neq -> (
+      match (va, vb) with
+      | Ival Value.Null, _ | _, Ival Value.Null -> Ival Value.Null
+      | _ -> Ival (Value.Bool (not (item_equal va vb))))
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      match (va, vb) with
+      | Ival x, Ival y -> (
+        match Value.compare_values x y with
+        | None -> Ival Value.Null
+        | Some c ->
+          let ok =
+            match op with
+            | Ast.Lt -> c < 0
+            | Ast.Le -> c <= 0
+            | Ast.Gt -> c > 0
+            | Ast.Ge -> c >= 0
+            | Ast.Eq | Ast.Neq -> assert false
+          in
+          Ival (Value.Bool ok))
+      | _ -> raise (Eval_error "ordering comparison on non-values")))
+  | Ast.Arith (op, a, b) -> (
+    match (eval db ~params row a, eval db ~params row b) with
+    | Ival x, Ival y -> Ival (arith_op op x y)
+    | _ -> raise (Eval_error "arithmetic on non-values"))
+  | Ast.And (a, b) ->
+    Ival (Value.Bool (eval_truthy db ~params row a && eval_truthy db ~params row b))
+  | Ast.Or (a, b) ->
+    Ival (Value.Bool (eval_truthy db ~params row a || eval_truthy db ~params row b))
+  | Ast.Not a -> Ival (Value.Bool (not (eval_truthy db ~params row a)))
+  | Ast.In_coll (a, coll) -> (
+    let va = eval db ~params row a in
+    match eval db ~params row coll with
+    | Ilist items -> Ival (Value.Bool (List.exists (item_equal va) items))
+    | Ival Value.Null -> Ival Value.Null
+    | _ -> raise (Eval_error "IN requires a list on the right"))
+  | Ast.List_lit es -> Ilist (List.map (eval db ~params row) es)
+  | Ast.Fn (name, args) -> eval_fn db ~params row name args
+  | Ast.Agg _ -> raise (Eval_error "aggregate in a scalar context")
+  | Ast.Pattern_pred path ->
+    Ival (Value.Bool (pattern_exists_impl db ~params ~eval_expr:eval row path))
+
+and eval_fn db ~params row name args =
+  let one () =
+    match args with
+    | [ a ] -> eval db ~params row a
+    | _ -> raise (Eval_error (Printf.sprintf "%s expects one argument" name))
+  in
+  match name with
+  | "id" -> (
+    match one () with
+    | Inode n -> Ival (Value.Int n)
+    | Iedge e -> Ival (Value.Int e)
+    | _ -> raise (Eval_error "id() expects a node or relationship"))
+  | "length" -> (
+    match one () with
+    | Ipath nodes -> Ival (Value.Int (List.length nodes - 1))
+    | Ilist items -> Ival (Value.Int (List.length items))
+    | Ival (Value.Str s) -> Ival (Value.Int (String.length s))
+    | _ -> raise (Eval_error "length() expects a path, list or string"))
+  | "size" -> (
+    match one () with
+    | Ilist items -> Ival (Value.Int (List.length items))
+    | Ival (Value.Str s) -> Ival (Value.Int (String.length s))
+    | _ -> raise (Eval_error "size() expects a list or string"))
+  | "type" -> (
+    match one () with
+    | Iedge e -> Ival (Value.Str (Db.edge db e).etype)
+    | _ -> raise (Eval_error "type() expects a relationship"))
+  | "labels" -> (
+    match one () with
+    | Inode n -> Ival (Value.Str (Db.node_label db n))
+    | _ -> raise (Eval_error "labels() expects a node"))
+  | "nodes" -> (
+    match one () with
+    | Ipath nodes -> Ilist (List.map (fun n -> Inode n) nodes)
+    | _ -> raise (Eval_error "nodes() expects a path"))
+  | "coalesce" -> (
+    let rec first = function
+      | [] -> Ival Value.Null
+      | e :: rest -> (
+        match eval db ~params row e with Ival Value.Null -> first rest | v -> v)
+    in
+    first args)
+  | other -> raise (Eval_error (Printf.sprintf "unknown function %s()" other))
+
+and eval_truthy db ~params row expr =
+  match eval db ~params row expr with
+  | Ival v -> Value.is_truthy v
+  | _ -> false
+
+let pattern_exists db ~params row path = pattern_exists_impl db ~params ~eval_expr:eval row path

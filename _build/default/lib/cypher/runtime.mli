@@ -1,0 +1,49 @@
+(** Execution-time values, rows and expression evaluation. *)
+
+module Db = Mgq_neo.Db
+
+type item =
+  | Inode of Mgq_core.Types.node_id
+  | Iedge of Mgq_core.Types.edge_id
+  | Ipath of Mgq_core.Types.node_id list
+  | Ival of Mgq_core.Value.t
+  | Ilist of item list
+
+module Env : Map.S with type key = string
+
+type row = item Env.t
+
+val empty_row : row
+val bind : row -> string -> item -> row
+val lookup : row -> string -> item option
+
+type params = (string * Mgq_core.Value.t) list
+
+exception Eval_error of string
+
+val item_equal : item -> item -> bool
+(** Node/edge identity, value equality with coercion, lists
+    element-wise. *)
+
+val item_compare : item -> item -> int
+(** Total order for ORDER BY and DISTINCT: values first by
+    {!Mgq_core.Value.compare_values} where comparable, then a stable
+    arbitrary order across kinds; nulls sort last. *)
+
+val item_to_value : item -> Mgq_core.Value.t
+(** Nodes/edges render as their id; paths as their length; lists are
+    rejected with [Eval_error]. Used for display and TSV output. *)
+
+val eval : Db.t -> params:params -> row -> Ast.expr -> item
+(** Evaluate a scalar (non-aggregate) expression. Aggregates raise
+    [Eval_error] — the planner must have split them out. Pattern
+    predicates are evaluated by existence search from a bound
+    endpoint. *)
+
+val eval_truthy : Db.t -> params:params -> row -> Ast.expr -> bool
+(** [eval] followed by Cypher truthiness ([Bool true] only). *)
+
+val pattern_exists : Db.t -> params:params -> row -> Ast.pattern_path -> bool
+(** Existence check for a pattern predicate. At least one endpoint
+    variable must be bound in the row (both bound is the common
+    case); otherwise the start label is scanned. *)

@@ -1,0 +1,1 @@
+lib/neo/algo.ml: Db Hashtbl List Mgq_core Seq

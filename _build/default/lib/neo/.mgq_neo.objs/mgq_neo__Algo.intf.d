@@ -1,0 +1,1 @@
+lib/neo/algo.mli: Db Mgq_core

@@ -1,0 +1,1 @@
+lib/neo/db.ml: Array Dict Fun Hashtbl List Marshal Mgq_core Mgq_storage Option Printf Seq String

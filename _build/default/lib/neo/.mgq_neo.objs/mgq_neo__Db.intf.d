@@ -1,0 +1,1 @@
+lib/neo/db.mli: Mgq_core Mgq_storage Seq

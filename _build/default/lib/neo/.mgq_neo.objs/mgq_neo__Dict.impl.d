@@ -1,0 +1,1 @@
+lib/neo/dict.ml: Array Hashtbl List Mgq_core Printf

@@ -1,0 +1,1 @@
+lib/neo/dict.mli:

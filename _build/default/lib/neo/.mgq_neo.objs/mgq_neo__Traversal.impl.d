@@ -1,0 +1,1 @@
+lib/neo/traversal.ml: Db Int List Mgq_core Seq Set

@@ -1,0 +1,1 @@
+lib/neo/traversal.mli: Db Mgq_core Seq

@@ -1,0 +1,80 @@
+open Mgq_core.Types
+
+(* Bidirectional BFS. Two frontiers grow toward each other — the
+   source side following [direction], the target side following its
+   flip — expanding the smaller frontier first. Parent maps on both
+   sides reconstruct the path at the meeting node. *)
+
+type side = {
+  parents : (node_id, node_id) Hashtbl.t; (* node -> predecessor toward origin *)
+  mutable frontier : node_id list;
+  mutable depth : int;
+}
+
+let make_side origin =
+  let parents = Hashtbl.create 64 in
+  Hashtbl.replace parents origin origin;
+  { parents; frontier = [ origin ]; depth = 0 }
+
+let reconstruct side node =
+  let rec walk acc n =
+    let p = Hashtbl.find side.parents n in
+    if p = n then n :: acc else walk (n :: acc) p
+  in
+  walk [] node
+
+let shortest_path ?etype ?(direction = Both) db ~src ~dst ~max_hops =
+  if max_hops < 0 then None
+  else if src = dst then Some [ src ]
+  else begin
+    let forward = make_side src in
+    let backward = make_side dst in
+    let meeting = ref None in
+    (* Expand [side]'s frontier one level; stop early when a node known
+       to [other] is reached. *)
+    let expand side other dir =
+      let next = ref [] in
+      List.iter
+        (fun node ->
+          if !meeting = None then
+            Seq.iter
+              (fun neighbor ->
+                if !meeting = None && not (Hashtbl.mem side.parents neighbor) then begin
+                  Hashtbl.replace side.parents neighbor node;
+                  next := neighbor :: !next;
+                  if Hashtbl.mem other.parents neighbor then meeting := Some neighbor
+                end)
+              (Db.neighbors db node ?etype dir))
+        side.frontier;
+      side.frontier <- !next;
+      side.depth <- side.depth + 1
+    in
+    let rec search () =
+      if !meeting <> None then ()
+      else if forward.frontier = [] && backward.frontier = [] then ()
+      else if forward.depth + backward.depth >= max_hops then ()
+      else begin
+        let fwd_smaller =
+          backward.frontier = []
+          || (forward.frontier <> []
+             && List.length forward.frontier <= List.length backward.frontier)
+        in
+        if fwd_smaller then expand forward backward direction
+        else expand backward forward (flip direction);
+        search ()
+      end
+    in
+    search ();
+    match !meeting with
+    | None -> None
+    | Some m ->
+      let from_src = reconstruct forward m in
+      let from_dst = reconstruct backward m in
+      (* from_src ends at m; from_dst also ends at m (built from dst). *)
+      Some (from_src @ List.tl (List.rev from_dst))
+  end
+
+let hop_distance ?etype ?direction db ~src ~dst ~max_hops =
+  match shortest_path db ~src ~dst ?etype ?direction ~max_hops with
+  | None -> None
+  | Some nodes -> Some (List.length nodes - 1)

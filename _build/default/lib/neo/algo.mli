@@ -1,0 +1,32 @@
+(** Built-in graph algorithms.
+
+    Cypher's [shortestPath] function compiles to a dedicated
+    bidirectional breadth-first search rather than a generic pattern
+    expansion; this module provides it for the engine and for the
+    query layer. *)
+
+val shortest_path :
+  ?etype:string ->
+  ?direction:Mgq_core.Types.direction ->
+  Db.t ->
+  src:Mgq_core.Types.node_id ->
+  dst:Mgq_core.Types.node_id ->
+  max_hops:int ->
+  Mgq_core.Types.node_id list option
+(** [shortest_path db ~src ~dst ~max_hops] finds one shortest path of
+    at most [max_hops] hops and returns its nodes from [src] to [dst]
+    inclusive, or [None] when unreachable within the bound.
+    [direction] defaults to [Both], matching Cypher's undirected
+    [shortestPath((a)-[:t*..k]-(b))] form. A bidirectional BFS meets
+    in the middle, touching far fewer records than a one-sided
+    expansion on skewed graphs. *)
+
+val hop_distance :
+  ?etype:string ->
+  ?direction:Mgq_core.Types.direction ->
+  Db.t ->
+  src:Mgq_core.Types.node_id ->
+  dst:Mgq_core.Types.node_id ->
+  max_hops:int ->
+  int option
+(** Length of {!shortest_path} without materialising the node list. *)

@@ -1,0 +1,772 @@
+module Cost_model = Mgq_storage.Cost_model
+module Sim_disk = Mgq_storage.Sim_disk
+module Record_store = Mgq_storage.Record_store
+module Blob_store = Mgq_storage.Blob_store
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+open Mgq_core.Types
+
+let nil = Record_store.nil
+
+(* Node record fields. *)
+let n_in_use = 0
+let n_label = 1
+let n_first_out = 2 (* sparse: first outgoing rel; dense: first group record *)
+let n_first_in = 3 (* sparse only *)
+let n_first_prop = 4
+let n_out_degree = 5
+let n_in_degree = 6
+let n_dense = 7 (* 1 after conversion to relationship groups *)
+let node_fields = 8
+
+(* Relationship group records (dense nodes): one per (node, type),
+   chained, holding that type's out- and in-chain heads — Neo4j's
+   dense-node optimisation, which the import tool's "computing the
+   dense nodes" step prepares. *)
+let _g_in_use = 0 (* groups are never tombstoned individually *)
+let g_type = 1
+let g_next = 2
+let g_first_out = 3
+let g_first_in = 4
+let group_fields = 5
+
+(* Relationship record fields. *)
+let r_in_use = 0
+let r_type = 1
+let r_src = 2
+let r_dst = 3
+let r_next_out = 4
+let r_next_in = 5
+let r_first_prop = 6
+let rel_fields = 7
+
+(* Property record fields. *)
+let p_key = 0
+let p_tag = 1
+let p_payload = 2
+let p_next = 3
+let prop_fields = 4
+
+(* Value tags in property records. *)
+let tag_bool = 1
+let tag_int = 2
+let tag_float = 3
+let tag_string = 4
+
+type label_scan = { mutable ids : int array; mutable len : int }
+
+type index_key = { ilabel : int; ikey : int }
+
+type tx = { mutable undo : (unit -> unit) list }
+
+type t = {
+  disk : Sim_disk.t;
+  nodes : Record_store.t;
+  rels : Record_store.t;
+  props : Record_store.t;
+  groups : Record_store.t;
+  strings : Blob_store.t;
+  dense_node_threshold : int;
+  label_dict : Dict.t;
+  type_dict : Dict.t;
+  key_dict : Dict.t;
+  label_scans : (int, label_scan) Hashtbl.t;
+  type_counts : (int, int ref) Hashtbl.t;
+  indexes : (index_key, (int, node_id list ref) Hashtbl.t) Hashtbl.t;
+  mutable node_count : int;
+  mutable edge_count : int;
+  mutable current_tx : tx option;
+}
+
+let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 50) () =
+  let disk = Sim_disk.create ?config ?pool_pages ?checkpoint_dirty_pages () in
+  {
+    disk;
+    nodes = Record_store.create disk ~name:"neostore.nodestore" ~fields:node_fields;
+    rels = Record_store.create disk ~name:"neostore.relationshipstore" ~fields:rel_fields;
+    props = Record_store.create disk ~name:"neostore.propertystore" ~fields:prop_fields;
+    groups = Record_store.create disk ~name:"neostore.relationshipgroupstore" ~fields:group_fields;
+    strings = Blob_store.create disk ~name:"neostore.stringstore";
+    dense_node_threshold = max 2 dense_node_threshold;
+    label_dict = Dict.create ();
+    type_dict = Dict.create ();
+    key_dict = Dict.create ();
+    label_scans = Hashtbl.create 8;
+    type_counts = Hashtbl.create 8;
+    indexes = Hashtbl.create 8;
+    node_count = 0;
+    edge_count = 0;
+    current_tx = None;
+  }
+
+let disk t = t.disk
+let cost t = Sim_disk.cost t.disk
+
+(* ---------------- persistence ---------------- *)
+
+let save_magic = "MGQNEO1\n"
+
+let save t path =
+  if t.current_tx <> None then failwith "Db.save: transaction open";
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc save_magic;
+      Marshal.to_channel oc t [])
+
+let load path =
+  let ic =
+    try open_in_bin path with Sys_error msg -> failwith ("Db.load: " ^ msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = really_input_string ic (String.length save_magic) in
+      if header <> save_magic then failwith "Db.load: not a record-store database file";
+      (Marshal.from_channel ic : t))
+
+let labels t = Dict.names t.label_dict
+let edge_types t = Dict.names t.type_dict
+let property_keys t = Dict.names t.key_dict
+
+(* ---------------- transactions ---------------- *)
+
+let in_tx t = t.current_tx <> None
+
+let begin_tx t =
+  if in_tx t then failwith "Db.begin_tx: transaction already open";
+  t.current_tx <- Some { undo = [] }
+
+let commit t =
+  match t.current_tx with
+  | None -> failwith "Db.commit: no open transaction"
+  | Some _ ->
+    (* Commit appends the transaction to the log: one page write. *)
+    Cost_model.record_page_flush (cost t);
+    t.current_tx <- None
+
+let rollback t =
+  match t.current_tx with
+  | None -> failwith "Db.rollback: no open transaction"
+  | Some tx ->
+    t.current_tx <- None;
+    List.iter (fun undo -> undo ()) tx.undo
+
+let with_tx t f =
+  begin_tx t;
+  match f () with
+  | result ->
+    commit t;
+    result
+  | exception e ->
+    rollback t;
+    raise e
+
+let log_undo t f =
+  match t.current_tx with None -> () | Some tx -> tx.undo <- f :: tx.undo
+
+(* ---------------- existence checks ---------------- *)
+
+let node_exists t id =
+  id >= 0 && id < Record_store.count t.nodes && Record_store.get t.nodes ~id ~field:n_in_use = 1
+
+let edge_exists t id =
+  id >= 0 && id < Record_store.count t.rels && Record_store.get t.rels ~id ~field:r_in_use = 1
+
+let check_node t id = if not (node_exists t id) then raise (Node_not_found id)
+let check_edge t id = if not (edge_exists t id) then raise (Edge_not_found id)
+
+(* ---------------- property chains ---------------- *)
+
+let encode_value t v =
+  match v with
+  | Value.Null -> invalid_arg "Db: cannot store Null property"
+  | Value.Bool b -> (tag_bool, if b then 1 else 0)
+  | Value.Int i -> (tag_int, i)
+  | Value.Float f -> (tag_float, Blob_store.append t.strings (Printf.sprintf "%h" f))
+  | Value.Str s -> (tag_string, Blob_store.append t.strings s)
+
+let decode_value t ~tag ~payload =
+  if tag = tag_bool then Value.Bool (payload = 1)
+  else if tag = tag_int then Value.Int payload
+  else if tag = tag_float then Value.Float (float_of_string (Blob_store.read t.strings payload))
+  else if tag = tag_string then Value.Str (Blob_store.read t.strings payload)
+  else failwith (Printf.sprintf "Db: corrupt property tag %d" tag)
+
+(* Find the property record for [key_id] in the chain starting at
+   [head]; None when absent. *)
+let rec find_prop t head key_id =
+  if head = nil then None
+  else begin
+    let record = Record_store.get_record t.props ~id:head in
+    if record.(p_key) = key_id then Some (head, record)
+    else find_prop t record.(p_next) key_id
+  end
+
+let read_prop_chain t head =
+  let rec collect acc head =
+    if head = nil then acc
+    else begin
+      let record = Record_store.get_record t.props ~id:head in
+      let key = Dict.name t.key_dict record.(p_key) in
+      let value = decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload) in
+      collect ((key, value) :: acc) record.(p_next)
+    end
+  in
+  Property.of_list (collect [] head)
+
+(* Write [key -> value] into the chain whose head field lives at
+   (store, owner, head_field). Returns an undo closure. *)
+let write_prop t ~store ~owner ~head_field key value =
+  let key_id = Dict.intern t.key_dict key in
+  let head = Record_store.get store ~id:owner ~field:head_field in
+  match (find_prop t head key_id, value) with
+  | None, Value.Null -> fun () -> ()
+  | None, v ->
+    let tag, payload = encode_value t v in
+    let prop = Record_store.allocate t.props in
+    Record_store.set_record t.props ~id:prop [| key_id; tag; payload; head |];
+    Record_store.set store ~id:owner ~field:head_field prop;
+    fun () -> Record_store.set store ~id:owner ~field:head_field head
+  | Some (prop, record), Value.Null ->
+    (* Unlink the record from the chain. *)
+    let next = record.(p_next) in
+    if head = prop then Record_store.set store ~id:owner ~field:head_field next
+    else begin
+      let rec relink cursor =
+        let cursor_next = Record_store.get t.props ~id:cursor ~field:p_next in
+        if cursor_next = prop then Record_store.set t.props ~id:cursor ~field:p_next next
+        else relink cursor_next
+      in
+      relink head
+    end;
+    fun () ->
+      (* Re-insert at the head; chain order is not semantic. *)
+      let current_head = Record_store.get store ~id:owner ~field:head_field in
+      Record_store.set t.props ~id:prop ~field:p_next current_head;
+      Record_store.set store ~id:owner ~field:head_field prop
+  | Some (prop, record), v ->
+    let old_tag = record.(p_tag) and old_payload = record.(p_payload) in
+    let tag, payload = encode_value t v in
+    Record_store.set t.props ~id:prop ~field:p_tag tag;
+    Record_store.set t.props ~id:prop ~field:p_payload payload;
+    fun () ->
+      Record_store.set t.props ~id:prop ~field:p_tag old_tag;
+      Record_store.set t.props ~id:prop ~field:p_payload old_payload
+
+(* ---------------- label scan store ---------------- *)
+
+let scan_for t label_id =
+  match Hashtbl.find_opt t.label_scans label_id with
+  | Some scan -> scan
+  | None ->
+    let scan = { ids = Array.make 16 0; len = 0 } in
+    Hashtbl.replace t.label_scans label_id scan;
+    scan
+
+let scan_add t label_id node =
+  let scan = scan_for t label_id in
+  if scan.len = Array.length scan.ids then begin
+    let bigger = Array.make (2 * scan.len) 0 in
+    Array.blit scan.ids 0 bigger 0 scan.len;
+    scan.ids <- bigger
+  end;
+  scan.ids.(scan.len) <- node;
+  scan.len <- scan.len + 1
+
+let scan_remove t label_id node =
+  let scan = scan_for t label_id in
+  let rec find i = if i >= scan.len then -1 else if scan.ids.(i) = node then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    scan.ids.(i) <- scan.ids.(scan.len - 1);
+    scan.len <- scan.len - 1
+  end
+
+(* ---------------- indexes ---------------- *)
+
+let index_for t key = Hashtbl.find_opt t.indexes key
+
+let index_insert index value_hash node =
+  match Hashtbl.find_opt index value_hash with
+  | Some bucket -> bucket := node :: !bucket
+  | None -> Hashtbl.replace index value_hash (ref [ node ])
+
+let index_remove index value_hash node =
+  match Hashtbl.find_opt index value_hash with
+  | None -> ()
+  | Some bucket -> bucket := List.filter (fun n -> n <> node) !bucket
+
+(* Keep indexes in sync when node [id] of label [label_id] changes
+   property [key_id] from [old_v] to [new_v]. Returns undo. *)
+let index_maintain t ~label_id ~key_id ~node ~old_v ~new_v =
+  match index_for t { ilabel = label_id; ikey = key_id } with
+  | None -> fun () -> ()
+  | Some index ->
+    let remove_old () =
+      if old_v <> Value.Null then index_remove index (Value.hash_fold old_v) node
+    in
+    let insert_new () =
+      if new_v <> Value.Null then index_insert index (Value.hash_fold new_v) node
+    in
+    remove_old ();
+    insert_new ();
+    fun () ->
+      if new_v <> Value.Null then index_remove index (Value.hash_fold new_v) node;
+      if old_v <> Value.Null then index_insert index (Value.hash_fold old_v) node
+
+(* ---------------- reads ---------------- *)
+
+let node_label t id =
+  check_node t id;
+  Dict.name t.label_dict (Record_store.get t.nodes ~id ~field:n_label)
+
+let node_property t id key =
+  check_node t id;
+  match Dict.find t.key_dict key with
+  | None -> Value.Null
+  | Some key_id -> (
+    let head = Record_store.get t.nodes ~id ~field:n_first_prop in
+    match find_prop t head key_id with
+    | None -> Value.Null
+    | Some (_, record) -> decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload))
+
+let node_properties t id =
+  check_node t id;
+  read_prop_chain t (Record_store.get t.nodes ~id ~field:n_first_prop)
+
+let edge t id =
+  check_edge t id;
+  let record = Record_store.get_record t.rels ~id in
+  {
+    id;
+    etype = Dict.name t.type_dict record.(r_type);
+    src = record.(r_src);
+    dst = record.(r_dst);
+  }
+
+let edge_property t id key =
+  check_edge t id;
+  match Dict.find t.key_dict key with
+  | None -> Value.Null
+  | Some key_id -> (
+    let head = Record_store.get t.rels ~id ~field:r_first_prop in
+    match find_prop t head key_id with
+    | None -> Value.Null
+    | Some (_, record) -> decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload))
+
+let edge_properties t id =
+  check_edge t id;
+  read_prop_chain t (Record_store.get t.rels ~id ~field:r_first_prop)
+
+let out_degree t id =
+  check_node t id;
+  Record_store.get t.nodes ~id ~field:n_out_degree
+
+let in_degree t id =
+  check_node t id;
+  Record_store.get t.nodes ~id ~field:n_in_degree
+
+(* Walk one relationship chain lazily. [next_field] selects the
+   out-chain or in-chain linkage. *)
+let rec chain_seq t rel_id next_field () =
+  if rel_id = nil then Seq.Nil
+  else begin
+    let record = Record_store.get_record t.rels ~id:rel_id in
+    let e =
+      {
+        id = rel_id;
+        etype = Dict.name t.type_dict record.(r_type);
+        src = record.(r_src);
+        dst = record.(r_dst);
+      }
+    in
+    Seq.Cons (e, chain_seq t record.(next_field) next_field)
+  end
+
+(* ---------------- dense nodes (relationship groups) ---------------- *)
+
+let is_dense t node = Record_store.get t.nodes ~id:node ~field:n_dense = 1
+
+(* Find the group record carrying [type_id]'s chains on a dense node. *)
+let group_of t node type_id =
+  let rec walk group_id =
+    if group_id = nil then None
+    else if Record_store.get t.groups ~id:group_id ~field:g_type = type_id then Some group_id
+    else walk (Record_store.get t.groups ~id:group_id ~field:g_next)
+  in
+  walk (Record_store.get t.nodes ~id:node ~field:n_first_out)
+
+let ensure_group t node type_id =
+  match group_of t node type_id with
+  | Some g -> g
+  | None ->
+    let g = Record_store.allocate t.groups in
+    let head = Record_store.get t.nodes ~id:node ~field:n_first_out in
+    Record_store.set_record t.groups ~id:g [| 1; type_id; head; nil; nil |];
+    Record_store.set t.nodes ~id:node ~field:n_first_out g;
+    g
+
+(* Where a chain's head pointer lives: directly in the node record
+   (sparse) or in a per-type relationship group record (dense). *)
+type head_loc = Node_head of int * int | Group_head of int * int
+
+let read_head t = function
+  | Node_head (node, field) -> Record_store.get t.nodes ~id:node ~field
+  | Group_head (group, field) -> Record_store.get t.groups ~id:group ~field
+
+let write_head t loc value =
+  match loc with
+  | Node_head (node, field) -> Record_store.set t.nodes ~id:node ~field value
+  | Group_head (group, field) -> Record_store.set t.groups ~id:group ~field value
+
+let head_loc t node type_id ~out =
+  if is_dense t node then begin
+    let g = ensure_group t node type_id in
+    Group_head (g, if out then g_first_out else g_first_in)
+  end
+  else Node_head (node, if out then n_first_out else n_first_in)
+
+(* Link / unlink one side of an edge into its node's chain, whichever
+   representation the node currently uses. *)
+let insert_side t id ~node ~type_id ~out =
+  let loc = head_loc t node type_id ~out in
+  let next_field = if out then r_next_out else r_next_in in
+  Record_store.set t.rels ~id ~field:next_field (read_head t loc);
+  write_head t loc id
+
+let unlink_side t id ~node ~type_id ~out =
+  let loc = head_loc t node type_id ~out in
+  let next_field = if out then r_next_out else r_next_in in
+  let next = Record_store.get t.rels ~id ~field:next_field in
+  if read_head t loc = id then write_head t loc next
+  else begin
+    let rec walk cursor =
+      let cursor_next = Record_store.get t.rels ~id:cursor ~field:next_field in
+      if cursor_next = id then Record_store.set t.rels ~id:cursor ~field:next_field next
+      else walk cursor_next
+    in
+    walk (read_head t loc)
+  end
+
+(* Convert a node to the dense representation: pull its two mixed
+   chains apart into per-type group chains. This is the work the
+   import tool's "computing the dense nodes" step performs up front. *)
+let densify t node =
+  let collect head next_field =
+    let rec walk acc rel_id =
+      if rel_id = nil then List.rev acc
+      else begin
+        let record = Record_store.get_record t.rels ~id:rel_id in
+        walk ((rel_id, record.(r_type)) :: acc) record.(next_field)
+      end
+    in
+    walk [] head
+  in
+  let out_edges = collect (Record_store.get t.nodes ~id:node ~field:n_first_out) r_next_out in
+  let in_edges = collect (Record_store.get t.nodes ~id:node ~field:n_first_in) r_next_in in
+  Record_store.set t.nodes ~id:node ~field:n_first_out nil;
+  Record_store.set t.nodes ~id:node ~field:n_first_in nil;
+  Record_store.set t.nodes ~id:node ~field:n_dense 1;
+  List.iter
+    (fun (id, type_id) -> insert_side t id ~node ~type_id ~out:true)
+    (List.rev out_edges);
+  List.iter
+    (fun (id, type_id) -> insert_side t id ~node ~type_id ~out:false)
+    (List.rev in_edges)
+
+let maybe_densify t node =
+  if not (is_dense t node) then begin
+    let total =
+      Record_store.get t.nodes ~id:node ~field:n_out_degree
+      + Record_store.get t.nodes ~id:node ~field:n_in_degree
+    in
+    if total >= t.dense_node_threshold then densify t node
+  end
+
+(* All chain heads to walk for [node] in one direction, optionally
+   narrowed to one relationship type. On a dense node a typed
+   expansion touches only that type's group chain. *)
+let chain_heads t node ?type_id ~out () =
+  if is_dense t node then begin
+    match type_id with
+    | Some tid -> (
+      match group_of t node tid with
+      | Some g -> [ Record_store.get t.groups ~id:g ~field:(if out then g_first_out else g_first_in) ]
+      | None -> [])
+    | None ->
+      let rec walk acc group_id =
+        if group_id = nil then List.rev acc
+        else begin
+          let head =
+            Record_store.get t.groups ~id:group_id
+              ~field:(if out then g_first_out else g_first_in)
+          in
+          walk (head :: acc) (Record_store.get t.groups ~id:group_id ~field:g_next)
+        end
+      in
+      walk [] (Record_store.get t.nodes ~id:node ~field:n_first_out)
+  end
+  else [ Record_store.get t.nodes ~id:node ~field:(if out then n_first_out else n_first_in) ]
+
+let edges_of t id ?etype dir =
+  check_node t id;
+  let type_id = Option.bind etype (Dict.find t.type_dict) in
+  match (etype, type_id) with
+  | Some _, None -> Seq.empty (* unknown type name *)
+  | _ ->
+    let type_ok =
+      match etype with
+      | None -> fun _ -> true
+      | Some name -> fun (e : edge) -> String.equal e.etype name
+    in
+    let side ~out next_field =
+      List.fold_left
+        (fun acc head -> Seq.append acc (chain_seq t head next_field))
+        Seq.empty
+        (chain_heads t id ?type_id ~out ())
+    in
+    let seq =
+      match dir with
+      | Out -> side ~out:true r_next_out
+      | In -> side ~out:false r_next_in
+      | Both ->
+        (* Self-loops live in both chains; report them once, from the
+           out side. *)
+        Seq.append (side ~out:true r_next_out)
+          (Seq.filter (fun e -> e.src <> e.dst) (side ~out:false r_next_in))
+    in
+    Seq.filter type_ok seq
+
+let neighbors t id ?etype dir =
+  Seq.map (fun e -> other_end e id) (edges_of t id ?etype dir)
+
+let degree t id ?etype dir =
+  match (etype, dir) with
+  | None, Out -> out_degree t id
+  | None, In -> in_degree t id
+  | None, Both ->
+    let loops = Seq.length (Seq.filter (fun e -> e.src = e.dst) (edges_of t id Out)) in
+    out_degree t id + in_degree t id - loops
+  | Some _, _ -> Seq.length (edges_of t id ?etype dir)
+
+let all_nodes t =
+  let total = Record_store.count t.nodes in
+  let rec from id () =
+    if id >= total then Seq.Nil
+    else if Record_store.get t.nodes ~id ~field:n_in_use = 1 then Seq.Cons (id, from (id + 1))
+    else from (id + 1) ()
+  in
+  from 0
+
+let nodes_with_label t label =
+  match Dict.find t.label_dict label with
+  | None -> Seq.empty
+  | Some label_id ->
+    let scan = scan_for t label_id in
+    let rec from i () =
+      if i >= scan.len then Seq.Nil
+      else begin
+        (* Reading a scan-store entry is one db hit. *)
+        Cost_model.record_db_hit (cost t);
+        Seq.Cons (scan.ids.(i), from (i + 1))
+      end
+    in
+    from 0
+
+let is_dense_node t id =
+  check_node t id;
+  is_dense t id
+
+let dense_node_threshold t = t.dense_node_threshold
+
+let densify_node t id =
+  check_node t id;
+  if not (is_dense t id) then densify t id
+
+let node_count t = t.node_count
+let edge_count t = t.edge_count
+
+let label_count t label =
+  match Dict.find t.label_dict label with
+  | None -> 0
+  | Some label_id -> (scan_for t label_id).len
+
+let edge_type_count t etype =
+  match Dict.find t.type_dict etype with
+  | None -> 0
+  | Some type_id -> (
+    match Hashtbl.find_opt t.type_counts type_id with Some r -> !r | None -> 0)
+
+(* ---------------- writes ---------------- *)
+
+let create_node t ~label properties =
+  let label_id = Dict.intern t.label_dict label in
+  let id = Record_store.allocate t.nodes in
+  Record_store.set_record t.nodes ~id [| 1; label_id; nil; nil; nil; 0; 0; 0 |];
+  scan_add t label_id id;
+  t.node_count <- t.node_count + 1;
+  let prop_undos =
+    List.map
+      (fun (key, value) ->
+        let undo_write =
+          write_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key value
+        in
+        let key_id = Dict.intern t.key_dict key in
+        let undo_index =
+          index_maintain t ~label_id ~key_id ~node:id ~old_v:Value.Null ~new_v:value
+        in
+        fun () ->
+          undo_index ();
+          undo_write ())
+      (Property.to_list properties)
+  in
+  log_undo t (fun () ->
+      List.iter (fun u -> u ()) (List.rev prop_undos);
+      Record_store.set t.nodes ~id ~field:n_in_use 0;
+      scan_remove t label_id id;
+      t.node_count <- t.node_count - 1);
+  id
+
+let bump_type_count t type_id delta =
+  match Hashtbl.find_opt t.type_counts type_id with
+  | Some r -> r := !r + delta
+  | None -> Hashtbl.replace t.type_counts type_id (ref delta)
+
+(* Adjust cached degree fields by [delta] for the edge's endpoints. *)
+let bump_degrees t ~src ~dst delta =
+  Record_store.set t.nodes ~id:src ~field:n_out_degree
+    (Record_store.get t.nodes ~id:src ~field:n_out_degree + delta);
+  Record_store.set t.nodes ~id:dst ~field:n_in_degree
+    (Record_store.get t.nodes ~id:dst ~field:n_in_degree + delta)
+
+(* Logical removal of a live edge from both of its chains. Undo-safe
+   under densification: it locates heads through the node's current
+   representation. *)
+let remove_edge_physically t id =
+  let record = Record_store.get_record t.rels ~id in
+  let type_id = record.(r_type) and src = record.(r_src) and dst = record.(r_dst) in
+  unlink_side t id ~node:src ~type_id ~out:true;
+  unlink_side t id ~node:dst ~type_id ~out:false;
+  Record_store.set t.rels ~id ~field:r_in_use 0;
+  bump_degrees t ~src ~dst (-1);
+  t.edge_count <- t.edge_count - 1;
+  bump_type_count t type_id (-1)
+
+(* Logical (re-)insertion of an existing edge record into the current
+   chains of its endpoints. *)
+let insert_edge_physically t id =
+  let record = Record_store.get_record t.rels ~id in
+  let type_id = record.(r_type) and src = record.(r_src) and dst = record.(r_dst) in
+  insert_side t id ~node:src ~type_id ~out:true;
+  insert_side t id ~node:dst ~type_id ~out:false;
+  Record_store.set t.rels ~id ~field:r_in_use 1;
+  bump_degrees t ~src ~dst 1;
+  t.edge_count <- t.edge_count + 1;
+  bump_type_count t type_id 1
+
+let create_edge t ~etype ~src ~dst properties =
+  check_node t src;
+  check_node t dst;
+  let type_id = Dict.intern t.type_dict etype in
+  let id = Record_store.allocate t.rels in
+  Record_store.set_record t.rels ~id [| 0; type_id; src; dst; nil; nil; nil |];
+  insert_edge_physically t id;
+  List.iter
+    (fun (key, value) ->
+      let (_ : unit -> unit) =
+        write_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key value
+      in
+      ())
+    (Property.to_list properties);
+  (* High-degree endpoints convert to relationship groups. The
+     conversion itself is a semantically neutral reorganisation and is
+     not undone on rollback. *)
+  maybe_densify t src;
+  maybe_densify t dst;
+  log_undo t (fun () -> remove_edge_physically t id);
+  id
+
+let set_node_property t id key value =
+  check_node t id;
+  let old_v = node_property t id key in
+  let undo_write = write_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key value in
+  let label_id = Record_store.get t.nodes ~id ~field:n_label in
+  let key_id = Dict.intern t.key_dict key in
+  let undo_index = index_maintain t ~label_id ~key_id ~node:id ~old_v ~new_v:value in
+  log_undo t (fun () ->
+      undo_index ();
+      undo_write ())
+
+let set_edge_property t id key value =
+  check_edge t id;
+  let undo_write = write_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key value in
+  log_undo t undo_write
+
+let delete_edge t id =
+  check_edge t id;
+  remove_edge_physically t id;
+  (* Undo re-inserts at the then-current chain heads; order within a
+     chain is not semantic. *)
+  log_undo t (fun () -> insert_edge_physically t id)
+
+let delete_node t id =
+  check_node t id;
+  if out_degree t id > 0 || in_degree t id > 0 then
+    failwith "Db.delete_node: node still has relationships";
+  let label_id = Record_store.get t.nodes ~id ~field:n_label in
+  (* Drop indexed entries for this node. *)
+  let props = node_properties t id in
+  let index_undos =
+    List.map
+      (fun (key, value) ->
+        let key_id = Dict.intern t.key_dict key in
+        index_maintain t ~label_id ~key_id ~node:id ~old_v:value ~new_v:Value.Null)
+      (Property.to_list props)
+  in
+  Record_store.set t.nodes ~id ~field:n_in_use 0;
+  scan_remove t label_id id;
+  t.node_count <- t.node_count - 1;
+  log_undo t (fun () ->
+      Record_store.set t.nodes ~id ~field:n_in_use 1;
+      scan_add t label_id id;
+      t.node_count <- t.node_count + 1;
+      List.iter (fun u -> u ()) index_undos)
+
+(* ---------------- schema indexes ---------------- *)
+
+let has_index t ~label ~property =
+  match (Dict.find t.label_dict label, Dict.find t.key_dict property) with
+  | Some ilabel, Some ikey -> Hashtbl.mem t.indexes { ilabel; ikey }
+  | _ -> false
+
+let create_index t ~label ~property =
+  let ilabel = Dict.intern t.label_dict label in
+  let ikey = Dict.intern t.key_dict property in
+  let key = { ilabel; ikey } in
+  if not (Hashtbl.mem t.indexes key) then begin
+    let index = Hashtbl.create 1024 in
+    Hashtbl.replace t.indexes key index;
+    Seq.iter
+      (fun node ->
+        let v = node_property t node property in
+        if v <> Value.Null then index_insert index (Value.hash_fold v) node)
+      (nodes_with_label t label)
+  end
+
+let index_lookup t ~label ~property value =
+  match (Dict.find t.label_dict label, Dict.find t.key_dict property) with
+  | Some ilabel, Some ikey -> (
+    match Hashtbl.find_opt t.indexes { ilabel; ikey } with
+    | None ->
+      raise (Schema_error (Printf.sprintf "no index on :%s(%s)" label property))
+    | Some index -> (
+      (* Probing the index is one db hit; candidates are verified
+         against the property store to discard hash collisions. *)
+      Cost_model.record_db_hit (cost t);
+      match Hashtbl.find_opt index (Value.hash_fold value) with
+      | None -> []
+      | Some bucket ->
+        List.filter (fun node -> Value.equal (node_property t node property) value) !bucket))
+  | _ -> raise (Schema_error (Printf.sprintf "no index on :%s(%s)" label property))

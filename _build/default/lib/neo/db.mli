@@ -1,0 +1,177 @@
+(** The record-store property-graph engine (Neo4j analog).
+
+    Storage layout mirrors Neo4j's store files:
+
+    - a {e node store} of fixed records holding the label token, the
+      heads of the node's outgoing and incoming relationship chains,
+      the head of its property chain, and cached degrees;
+    - a {e relationship store} whose records are threaded into two
+      singly-linked chains (one through the source's outgoing edges,
+      one through the target's incoming edges), so expanding a node
+      costs one record access per relationship — the behaviour behind
+      the paper's observation that 2-step expansion explodes with
+      high out-degree;
+    - a {e property store} of chained key/tag/payload records, with
+      string payloads in a dynamic string (blob) store;
+    - in-memory {e token dictionaries} and a {e label scan store};
+    - optional {e schema hash indexes} on (label, property), used by
+      the Cypher planner for index seeks.
+
+    All record traffic flows through {!Mgq_storage.Sim_disk}, so every
+    operation has a deterministic db-hit / page-fault cost. Writes are
+    transactional: grouped into a transaction with rollback via an
+    undo log ("Neo4j is a fully transactional graph management
+    system"). *)
+
+type t
+
+val create :
+  ?config:Mgq_storage.Cost_model.config ->
+  ?pool_pages:int ->
+  ?checkpoint_dirty_pages:int ->
+  ?dense_node_threshold:int ->
+  unit ->
+  t
+(** [dense_node_threshold] (default 50): total degree at which a node
+    converts to the dense representation — per-type relationship
+    group records, so a typed expansion walks only that type's chain
+    (Neo4j's dense-node optimisation; the import tool's "computing
+    the dense nodes" step). *)
+
+val disk : t -> Mgq_storage.Sim_disk.t
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Serialise the whole database — store pages, dictionaries, label
+    scans, indexes, counters — to a file. The format is the running
+    program's marshalling format plus a magic header: portable across
+    runs of the same build, not across compiler versions.
+    @raise Failure when a transaction is open. *)
+
+val load : string -> t
+(** Inverse of {!save}.
+    @raise Failure on a missing/foreign/corrupt file. *)
+
+(** {1 Schema} *)
+
+val labels : t -> string list
+val edge_types : t -> string list
+val property_keys : t -> string list
+
+(** {1 Transactions} *)
+
+val begin_tx : t -> unit
+(** @raise Failure when a transaction is already open. *)
+
+val commit : t -> unit
+(** Charges a commit (log flush) cost.
+    @raise Failure when no transaction is open. *)
+
+val rollback : t -> unit
+(** Undo every mutation of the open transaction, in reverse order. *)
+
+val in_tx : t -> bool
+
+val with_tx : t -> (unit -> 'a) -> 'a
+(** Run in a fresh transaction; commits on return, rolls back when the
+    callback raises (re-raising the exception). *)
+
+(** {1 Writes}
+
+    Outside an explicit transaction each call auto-commits. *)
+
+val create_node : t -> label:string -> Mgq_core.Property.t -> Mgq_core.Types.node_id
+
+val create_edge :
+  t ->
+  etype:string ->
+  src:Mgq_core.Types.node_id ->
+  dst:Mgq_core.Types.node_id ->
+  Mgq_core.Property.t ->
+  Mgq_core.Types.edge_id
+
+val set_node_property : t -> Mgq_core.Types.node_id -> string -> Mgq_core.Value.t -> unit
+val set_edge_property : t -> Mgq_core.Types.edge_id -> string -> Mgq_core.Value.t -> unit
+
+val delete_edge : t -> Mgq_core.Types.edge_id -> unit
+
+val delete_node : t -> Mgq_core.Types.node_id -> unit
+(** @raise Failure when the node still has relationships. *)
+
+(** {1 Reads} *)
+
+val node_exists : t -> Mgq_core.Types.node_id -> bool
+val node_label : t -> Mgq_core.Types.node_id -> string
+val node_property : t -> Mgq_core.Types.node_id -> string -> Mgq_core.Value.t
+val node_properties : t -> Mgq_core.Types.node_id -> Mgq_core.Property.t
+
+val edge_exists : t -> Mgq_core.Types.edge_id -> bool
+val edge : t -> Mgq_core.Types.edge_id -> Mgq_core.Types.edge
+val edge_property : t -> Mgq_core.Types.edge_id -> string -> Mgq_core.Value.t
+val edge_properties : t -> Mgq_core.Types.edge_id -> Mgq_core.Property.t
+
+val out_degree : t -> Mgq_core.Types.node_id -> int
+val in_degree : t -> Mgq_core.Types.node_id -> int
+
+val degree :
+  t -> Mgq_core.Types.node_id -> ?etype:string -> Mgq_core.Types.direction -> int
+(** Without [etype] the cached degree fields answer in O(1); with a
+    type filter the chain is walked. *)
+
+val edges_of :
+  t ->
+  Mgq_core.Types.node_id ->
+  ?etype:string ->
+  Mgq_core.Types.direction ->
+  Mgq_core.Types.edge Seq.t
+(** Walk the node's relationship chain(s) lazily. With [Both], a
+    self-loop is reported once. *)
+
+val neighbors :
+  t ->
+  Mgq_core.Types.node_id ->
+  ?etype:string ->
+  Mgq_core.Types.direction ->
+  Mgq_core.Types.node_id Seq.t
+(** Other endpoints of {!edges_of}; duplicates occur when the
+    multigraph has parallel edges. *)
+
+val all_nodes : t -> Mgq_core.Types.node_id Seq.t
+(** Store scan, skipping deleted records. *)
+
+val nodes_with_label : t -> string -> Mgq_core.Types.node_id Seq.t
+(** Label scan store access: one db hit per returned node, no full
+    store scan. Unknown labels yield the empty sequence. *)
+
+val is_dense_node : t -> Mgq_core.Types.node_id -> bool
+(** Whether the node has converted to relationship groups. *)
+
+val dense_node_threshold : t -> int
+
+val densify_node : t -> Mgq_core.Types.node_id -> unit
+(** Convert a node to relationship groups now, regardless of degree —
+    the batch importer's "computing the dense nodes" step converts
+    soon-to-be-dense nodes up front, before their chains grow long.
+    Idempotent. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val label_count : t -> string -> int
+val edge_type_count : t -> string -> int
+
+(** {1 Schema indexes} *)
+
+val create_index : t -> label:string -> property:string -> unit
+(** Build a hash index over existing and future nodes of [label] keyed
+    by [property]. Idempotent. Charges one db hit per scanned node. *)
+
+val has_index : t -> label:string -> property:string -> bool
+
+val index_lookup :
+  t -> label:string -> property:string -> Mgq_core.Value.t -> Mgq_core.Types.node_id list
+(** Exact-match seek. Falls back to raising
+    [Mgq_core.Types.Schema_error] when the index does not exist — the
+    planner must check {!has_index} first. Hash-bucket candidates are
+    verified against the property store (charging db hits), so
+    collisions cannot produce false positives. *)

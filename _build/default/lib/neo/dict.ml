@@ -1,0 +1,38 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable count : int;
+}
+
+let create () = { by_name = Hashtbl.create 16; by_id = Array.make 8 ""; count = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    if id = Array.length t.by_id then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit t.by_id 0 bigger 0 id;
+      t.by_id <- bigger
+    end;
+    t.by_id.(id) <- name;
+    t.count <- id + 1;
+    Hashtbl.replace t.by_name name id;
+    id
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with
+  | Some id -> id
+  | None -> raise (Mgq_core.Types.Schema_error (Printf.sprintf "unknown name %S" name))
+
+let name t id =
+  if id < 0 || id >= t.count then
+    raise (Mgq_core.Types.Schema_error (Printf.sprintf "unknown token id %d" id))
+  else t.by_id.(id)
+
+let count t = t.count
+
+let names t = List.init t.count (fun i -> t.by_id.(i))

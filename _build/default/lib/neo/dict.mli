@@ -1,0 +1,27 @@
+(** Interned name dictionaries (token stores).
+
+    Neo4j keeps labels, relationship types and property keys as small
+    token stores cached in memory; records refer to them by id. One
+    [Dict.t] serves one namespace. Ids are dense from 0 in creation
+    order. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Id for the name, creating it when new. *)
+
+val find : t -> string -> int option
+(** Id for an existing name; [None] when never interned. *)
+
+val find_exn : t -> string -> int
+(** @raise Mgq_core.Types.Schema_error when the name is unknown. *)
+
+val name : t -> int -> string
+(** @raise Mgq_core.Types.Schema_error when the id is out of range. *)
+
+val count : t -> int
+
+val names : t -> string list
+(** All names in id order. *)

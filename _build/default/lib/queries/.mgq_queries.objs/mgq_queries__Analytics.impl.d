@@ -1,0 +1,1 @@
+lib/queries/analytics.ml: Array Hashtbl List Mgq_core Mgq_neo Mgq_sparks Mgq_twitter Queue Reference Seq

@@ -1,0 +1,1 @@
+lib/queries/analytics.mli: Mgq_neo Mgq_sparks Reference

@@ -1,0 +1,1 @@
+lib/queries/composite.ml: Contexts Hashtbl List Mgq_core Mgq_neo Mgq_sparks Mgq_twitter Q_neo_api Q_sparks Results Seq

@@ -1,0 +1,1 @@
+lib/queries/composite.mli: Contexts

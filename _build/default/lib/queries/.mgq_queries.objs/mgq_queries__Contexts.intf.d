@@ -1,0 +1,1 @@
+lib/queries/contexts.mli: Mgq_cypher Mgq_neo Mgq_sparks Mgq_twitter

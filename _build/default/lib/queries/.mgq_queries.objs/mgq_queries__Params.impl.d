@@ -1,0 +1,1 @@
+lib/queries/params.ml: Array Fun Hashtbl List Mgq_twitter Mgq_util Reference Results

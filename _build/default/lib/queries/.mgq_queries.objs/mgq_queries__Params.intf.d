@@ -1,0 +1,1 @@
+lib/queries/params.mli: Reference

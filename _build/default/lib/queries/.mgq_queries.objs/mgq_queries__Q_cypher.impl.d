@@ -1,0 +1,1 @@
+lib/queries/q_cypher.ml: Contexts List Mgq_core Mgq_cypher Printf Results

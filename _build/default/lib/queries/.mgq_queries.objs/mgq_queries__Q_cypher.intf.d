@@ -1,0 +1,1 @@
+lib/queries/q_cypher.mli: Contexts Results

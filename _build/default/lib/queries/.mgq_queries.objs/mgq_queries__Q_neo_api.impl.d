@@ -1,0 +1,1 @@
+lib/queries/q_neo_api.ml: Contexts Hashtbl List Mgq_core Mgq_neo Mgq_twitter Results Seq

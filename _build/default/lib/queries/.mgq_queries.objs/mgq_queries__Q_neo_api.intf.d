@@ -1,0 +1,1 @@
+lib/queries/q_neo_api.mli: Contexts Results

@@ -1,0 +1,1 @@
+lib/queries/q_sparks.ml: Contexts Hashtbl List Mgq_core Mgq_sparks Results

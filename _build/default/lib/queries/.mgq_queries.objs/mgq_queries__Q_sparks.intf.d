@@ -1,0 +1,1 @@
+lib/queries/q_sparks.mli: Contexts Results

@@ -1,0 +1,1 @@
+lib/queries/reference.ml: Array Hashtbl List Mgq_twitter Queue Results

@@ -1,0 +1,1 @@
+lib/queries/reference.mli: Hashtbl Mgq_twitter Results

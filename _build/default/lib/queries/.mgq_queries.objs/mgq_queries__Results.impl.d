@@ -1,0 +1,1 @@
+lib/queries/results.ml: Hashtbl List Printf String

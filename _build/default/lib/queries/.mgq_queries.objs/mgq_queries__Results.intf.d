@@ -1,0 +1,1 @@
+lib/queries/results.mli: Hashtbl

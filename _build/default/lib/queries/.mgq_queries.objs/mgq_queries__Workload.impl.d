@@ -1,0 +1,1 @@
+lib/queries/workload.ml: Contexts List Q_cypher Q_neo_api Q_sparks Reference Results

@@ -1,0 +1,1 @@
+lib/queries/workload.mli: Contexts Reference Results

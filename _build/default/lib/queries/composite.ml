@@ -1,0 +1,127 @@
+(* Section 3.3's derived query ("Deriving Other Queries"): a user A is
+   interested in topic #H and looks for users to learn from.
+
+     1. hashtags co-occurring with H            (Q3.2)
+     2. most retweeted tweets on those hashtags (Q2-style adjacency)
+     3. the original posters of those tweets
+     4. ordered by shortest-path distance from A (Q6.1)
+
+   Needs retweets in the dataset (Generator with_retweets = true); the
+   paper could not run it for lack of retweet edges. Implemented on
+   both engines; answers are (uid, distance option) best-first:
+   closest users first, unreachable last, ties by uid. *)
+
+module Db = Mgq_neo.Db
+module Algo = Mgq_neo.Algo
+module Sdb = Mgq_sparks.Sdb
+module Objects = Mgq_sparks.Objects
+module Salgo = Mgq_sparks.Salgo
+module Value = Mgq_core.Value
+module Schema = Mgq_twitter.Schema
+open Mgq_core.Types
+
+type expert = { expert_uid : int; distance : int option }
+
+let order_experts experts =
+  let key e =
+    match e.distance with Some d -> (0, d, e.expert_uid) | None -> (1, 0, e.expert_uid)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) experts
+
+(* ---------------- record-store engine ---------------- *)
+
+let run_neo (ctx : Contexts.neo) ~uid ~tag ~n_hashtags ~n_tweets ~max_hops =
+  let db = ctx.Contexts.db in
+  match (Q_neo_api.node_of_uid ctx uid, Q_neo_api.node_of_tag ctx tag) with
+  | None, _ | _, None -> []
+  | Some a, Some h ->
+    (* 1: co-occurring hashtags (including H itself: the topic counts). *)
+    let co_counts = Hashtbl.create 32 in
+    Seq.iter
+      (fun t ->
+        Seq.iter
+          (fun o -> Results.bump co_counts o)
+          (Db.neighbors db t ~etype:Schema.tags Out))
+      (Db.neighbors db h ~etype:Schema.tags In);
+    let top_hashtags = List.map fst (Results.top_n_counted n_hashtags co_counts) in
+    (* 2: most retweeted tweets tagging those hashtags. *)
+    let retweet_counts = Hashtbl.create 64 in
+    List.iter
+      (fun hashtag ->
+        Seq.iter
+          (fun t ->
+            let retweeters = Db.degree db t ~etype:Schema.retweets In in
+            if retweeters > 0 then Hashtbl.replace retweet_counts t retweeters)
+          (Db.neighbors db hashtag ~etype:Schema.tags In))
+      top_hashtags;
+    let top_tweets = List.map fst (Results.top_n_counted n_tweets retweet_counts) in
+    (* 3: original posters. *)
+    let posters = Hashtbl.create 32 in
+    List.iter
+      (fun t ->
+        Seq.iter (fun u -> Hashtbl.replace posters u ()) (Db.neighbors db t ~etype:Schema.posts In))
+      top_tweets;
+    (* 4: order by shortest-path distance from A. *)
+    let experts =
+      Hashtbl.fold
+        (fun u () acc ->
+          if u = a then acc
+          else begin
+            let distance =
+              Algo.hop_distance db ~etype:Schema.follows ~direction:Both ~src:a ~dst:u
+                ~max_hops
+            in
+            { expert_uid = Q_neo_api.uid_of ctx u; distance } :: acc
+          end)
+        posters []
+    in
+    order_experts experts
+
+(* ---------------- bitmap engine ---------------- *)
+
+let run_sparks (ctx : Contexts.sparks) ~uid ~tag ~n_hashtags ~n_tweets ~max_hops =
+  let sdb = ctx.Contexts.sdb in
+  match (Q_sparks.oid_of_uid ctx uid, Q_sparks.oid_of_tag ctx tag) with
+  | None, _ | _, None -> []
+  | Some a, Some h ->
+    let co_counts = Hashtbl.create 32 in
+    Objects.iter
+      (fun t ->
+        Objects.iter
+          (fun o -> Results.bump co_counts o)
+          (Sdb.neighbors sdb t ctx.Contexts.t_tags Out))
+      (Sdb.neighbors sdb h ctx.Contexts.t_tags In);
+    let top_hashtags = List.map fst (Results.top_n_counted n_hashtags co_counts) in
+    let retweet_counts = Hashtbl.create 64 in
+    List.iter
+      (fun hashtag ->
+        Objects.iter
+          (fun t ->
+            let retweeters = Sdb.degree sdb t ctx.Contexts.t_retweets In in
+            if retweeters > 0 then Hashtbl.replace retweet_counts t retweeters)
+          (Sdb.neighbors sdb hashtag ctx.Contexts.t_tags In))
+      top_hashtags;
+    let top_tweets = List.map fst (Results.top_n_counted n_tweets retweet_counts) in
+    let posters = Objects.empty () in
+    List.iter
+      (fun t -> Objects.union_into posters (Sdb.neighbors sdb t ctx.Contexts.t_posts In))
+      top_tweets;
+    let experts =
+      Objects.fold
+        (fun acc u ->
+          if u = a then acc
+          else begin
+            let sp =
+              Salgo.Single_pair_shortest_path_bfs.create sdb ~src:a ~dst:u
+                ~etypes:[ (ctx.Contexts.t_follows, Both) ]
+                ~max_hops
+            in
+            {
+              expert_uid = Q_sparks.uid_of ctx u;
+              distance = Salgo.Single_pair_shortest_path_bfs.cost sp;
+            }
+            :: acc
+          end)
+        [] posters
+    in
+    order_experts experts

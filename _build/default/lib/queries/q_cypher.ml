@@ -1,0 +1,184 @@
+(* The workload expressed declaratively, run through the Cypher layer
+   on the record-store engine. Query texts are parameterised so the
+   session's plan cache is effective, as Section 4 recommends. *)
+
+module Cypher = Mgq_cypher.Cypher
+module Value = Mgq_core.Value
+
+let text_q1 = "MATCH (u:user) WHERE u.followers > $k RETURN u.uid"
+
+(* Conjunctive selection: "combination of selection conditions can be
+   easily expressed in Cypher with logical operators" (Section 3.3). *)
+let text_q1_band =
+  "MATCH (u:user) WHERE u.followers > $lo AND u.followers < $hi RETURN u.uid"
+
+let text_q2_1 = "MATCH (a:user {uid: $uid})-[:follows]->(f:user) RETURN f.uid"
+
+let text_q2_2 =
+  "MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(t:tweet) RETURN t.tid"
+
+let text_q2_3 =
+  "MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(:tweet)-[:tags]->(h:hashtag) \
+   RETURN DISTINCT h.tag"
+
+let text_q3_1 =
+  "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(o:user) WHERE o.uid <> \
+   $uid RETURN o.uid AS id, count(t) AS c ORDER BY c DESC, id LIMIT $n"
+
+let text_q3_2 =
+  "MATCH (h:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(o:hashtag) RETURN o.tag AS \
+   tag, count(t) AS c ORDER BY c DESC, tag LIMIT $n"
+
+let text_q4_1 =
+  "MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:follows]->(fof:user) WHERE fof.uid <> \
+   $uid AND NOT (a)-[:follows]->(fof) RETURN fof.uid AS id, count(*) AS c ORDER BY c DESC, \
+   id LIMIT $n"
+
+let text_q4_2 =
+  "MATCH (a:user {uid: $uid})-[:follows]->(f:user)<-[:follows]-(r:user) WHERE r.uid <> $uid \
+   AND NOT (a)-[:follows]->(r) RETURN r.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT \
+   $n"
+
+let text_q5_1 =
+  "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)<-[:posts]-(u:user) WHERE \
+   (u)-[:follows]->(a) RETURN u.uid AS id, count(t) AS c ORDER BY c DESC, id LIMIT $n"
+
+let text_q5_2 =
+  "MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)<-[:posts]-(u:user) WHERE NOT \
+   (u)-[:follows]->(a) AND u.uid <> $uid RETURN u.uid AS id, count(t) AS c ORDER BY c DESC, \
+   id LIMIT $n"
+
+let text_q6_1 max_hops =
+  Printf.sprintf
+    "MATCH p = shortestPath((a:user {uid: $u1})-[:follows*..%d]-(b:user {uid: $u2})) RETURN \
+     length(p)"
+    max_hops
+
+(* Section 4's three phrasings of the recommendation query. *)
+let text_q4_variant_a =
+  "MATCH (a:user {uid: $uid})-[:follows*2..2]->(fof:user) WHERE fof.uid <> $uid AND NOT \
+   (a)-[:follows]->(fof) RETURN fof.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT $n"
+
+let text_q4_variant_b =
+  "MATCH (a:user {uid: $uid})-[:follows]->(f:user) WITH a, collect(f) AS friends MATCH \
+   (a)-[:follows]->(:user)-[:follows]->(fof:user) WHERE NOT fof IN friends AND fof.uid <> \
+   $uid RETURN fof.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT $n"
+
+let text_q4_variant_c =
+  "MATCH (a:user {uid: $uid})-[:follows*1..2]->(x:user) WITH a, x WHERE NOT \
+   (a)-[:follows]->(x) AND x.uid <> $uid RETURN x.uid AS id, count(*) AS c ORDER BY c DESC, \
+   id LIMIT $n"
+
+(* ---------------- result extraction ---------------- *)
+
+exception Bad_shape of string
+
+let int_of = function
+  | Value.Int i -> i
+  | v -> raise (Bad_shape ("expected int, got " ^ Value.to_display v))
+
+let str_of = function
+  | Value.Str s -> s
+  | v -> raise (Bad_shape ("expected string, got " ^ Value.to_display v))
+
+let id_rows result =
+  Results.Ids
+    (Results.sort_ids
+       (List.map (function [ v ] -> int_of v | _ -> raise (Bad_shape "one column"))
+          (Cypher.value_rows result)))
+
+let tag_rows result =
+  Results.Tags
+    (List.sort_uniq compare
+       (List.map (function [ v ] -> str_of v | _ -> raise (Bad_shape "one column"))
+          (Cypher.value_rows result)))
+
+let counted_rows result =
+  Results.Counted
+    (List.map
+       (function [ id; c ] -> (int_of id, int_of c) | _ -> raise (Bad_shape "two columns"))
+       (Cypher.value_rows result))
+
+let tag_counted_rows result =
+  Results.Tag_counts
+    (List.map
+       (function [ t; c ] -> (str_of t, int_of c) | _ -> raise (Bad_shape "two columns"))
+       (Cypher.value_rows result))
+
+let path_length_rows result =
+  match Cypher.value_rows result with
+  | [] -> Results.Path_length None
+  | [ [ v ] ] -> Results.Path_length (Some (int_of v))
+  | _ -> raise (Bad_shape "at most one path row")
+
+(* ---------------- runners ---------------- *)
+
+let q1_select (ctx : Contexts.neo) ~threshold =
+  id_rows (Cypher.run ctx.Contexts.session ~params:[ ("k", Value.Int threshold) ] text_q1)
+
+let q1_band (ctx : Contexts.neo) ~lo ~hi =
+  id_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("lo", Value.Int lo); ("hi", Value.Int hi) ]
+       text_q1_band)
+
+let q2_1 (ctx : Contexts.neo) ~uid =
+  id_rows (Cypher.run ctx.Contexts.session ~params:[ ("uid", Value.Int uid) ] text_q2_1)
+
+let q2_2 (ctx : Contexts.neo) ~uid =
+  id_rows (Cypher.run ctx.Contexts.session ~params:[ ("uid", Value.Int uid) ] text_q2_2)
+
+let q2_3 (ctx : Contexts.neo) ~uid =
+  tag_rows (Cypher.run ctx.Contexts.session ~params:[ ("uid", Value.Int uid) ] text_q2_3)
+
+let q3_1 (ctx : Contexts.neo) ~uid ~n =
+  counted_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("uid", Value.Int uid); ("n", Value.Int n) ]
+       text_q3_1)
+
+let q3_2 (ctx : Contexts.neo) ~tag ~n =
+  tag_counted_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("tag", Value.Str tag); ("n", Value.Int n) ]
+       text_q3_2)
+
+let q4_1 (ctx : Contexts.neo) ~uid ~n =
+  counted_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("uid", Value.Int uid); ("n", Value.Int n) ]
+       text_q4_1)
+
+let q4_2 (ctx : Contexts.neo) ~uid ~n =
+  counted_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("uid", Value.Int uid); ("n", Value.Int n) ]
+       text_q4_2)
+
+let q4_variant (ctx : Contexts.neo) ~variant ~uid ~n =
+  let text =
+    match variant with
+    | `A -> text_q4_variant_a
+    | `B -> text_q4_variant_b
+    | `C -> text_q4_variant_c
+  in
+  counted_rows
+    (Cypher.run ctx.Contexts.session ~params:[ ("uid", Value.Int uid); ("n", Value.Int n) ] text)
+
+let q5_1 (ctx : Contexts.neo) ~uid ~n =
+  counted_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("uid", Value.Int uid); ("n", Value.Int n) ]
+       text_q5_1)
+
+let q5_2 (ctx : Contexts.neo) ~uid ~n =
+  counted_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("uid", Value.Int uid); ("n", Value.Int n) ]
+       text_q5_2)
+
+let q6_1 (ctx : Contexts.neo) ~uid1 ~uid2 ~max_hops =
+  path_length_rows
+    (Cypher.run ctx.Contexts.session
+       ~params:[ ("u1", Value.Int uid1); ("u2", Value.Int uid2) ]
+       (text_q6_1 max_hops))

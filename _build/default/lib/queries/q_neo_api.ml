@@ -1,0 +1,232 @@
+(* The workload written imperatively against the record-store engine's
+   core API and traversal framework — the paper's "alternate
+   solutions", which trade Cypher's declarativeness for hand-tuned
+   access paths. *)
+
+module Db = Mgq_neo.Db
+module Traversal = Mgq_neo.Traversal
+module Algo = Mgq_neo.Algo
+module Value = Mgq_core.Value
+module Schema = Mgq_twitter.Schema
+open Mgq_core.Types
+
+let node_of_uid (ctx : Contexts.neo) uid =
+  match
+    Db.index_lookup ctx.Contexts.db ~label:Schema.user ~property:Schema.uid (Value.Int uid)
+  with
+  | [ node ] -> Some node
+  | [] -> None
+  | node :: _ -> Some node
+
+let node_of_tag (ctx : Contexts.neo) tag =
+  match
+    Db.index_lookup ctx.Contexts.db ~label:Schema.hashtag ~property:Schema.tag (Value.Str tag)
+  with
+  | node :: _ -> Some node
+  | [] -> None
+
+let uid_of ctx node =
+  match Db.node_property ctx.Contexts.db node Schema.uid with
+  | Value.Int uid -> uid
+  | _ -> invalid_arg "uid_of: not a user node"
+
+let tid_of ctx node =
+  match Db.node_property ctx.Contexts.db node Schema.tid with
+  | Value.Int tid -> tid
+  | _ -> invalid_arg "tid_of: not a tweet node"
+
+let tag_of ctx node =
+  match Db.node_property ctx.Contexts.db node Schema.tag with
+  | Value.Str tag -> tag
+  | _ -> invalid_arg "tag_of: not a hashtag node"
+
+let follows_edge ctx a b =
+  Seq.exists (fun n -> n = b) (Db.neighbors ctx.Contexts.db a ~etype:Schema.follows Out)
+
+(* Q1.1: label scan + property filter. *)
+let q1_select (ctx : Contexts.neo) ~threshold =
+  let db = ctx.Contexts.db in
+  let ids =
+    Seq.filter_map
+      (fun node ->
+        match Db.node_property db node Schema.followers with
+        | Value.Int c when c > threshold -> Some (uid_of ctx node)
+        | _ -> None)
+      (Db.nodes_with_label db Schema.user)
+  in
+  Results.Ids (Results.sort_ids (List.of_seq ids))
+
+(* Q2.1: 1-step adjacency. *)
+let q2_1 (ctx : Contexts.neo) ~uid =
+  match node_of_uid ctx uid with
+  | None -> Results.Ids []
+  | Some a ->
+    let followees = Db.neighbors ctx.Contexts.db a ~etype:Schema.follows Out in
+    Results.Ids (Results.sort_ids (List.of_seq (Seq.map (uid_of ctx) followees)))
+
+(* Q2.2: 2-step adjacency via the traversal framework. *)
+let q2_2 (ctx : Contexts.neo) ~uid =
+  match node_of_uid ctx uid with
+  | None -> Results.Ids []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    let tids =
+      Seq.concat_map
+        (fun f ->
+          Seq.map (tid_of ctx) (Db.neighbors db f ~etype:Schema.posts Out))
+        (Db.neighbors db a ~etype:Schema.follows Out)
+    in
+    Results.Ids (Results.sort_ids (List.of_seq tids))
+
+(* Q2.3: 3-step adjacency with a three-expander traversal description. *)
+let q2_3 (ctx : Contexts.neo) ~uid =
+  match node_of_uid ctx uid with
+  | None -> Results.Tags []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    (* The traversal framework cannot constrain a different edge type
+       per depth, so evaluate depth by depth as the paper's API
+       rewrite would: followees -> their tweets -> tags. *)
+    let tags = Hashtbl.create 64 in
+    Seq.iter
+      (fun f ->
+        Seq.iter
+          (fun t ->
+            Seq.iter
+              (fun h -> Hashtbl.replace tags (tag_of ctx h) ())
+              (Db.neighbors db t ~etype:Schema.tags Out))
+          (Db.neighbors db f ~etype:Schema.posts Out))
+      (Db.neighbors db a ~etype:Schema.follows Out);
+    Results.Tags (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tags []))
+
+(* Q3.1: co-mentions. *)
+let q3_1 (ctx : Contexts.neo) ~uid ~n =
+  match node_of_uid ctx uid with
+  | None -> Results.Counted []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    let counts = Hashtbl.create 64 in
+    Seq.iter
+      (fun t ->
+        Seq.iter
+          (fun o -> if o <> a then Results.bump counts (uid_of ctx o))
+          (Db.neighbors db t ~etype:Schema.mentions Out))
+      (Db.neighbors db a ~etype:Schema.mentions In);
+    Results.Counted (Results.top_n_counted n counts)
+
+(* Q3.2: co-occurring hashtags. *)
+let q3_2 (ctx : Contexts.neo) ~tag ~n =
+  match node_of_tag ctx tag with
+  | None -> Results.Tag_counts []
+  | Some h ->
+    let db = ctx.Contexts.db in
+    let counts = Hashtbl.create 64 in
+    Seq.iter
+      (fun t ->
+        Seq.iter
+          (fun o -> if o <> h then Results.bump counts (tag_of ctx o))
+          (Db.neighbors db t ~etype:Schema.tags Out))
+      (Db.neighbors db h ~etype:Schema.tags In);
+    Results.Tag_counts (Results.top_n_tag_counts n counts)
+
+(* Q4.1: recommendation — the paper's method (b): collect the friends,
+   then count 2-step paths landing outside that set. *)
+let q4_1 (ctx : Contexts.neo) ~uid ~n =
+  match node_of_uid ctx uid with
+  | None -> Results.Counted []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    let friends = Hashtbl.create 64 in
+    Seq.iter (fun f -> Hashtbl.replace friends f ()) (Db.neighbors db a ~etype:Schema.follows Out);
+    let counts = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun f () ->
+        Seq.iter
+          (fun fof ->
+            if fof <> a && not (Hashtbl.mem friends fof) then
+              Results.bump counts (uid_of ctx fof))
+          (Db.neighbors db f ~etype:Schema.follows Out))
+      friends;
+    Results.Counted (Results.top_n_counted n counts)
+
+(* Q4.2: followers of followees. *)
+let q4_2 (ctx : Contexts.neo) ~uid ~n =
+  match node_of_uid ctx uid with
+  | None -> Results.Counted []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    let friends = Hashtbl.create 64 in
+    Seq.iter (fun f -> Hashtbl.replace friends f ()) (Db.neighbors db a ~etype:Schema.follows Out);
+    let counts = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun f () ->
+        Seq.iter
+          (fun r ->
+            if r <> a && not (Hashtbl.mem friends r) then Results.bump counts (uid_of ctx r))
+          (Db.neighbors db f ~etype:Schema.follows In))
+      friends;
+    Results.Counted (Results.top_n_counted n counts)
+
+(* Q4.1 via the traversal framework (depth-2, node-path uniqueness) —
+   the "series of API calls" alternative whose performance depends on
+   the translation, per Section 4. *)
+let q4_1_traversal (ctx : Contexts.neo) ~uid ~n =
+  match node_of_uid ctx uid with
+  | None -> Results.Counted []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    let desc =
+      Traversal.(
+        description ()
+        |> fun d ->
+        expand d ~etype:Schema.follows Out
+        |> fun d ->
+        min_depth d 2
+        |> fun d -> max_depth d 2 |> fun d -> uniqueness d Traversal.Node_path)
+    in
+    let counts = Hashtbl.create 64 in
+    Seq.iter
+      (fun path ->
+        let fof = path.Traversal.end_node in
+        if fof <> a && not (follows_edge ctx a fof) then
+          Results.bump counts (uid_of ctx fof))
+      (Traversal.traverse db desc a);
+    Results.Counted (Results.top_n_counted n counts)
+
+(* Q5.1 / Q5.2: influence — prefetch A's followers once, then check
+   each mentioning author against that set (the same shape as the
+   Sparksee translation). *)
+let influence (ctx : Contexts.neo) ~uid ~n ~current =
+  match node_of_uid ctx uid with
+  | None -> Results.Counted []
+  | Some a ->
+    let db = ctx.Contexts.db in
+    let followers = Hashtbl.create 64 in
+    Seq.iter
+      (fun u -> Hashtbl.replace followers u ())
+      (Db.neighbors db a ~etype:Schema.follows In);
+    let counts = Hashtbl.create 64 in
+    Seq.iter
+      (fun t ->
+        Seq.iter
+          (fun u ->
+            let keep =
+              if current then Hashtbl.mem followers u
+              else u <> a && not (Hashtbl.mem followers u)
+            in
+            if keep then Results.bump counts (uid_of ctx u))
+          (Db.neighbors db t ~etype:Schema.posts In))
+      (Db.neighbors db a ~etype:Schema.mentions In);
+    Results.Counted (Results.top_n_counted n counts)
+
+let q5_1 ctx ~uid ~n = influence ctx ~uid ~n ~current:true
+let q5_2 ctx ~uid ~n = influence ctx ~uid ~n ~current:false
+
+(* Q6.1: bidirectional BFS shortest path. *)
+let q6_1 (ctx : Contexts.neo) ~uid1 ~uid2 ~max_hops =
+  match (node_of_uid ctx uid1, node_of_uid ctx uid2) with
+  | Some a, Some b ->
+    Results.Path_length
+      (Algo.hop_distance ctx.Contexts.db ~etype:Schema.follows ~direction:Both ~src:a ~dst:b
+         ~max_hops)
+  | _ -> Results.Path_length None

@@ -1,0 +1,30 @@
+(** The workload written imperatively against the record-store
+    engine's core API and traversal framework — the paper's "alternate
+    solutions", trading Cypher's declarativeness for hand-tuned access
+    paths. *)
+
+val node_of_uid : Contexts.neo -> int -> int option
+(** Index seek on user.uid. *)
+
+val node_of_tag : Contexts.neo -> string -> int option
+val uid_of : Contexts.neo -> int -> int
+val tid_of : Contexts.neo -> int -> int
+val tag_of : Contexts.neo -> int -> string
+
+val q1_select : Contexts.neo -> threshold:int -> Results.t
+val q2_1 : Contexts.neo -> uid:int -> Results.t
+val q2_2 : Contexts.neo -> uid:int -> Results.t
+val q2_3 : Contexts.neo -> uid:int -> Results.t
+val q3_1 : Contexts.neo -> uid:int -> n:int -> Results.t
+val q3_2 : Contexts.neo -> tag:string -> n:int -> Results.t
+val q4_1 : Contexts.neo -> uid:int -> n:int -> Results.t
+val q4_2 : Contexts.neo -> uid:int -> n:int -> Results.t
+
+val q4_1_traversal : Contexts.neo -> uid:int -> n:int -> Results.t
+(** Q4.1 through the traversal framework (depth-2 expansion with
+    node-path uniqueness), whose cost "is dependent on how the query
+    is translated into a series of API calls" (Section 2.1). *)
+
+val q5_1 : Contexts.neo -> uid:int -> n:int -> Results.t
+val q5_2 : Contexts.neo -> uid:int -> n:int -> Results.t
+val q6_1 : Contexts.neo -> uid1:int -> uid2:int -> max_hops:int -> Results.t

@@ -1,0 +1,172 @@
+(* Naive evaluator over the raw Dataset arrays: the golden oracle the
+   engine implementations are tested against. Clarity over speed. *)
+
+module Dataset = Mgq_twitter.Dataset
+
+type t = {
+  d : Dataset.t;
+  followees : int list array; (* user -> users they follow *)
+  followers : int list array;
+  tweets_by : int list array; (* user -> tweet indexes *)
+  mentions_of : (int * int) list array; (* user -> (tweet idx, author) mentioning them *)
+  tweets_tagging : int list array; (* hashtag -> tweet indexes *)
+  tag_index : (string, int) Hashtbl.t;
+}
+
+let build (d : Dataset.t) =
+  let n = d.Dataset.n_users in
+  let followees = Array.make n [] in
+  let followers = Array.make n [] in
+  Array.iter
+    (fun (a, b) ->
+      followees.(a) <- b :: followees.(a);
+      followers.(b) <- a :: followers.(b))
+    d.Dataset.follows;
+  let tweets_by = Array.make n [] in
+  let mentions_of = Array.make n [] in
+  let tweets_tagging = Array.make (max 1 (Array.length d.Dataset.hashtags)) [] in
+  Array.iteri
+    (fun i (tw : Dataset.tweet) ->
+      tweets_by.(tw.Dataset.author) <- i :: tweets_by.(tw.Dataset.author);
+      List.iter
+        (fun u -> mentions_of.(u) <- (i, tw.Dataset.author) :: mentions_of.(u))
+        tw.Dataset.mention_targets;
+      List.iter (fun h -> tweets_tagging.(h) <- i :: tweets_tagging.(h)) tw.Dataset.tag_targets)
+    d.Dataset.tweets;
+  let tag_index = Hashtbl.create 64 in
+  Array.iteri (fun i tag -> Hashtbl.replace tag_index tag i) d.Dataset.hashtags;
+  { d; followees; followers; tweets_by; mentions_of; tweets_tagging; tag_index }
+
+let follows_edge t a b = List.mem b t.followees.(a)
+
+(* Q1.1: users with follower count > threshold. *)
+let q1_select t ~threshold =
+  let counts = Dataset.follower_counts t.d in
+  let ids = ref [] in
+  Array.iteri (fun u c -> if c > threshold then ids := u :: !ids) counts;
+  Results.Ids (Results.sort_ids !ids)
+
+(* Q1 variant with a conjunctive predicate (Section 3.3's point about
+   composite selections). *)
+let q1_band t ~lo ~hi =
+  let counts = Dataset.follower_counts t.d in
+  let ids = ref [] in
+  Array.iteri (fun u c -> if c > lo && c < hi then ids := u :: !ids) counts;
+  Results.Ids (Results.sort_ids !ids)
+
+(* Q2.1: followees of a. *)
+let q2_1 t ~uid = Results.Ids (Results.sort_ids t.followees.(uid))
+
+(* Q2.2: tweets posted by followees of a (tids). *)
+let q2_2 t ~uid =
+  let tids =
+    List.concat_map
+      (fun f -> List.map (fun i -> t.d.Dataset.tweets.(i).Dataset.tid) t.tweets_by.(f))
+      (List.sort_uniq compare t.followees.(uid))
+  in
+  Results.Ids (Results.sort_ids tids)
+
+(* Q2.3: hashtags used by followees of a (distinct tags). *)
+let q2_3 t ~uid =
+  let tags =
+    List.concat_map
+      (fun f ->
+        List.concat_map
+          (fun i -> t.d.Dataset.tweets.(i).Dataset.tag_targets)
+          t.tweets_by.(f))
+      (List.sort_uniq compare t.followees.(uid))
+  in
+  Results.Tags (List.sort_uniq compare (List.map (fun h -> t.d.Dataset.hashtags.(h)) tags))
+
+(* Q3.1: top-n users most mentioned together with user a. *)
+let q3_1 t ~uid ~n =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (tweet_idx, _) ->
+      List.iter
+        (fun other -> if other <> uid then Results.bump counts other)
+        t.d.Dataset.tweets.(tweet_idx).Dataset.mention_targets)
+    t.mentions_of.(uid);
+  Results.Counted (Results.top_n_counted n counts)
+
+(* Q3.2: top-n hashtags co-occurring with hashtag h. *)
+let q3_2 t ~tag ~n =
+  match Hashtbl.find_opt t.tag_index tag with
+  | None -> Results.Tag_counts []
+  | Some h ->
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun tweet_idx ->
+        List.iter
+          (fun other ->
+            if other <> h then Results.bump counts t.d.Dataset.hashtags.(other))
+          t.d.Dataset.tweets.(tweet_idx).Dataset.tag_targets)
+      t.tweets_tagging.(h);
+    Results.Tag_counts (Results.top_n_tag_counts n counts)
+
+(* Q4.1: top-n 2-step followees of a, not already followed, counted by
+   number of length-2 paths. *)
+let q4_1 t ~uid ~n =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun fof ->
+          if fof <> uid && not (follows_edge t uid fof) then Results.bump counts fof)
+        t.followees.(f))
+    t.followees.(uid);
+  Results.Counted (Results.top_n_counted n counts)
+
+(* Q4.2: top-n followers of a's followees, not already followed. *)
+let q4_2 t ~uid ~n =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun rec_ ->
+          if rec_ <> uid && not (follows_edge t uid rec_) then Results.bump counts rec_)
+        t.followers.(f))
+    t.followees.(uid);
+  Results.Counted (Results.top_n_counted n counts)
+
+(* Q5.1: top-n users mentioning a who already follow a, counted by
+   mentioning tweets. *)
+let q5_1 t ~uid ~n =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, author) -> if follows_edge t author uid then Results.bump counts author)
+    t.mentions_of.(uid);
+  Results.Counted (Results.top_n_counted n counts)
+
+(* Q5.2: top-n users mentioning a without following a. *)
+let q5_2 t ~uid ~n =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, author) ->
+      if author <> uid && not (follows_edge t author uid) then Results.bump counts author)
+    t.mentions_of.(uid);
+  Results.Counted (Results.top_n_counted n counts)
+
+(* Q6.1: undirected shortest path over follows, bounded. *)
+let q6_1 t ~uid1 ~uid2 ~max_hops =
+  if uid1 = uid2 then Results.Path_length (Some 0)
+  else begin
+    let visited = Hashtbl.create 256 in
+    Hashtbl.replace visited uid1 0;
+    let queue = Queue.create () in
+    Queue.push uid1 queue;
+    let result = ref None in
+    while (not (Queue.is_empty queue)) && !result = None do
+      let u = Queue.pop queue in
+      let depth = Hashtbl.find visited u in
+      if depth < max_hops then
+        List.iter
+          (fun v ->
+            if !result = None && not (Hashtbl.mem visited v) then begin
+              Hashtbl.replace visited v (depth + 1);
+              if v = uid2 then result := Some (depth + 1) else Queue.push v queue
+            end)
+          (t.followees.(u) @ t.followers.(u))
+    done;
+    Results.Path_length !result
+  end

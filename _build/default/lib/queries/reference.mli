@@ -1,0 +1,33 @@
+(** The golden oracle: every workload query evaluated naively over the
+    raw {!Mgq_twitter.Dataset} arrays. Engine implementations are
+    tested against these answers. Also exposes the cheap adjacency
+    indexes the parameter-sweep helpers ({!Params}) need. *)
+
+type t = {
+  d : Mgq_twitter.Dataset.t;
+  followees : int list array;  (** user -> users they follow *)
+  followers : int list array;
+  tweets_by : int list array;  (** user -> tweet indexes *)
+  mentions_of : (int * int) list array;
+      (** user -> (tweet index, author) of tweets mentioning them *)
+  tweets_tagging : int list array;  (** hashtag index -> tweet indexes *)
+  tag_index : (string, int) Hashtbl.t;
+}
+
+val build : Mgq_twitter.Dataset.t -> t
+
+val q1_select : t -> threshold:int -> Results.t
+
+val q1_band : t -> lo:int -> hi:int -> Results.t
+(** Conjunctive select: users with lo < followers < hi. *)
+
+val q2_1 : t -> uid:int -> Results.t
+val q2_2 : t -> uid:int -> Results.t
+val q2_3 : t -> uid:int -> Results.t
+val q3_1 : t -> uid:int -> n:int -> Results.t
+val q3_2 : t -> tag:string -> n:int -> Results.t
+val q4_1 : t -> uid:int -> n:int -> Results.t
+val q4_2 : t -> uid:int -> n:int -> Results.t
+val q5_1 : t -> uid:int -> n:int -> Results.t
+val q5_2 : t -> uid:int -> n:int -> Results.t
+val q6_1 : t -> uid1:int -> uid2:int -> max_hops:int -> Results.t

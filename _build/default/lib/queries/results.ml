@@ -1,0 +1,60 @@
+(* Canonical query answers, comparable across engines and against the
+   reference evaluator. All identifiers are dataset-level (uid / tid /
+   tag string), never engine node ids. *)
+
+type t =
+  | Ids of int list (* ascending *)
+  | Counted of (int * int) list (* best-first: count desc, id asc *)
+  | Tag_counts of (string * int) list (* best-first: count desc, tag asc *)
+  | Tags of string list (* ascending *)
+  | Path_length of int option
+
+let sort_ids ids = List.sort_uniq compare ids
+
+let sort_counted pairs =
+  List.sort
+    (fun (id1, c1) (id2, c2) -> if c1 <> c2 then compare c2 c1 else compare id1 id2)
+    pairs
+
+let sort_tag_counts pairs =
+  List.sort
+    (fun (t1, c1) (t2, c2) -> if c1 <> c2 then compare c2 c1 else compare t1 t2)
+    pairs
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let top_n_counted n counts_tbl =
+  take n (sort_counted (Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts_tbl []))
+
+let top_n_tag_counts n counts_tbl =
+  take n (sort_tag_counts (Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts_tbl []))
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + 1)
+  | None -> Hashtbl.replace tbl key 1
+
+let equal a b = a = b
+
+let to_string = function
+  | Ids ids ->
+    Printf.sprintf "ids[%s]" (String.concat "," (List.map string_of_int (take 20 ids)))
+    ^ if List.length ids > 20 then Printf.sprintf "... (%d)" (List.length ids) else ""
+  | Counted pairs ->
+    Printf.sprintf "counted[%s]"
+      (String.concat ","
+         (List.map (fun (id, c) -> Printf.sprintf "%d:%d" id c) (take 20 pairs)))
+  | Tag_counts pairs ->
+    Printf.sprintf "tags[%s]"
+      (String.concat ","
+         (List.map (fun (t, c) -> Printf.sprintf "%s:%d" t c) (take 20 pairs)))
+  | Tags tags -> Printf.sprintf "tags[%s]" (String.concat "," (take 20 tags))
+  | Path_length None -> "path[none]"
+  | Path_length (Some l) -> Printf.sprintf "path[%d]" l
+
+let cardinality = function
+  | Ids ids -> List.length ids
+  | Counted pairs -> List.length pairs
+  | Tag_counts pairs -> List.length pairs
+  | Tags tags -> List.length tags
+  | Path_length _ -> 1

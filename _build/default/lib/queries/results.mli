@@ -1,0 +1,32 @@
+(** Canonical query answers.
+
+    Every implementation of a workload query — reference oracle,
+    Cypher, record-store core API, bitmap navigation API — reduces its
+    answer to one of these, using dataset-level identifiers (uid / tid
+    / tag string) rather than engine ids, so results are directly
+    comparable across engines. *)
+
+type t =
+  | Ids of int list  (** ascending, deduplicated *)
+  | Counted of (int * int) list  (** best-first: count desc, then id asc *)
+  | Tag_counts of (string * int) list  (** best-first: count desc, then tag asc *)
+  | Tags of string list  (** ascending, deduplicated *)
+  | Path_length of int option
+
+val sort_ids : int list -> int list
+val sort_counted : (int * int) list -> (int * int) list
+val sort_tag_counts : (string * int) list -> (string * int) list
+
+val take : int -> 'a list -> 'a list
+
+val top_n_counted : int -> (int, int) Hashtbl.t -> (int * int) list
+(** Best [n] of a counting table, in canonical order. *)
+
+val top_n_tag_counts : int -> (string, int) Hashtbl.t -> (string * int) list
+
+val bump : ('a, int) Hashtbl.t -> 'a -> unit
+(** Increment a counter, creating it at 1. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val cardinality : t -> int

@@ -1,0 +1,37 @@
+(** The Table 2 query workload as a uniform registry.
+
+    Each entry carries the paper's query id and category plus four
+    interchangeable runners — reference oracle, Cypher text, record-
+    store core API, bitmap navigation API — all returning canonical
+    {!Results.t}. The benches drive the registry for Table 2; the
+    integration tests assert the four runners agree on generated
+    datasets. *)
+
+type args = {
+  uid : int;
+  uid2 : int;  (** second endpoint for Q6.1 *)
+  tag : string;  (** seed hashtag for Q3.2 *)
+  n : int;  (** top-n limit *)
+  threshold : int;  (** Q1.1 follower-count threshold *)
+  max_hops : int;  (** Q6.1 bound (the paper used 3) *)
+}
+
+val default_args : args
+
+type query = {
+  id : string;  (** "Q3.1" *)
+  category : string;  (** Table 2's category column *)
+  description : string;
+  starred : bool;  (** discussed in detail in the paper (Figure 4) *)
+  cypher_text : args -> string;
+  run_reference : Reference.t -> args -> Results.t;
+  run_cypher : Contexts.neo -> args -> Results.t;
+  run_neo_api : Contexts.neo -> args -> Results.t;
+  run_sparks : Contexts.sparks -> args -> Results.t;
+}
+
+val all : query list
+(** Table 2 in order: Q1.1, Q2.1-Q2.3, Q3.1-Q3.2, Q4.1-Q4.2,
+    Q5.1-Q5.2, Q6.1. *)
+
+val find : string -> query option

@@ -1,0 +1,1 @@
+lib/rel/rdb.ml: Array Hashtbl Int64 List Mgq_storage Mgq_twitter Mgq_util

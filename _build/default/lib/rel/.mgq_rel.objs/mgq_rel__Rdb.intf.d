@@ -1,0 +1,1 @@
+lib/rel/rdb.mli: Mgq_storage Mgq_twitter

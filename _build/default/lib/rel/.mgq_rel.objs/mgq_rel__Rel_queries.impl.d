@@ -1,0 +1,1 @@
+lib/rel/rel_queries.ml: Hashtbl List Rdb

@@ -1,0 +1,1 @@
+lib/rel/rel_queries.mli: Rdb

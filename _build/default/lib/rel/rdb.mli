@@ -1,0 +1,76 @@
+(** A minimal relational engine — the baseline the paper argues
+    against.
+
+    The related-work section positions the study against Ma et al.'s
+    relational benchmark for microblogs: "We believe that graph data
+    management systems are better equipped to test the particular type
+    of microblogging data workloads used in this paper." This module
+    makes that claim measurable: the Figure 1 schema as row tables
+    over the same simulated disk, with hash indexes, and the workload
+    evaluated the way an RDBMS with index-nested-loop joins would —
+    every hop is an index probe plus row fetches instead of a
+    relationship-chain walk.
+
+    Tables (fixed-width integer columns through
+    {!Mgq_storage.Record_store}; strings in a blob store):
+
+    - [users (uid, name, followers)]
+    - [follows (src, dst)]
+    - [tweets (tid, author, text)]
+    - [mentions (tweet_row, uid)]
+    - [tags (tweet_row, hashtag_row)]
+    - [hashtags (tag)]
+
+    Hash indexes: unique on [users.uid], [tweets.tid],
+    [hashtags.tag]; non-unique on [follows.src], [follows.dst],
+    [tweets.author], [mentions.uid], [mentions.tweet_row],
+    [tags.tweet_row], [tags.hashtag_row]. An index probe charges one
+    db hit; each matching row fetch charges store accesses as usual. *)
+
+type t
+
+val create : ?config:Mgq_storage.Cost_model.config -> ?pool_pages:int -> unit -> t
+val disk : t -> Mgq_storage.Sim_disk.t
+
+(** {1 Loading} *)
+
+val load : t -> Mgq_twitter.Dataset.t -> Mgq_twitter.Import_report.t
+(** Bulk-load all tables and build the indexes; returns the same
+    instrumented report the graph importers produce (one series per
+    table). Expects an empty database. *)
+
+(** {1 Row access} *)
+
+val user_row : t -> uid:int -> int option
+val hashtag_row : t -> tag:string -> int option
+val user_uid : t -> int -> int
+val user_followers : t -> int -> int
+val tweet_tid : t -> int -> int
+val tweet_author_uid : t -> int -> int
+
+(** {1 Index probes (each: one db hit + row fetches by the caller)} *)
+
+val followees_of : t -> user_row:int -> int list
+(** follows rows with [src = user]; returns followee user rows. *)
+
+val followers_of : t -> user_row:int -> int list
+val tweets_by : t -> user_row:int -> int list
+(** tweet rows authored by the user. *)
+
+val mentions_of_user : t -> user_row:int -> int list
+(** mention rows whose target is the user. *)
+
+val mentions_in_tweet : t -> tweet_row:int -> int list
+val mention_target : t -> mention_row:int -> int
+val mention_tweet : t -> mention_row:int -> int
+val tags_in_tweet : t -> tweet_row:int -> int list
+val tweets_tagging : t -> hashtag_row:int -> int list
+val tag_hashtag : t -> tag_row:int -> int
+val tag_tweet : t -> tag_row:int -> int
+val hashtag_text : t -> int -> string
+
+val scan_users : t -> (int -> unit) -> unit
+(** Full table scan, charging per-row accesses. *)
+
+val user_count : t -> int
+val follows_count : t -> int

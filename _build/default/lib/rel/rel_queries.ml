@@ -1,0 +1,186 @@
+(* Index-nested-loop join plans for the workload. Rows are table row
+   ids; results are converted to uids / tids / tag text at the end,
+   which costs the row fetches an RDBMS would also pay to produce
+   output columns. *)
+
+let sort_ids = List.sort_uniq compare
+
+let sort_counted pairs =
+  List.sort
+    (fun (id1, c1) (id2, c2) -> if c1 <> c2 then compare c2 c1 else compare id1 id2)
+    pairs
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + 1)
+  | None -> Hashtbl.replace tbl key 1
+
+let top_n n counts =
+  take n (sort_counted (Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []))
+
+(* SELECT uid FROM users WHERE followers > ? *)
+let q1_select rdb ~threshold =
+  let out = ref [] in
+  Rdb.scan_users rdb (fun row ->
+      if Rdb.user_followers rdb row > threshold then out := Rdb.user_uid rdb row :: !out);
+  sort_ids !out
+
+(* SELECT f.dst FROM follows f WHERE f.src = ? *)
+let q2_1 rdb ~uid =
+  match Rdb.user_row rdb ~uid with
+  | None -> []
+  | Some a -> sort_ids (List.map (Rdb.user_uid rdb) (Rdb.followees_of rdb ~user_row:a))
+
+(* follows JOIN tweets ON tweets.author = follows.dst *)
+let q2_2 rdb ~uid =
+  match Rdb.user_row rdb ~uid with
+  | None -> []
+  | Some a ->
+    let tids =
+      List.concat_map
+        (fun f -> List.map (Rdb.tweet_tid rdb) (Rdb.tweets_by rdb ~user_row:f))
+        (sort_ids (Rdb.followees_of rdb ~user_row:a))
+    in
+    sort_ids tids
+
+(* follows JOIN tweets JOIN tags JOIN hashtags *)
+let q2_3 rdb ~uid =
+  match Rdb.user_row rdb ~uid with
+  | None -> []
+  | Some a ->
+    let tags = Hashtbl.create 32 in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun tweet ->
+            List.iter
+              (fun tag_row ->
+                Hashtbl.replace tags (Rdb.hashtag_text rdb (Rdb.tag_hashtag rdb ~tag_row)) ())
+              (Rdb.tags_in_tweet rdb ~tweet_row:tweet))
+          (Rdb.tweets_by rdb ~user_row:f))
+      (sort_ids (Rdb.followees_of rdb ~user_row:a));
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tags [])
+
+(* mentions m1 JOIN mentions m2 ON m1.tweet = m2.tweet, m1.user = ? *)
+let q3_1 rdb ~uid ~n =
+  match Rdb.user_row rdb ~uid with
+  | None -> []
+  | Some a ->
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun m1 ->
+        let tweet_row = Rdb.mention_tweet rdb ~mention_row:m1 in
+        List.iter
+          (fun m2 ->
+            let target = Rdb.mention_target rdb ~mention_row:m2 in
+            if target <> a then bump counts (Rdb.user_uid rdb target))
+          (Rdb.mentions_in_tweet rdb ~tweet_row))
+      (Rdb.mentions_of_user rdb ~user_row:a);
+    top_n n counts
+
+(* tags t1 JOIN tags t2 ON t1.tweet = t2.tweet, t1.hashtag = ? *)
+let q3_2 rdb ~tag ~n =
+  match Rdb.hashtag_row rdb ~tag with
+  | None -> []
+  | Some h ->
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun t1 ->
+        let tweet_row = Rdb.tag_tweet rdb ~tag_row:t1 in
+        List.iter
+          (fun t2 ->
+            let other = Rdb.tag_hashtag rdb ~tag_row:t2 in
+            if other <> h then bump counts (Rdb.hashtag_text rdb other))
+          (Rdb.tags_in_tweet rdb ~tweet_row))
+      (Rdb.tweets_tagging rdb ~hashtag_row:h);
+    let sorted =
+      List.sort
+        (fun (t1, c1) (t2, c2) -> if c1 <> c2 then compare c2 c1 else compare t1 t2)
+        (Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts [])
+    in
+    take n sorted
+
+(* follows f1 JOIN follows f2 ON f2.src = f1.dst, anti-join follows f3 *)
+let recommendation rdb ~uid ~n ~second_hop =
+  match Rdb.user_row rdb ~uid with
+  | None -> []
+  | Some a ->
+    let friends = Hashtbl.create 64 in
+    List.iter (fun f -> Hashtbl.replace friends f ()) (Rdb.followees_of rdb ~user_row:a);
+    let counts = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun f () ->
+        List.iter
+          (fun candidate ->
+            if candidate <> a && not (Hashtbl.mem friends candidate) then
+              bump counts (Rdb.user_uid rdb candidate))
+          (second_hop f))
+      friends;
+    top_n n counts
+
+let q4_1 rdb ~uid ~n =
+  recommendation rdb ~uid ~n ~second_hop:(fun f -> Rdb.followees_of rdb ~user_row:f)
+
+let q4_2 rdb ~uid ~n =
+  recommendation rdb ~uid ~n ~second_hop:(fun f -> Rdb.followers_of rdb ~user_row:f)
+
+(* mentions JOIN tweets (author) semi/anti-join follows *)
+let influence rdb ~uid ~n ~current =
+  match Rdb.user_row rdb ~uid with
+  | None -> []
+  | Some a ->
+    let follower_rows = Hashtbl.create 64 in
+    List.iter
+      (fun f -> Hashtbl.replace follower_rows f ())
+      (Rdb.followers_of rdb ~user_row:a);
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun m ->
+        let tweet_row = Rdb.mention_tweet rdb ~mention_row:m in
+        let author_uid = Rdb.tweet_author_uid rdb tweet_row in
+        match Rdb.user_row rdb ~uid:author_uid with
+        | None -> ()
+        | Some author_row ->
+          let keep =
+            if current then Hashtbl.mem follower_rows author_row
+            else author_row <> a && not (Hashtbl.mem follower_rows author_row)
+          in
+          if keep then bump counts author_uid)
+      (Rdb.mentions_of_user rdb ~user_row:a);
+    top_n n counts
+
+let q5_1 rdb ~uid ~n = influence rdb ~uid ~n ~current:true
+let q5_2 rdb ~uid ~n = influence rdb ~uid ~n ~current:false
+
+(* Iterated self-join BFS over follows, both directions. *)
+let q6_1 rdb ~uid1 ~uid2 ~max_hops =
+  match (Rdb.user_row rdb ~uid:uid1, Rdb.user_row rdb ~uid:uid2) with
+  | Some a, Some b ->
+    if a = b then Some 0
+    else begin
+      let visited = Hashtbl.create 256 in
+      Hashtbl.replace visited a ();
+      let frontier = ref [ a ] in
+      let depth = ref 0 in
+      let found = ref None in
+      while !found = None && !frontier <> [] && !depth < max_hops do
+        incr depth;
+        let next = ref [] in
+        List.iter
+          (fun row ->
+            if !found = None then
+              List.iter
+                (fun neighbor ->
+                  if !found = None && not (Hashtbl.mem visited neighbor) then begin
+                    Hashtbl.replace visited neighbor ();
+                    if neighbor = b then found := Some !depth else next := neighbor :: !next
+                  end)
+                (Rdb.followees_of rdb ~user_row:row @ Rdb.followers_of rdb ~user_row:row))
+          !frontier;
+        frontier := !next
+      done;
+      !found
+    end
+  | _ -> None

@@ -1,0 +1,25 @@
+(** The Table 2 workload evaluated relationally.
+
+    Each query is the index-nested-loop join plan an RDBMS would pick
+    for the Figure 1 schema: probes into the link-table indexes plus
+    row fetches, instead of relationship-chain walks or bitmap
+    algebra. Answers are canonical dataset-level values comparable
+    with the graph engines' results. *)
+
+val q1_select : Rdb.t -> threshold:int -> int list
+(** Ascending uids with followers > threshold (full users scan with a
+    predicate, as without an index on [followers]). *)
+
+val q2_1 : Rdb.t -> uid:int -> int list
+val q2_2 : Rdb.t -> uid:int -> int list
+val q2_3 : Rdb.t -> uid:int -> string list
+val q3_1 : Rdb.t -> uid:int -> n:int -> (int * int) list
+val q3_2 : Rdb.t -> tag:string -> n:int -> (string * int) list
+val q4_1 : Rdb.t -> uid:int -> n:int -> (int * int) list
+val q4_2 : Rdb.t -> uid:int -> n:int -> (int * int) list
+val q5_1 : Rdb.t -> uid:int -> n:int -> (int * int) list
+val q5_2 : Rdb.t -> uid:int -> n:int -> (int * int) list
+
+val q6_1 : Rdb.t -> uid1:int -> uid2:int -> max_hops:int -> int option
+(** Iterated self-join BFS: each level is another join against the
+    follows table in both directions. *)

@@ -1,0 +1,1 @@
+lib/sparks/objects.ml: Mgq_bitmap Mgq_util

@@ -1,0 +1,1 @@
+lib/sparks/objects.mli: Mgq_bitmap Mgq_util

@@ -1,0 +1,1 @@
+lib/sparks/salgo.ml: Hashtbl List Mgq_core Objects Sdb

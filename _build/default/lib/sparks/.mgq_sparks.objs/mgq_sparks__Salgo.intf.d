@@ -1,0 +1,1 @@
+lib/sparks/salgo.mli: Mgq_core Sdb

@@ -1,0 +1,1 @@
+lib/sparks/script.ml: Filename Fun Hashtbl List Mgq_core Mgq_util Printf Sdb String

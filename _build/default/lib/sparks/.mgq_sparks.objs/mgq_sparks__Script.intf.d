@@ -1,0 +1,1 @@
+lib/sparks/script.mli: Sdb

@@ -1,0 +1,1 @@
+lib/sparks/sdb.ml: Array Fun Hashtbl List Marshal Mgq_bitmap Mgq_core Mgq_storage Objects Printf String

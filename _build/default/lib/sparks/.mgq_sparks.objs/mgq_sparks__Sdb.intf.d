@@ -1,0 +1,1 @@
+lib/sparks/sdb.mli: Mgq_core Mgq_storage Objects

@@ -1,0 +1,1 @@
+lib/sparks/straversal.ml: Hashtbl List Mgq_core Objects Sdb

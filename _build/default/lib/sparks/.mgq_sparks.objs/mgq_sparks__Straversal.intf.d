@@ -1,0 +1,1 @@
+lib/sparks/straversal.mli: Mgq_core Objects Sdb

@@ -1,0 +1,74 @@
+module Single_pair_shortest_path_bfs = struct
+  type t = {
+    db : Sdb.t;
+    src : int;
+    dst : int;
+    etypes : (int * Mgq_core.Types.direction) list;
+    max_hops : int;
+    mutable executed : bool;
+    mutable parents : (int, int) Hashtbl.t;
+    mutable found : bool;
+  }
+
+  let create db ~src ~dst ~etypes ~max_hops =
+    {
+      db;
+      src;
+      dst;
+      etypes;
+      max_hops;
+      executed = false;
+      parents = Hashtbl.create 64;
+      found = false;
+    }
+
+  let run t =
+    if not t.executed then begin
+      t.executed <- true;
+      Hashtbl.replace t.parents t.src t.src;
+      if t.src = t.dst then t.found <- true
+      else begin
+        (* Frontier-at-a-time BFS over neighbor sets. *)
+        let frontier = ref [ t.src ] in
+        let depth = ref 0 in
+        while (not t.found) && !frontier <> [] && !depth < t.max_hops do
+          let next = ref [] in
+          List.iter
+            (fun node ->
+              if not t.found then
+                List.iter
+                  (fun (etype, dir) ->
+                    if not t.found then
+                      Objects.iter
+                        (fun neighbor ->
+                          if not (Hashtbl.mem t.parents neighbor) then begin
+                            Hashtbl.replace t.parents neighbor node;
+                            next := neighbor :: !next;
+                            if neighbor = t.dst then t.found <- true
+                          end)
+                        (Sdb.neighbors t.db node etype dir))
+                  t.etypes)
+            !frontier;
+          frontier := !next;
+          incr depth
+        done
+      end
+    end
+
+  let exists t =
+    run t;
+    t.found
+
+  let path t =
+    run t;
+    if not t.found then None
+    else begin
+      let rec walk acc node =
+        let parent = Hashtbl.find t.parents node in
+        if parent = node then node :: acc else walk (node :: acc) parent
+      in
+      Some (walk [] t.dst)
+    end
+
+  let cost t = match path t with None -> None | Some nodes -> Some (List.length nodes - 1)
+end

@@ -1,0 +1,263 @@
+module Value = Mgq_core.Value
+module Tsv = Mgq_util.Tsv
+
+type options = {
+  extent_kb : int;
+  cache_mb : float;
+  recovery : bool;
+  materialize : bool;
+}
+
+type statement =
+  | Options of (string * string) list
+  | Node_type of string
+  | Edge_type of { name : string; src : string; dst : string }
+  | Attribute of {
+      owner : string;
+      attr : string;
+      vtype : Sdb.value_type;
+      kind : Sdb.attr_kind;
+    }
+  | Load_nodes of { node_type : string; file : string; columns : string list }
+  | Load_edges of {
+      edge_type : string;
+      file : string;
+      tail_key : string * string;
+      head_key : string * string;
+    }
+
+type t = { statements : statement list; options : options }
+
+exception Script_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Script_error s)) fmt
+
+let default_options = { extent_kb = 64; cache_mb = 4.0; recovery = true; materialize = false }
+
+(* ---------------- parsing ---------------- *)
+
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let split_dotted lineno s =
+  match String.index_opt s '.' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> fail "line %d: expected TYPE.ATTRIBUTE, got %S" lineno s
+
+let parse_vtype lineno = function
+  | "int" -> Sdb.Type_int
+  | "float" -> Sdb.Type_float
+  | "bool" -> Sdb.Type_bool
+  | "string" -> Sdb.Type_string
+  | other -> fail "line %d: unknown attribute type %S" lineno other
+
+let parse_kind lineno = function
+  | "basic" -> Sdb.Basic
+  | "indexed" -> Sdb.Indexed
+  | "unique" -> Sdb.Unique
+  | other -> fail "line %d: unknown attribute kind %S" lineno other
+
+(* "(uid, name)" or "(uid,name)" -> ["uid"; "name"] *)
+let parse_columns lineno tokens =
+  let joined = String.concat " " tokens in
+  let n = String.length joined in
+  if n < 2 || joined.[0] <> '(' || joined.[n - 1] <> ')' then
+    fail "line %d: expected a (col, col, ...) list, got %S" lineno joined;
+  String.sub joined 1 (n - 2)
+  |> String.split_on_char ','
+  |> List.map String.trim
+  |> List.filter (fun c -> c <> "")
+
+let parse_statement lineno line =
+  match words line with
+  | [] -> None
+  | "options" :: pairs ->
+    let kv =
+      List.map
+        (fun pair ->
+          match String.index_opt pair '=' with
+          | Some i ->
+            (String.sub pair 0 i, String.sub pair (i + 1) (String.length pair - i - 1))
+          | None -> fail "line %d: options expect key=value, got %S" lineno pair)
+        pairs
+    in
+    Some (Options kv)
+  | [ "node"; name ] -> Some (Node_type name)
+  | [ "edge"; name; src; "->"; dst ] -> Some (Edge_type { name; src; dst })
+  | [ "attribute"; dotted; vtype; kind ] ->
+    let owner, attr = split_dotted lineno dotted in
+    Some
+      (Attribute
+         { owner; attr; vtype = parse_vtype lineno vtype; kind = parse_kind lineno kind })
+  | "load" :: "nodes" :: node_type :: "from" :: file :: rest ->
+    Some (Load_nodes { node_type; file; columns = parse_columns lineno rest })
+  | [ "load"; "edges"; edge_type; "from"; file; "keys"; tail; head ] ->
+    Some
+      (Load_edges
+         {
+           edge_type;
+           file;
+           tail_key = split_dotted lineno tail;
+           head_key = split_dotted lineno head;
+         })
+  | _ -> fail "line %d: cannot parse %S" lineno line
+
+let apply_option options (key, value) =
+  let bool_of v =
+    match v with
+    | "on" | "true" | "yes" -> true
+    | "off" | "false" | "no" -> false
+    | _ -> fail "bad boolean option value %S" v
+  in
+  match key with
+  | "extent_kb" -> (
+    match int_of_string_opt value with
+    | Some v when v > 0 -> { options with extent_kb = v }
+    | _ -> fail "bad extent_kb %S" value)
+  | "cache_mb" -> (
+    match float_of_string_opt value with
+    | Some v when v > 0. -> { options with cache_mb = v }
+    | _ -> fail "bad cache_mb %S" value)
+  | "recovery" -> { options with recovery = bool_of value }
+  | "materialize" -> { options with materialize = bool_of value }
+  | other -> fail "unknown option %S" other
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let statements =
+    List.filteri (fun _ _ -> true) lines
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+    |> List.filter_map (fun (lineno, line) -> parse_statement lineno line)
+  in
+  let options =
+    List.fold_left
+      (fun acc -> function Options kv -> List.fold_left apply_option acc kv | _ -> acc)
+      default_options statements
+  in
+  { statements; options }
+
+let parse_file path =
+  let ic = try open_in path with Sys_error msg -> fail "%s" msg in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ---------------- execution ---------------- *)
+
+type load_report = {
+  nodes_loaded : (string * int) list;
+  edges_loaded : (string * int) list;
+  sdb : Sdb.t;
+}
+
+let parse_value vtype raw =
+  match vtype with
+  | Sdb.Type_int -> (
+    match int_of_string_opt raw with
+    | Some i -> Value.Int i
+    | None -> fail "expected an integer, got %S" raw)
+  | Sdb.Type_float -> (
+    match float_of_string_opt raw with
+    | Some f -> Value.Float f
+    | None -> fail "expected a float, got %S" raw)
+  | Sdb.Type_bool -> (
+    match bool_of_string_opt raw with
+    | Some b -> Value.Bool b
+    | None -> fail "expected a bool, got %S" raw)
+  | Sdb.Type_string -> Value.Str raw
+
+let execute ?(base_dir = ".") t =
+  let sdb = Sdb.create ~materialize_neighbors:t.options.materialize () in
+  (* Declared metadata we need while loading. *)
+  let attr_types = Hashtbl.create 16 in (* (type, attr) -> vtype *)
+  let edge_endpoints = Hashtbl.create 16 in (* edge name -> (src, dst) *)
+  let nodes_loaded = ref [] in
+  let edges_loaded = ref [] in
+  let resolve_path file = if Filename.is_relative file then Filename.concat base_dir file else file in
+  let find_type name =
+    try Sdb.find_type sdb name
+    with Mgq_core.Types.Schema_error _ -> fail "unknown type %S" name
+  in
+  let find_attr owner attr =
+    try Sdb.find_attribute sdb (find_type owner) attr
+    with Mgq_core.Types.Schema_error _ -> fail "unknown attribute %s.%s" owner attr
+  in
+  List.iter
+    (fun statement ->
+      match statement with
+      | Options _ -> ()
+      | Node_type name -> ignore (Sdb.new_node_type sdb name)
+      | Edge_type { name; src; dst } ->
+        ignore (find_type src);
+        ignore (find_type dst);
+        Hashtbl.replace edge_endpoints name (src, dst);
+        ignore (Sdb.new_edge_type sdb name)
+      | Attribute { owner; attr; vtype; kind } ->
+        ignore (Sdb.new_attribute sdb (find_type owner) attr vtype kind);
+        Hashtbl.replace attr_types (owner, attr) vtype
+      | Load_nodes { node_type; file; columns } ->
+        let type_id = find_type node_type in
+        let column_attrs =
+          List.map
+            (fun column ->
+              if column = "_" then None
+              else begin
+                match Hashtbl.find_opt attr_types (node_type, column) with
+                | Some vtype -> Some (find_attr node_type column, vtype)
+                | None -> fail "load nodes %s: undeclared attribute %S" node_type column
+              end)
+            columns
+        in
+        let count = ref 0 in
+        ignore
+          (Tsv.read_rows (resolve_path file) (fun row ->
+               if List.length row < List.length column_attrs then
+                 fail "load nodes %s: row with %d fields, expected %d" node_type
+                   (List.length row) (List.length column_attrs);
+               let oid = Sdb.new_node sdb type_id in
+               List.iteri
+                 (fun i cell ->
+                   match List.nth_opt column_attrs i with
+                   | Some (Some (attr, vtype)) ->
+                     Sdb.set_attribute sdb oid attr (parse_value vtype cell)
+                   | Some None | None -> ())
+                 row;
+               incr count));
+        nodes_loaded := (node_type, !count) :: !nodes_loaded
+      | Load_edges { edge_type; file; tail_key; head_key } ->
+        let type_id = find_type edge_type in
+        (match Hashtbl.find_opt edge_endpoints edge_type with
+        | Some (src, dst) ->
+          if fst tail_key <> src then
+            fail "load edges %s: tail key %s.%s does not match declared source %s"
+              edge_type (fst tail_key) (snd tail_key) src;
+          if fst head_key <> dst then
+            fail "load edges %s: head key %s.%s does not match declared target %s"
+              edge_type (fst head_key) (snd head_key) dst
+        | None -> fail "load edges: undeclared edge type %S" edge_type);
+        let tail_attr = find_attr (fst tail_key) (snd tail_key) in
+        let head_attr = find_attr (fst head_key) (snd head_key) in
+        let tail_vtype = Hashtbl.find attr_types tail_key in
+        let head_vtype = Hashtbl.find attr_types head_key in
+        let lookup attr vtype raw =
+          match Sdb.find_object sdb attr (parse_value vtype raw) with
+          | Some oid -> oid
+          | None -> fail "load edges %s: no object with key %S" edge_type raw
+        in
+        let count = ref 0 in
+        ignore
+          (Tsv.read_rows (resolve_path file) (fun row ->
+               match row with
+               | tail_raw :: head_raw :: _ ->
+                 let tail = lookup tail_attr tail_vtype tail_raw in
+                 let head = lookup head_attr head_vtype head_raw in
+                 ignore (Sdb.new_edge sdb type_id ~tail ~head);
+                 incr count
+               | _ -> fail "load edges %s: need two columns" edge_type));
+        edges_loaded := (edge_type, !count) :: !edges_loaded)
+    t.statements;
+  { nodes_loaded = List.rev !nodes_loaded; edges_loaded = List.rev !edges_loaded; sdb }

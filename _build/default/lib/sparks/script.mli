@@ -1,0 +1,77 @@
+(** Sparksee-style load scripts.
+
+    The paper loads Sparksee through scripts: "Sparksee scripts ...
+    has been used to define the schema of the database. A script also
+    specifies the IDs to be indexed and source files for loading data.
+    Recovery and rollback features were disabled to allow faster
+    insertions. The extent size was set to 64 KB and cache size to
+    5 GB." This module implements that mechanism as a small
+    line-oriented DSL:
+
+    {v
+    # comments start with '#'
+    options extent_kb=64 cache_mb=4.0 recovery=off materialize=off
+    node user
+    attribute user.uid int unique
+    attribute user.name string basic
+    node tweet
+    attribute tweet.tid int unique
+    edge follows user -> user
+    edge posts user -> tweet
+    load nodes user from users.tsv (uid, name)
+    load edges follows from follows.tsv keys user.uid user.uid
+    load edges posts from posts.tsv keys user.uid tweet.tid
+    v}
+
+    Node loads give one TSV column per listed attribute ([_] skips a
+    column); edge loads resolve their two columns through the named
+    unique attributes. Relative file paths resolve against the
+    script's directory. *)
+
+type options = {
+  extent_kb : int;
+  cache_mb : float;
+  recovery : bool;
+  materialize : bool;
+}
+
+type statement =
+  | Options of (string * string) list
+  | Node_type of string
+  | Edge_type of { name : string; src : string; dst : string }
+  | Attribute of {
+      owner : string;
+      attr : string;
+      vtype : Sdb.value_type;
+      kind : Sdb.attr_kind;
+    }
+  | Load_nodes of { node_type : string; file : string; columns : string list }
+  | Load_edges of {
+      edge_type : string;
+      file : string;
+      tail_key : string * string;  (** (type, attribute) *)
+      head_key : string * string;
+    }
+
+type t = { statements : statement list; options : options }
+
+exception Script_error of string
+(** Parse or execution failure, with a line reference where
+    possible. *)
+
+val parse : string -> t
+(** Parse script text. @raise Script_error on malformed lines. *)
+
+val parse_file : string -> t
+
+type load_report = {
+  nodes_loaded : (string * int) list;  (** per node type *)
+  edges_loaded : (string * int) list;
+  sdb : Sdb.t;
+}
+
+val execute : ?base_dir:string -> t -> load_report
+(** Create a database per the script's options, apply the schema and
+    run the loads. [base_dir] (default ".") anchors relative file
+    paths. @raise Script_error on unknown names, bad values, or
+    unresolvable edge endpoints. *)

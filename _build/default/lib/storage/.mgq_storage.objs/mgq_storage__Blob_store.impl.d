@@ -1,0 +1,1 @@
+lib/storage/blob_store.ml: Array Bytes Cost_model Hashtbl Int32 Printf Sim_disk String

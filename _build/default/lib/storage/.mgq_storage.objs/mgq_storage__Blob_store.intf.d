@@ -1,0 +1,1 @@
+lib/storage/blob_store.mli: Sim_disk

@@ -1,0 +1,1 @@
+lib/storage/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/storage/record_store.ml: Array Bytes Cost_model Int64 Sim_disk

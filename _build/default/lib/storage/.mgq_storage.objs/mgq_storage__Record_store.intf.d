@@ -1,0 +1,1 @@
+lib/storage/record_store.mli: Sim_disk

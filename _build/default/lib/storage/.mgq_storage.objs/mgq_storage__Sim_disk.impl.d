@@ -1,0 +1,1 @@
+lib/storage/sim_disk.ml: Array Bytes Cost_model Hashtbl

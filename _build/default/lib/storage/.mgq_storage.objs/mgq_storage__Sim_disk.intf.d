@@ -1,0 +1,1 @@
+lib/storage/sim_disk.mli: Bytes Cost_model

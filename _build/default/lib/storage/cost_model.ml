@@ -1,0 +1,94 @@
+type config = {
+  record_access_ns : int;
+  page_hit_ns : int;
+  page_fault_ns : int;
+  page_flush_ns : int;
+  seek_penalty_ns : int;
+}
+
+let default_config =
+  {
+    record_access_ns = 120;
+    page_hit_ns = 40;
+    page_fault_ns = 90_000;
+    page_flush_ns = 110_000;
+    seek_penalty_ns = 350_000;
+  }
+
+type counters = {
+  db_hits : int;
+  page_hits : int;
+  page_faults : int;
+  page_flushes : int;
+  simulated_ns : int;
+}
+
+let zero_counters =
+  { db_hits = 0; page_hits = 0; page_faults = 0; page_flushes = 0; simulated_ns = 0 }
+
+let add_counters a b =
+  {
+    db_hits = a.db_hits + b.db_hits;
+    page_hits = a.page_hits + b.page_hits;
+    page_faults = a.page_faults + b.page_faults;
+    page_flushes = a.page_flushes + b.page_flushes;
+    simulated_ns = a.simulated_ns + b.simulated_ns;
+  }
+
+let sub_counters a b =
+  {
+    db_hits = a.db_hits - b.db_hits;
+    page_hits = a.page_hits - b.page_hits;
+    page_faults = a.page_faults - b.page_faults;
+    page_flushes = a.page_flushes - b.page_flushes;
+    simulated_ns = a.simulated_ns - b.simulated_ns;
+  }
+
+let simulated_ms c = float_of_int c.simulated_ns /. 1e6
+
+type t = { cfg : config; mutable acc : counters }
+
+let create ?(config = default_config) () = { cfg = config; acc = zero_counters }
+
+let config t = t.cfg
+
+let record_db_hit ?(n = 1) t =
+  t.acc <-
+    {
+      t.acc with
+      db_hits = t.acc.db_hits + n;
+      simulated_ns = t.acc.simulated_ns + (n * t.cfg.record_access_ns);
+    }
+
+let record_page_hit t =
+  t.acc <-
+    {
+      t.acc with
+      page_hits = t.acc.page_hits + 1;
+      simulated_ns = t.acc.simulated_ns + t.cfg.page_hit_ns;
+    }
+
+let record_page_fault t ~sequential =
+  let cost =
+    t.cfg.page_fault_ns + if sequential then 0 else t.cfg.seek_penalty_ns
+  in
+  t.acc <-
+    {
+      t.acc with
+      page_faults = t.acc.page_faults + 1;
+      simulated_ns = t.acc.simulated_ns + cost;
+    }
+
+let record_page_flush ?(n = 1) t =
+  t.acc <-
+    {
+      t.acc with
+      page_flushes = t.acc.page_flushes + n;
+      simulated_ns = t.acc.simulated_ns + (n * t.cfg.page_flush_ns);
+    }
+
+let advance_ns t ns = t.acc <- { t.acc with simulated_ns = t.acc.simulated_ns + ns }
+
+let snapshot t = t.acc
+
+let reset t = t.acc <- zero_counters

@@ -1,0 +1,57 @@
+(** Deterministic cost accounting for the simulated storage layer.
+
+    The paper runs on a physical HDD machine; this repo substitutes a
+    simulated disk so results are reproducible. Every storage-level
+    event (record access, buffer-pool hit/fault, page flush) is
+    counted here and converted into simulated nanoseconds using a
+    fixed cost configuration. Benches report both wall-clock time and
+    these deterministic counters — the counters are what make the
+    paper's *shapes* (flush spikes, cold-cache penalties, db-hit
+    comparisons between query plans) reproducible bit-for-bit. *)
+
+type config = {
+  record_access_ns : int;  (** CPU cost of touching one record ("db hit") *)
+  page_hit_ns : int;       (** buffer-pool hit *)
+  page_fault_ns : int;     (** read a page from the simulated disk *)
+  page_flush_ns : int;     (** write a dirty page back *)
+  seek_penalty_ns : int;   (** extra cost when the faulting page is not
+                               adjacent to the previously read page —
+                               models HDD seeks, which the paper blames
+                               for fluctuation at low row counts *)
+}
+
+val default_config : config
+(** HDD-flavoured defaults (the paper's machine used a non-SSD HDD). *)
+
+type counters = {
+  db_hits : int;
+  page_hits : int;
+  page_faults : int;
+  page_flushes : int;
+  simulated_ns : int;
+}
+
+val zero_counters : counters
+val add_counters : counters -> counters -> counters
+val sub_counters : counters -> counters -> counters
+(** [sub_counters a b] is the component-wise difference [a - b]; use a
+    snapshot pair to measure one operation. *)
+
+val simulated_ms : counters -> float
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val record_db_hit : ?n:int -> t -> unit
+val record_page_hit : t -> unit
+val record_page_fault : t -> sequential:bool -> unit
+val record_page_flush : ?n:int -> t -> unit
+
+val advance_ns : t -> int -> unit
+(** Add raw simulated time (used by importers to model payload
+    deserialisation cost). *)
+
+val snapshot : t -> counters
+val reset : t -> unit

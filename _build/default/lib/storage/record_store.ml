@@ -1,0 +1,81 @@
+type t = {
+  disk : Sim_disk.t;
+  name : string;
+  fields : int;
+  record_bytes : int;
+  records_per_page : int;
+  mutable page_table : int array; (* store page index -> disk page id *)
+  mutable table_len : int;
+  mutable count : int;
+}
+
+let nil = -1
+
+let create disk ~name ~fields =
+  assert (fields >= 1 && fields * 8 <= Sim_disk.page_size disk);
+  let record_bytes = fields * 8 in
+  {
+    disk;
+    name;
+    fields;
+    record_bytes;
+    records_per_page = Sim_disk.page_size disk / record_bytes;
+    page_table = Array.make 8 0;
+    table_len = 0;
+    count = 0;
+  }
+
+let name t = t.name
+let field_count t = t.fields
+let count t = t.count
+
+let locate t id =
+  assert (id >= 0 && id < t.count);
+  let chunk = id / t.records_per_page in
+  let slot = id mod t.records_per_page in
+  (t.page_table.(chunk), slot * t.record_bytes)
+
+let allocate t =
+  let id = t.count in
+  let chunk = id / t.records_per_page in
+  if chunk >= t.table_len then begin
+    if t.table_len = Array.length t.page_table then begin
+      let bigger = Array.make (2 * t.table_len) 0 in
+      Array.blit t.page_table 0 bigger 0 t.table_len;
+      t.page_table <- bigger
+    end;
+    t.page_table.(t.table_len) <- Sim_disk.allocate_page t.disk;
+    t.table_len <- t.table_len + 1
+  end;
+  t.count <- t.count + 1;
+  id
+
+let get t ~id ~field =
+  assert (field >= 0 && field < t.fields);
+  let page, off = locate t id in
+  Cost_model.record_db_hit (Sim_disk.cost t.disk);
+  Sim_disk.with_page_read t.disk page (fun bytes ->
+      Int64.to_int (Bytes.get_int64_le bytes (off + (field * 8))))
+
+let set t ~id ~field v =
+  assert (field >= 0 && field < t.fields);
+  let page, off = locate t id in
+  Cost_model.record_db_hit (Sim_disk.cost t.disk);
+  Sim_disk.with_page_write t.disk page (fun bytes ->
+      Bytes.set_int64_le bytes (off + (field * 8)) (Int64.of_int v))
+
+let get_record t ~id =
+  let page, off = locate t id in
+  Cost_model.record_db_hit (Sim_disk.cost t.disk);
+  Sim_disk.with_page_read t.disk page (fun bytes ->
+      Array.init t.fields (fun f ->
+          Int64.to_int (Bytes.get_int64_le bytes (off + (f * 8)))))
+
+let set_record t ~id values =
+  assert (Array.length values = t.fields);
+  let page, off = locate t id in
+  Cost_model.record_db_hit (Sim_disk.cost t.disk);
+  Sim_disk.with_page_write t.disk page (fun bytes ->
+      Array.iteri
+        (fun f v -> Bytes.set_int64_le bytes (off + (f * 8)) (Int64.of_int v))
+        values)

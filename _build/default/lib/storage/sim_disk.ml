@@ -1,0 +1,163 @@
+(* LRU entries form a doubly-linked list threaded through a hashtable;
+   the list head is most-recently-used. *)
+type node = {
+  page : int;
+  mutable dirty : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cost : Cost_model.t;
+  page_size : int;
+  mutable pool_capacity : int;
+  checkpoint_dirty_pages : int option;
+  mutable dirty_count : int;
+  mutable pages : Bytes.t array; (* the "disk": all pages ever allocated *)
+  mutable page_count : int;
+  resident : (int, node) Hashtbl.t;
+  mutable lru_head : node option; (* most recently used *)
+  mutable lru_tail : node option; (* eviction candidate *)
+  mutable last_faulted_page : int;
+}
+
+let create ?config ?(page_size = 8192) ?(pool_pages = 4096) ?checkpoint_dirty_pages () =
+  {
+    cost = Cost_model.create ?config ();
+    page_size;
+    pool_capacity = max 1 pool_pages;
+    checkpoint_dirty_pages;
+    dirty_count = 0;
+    pages = Array.make 64 Bytes.empty;
+    page_count = 0;
+    resident = Hashtbl.create 1024;
+    lru_head = None;
+    lru_tail = None;
+    last_faulted_page = -100;
+  }
+
+let cost t = t.cost
+let page_size t = t.page_size
+let page_count t = t.page_count
+let resident_pages t = Hashtbl.length t.resident
+let pool_capacity t = t.pool_capacity
+let disk_bytes t = t.page_count * t.page_size
+
+(* ---- LRU list maintenance ---- *)
+
+let detach t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.lru_head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru_tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.lru_head;
+  node.prev <- None;
+  (match t.lru_head with Some h -> h.prev <- Some node | None -> t.lru_tail <- Some node);
+  t.lru_head <- Some node
+
+let touch t node =
+  if t.lru_head != Some node then begin
+    detach t node;
+    push_front t node
+  end
+
+let evict_one t =
+  match t.lru_tail with
+  | None -> ()
+  | Some victim ->
+    detach t victim;
+    Hashtbl.remove t.resident victim.page;
+    if victim.dirty then begin
+      t.dirty_count <- t.dirty_count - 1;
+      Cost_model.record_page_flush t.cost
+    end
+
+let rec enforce_capacity t =
+  if Hashtbl.length t.resident > t.pool_capacity then begin
+    evict_one t;
+    enforce_capacity t
+  end
+
+(* Bring [page] into the pool, charging the appropriate event. *)
+let fetch t page ~dirty =
+  match Hashtbl.find_opt t.resident page with
+  | Some node ->
+    Cost_model.record_page_hit t.cost;
+    if dirty && not node.dirty then begin
+      node.dirty <- true;
+      t.dirty_count <- t.dirty_count + 1
+    end;
+    touch t node;
+    node
+  | None ->
+    let sequential = page = t.last_faulted_page + 1 || page = t.last_faulted_page in
+    Cost_model.record_page_fault t.cost ~sequential;
+    t.last_faulted_page <- page;
+    let node = { page; dirty; prev = None; next = None } in
+    if dirty then t.dirty_count <- t.dirty_count + 1;
+    Hashtbl.replace t.resident page node;
+    push_front t node;
+    enforce_capacity t;
+    node
+
+let flush_all t =
+  let dirty = ref 0 in
+  Hashtbl.iter (fun _ node -> if node.dirty then begin incr dirty; node.dirty <- false end)
+    t.resident;
+  t.dirty_count <- 0;
+  if !dirty > 0 then Cost_model.record_page_flush ~n:!dirty t.cost
+
+(* Checkpoint: once the dirty-page count crosses the configured
+   threshold, write everything back in one burst. *)
+let maybe_checkpoint t =
+  match t.checkpoint_dirty_pages with
+  | Some threshold when t.dirty_count >= threshold -> flush_all t
+  | Some _ | None -> ()
+
+let allocate_page t =
+  if t.page_count = Array.length t.pages then begin
+    let bigger = Array.make (2 * t.page_count) Bytes.empty in
+    Array.blit t.pages 0 bigger 0 t.page_count;
+    t.pages <- bigger
+  end;
+  let id = t.page_count in
+  t.pages.(id) <- Bytes.make t.page_size '\000';
+  t.page_count <- t.page_count + 1;
+  (* A fresh page is resident and dirty but charges no fault: it was
+     never on disk. *)
+  let node = { page = id; dirty = true; prev = None; next = None } in
+  t.dirty_count <- t.dirty_count + 1;
+  Hashtbl.replace t.resident id node;
+  push_front t node;
+  enforce_capacity t;
+  maybe_checkpoint t;
+  id
+
+let with_page_read t page f =
+  assert (page >= 0 && page < t.page_count);
+  let _node = fetch t page ~dirty:false in
+  f t.pages.(page)
+
+let with_page_write t page f =
+  assert (page >= 0 && page < t.page_count);
+  let _node = fetch t page ~dirty:true in
+  let result = f t.pages.(page) in
+  maybe_checkpoint t;
+  result
+
+let evict_all t =
+  flush_all t;
+  Hashtbl.reset t.resident;
+  t.lru_head <- None;
+  t.lru_tail <- None;
+  t.last_faulted_page <- -100
+
+let set_pool_capacity t capacity =
+  t.pool_capacity <- max 1 capacity;
+  enforce_capacity t

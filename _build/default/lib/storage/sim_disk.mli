@@ -1,0 +1,63 @@
+(** Simulated paged disk behind an LRU buffer pool.
+
+    Pages are plain byte buffers kept in memory; "disk" vs "cache" is
+    an accounting distinction, not a data-movement one. A page access
+    that misses the pool is charged a fault (plus a seek penalty when
+    non-adjacent to the previous fault), an access that hits is
+    charged a hit, and evicting a dirty page charges a flush — exactly
+    the events behind the paper's import-time spikes and cold-cache
+    observations. Both engines allocate their stores from an instance
+    of this module. *)
+
+type t
+
+val create :
+  ?config:Cost_model.config ->
+  ?page_size:int ->
+  ?pool_pages:int ->
+  ?checkpoint_dirty_pages:int ->
+  unit ->
+  t
+(** [page_size] defaults to 8192 bytes; [pool_pages] (the buffer-pool
+    capacity, the paper's "cache size") defaults to 4096 pages.
+    [checkpoint_dirty_pages], when set, makes the pool write back all
+    dirty pages in one burst whenever their count crosses the
+    threshold — the mechanism behind the periodic jumps in the
+    paper's import-time series (Figures 2 and 3): "sharp jumps in the
+    insertion time of edges is when the cache is full and has to
+    flush to disk". *)
+
+val cost : t -> Cost_model.t
+val page_size : t -> int
+
+val allocate_page : t -> int
+(** Append a fresh zeroed page; returns its page id. The new page
+    enters the pool dirty. *)
+
+val page_count : t -> int
+val resident_pages : t -> int
+val pool_capacity : t -> int
+
+val set_pool_capacity : t -> int -> unit
+(** Shrink or grow the pool; shrinking evicts (and flushes) LRU pages
+    immediately. Used by the import benches to reproduce Sparksee's
+    extent/cache-size experiments. *)
+
+val with_page_read : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Access a page for reading; charges hit or fault. The callback must
+    not retain the buffer. *)
+
+val with_page_write : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Access a page for writing; charges hit or fault and marks the page
+    dirty. *)
+
+val flush_all : t -> unit
+(** Write back every dirty page (charging flushes), keeping residency
+    — a checkpoint. *)
+
+val evict_all : t -> unit
+(** Flush dirty pages and empty the pool entirely: the cold-cache
+    starting state of Section 4. *)
+
+val disk_bytes : t -> int
+(** Total allocated size ("database size on disk"). *)

@@ -1,0 +1,1 @@
+lib/twitter/generator.ml: Array Buffer Dataset Float Hashtbl List Mgq_util Printf

@@ -1,0 +1,1 @@
+lib/twitter/generator.mli: Dataset

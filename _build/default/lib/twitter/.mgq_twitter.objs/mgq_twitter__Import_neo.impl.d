@@ -1,0 +1,1 @@
+lib/twitter/import_neo.ml: Array Dataset Fun Import_report Int64 List Mgq_core Mgq_neo Mgq_storage Mgq_util Schema Seq

@@ -1,0 +1,1 @@
+lib/twitter/import_neo.mli: Dataset Import_report Mgq_neo

@@ -1,0 +1,1 @@
+lib/twitter/import_report.mli:

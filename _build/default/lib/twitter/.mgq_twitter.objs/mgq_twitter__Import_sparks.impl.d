@@ -1,0 +1,1 @@
+lib/twitter/import_sparks.ml: Array Dataset Float Import_report Int64 List Mgq_core Mgq_sparks Mgq_storage Mgq_util Schema String

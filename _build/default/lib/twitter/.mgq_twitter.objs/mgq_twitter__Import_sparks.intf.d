@@ -1,0 +1,1 @@
+lib/twitter/import_sparks.mli: Dataset Import_report Mgq_sparks

@@ -1,0 +1,1 @@
+lib/twitter/live.ml: Array Dataset Hashtbl List Mgq_core Mgq_neo Mgq_sparks Schema Seq Stream

@@ -1,0 +1,1 @@
+lib/twitter/live.mli: Dataset Mgq_neo Mgq_sparks Stream

@@ -1,0 +1,1 @@
+lib/twitter/schema.ml:

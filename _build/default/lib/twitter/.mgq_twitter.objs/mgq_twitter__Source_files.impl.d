@@ -1,0 +1,1 @@
+lib/twitter/source_files.ml: Array Dataset Filename Fun List Mgq_util Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/twitter/source_files.mli: Dataset

@@ -1,0 +1,1 @@
+lib/twitter/stream.ml: Array Dataset Hashtbl List Mgq_util Option Printf String

@@ -1,0 +1,94 @@
+type tweet = {
+  tid : int;
+  author : int;
+  text : string;
+  mention_targets : int list;
+  tag_targets : int list;
+}
+
+type t = {
+  n_users : int;
+  user_names : string array;
+  follows : (int * int) array;
+  tweets : tweet array;
+  hashtags : string array;
+  retweets : (int * int) array;
+}
+
+type stats = {
+  users : int;
+  tweet_nodes : int;
+  hashtag_nodes : int;
+  follows_edges : int;
+  posts_edges : int;
+  mentions_edges : int;
+  tags_edges : int;
+  retweets_edges : int;
+  total_nodes : int;
+  total_edges : int;
+}
+
+let stats t =
+  let mentions =
+    Array.fold_left (fun acc tw -> acc + List.length tw.mention_targets) 0 t.tweets
+  in
+  let tags = Array.fold_left (fun acc tw -> acc + List.length tw.tag_targets) 0 t.tweets in
+  let users = t.n_users in
+  let tweet_nodes = Array.length t.tweets in
+  let hashtag_nodes = Array.length t.hashtags in
+  let follows_edges = Array.length t.follows in
+  let retweets_edges = Array.length t.retweets in
+  {
+    users;
+    tweet_nodes;
+    hashtag_nodes;
+    follows_edges;
+    posts_edges = tweet_nodes;
+    mentions_edges = mentions;
+    tags_edges = tags;
+    retweets_edges;
+    total_nodes = users + tweet_nodes + hashtag_nodes;
+    total_edges = follows_edges + tweet_nodes + mentions + tags + retweets_edges;
+  }
+
+let follower_counts t =
+  let counts = Array.make t.n_users 0 in
+  Array.iter (fun (_, followee) -> counts.(followee) <- counts.(followee) + 1) t.follows;
+  counts
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ok_user u = u >= 0 && u < t.n_users in
+  let ok_hashtag h = h >= 0 && h < Array.length t.hashtags in
+  if Array.length t.user_names <> t.n_users then fail "user_names length mismatch"
+  else begin
+    let bad_follow =
+      Array.exists (fun (a, b) -> (not (ok_user a)) || (not (ok_user b)) || a = b) t.follows
+    in
+    if bad_follow then fail "follows contains out-of-range or self edges"
+    else begin
+      let seen_tids = Hashtbl.create (Array.length t.tweets) in
+      let problem = ref None in
+      Array.iter
+        (fun tw ->
+          if !problem = None then begin
+            if Hashtbl.mem seen_tids tw.tid then
+              problem := Some (Printf.sprintf "duplicate tid %d" tw.tid)
+            else Hashtbl.replace seen_tids tw.tid ();
+            if not (ok_user tw.author) then
+              problem := Some (Printf.sprintf "tweet %d has bad author" tw.tid);
+            if not (List.for_all ok_user tw.mention_targets) then
+              problem := Some (Printf.sprintf "tweet %d mentions bad user" tw.tid);
+            if not (List.for_all ok_hashtag tw.tag_targets) then
+              problem := Some (Printf.sprintf "tweet %d tags bad hashtag" tw.tid)
+          end)
+        t.tweets;
+      let bad_retweet =
+        Array.exists
+          (fun (u, ti) -> (not (ok_user u)) || ti < 0 || ti >= Array.length t.tweets)
+          t.retweets
+      in
+      if bad_retweet then problem := Some "retweets contain bad indexes";
+      match !problem with Some msg -> Error msg | None -> Ok ()
+    end
+  end

@@ -1,0 +1,47 @@
+(** In-memory representation of a synthetic Twitter crawl.
+
+    The generator produces one of these; the source-file codec
+    round-trips it through TSV files; both engine importers consume
+    it. Node ids here are {e dataset-local} dense indexes, not engine
+    ids — each importer assigns its own. *)
+
+type tweet = {
+  tid : int;
+  author : int;  (** user index *)
+  text : string;
+  mention_targets : int list;  (** user indexes *)
+  tag_targets : int list;  (** hashtag indexes *)
+}
+
+type t = {
+  n_users : int;
+  user_names : string array;
+  follows : (int * int) array;  (** (follower, followee) user indexes *)
+  tweets : tweet array;
+  hashtags : string array;
+  retweets : (int * int) array;  (** (user index, tweet index); empty unless enabled *)
+}
+
+type stats = {
+  users : int;
+  tweet_nodes : int;
+  hashtag_nodes : int;
+  follows_edges : int;
+  posts_edges : int;
+  mentions_edges : int;
+  tags_edges : int;
+  retweets_edges : int;
+  total_nodes : int;
+  total_edges : int;
+}
+
+val stats : t -> stats
+(** The Table 1 rows for this dataset. *)
+
+val follower_counts : t -> int array
+(** In-degree of every user in the follows network — the denormalised
+    [followers] property Q1 selects on. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: indexes in range, tweet ids unique, no
+    self-follows. *)

@@ -1,0 +1,198 @@
+module Rng = Mgq_util.Rng
+module Sampler = Mgq_util.Sampler
+
+type config = {
+  seed : int;
+  n_users : int;
+  follows_per_user : float;
+  out_degree_alpha : float;
+  active_fraction : float;
+  tweets_per_active : int;
+  mentions_per_tweet : float;
+  tags_per_tweet : float;
+  hashtag_vocab_fraction : float;
+  hashtag_zipf_s : float;
+  with_retweets : bool;
+  retweets_per_tweet : float;
+}
+
+(* Ratios from Table 1: 284M follows / 24.8M users = 11.5; 24M tweets
+   from 140k active users (0.56%) at ~170 kept tweets each; 11.1M
+   mentions / 24M tweets = 0.46; 7.1M tags / 24M = 0.30; 616k hashtags
+   / 24.8M users = 0.025. *)
+let default_config =
+  {
+    seed = 42;
+    n_users = 5_000;
+    follows_per_user = 11.5;
+    out_degree_alpha = 2.0;
+    active_fraction = 0.0056;
+    tweets_per_active = 170;
+    mentions_per_tweet = 0.46;
+    tags_per_tweet = 0.30;
+    hashtag_vocab_fraction = 0.025;
+    hashtag_zipf_s = 1.05;
+    with_retweets = false;
+    retweets_per_tweet = 0.15;
+  }
+
+let scaled ?(seed = 42) ~n_users () = { default_config with seed; n_users }
+
+let words =
+  [|
+    "the"; "of"; "to"; "and"; "in"; "is"; "you"; "that"; "it"; "for"; "was"; "on";
+    "are"; "with"; "they"; "be"; "at"; "one"; "have"; "this"; "from"; "word"; "not";
+    "what"; "all"; "were"; "when"; "your"; "can"; "said"; "there"; "use"; "each";
+    "which"; "she"; "how"; "their"; "will"; "other"; "about"; "out"; "many"; "then";
+    "them"; "these"; "some"; "her"; "would"; "make"; "like";
+  |]
+
+(* Geometric count with the given mean: P(k) = (1-p) p^k. *)
+let geometric rng mean =
+  if mean <= 0. then 0
+  else begin
+    let p = mean /. (1. +. mean) in
+    let rec draw k = if Rng.chance rng p && k < 10 then draw (k + 1) else k in
+    draw 0
+  end
+
+let generate cfg =
+  assert (cfg.n_users > 0);
+  let rng = Rng.create cfg.seed in
+  let follows_rng = Rng.split rng in
+  let tweet_rng = Rng.split rng in
+  let n = cfg.n_users in
+
+  (* ---- follower network ---- *)
+  let x_max = max 2 (n / 10) in
+  let raw_degrees =
+    Array.init n (fun _ ->
+        Sampler.Power_law.sample follows_rng ~alpha:cfg.out_degree_alpha ~x_min:1 ~x_max)
+  in
+  let raw_mean =
+    float_of_int (Array.fold_left ( + ) 0 raw_degrees) /. float_of_int n
+  in
+  let scale = cfg.follows_per_user /. raw_mean in
+  let degrees =
+    Array.map
+      (fun d ->
+        let scaled = int_of_float (Float.round (float_of_int d *. scale)) in
+        min (n - 1) (max 1 scaled))
+      raw_degrees
+  in
+  let attractiveness = Sampler.Preferential.create ~n ~smoothing:1.0 in
+  let followees = Array.make n [] in
+  let follows = ref [] in
+  let n_follows = ref 0 in
+  for u = 0 to n - 1 do
+    let picked = Hashtbl.create 16 in
+    let wanted = degrees.(u) in
+    let attempts = ref 0 in
+    while Hashtbl.length picked < wanted && !attempts < wanted * 20 do
+      incr attempts;
+      let v = Sampler.Preferential.sample attractiveness follows_rng in
+      if v <> u && not (Hashtbl.mem picked v) then begin
+        Hashtbl.replace picked v ();
+        Sampler.Preferential.add_weight attractiveness v 1.0;
+        followees.(u) <- v :: followees.(u);
+        follows := (u, v) :: !follows;
+        incr n_follows
+      end
+    done
+  done;
+  let follows = Array.of_list (List.rev !follows) in
+
+  (* ---- hashtag vocabulary ---- *)
+  let vocab_size = max 2 (int_of_float (cfg.hashtag_vocab_fraction *. float_of_int n)) in
+  let hashtags = Array.init vocab_size (fun i -> Printf.sprintf "topic%d" i) in
+  let zipf = Sampler.Zipf.create ~n:vocab_size ~s:cfg.hashtag_zipf_s in
+
+  (* ---- tweets ---- *)
+  let n_active = max 1 (int_of_float (Float.round (cfg.active_fraction *. float_of_int n))) in
+  let active = Rng.sample_without_replacement tweet_rng n_active n in
+  let tweets = ref [] in
+  let next_tid = ref 0 in
+  let synth_text rng mentions tags =
+    let buf = Buffer.create 80 in
+    let n_words = Rng.int_in rng 5 12 in
+    for i = 0 to n_words - 1 do
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Rng.choose rng words)
+    done;
+    List.iter (fun h -> Buffer.add_string buf (" #" ^ hashtags.(h))) tags;
+    List.iter (fun u -> Buffer.add_string buf (Printf.sprintf " @u%d" u)) mentions;
+    Buffer.contents buf
+  in
+  let distinct_draws count draw =
+    let picked = Hashtbl.create 4 in
+    let attempts = ref 0 in
+    while Hashtbl.length picked < count && !attempts < count * 10 do
+      incr attempts;
+      match draw () with None -> () | Some v -> Hashtbl.replace picked v ()
+    done;
+    Hashtbl.fold (fun v () acc -> v :: acc) picked []
+  in
+  List.iter
+    (fun author ->
+      let my_followees = Array.of_list followees.(author) in
+      for _ = 1 to cfg.tweets_per_active do
+        let n_mentions = geometric tweet_rng cfg.mentions_per_tweet in
+        let mention_targets =
+          distinct_draws n_mentions (fun () ->
+              let candidate =
+                if Array.length my_followees > 0 && Rng.chance tweet_rng 0.7 then
+                  Rng.choose tweet_rng my_followees
+                else Sampler.Preferential.sample attractiveness tweet_rng
+              in
+              if candidate = author then None else Some candidate)
+        in
+        let n_tags = geometric tweet_rng cfg.tags_per_tweet in
+        let tag_targets =
+          distinct_draws n_tags (fun () -> Some (Sampler.Zipf.sample zipf tweet_rng))
+        in
+        let tid = !next_tid in
+        incr next_tid;
+        tweets :=
+          {
+            Dataset.tid;
+            author;
+            text = synth_text tweet_rng mention_targets tag_targets;
+            mention_targets;
+            tag_targets;
+          }
+          :: !tweets
+      done)
+    (List.sort compare active);
+  let tweets = Array.of_list (List.rev !tweets) in
+
+  (* ---- retweets (optional) ---- *)
+  let retweets =
+    if not cfg.with_retweets then [||]
+    else begin
+      (* A retweeter is a follower of the author. Build follower lists
+         once. *)
+      let followers = Array.make n [] in
+      Array.iter (fun (a, b) -> followers.(b) <- a :: followers.(b)) follows;
+      let acc = ref [] in
+      Array.iteri
+        (fun tweet_idx (tw : Dataset.tweet) ->
+          let fs = Array.of_list followers.(tw.Dataset.author) in
+          if Array.length fs > 0 then begin
+            let count = geometric tweet_rng cfg.retweets_per_tweet in
+            List.iter
+              (fun u -> acc := (u, tweet_idx) :: !acc)
+              (distinct_draws count (fun () -> Some (Rng.choose tweet_rng fs)))
+          end)
+        tweets;
+      Array.of_list (List.rev !acc)
+    end
+  in
+
+  {
+    Dataset.n_users = n;
+    user_names = Array.init n (fun i -> Printf.sprintf "u%d" i);
+    follows;
+    tweets;
+    hashtags;
+    retweets;
+  }

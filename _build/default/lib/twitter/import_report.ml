@@ -1,0 +1,41 @@
+(* Shared instrumentation for the two batch importers: the per-batch
+   series behind Figures 2 and 3, plus phase totals. *)
+
+type point = {
+  cumulative : int; (* items loaded so far in this series *)
+  batch_sim_ms : float; (* deterministic simulated cost of the batch *)
+  batch_wall_ms : float;
+}
+
+type series = { label : string; points : point list }
+
+type t = {
+  node_series : series list; (* one per node type, in import order *)
+  edge_series : series list; (* one per edge type, in import order *)
+  intermediate_sim_ms : float; (* e.g. Neo's dense-node computation *)
+  index_sim_ms : float; (* index build after import *)
+  total_sim_ms : float;
+  total_wall_ms : float;
+  size_words : int; (* resulting database footprint *)
+}
+
+let series_total series =
+  List.fold_left
+    (fun acc s -> List.fold_left (fun a p -> a +. p.batch_sim_ms) acc s.points)
+    0. series
+
+let to_table t =
+  let row label (s : series) =
+    let items = match List.rev s.points with p :: _ -> p.cumulative | [] -> 0 in
+    let sim = List.fold_left (fun a p -> a +. p.batch_sim_ms) 0. s.points in
+    [ label; s.label; string_of_int items; Printf.sprintf "%.1f" sim ]
+  in
+  List.map (row "nodes") t.node_series @ List.map (row "edges") t.edge_series
+
+(* Render a time series as a compact sparkline-ish text row list:
+   (cumulative, per-batch ms). *)
+let points_rows (s : series) =
+  List.map
+    (fun p ->
+      [ string_of_int p.cumulative; Printf.sprintf "%.2f" p.batch_sim_ms ])
+    s.points

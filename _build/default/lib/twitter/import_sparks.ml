@@ -1,0 +1,205 @@
+module Sdb = Mgq_sparks.Sdb
+module Value = Mgq_core.Value
+module Cost_model = Mgq_storage.Cost_model
+module Timing = Mgq_util.Stats.Timing
+
+type options = { extent_kb : int; cache_mb : float; batch : int }
+
+let default_options = { extent_kb = 64; cache_mb = 4.0; batch = 2000 }
+
+(* Mutable load-time state modelling the cache/extent behaviour. *)
+type loader = {
+  sdb : Sdb.t;
+  opts : options;
+  mutable cached_bytes : int;
+  mutable total_objects : int;
+}
+
+let sim_ms loader = Cost_model.simulated_ms (Cost_model.snapshot (Sdb.cost loader.sdb))
+
+(* Charge the cost of buffering [bytes] of payload: extent-indirection
+   cost grows with database size (smaller extents -> more extents ->
+   deeper lookup), and a full cache flushes to disk in one burst. *)
+let charge_payload loader bytes =
+  let cost = Sdb.cost loader.sdb in
+  let extent_bytes = loader.opts.extent_kb * 1024 in
+  let objects_per_extent = max 1 (extent_bytes / 48) in
+  let extents = 1 + (loader.total_objects / objects_per_extent) in
+  let depth = int_of_float (Float.log2 (float_of_int (1 + extents))) in
+  (* Constants calibrated so that at equal scale the bitmap engine
+     loads ~1.6x slower than the record store, matching the paper's
+     72-vs-45-minute totals; the per-byte term makes the heavier
+     tweet payloads visibly slower, as in Figure 3(a). *)
+  Cost_model.advance_ns cost (5_800 + (250 * depth) + (30 * bytes));
+  loader.total_objects <- loader.total_objects + 1;
+  loader.cached_bytes <- loader.cached_bytes + bytes;
+  let cache_bytes = int_of_float (loader.opts.cache_mb *. 1024. *. 1024.) in
+  if loader.cached_bytes >= cache_bytes then begin
+    (* Cache full: flush everything buffered in one burst. *)
+    let pages = max 1 (loader.cached_bytes / extent_bytes) in
+    Cost_model.record_page_flush ~n:pages cost;
+    loader.cached_bytes <- 0
+  end
+
+let batched loader ~label ~total f =
+  let points = ref [] in
+  let batch = loader.opts.batch in
+  let start_sim = ref (sim_ms loader) in
+  let start_wall = ref (Timing.now_ns ()) in
+  for i = 0 to total - 1 do
+    f i;
+    if (i + 1) mod batch = 0 || i = total - 1 then begin
+      let now_sim = sim_ms loader in
+      let now_wall = Timing.now_ns () in
+      points :=
+        {
+          Import_report.cumulative = i + 1;
+          batch_sim_ms = now_sim -. !start_sim;
+          batch_wall_ms = Int64.to_float (Int64.sub now_wall !start_wall) /. 1e6;
+        }
+        :: !points;
+      start_sim := now_sim;
+      start_wall := now_wall
+    end
+  done;
+  { Import_report.label; points = List.rev !points }
+
+let run ?(options = default_options) sdb (d : Dataset.t) =
+  let loader = { sdb; opts = options; cached_bytes = 0; total_objects = 0 } in
+  let wall_start = Timing.now_ns () in
+  let sim_start = sim_ms loader in
+
+  (* ---- script: schema ---- *)
+  let user_t = Sdb.new_node_type sdb Schema.user in
+  let tweet_t = Sdb.new_node_type sdb Schema.tweet in
+  let hashtag_t = Sdb.new_node_type sdb Schema.hashtag in
+  let follows_t = Sdb.new_edge_type sdb Schema.follows in
+  let posts_t = Sdb.new_edge_type sdb Schema.posts in
+  let mentions_t = Sdb.new_edge_type sdb Schema.mentions in
+  let tags_t = Sdb.new_edge_type sdb Schema.tags in
+  let retweets_t = Sdb.new_edge_type sdb Schema.retweets in
+  let uid_a = Sdb.new_attribute sdb user_t Schema.uid Sdb.Type_int Sdb.Unique in
+  let name_a = Sdb.new_attribute sdb user_t Schema.name Sdb.Type_string Sdb.Basic in
+  let followers_a = Sdb.new_attribute sdb user_t Schema.followers Sdb.Type_int Sdb.Basic in
+  let tid_a = Sdb.new_attribute sdb tweet_t Schema.tid Sdb.Type_int Sdb.Unique in
+  let text_a = Sdb.new_attribute sdb tweet_t Schema.text Sdb.Type_string Sdb.Basic in
+  let tag_a = Sdb.new_attribute sdb hashtag_t Schema.tag Sdb.Type_string Sdb.Unique in
+
+  let followers = Dataset.follower_counts d in
+  let materialize_penalty () =
+    (* Maintaining the neighbor index during load behaves like a
+       random write into a large structure. *)
+    if Sdb.materializes_neighbors sdb then
+      Cost_model.record_page_fault (Sdb.cost sdb) ~sequential:false
+  in
+
+  (* ---- nodes: hashtag, tweet, user (three payload regions) ---- *)
+  let hashtag_ids = Array.make (max 1 (Array.length d.Dataset.hashtags)) (-1) in
+  let hashtags_series =
+    batched loader ~label:Schema.hashtag ~total:(Array.length d.Dataset.hashtags) (fun i ->
+        let oid = Sdb.new_node sdb hashtag_t in
+        Sdb.set_attribute sdb oid tag_a (Value.Str d.Dataset.hashtags.(i));
+        charge_payload loader (24 + String.length d.Dataset.hashtags.(i));
+        hashtag_ids.(i) <- oid)
+  in
+  let tweet_ids = Array.make (max 1 (Array.length d.Dataset.tweets)) (-1) in
+  let tweets_series =
+    batched loader ~label:Schema.tweet ~total:(Array.length d.Dataset.tweets) (fun i ->
+        let tw = d.Dataset.tweets.(i) in
+        let oid = Sdb.new_node sdb tweet_t in
+        Sdb.set_attribute sdb oid tid_a (Value.Int tw.Dataset.tid);
+        Sdb.set_attribute sdb oid text_a (Value.Str tw.Dataset.text);
+        charge_payload loader (48 + String.length tw.Dataset.text);
+        tweet_ids.(i) <- oid)
+  in
+  let user_ids = Array.make d.Dataset.n_users (-1) in
+  let users_series =
+    batched loader ~label:Schema.user ~total:d.Dataset.n_users (fun i ->
+        let oid = Sdb.new_node sdb user_t in
+        Sdb.set_attribute sdb oid uid_a (Value.Int i);
+        Sdb.set_attribute sdb oid name_a (Value.Str d.Dataset.user_names.(i));
+        Sdb.set_attribute sdb oid followers_a (Value.Int followers.(i));
+        charge_payload loader (32 + String.length d.Dataset.user_names.(i));
+        user_ids.(i) <- oid)
+  in
+
+  (* ---- edges: follows first (~80%), then the rest ---- *)
+  let edge_payload = 24 in
+  let follows_series =
+    batched loader ~label:Schema.follows ~total:(Array.length d.Dataset.follows) (fun i ->
+        let a, b = d.Dataset.follows.(i) in
+        ignore (Sdb.new_edge sdb follows_t ~tail:user_ids.(a) ~head:user_ids.(b));
+        materialize_penalty ();
+        charge_payload loader edge_payload)
+  in
+  let posts_series =
+    batched loader ~label:Schema.posts ~total:(Array.length d.Dataset.tweets) (fun i ->
+        let tw = d.Dataset.tweets.(i) in
+        ignore (Sdb.new_edge sdb posts_t ~tail:user_ids.(tw.Dataset.author) ~head:tweet_ids.(i));
+        materialize_penalty ();
+        charge_payload loader edge_payload)
+  in
+  let mention_pairs =
+    Array.of_list
+      (List.concat
+         (Array.to_list
+            (Array.mapi
+               (fun i (tw : Dataset.tweet) ->
+                 List.map (fun u -> (i, u)) tw.Dataset.mention_targets)
+               d.Dataset.tweets)))
+  in
+  let mentions_series =
+    batched loader ~label:Schema.mentions ~total:(Array.length mention_pairs) (fun i ->
+        let tweet_idx, u = mention_pairs.(i) in
+        ignore (Sdb.new_edge sdb mentions_t ~tail:tweet_ids.(tweet_idx) ~head:user_ids.(u));
+        materialize_penalty ();
+        charge_payload loader edge_payload)
+  in
+  let tag_pairs =
+    Array.of_list
+      (List.concat
+         (Array.to_list
+            (Array.mapi
+               (fun i (tw : Dataset.tweet) -> List.map (fun h -> (i, h)) tw.Dataset.tag_targets)
+               d.Dataset.tweets)))
+  in
+  let tags_series =
+    batched loader ~label:Schema.tags ~total:(Array.length tag_pairs) (fun i ->
+        let tweet_idx, h = tag_pairs.(i) in
+        ignore (Sdb.new_edge sdb tags_t ~tail:tweet_ids.(tweet_idx) ~head:hashtag_ids.(h));
+        materialize_penalty ();
+        charge_payload loader edge_payload)
+  in
+  let retweet_series =
+    if Array.length d.Dataset.retweets = 0 then []
+    else
+      [
+        batched loader ~label:Schema.retweets ~total:(Array.length d.Dataset.retweets)
+          (fun i ->
+            let u, ti = d.Dataset.retweets.(i) in
+            ignore (Sdb.new_edge sdb retweets_t ~tail:user_ids.(u) ~head:tweet_ids.(ti));
+            materialize_penalty ();
+            charge_payload loader edge_payload);
+      ]
+  in
+
+  (* Final cache drain. *)
+  if loader.cached_bytes > 0 then begin
+    let pages = max 1 (loader.cached_bytes / (options.extent_kb * 1024)) in
+    Cost_model.record_page_flush ~n:pages (Sdb.cost sdb);
+    loader.cached_bytes <- 0
+  end;
+
+  let report =
+    {
+      Import_report.node_series = [ hashtags_series; tweets_series; users_series ];
+      edge_series =
+        [ follows_series; posts_series; mentions_series; tags_series ] @ retweet_series;
+      intermediate_sim_ms = 0.;
+      index_sim_ms = 0.; (* indexes build incrementally during load *)
+      total_sim_ms = sim_ms loader -. sim_start;
+      total_wall_ms = Int64.to_float (Int64.sub (Timing.now_ns ()) wall_start) /. 1e6;
+      size_words = Sdb.memory_words sdb;
+    }
+  in
+  (report, user_ids, tweet_ids, hashtag_ids)

@@ -1,0 +1,32 @@
+(** Script-driven batch importer for the bitmap engine (Figure 3).
+
+    Mirrors the Sparksee loading behaviour the paper reports: a script
+    defines the schema and indexed attributes, recovery/rollback are
+    off, and two knobs shape the load — the {e extent size} (smaller
+    extents make insertions slow down as the database grows) and the
+    {e cache size} (insertions buffer in the cache and flush in bursts
+    when it fills, producing jumps larger than the record store's).
+    Node types load in the order hashtag, tweet, user — three visible
+    payload regions — and the follows edges (~80 % of all edges) load
+    before the remaining edge types. Optional neighbor
+    materialisation makes import dramatically slower, reproducing the
+    aborted 8-hour load. *)
+
+type options = {
+  extent_kb : int;  (** default 64, as in the paper *)
+  cache_mb : float;  (** scaled-down default 4.0 (the paper used 5 GB at full scale) *)
+  batch : int;  (** instrumentation granularity, default 2000 *)
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  Mgq_sparks.Sdb.t ->
+  Dataset.t ->
+  Import_report.t * int array * int array * int array
+(** [run sdb dataset]: loads into [sdb] (whose
+    [materialize_neighbors] flag governs the neighbor index), returns
+    the report and the dataset-index -> oid maps for users, tweets,
+    hashtags. Declares the schema (node/edge types, unique indexed
+    uid/tid/tag attributes) itself; expects an empty database. *)

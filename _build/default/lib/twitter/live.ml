@@ -1,0 +1,219 @@
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+open Mgq_core.Types
+
+module Live_neo = struct
+  module Db = Mgq_neo.Db
+
+  type t = {
+    db : Db.t;
+    user_nodes : (int, int) Hashtbl.t; (* uid -> node id *)
+    hashtag_nodes : (string, int) Hashtbl.t;
+  }
+
+  let attach db ~users ~tweets ~hashtags (d : Dataset.t) =
+    ignore tweets;
+    let user_nodes = Hashtbl.create (Array.length users * 2) in
+    Array.iteri (fun uid node -> Hashtbl.replace user_nodes uid node) users;
+    let hashtag_nodes = Hashtbl.create 256 in
+    Array.iteri
+      (fun i node -> Hashtbl.replace hashtag_nodes d.Dataset.hashtags.(i) node)
+      hashtags;
+    { db; user_nodes; hashtag_nodes }
+
+  let node_of_uid t uid = Hashtbl.find_opt t.user_nodes uid
+
+  let hashtag_node t tag =
+    match Hashtbl.find_opt t.hashtag_nodes tag with
+    | Some node -> node
+    | None ->
+      let node =
+        Db.create_node t.db ~label:Schema.hashtag
+          (Property.of_list [ (Schema.tag, Value.Str tag) ])
+      in
+      Hashtbl.replace t.hashtag_nodes tag node;
+      node
+
+  let apply t event =
+    Db.with_tx t.db (fun () ->
+        match event with
+        | Stream.New_user { uid; name } ->
+          let node =
+            Db.create_node t.db ~label:Schema.user
+              (Property.of_list
+                 [
+                   (Schema.uid, Value.Int uid);
+                   (Schema.name, Value.Str name);
+                   (Schema.followers, Value.Int 0);
+                 ])
+          in
+          Hashtbl.replace t.user_nodes uid node
+        | Stream.New_follow { follower; followee } -> (
+          match (node_of_uid t follower, node_of_uid t followee) with
+          | Some a, Some b ->
+            ignore (Db.create_edge t.db ~etype:Schema.follows ~src:a ~dst:b Property.empty);
+            (* Keep the denormalised follower count fresh. *)
+            (match Db.node_property t.db b Schema.followers with
+            | Value.Int c -> Db.set_node_property t.db b Schema.followers (Value.Int (c + 1))
+            | _ -> ())
+          | _ -> ())
+        | Stream.Unfollow { follower; followee } -> (
+          match (node_of_uid t follower, node_of_uid t followee) with
+          | Some a, Some b -> (
+            let edge =
+              Seq.find (fun (e : edge) -> e.dst = b) (Db.edges_of t.db a ~etype:Schema.follows Out)
+            in
+            match edge with
+            | Some e ->
+              Db.delete_edge t.db e.id;
+              (match Db.node_property t.db b Schema.followers with
+              | Value.Int c ->
+                Db.set_node_property t.db b Schema.followers (Value.Int (c - 1))
+              | _ -> ())
+            | None -> ())
+          | _ -> ())
+        | Stream.New_tweet { tid; author; text; mentions; tags } -> (
+          match node_of_uid t author with
+          | None -> ()
+          | Some author_node ->
+            let tweet =
+              Db.create_node t.db ~label:Schema.tweet
+                (Property.of_list
+                   [ (Schema.tid, Value.Int tid); (Schema.text, Value.Str text) ])
+            in
+            ignore
+              (Db.create_edge t.db ~etype:Schema.posts ~src:author_node ~dst:tweet
+                 Property.empty);
+            List.iter
+              (fun uid ->
+                match node_of_uid t uid with
+                | Some u ->
+                  ignore
+                    (Db.create_edge t.db ~etype:Schema.mentions ~src:tweet ~dst:u
+                       Property.empty)
+                | None -> ())
+              mentions;
+            List.iter
+              (fun tag ->
+                ignore
+                  (Db.create_edge t.db ~etype:Schema.tags ~src:tweet ~dst:(hashtag_node t tag)
+                     Property.empty))
+              tags))
+end
+
+module Live_sparks = struct
+  module Sdb = Mgq_sparks.Sdb
+
+  type t = {
+    sdb : Sdb.t;
+    user_oids : (int, int) Hashtbl.t;
+    hashtag_oids : (string, int) Hashtbl.t;
+    t_user : int;
+    t_tweet : int;
+    t_hashtag : int;
+    t_follows : int;
+    t_posts : int;
+    t_mentions : int;
+    t_tags : int;
+    a_uid : int;
+    a_name : int;
+    a_followers : int;
+    a_tid : int;
+    a_text : int;
+    a_tag : int;
+  }
+
+  let attach sdb ~users ~tweets ~hashtags (d : Dataset.t) =
+    ignore tweets;
+    let user_oids = Hashtbl.create (Array.length users * 2) in
+    Array.iteri (fun uid oid -> Hashtbl.replace user_oids uid oid) users;
+    let hashtag_oids = Hashtbl.create 256 in
+    Array.iteri
+      (fun i oid -> Hashtbl.replace hashtag_oids d.Dataset.hashtags.(i) oid)
+      hashtags;
+    let t_user = Sdb.find_type sdb Schema.user in
+    let t_tweet = Sdb.find_type sdb Schema.tweet in
+    let t_hashtag = Sdb.find_type sdb Schema.hashtag in
+    {
+      sdb;
+      user_oids;
+      hashtag_oids;
+      t_user;
+      t_tweet;
+      t_hashtag;
+      t_follows = Sdb.find_type sdb Schema.follows;
+      t_posts = Sdb.find_type sdb Schema.posts;
+      t_mentions = Sdb.find_type sdb Schema.mentions;
+      t_tags = Sdb.find_type sdb Schema.tags;
+      a_uid = Sdb.find_attribute sdb t_user Schema.uid;
+      a_name = Sdb.find_attribute sdb t_user Schema.name;
+      a_followers = Sdb.find_attribute sdb t_user Schema.followers;
+      a_tid = Sdb.find_attribute sdb t_tweet Schema.tid;
+      a_text = Sdb.find_attribute sdb t_tweet Schema.text;
+      a_tag = Sdb.find_attribute sdb t_hashtag Schema.tag;
+    }
+
+  let oid_of_uid t uid = Hashtbl.find_opt t.user_oids uid
+
+  let hashtag_oid t tag =
+    match Hashtbl.find_opt t.hashtag_oids tag with
+    | Some oid -> oid
+    | None ->
+      let oid = Sdb.new_node t.sdb t.t_hashtag in
+      Sdb.set_attribute t.sdb oid t.a_tag (Value.Str tag);
+      Hashtbl.replace t.hashtag_oids tag oid;
+      oid
+
+  let bump_followers t oid delta =
+    match Sdb.get_attribute t.sdb oid t.a_followers with
+    | Value.Int c -> Sdb.set_attribute t.sdb oid t.a_followers (Value.Int (c + delta))
+    | _ -> ()
+
+  let apply t event =
+    match event with
+    | Stream.New_user { uid; name } ->
+      let oid = Sdb.new_node t.sdb t.t_user in
+      Sdb.set_attribute t.sdb oid t.a_uid (Value.Int uid);
+      Sdb.set_attribute t.sdb oid t.a_name (Value.Str name);
+      Sdb.set_attribute t.sdb oid t.a_followers (Value.Int 0);
+      Hashtbl.replace t.user_oids uid oid
+    | Stream.New_follow { follower; followee } -> (
+      match (oid_of_uid t follower, oid_of_uid t followee) with
+      | Some a, Some b ->
+        ignore (Sdb.new_edge t.sdb t.t_follows ~tail:a ~head:b);
+        bump_followers t b 1
+      | _ -> ())
+    | Stream.Unfollow { follower; followee } -> (
+      match (oid_of_uid t follower, oid_of_uid t followee) with
+      | Some a, Some b -> (
+        let edges = Sdb.explode t.sdb a t.t_follows Out in
+        let victim =
+          Mgq_sparks.Objects.fold
+            (fun acc e -> if acc = None && Sdb.head_of t.sdb e = b then Some e else acc)
+            None edges
+        in
+        match victim with
+        | Some e ->
+          Sdb.drop_edge t.sdb e;
+          bump_followers t b (-1)
+        | None -> ())
+      | _ -> ())
+    | Stream.New_tweet { tid; author; text; mentions; tags } -> (
+      match oid_of_uid t author with
+      | None -> ()
+      | Some author_oid ->
+        let tweet = Sdb.new_node t.sdb t.t_tweet in
+        Sdb.set_attribute t.sdb tweet t.a_tid (Value.Int tid);
+        Sdb.set_attribute t.sdb tweet t.a_text (Value.Str text);
+        ignore (Sdb.new_edge t.sdb t.t_posts ~tail:author_oid ~head:tweet);
+        List.iter
+          (fun uid ->
+            match oid_of_uid t uid with
+            | Some u -> ignore (Sdb.new_edge t.sdb t.t_mentions ~tail:tweet ~head:u)
+            | None -> ())
+          mentions;
+        List.iter
+          (fun tag ->
+            ignore (Sdb.new_edge t.sdb t.t_tags ~tail:tweet ~head:(hashtag_oid t tag)))
+          tags)
+end

@@ -1,0 +1,35 @@
+(** Incremental event application — "the true real-time nature of
+    microblogs" (Section 5).
+
+    Each live handle wraps a loaded engine plus the uid/tid/tag maps
+    the importer produced, and applies {!Stream.event}s one at a time:
+    exactly the capability the paper found missing in 2015 ("both
+    Neo4j and Sparksee could not import additional data into an
+    existing database, hence all data was loaded in one single
+    batch"). *)
+
+module Live_neo : sig
+  type t
+
+  val attach :
+    Mgq_neo.Db.t -> users:int array -> tweets:int array -> hashtags:int array -> Dataset.t -> t
+  (** Wrap a database produced by {!Import_neo.run} (same dataset and
+      id maps). *)
+
+  val apply : t -> Stream.event -> unit
+  (** Applies in its own transaction. Unfollow of a non-existent edge
+      and mentions of unknown users are ignored (at-least-once stream
+      semantics). *)
+
+  val node_of_uid : t -> int -> int option
+end
+
+module Live_sparks : sig
+  type t
+
+  val attach :
+    Mgq_sparks.Sdb.t -> users:int array -> tweets:int array -> hashtags:int array -> Dataset.t -> t
+
+  val apply : t -> Stream.event -> unit
+  val oid_of_uid : t -> int -> int option
+end

@@ -1,0 +1,24 @@
+(* The graph schema of Figure 1: three node types and five edge types,
+   with the property vocabulary both importers share. *)
+
+let user = "user"
+let tweet = "tweet"
+let hashtag = "hashtag"
+
+let node_types = [ user; tweet; hashtag ]
+
+let follows = "follows"
+let posts = "posts"
+let retweets = "retweets"
+let mentions = "mentions"
+let tags = "tags"
+
+let edge_types = [ follows; posts; retweets; mentions; tags ]
+
+(* Property keys. *)
+let uid = "uid" (* user id, unique *)
+let name = "name" (* screen name *)
+let followers = "followers" (* follower count, denormalised for Q1 *)
+let tid = "tid" (* tweet id, unique *)
+let text = "text" (* tweet body *)
+let tag = "tag" (* hashtag string, unique *)

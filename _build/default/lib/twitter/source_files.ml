@@ -1,0 +1,160 @@
+module Tsv = Mgq_util.Tsv
+
+type paths = {
+  users : string;
+  tweets : string;
+  hashtags : string;
+  follows : string;
+  mentions : string;
+  tags : string;
+  retweets : string;
+}
+
+let paths_in dir =
+  let f name = Filename.concat dir name in
+  {
+    users = f "users.tsv";
+    tweets = f "tweets.tsv";
+    hashtags = f "hashtags.tsv";
+    follows = f "follows.tsv";
+    mentions = f "mentions.tsv";
+    tags = f "tags.tsv";
+    retweets = f "retweets.tsv";
+  }
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write (d : Dataset.t) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let p = paths_in dir in
+  with_out p.users (fun oc ->
+      Array.iteri
+        (fun i name -> Tsv.write_row oc [ string_of_int i; name ])
+        d.Dataset.user_names);
+  with_out p.tweets (fun oc ->
+      Array.iter
+        (fun (tw : Dataset.tweet) ->
+          Tsv.write_row oc
+            [ string_of_int tw.Dataset.tid; string_of_int tw.Dataset.author; tw.Dataset.text ])
+        d.Dataset.tweets);
+  with_out p.hashtags (fun oc ->
+      Array.iteri (fun i tag -> Tsv.write_row oc [ string_of_int i; tag ]) d.Dataset.hashtags);
+  with_out p.follows (fun oc ->
+      Array.iter
+        (fun (a, b) -> Tsv.write_row oc [ string_of_int a; string_of_int b ])
+        d.Dataset.follows);
+  with_out p.mentions (fun oc ->
+      Array.iteri
+        (fun tweet_idx (tw : Dataset.tweet) ->
+          List.iter
+            (fun u -> Tsv.write_row oc [ string_of_int tweet_idx; string_of_int u ])
+            tw.Dataset.mention_targets)
+        d.Dataset.tweets);
+  with_out p.tags (fun oc ->
+      Array.iteri
+        (fun tweet_idx (tw : Dataset.tweet) ->
+          List.iter
+            (fun h -> Tsv.write_row oc [ string_of_int tweet_idx; string_of_int h ])
+            tw.Dataset.tag_targets)
+        d.Dataset.tweets);
+  with_out p.retweets (fun oc ->
+      Array.iter
+        (fun (u, ti) -> Tsv.write_row oc [ string_of_int u; string_of_int ti ])
+        d.Dataset.retweets);
+  p
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Source_files.read: bad %s field %S" what s)
+
+let read p =
+  let users = ref [] in
+  ignore
+    (Tsv.read_rows p.users (fun row ->
+         match row with
+         | [ idx; name ] -> users := (parse_int "user" idx, name) :: !users
+         | _ -> failwith "Source_files.read: bad users row"));
+  let users = List.sort compare !users in
+  let n_users = List.length users in
+  let user_names = Array.make (max 1 n_users) "" in
+  List.iter (fun (i, name) -> user_names.(i) <- name) users;
+
+  let hashtags = ref [] in
+  ignore
+    (Tsv.read_rows p.hashtags (fun row ->
+         match row with
+         | [ idx; tag ] -> hashtags := (parse_int "hashtag" idx, tag) :: !hashtags
+         | _ -> failwith "Source_files.read: bad hashtags row"));
+  let hashtags_sorted = List.sort compare !hashtags in
+  let hashtags = Array.of_list (List.map snd hashtags_sorted) in
+
+  let tweet_rows = ref [] in
+  ignore
+    (Tsv.read_rows p.tweets (fun row ->
+         match row with
+         | [ tid; author; text ] ->
+           tweet_rows := (parse_int "tid" tid, parse_int "author" author, text) :: !tweet_rows
+         | _ -> failwith "Source_files.read: bad tweets row"));
+  let tweet_rows = List.sort compare !tweet_rows in
+  let n_tweets = List.length tweet_rows in
+  let mention_lists = Array.make (max 1 n_tweets) [] in
+  let tag_lists = Array.make (max 1 n_tweets) [] in
+  ignore
+    (Tsv.read_rows p.mentions (fun row ->
+         match row with
+         | [ tweet_idx; u ] ->
+           let i = parse_int "mention tweet" tweet_idx in
+           mention_lists.(i) <- parse_int "mention user" u :: mention_lists.(i)
+         | _ -> failwith "Source_files.read: bad mentions row"));
+  ignore
+    (Tsv.read_rows p.tags (fun row ->
+         match row with
+         | [ tweet_idx; h ] ->
+           let i = parse_int "tag tweet" tweet_idx in
+           tag_lists.(i) <- parse_int "tag hashtag" h :: tag_lists.(i)
+         | _ -> failwith "Source_files.read: bad tags row"));
+  let tweets =
+    Array.of_list
+      (List.mapi
+         (fun i (tid, author, text) ->
+           {
+             Dataset.tid;
+             author;
+             text;
+             mention_targets = List.rev mention_lists.(i);
+             tag_targets = List.rev tag_lists.(i);
+           })
+         tweet_rows)
+  in
+
+  let retweets = ref [] in
+  ignore
+    (Tsv.read_rows p.retweets (fun row ->
+         match row with
+         | [ u; ti ] -> retweets := (parse_int "retweet user" u, parse_int "retweet tweet" ti) :: !retweets
+         | _ -> failwith "Source_files.read: bad retweets row"));
+
+  {
+    Dataset.n_users;
+    user_names;
+    follows =
+      (let acc = ref [] in
+       ignore
+         (Tsv.read_rows p.follows (fun row ->
+              match row with
+              | [ a; b ] -> acc := (parse_int "follower" a, parse_int "followee" b) :: !acc
+              | _ -> failwith "Source_files.read: bad follows row"));
+       Array.of_list (List.rev !acc));
+    tweets;
+    hashtags;
+    retweets = Array.of_list (List.rev !retweets);
+  }
+
+let total_bytes p =
+  List.fold_left
+    (fun acc path -> if Sys.file_exists path then acc + (Unix.stat path).Unix.st_size else acc)
+    0
+    [ p.users; p.tweets; p.hashtags; p.follows; p.mentions; p.tags; p.retweets ]

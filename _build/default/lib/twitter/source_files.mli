@@ -1,0 +1,30 @@
+(** TSV source files for batch loading.
+
+    The paper feeds "the same source files containing the nodes and
+    edges ... with both databases"; this module writes a
+    {!Dataset.t} out as one TSV per node/edge type and reads it back,
+    so both importers genuinely consume identical inputs. *)
+
+type paths = {
+  users : string;
+  tweets : string;
+  hashtags : string;
+  follows : string;
+  mentions : string;
+  tags : string;
+  retweets : string;
+}
+
+val paths_in : string -> paths
+(** Conventional file names under a directory. *)
+
+val write : Dataset.t -> string -> paths
+(** [write dataset dir] creates [dir] if needed and writes all files.
+    Returns the paths. *)
+
+val read : paths -> Dataset.t
+(** Inverse of {!write}.
+    @raise Failure on malformed rows. *)
+
+val total_bytes : paths -> int
+(** Combined size on disk of all source files. *)

@@ -1,0 +1,1 @@
+lib/util/topn.ml: Array Hashtbl List

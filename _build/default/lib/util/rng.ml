@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next_int64 t }
+
+(* Non-negative 62-bit value: OCaml ints are 63-bit, so drop two top bits. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+  let rec draw () =
+    let v = next_nonneg t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 *. bound (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t k n =
+  assert (k <= n);
+  if k * 3 >= n then begin
+    (* Dense case: shuffle a prefix of the full range. *)
+    let arr = Array.init n (fun i -> i) in
+    shuffle t arr;
+    Array.to_list (Array.sub arr 0 k)
+  end else begin
+    (* Sparse case: draw with a seen-set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else begin
+        let v = int t n in
+        if Hashtbl.mem seen v then draw acc remaining
+        else begin
+          Hashtbl.add seen v ();
+          draw (v :: acc) (remaining - 1)
+        end
+      end
+    in
+    draw [] k
+  end

@@ -1,0 +1,105 @@
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    assert (n > 0 && s >= 0.);
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    for k = 0 to n - 1 do
+      acc := !acc +. (1. /. (float_of_int (k + 1) ** s));
+      cdf.(k) <- !acc
+    done;
+    let total = !acc in
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. total
+    done;
+    { cdf }
+
+  let support t = Array.length t.cdf
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    (* Binary search for the first rank whose cumulative mass covers u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) < u then search (mid + 1) hi else search lo mid
+      end
+    in
+    search 0 (Array.length t.cdf - 1)
+
+  let probability t k =
+    assert (k >= 0 && k < Array.length t.cdf);
+    if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)
+end
+
+module Power_law = struct
+  let sample rng ~alpha ~x_min ~x_max =
+    assert (alpha > 1.);
+    assert (1 <= x_min && x_min <= x_max);
+    if x_min = x_max then x_min
+    else begin
+      let u = Rng.float rng 1.0 in
+      let one_minus = 1. -. alpha in
+      let lo = float_of_int x_min ** one_minus in
+      let hi = float_of_int (x_max + 1) ** one_minus in
+      let x = (lo +. (u *. (hi -. lo))) ** (1. /. one_minus) in
+      let v = int_of_float x in
+      if v < x_min then x_min else if v > x_max then x_max else v
+    end
+end
+
+module Preferential = struct
+  type t = { tree : float array; n : int }
+
+  let create ~n ~smoothing =
+    assert (n > 0 && smoothing >= 0.);
+    let t = { tree = Array.make (n + 1) 0.; n } in
+    (* Seed every node with the smoothing mass so isolated nodes stay
+       reachable. *)
+    for i = 0 to n - 1 do
+      let rec bump j =
+        if j <= n then begin
+          t.tree.(j) <- t.tree.(j) +. smoothing;
+          bump (j + (j land -j))
+        end
+      in
+      bump (i + 1)
+    done;
+    t
+
+  let add_weight t i w =
+    assert (i >= 0 && i < t.n);
+    let rec bump j =
+      if j <= t.n then begin
+        t.tree.(j) <- t.tree.(j) +. w;
+        bump (j + (j land -j))
+      end
+    in
+    bump (i + 1)
+
+  let total_weight t =
+    let rec sum j acc = if j = 0 then acc else sum (j - (j land -j)) (acc +. t.tree.(j)) in
+    sum t.n 0.
+
+  let sample t rng =
+    let target = Rng.float rng (total_weight t) in
+    (* Descend the implicit Fenwick tree to find the prefix-sum
+       crossing point. *)
+    let rec descend idx mask remaining =
+      if mask = 0 then idx
+      else begin
+        let next = idx + mask in
+        if next <= t.n && t.tree.(next) < remaining then
+          descend next (mask / 2) (remaining -. t.tree.(next))
+        else descend idx (mask / 2) remaining
+      end
+    in
+    let top = ref 1 in
+    while !top * 2 <= t.n do
+      top := !top * 2
+    done;
+    let i = descend 0 !top target in
+    if i >= t.n then t.n - 1 else i
+end

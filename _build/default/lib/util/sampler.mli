@@ -1,0 +1,53 @@
+(** Skewed samplers used by the synthetic Twitter crawl generator.
+
+    Microblogging graphs are heavy-tailed: a few celebrities hold most
+    followers and a few hashtags account for most tag usage. The
+    generator reproduces that shape with a Zipf sampler (hashtag
+    vocabulary, mention targets) and a discrete power-law sampler
+    (follower out-degrees). *)
+
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** [create ~n ~s] prepares a Zipf distribution over ranks
+      [0, n) with exponent [s] (typically 0.8-1.2). Requires [n > 0]
+      and [s >= 0.]. Construction is O(n); sampling is O(log n). *)
+
+  val sample : t -> Rng.t -> int
+  (** Draw a rank; rank 0 is the most probable. *)
+
+  val support : t -> int
+
+  val probability : t -> int -> float
+  (** [probability t k] is the probability mass of rank [k]. *)
+end
+
+module Power_law : sig
+  val sample : Rng.t -> alpha:float -> x_min:int -> x_max:int -> int
+  (** Discrete power-law draw in [x_min, x_max] with density
+      proportional to [x ** -alpha], via inverse-transform of the
+      continuous law rounded down. Requires [alpha > 1.],
+      [1 <= x_min <= x_max]. *)
+end
+
+module Preferential : sig
+  (** Preferential-attachment target picker: the probability of
+      picking node [i] is proportional to [weight i + smoothing].
+      Backed by a Fenwick tree so weight updates and draws are
+      O(log n). Used to grow the follower network so that in-degrees
+      are power-law distributed (celebrity users emerge). *)
+
+  type t
+
+  val create : n:int -> smoothing:float -> t
+
+  val add_weight : t -> int -> float -> unit
+  (** [add_weight t i w] increases node [i]'s attractiveness by [w]. *)
+
+  val sample : t -> Rng.t -> int
+  (** Draw a node index with probability proportional to its current
+      weight. *)
+
+  val total_weight : t -> float
+end

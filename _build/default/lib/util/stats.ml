@@ -1,0 +1,82 @@
+module Summary = struct
+  type t = {
+    mutable samples : float list;
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { samples = []; count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  (* Welford's online algorithm keeps mean/variance numerically stable. *)
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+
+  let stddev t =
+    if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let min t = t.min
+  let max t = t.max
+
+  let percentile t p =
+    assert (t.count > 0 && p >= 0. && p <= 100.);
+    let sorted = List.sort compare t.samples in
+    let arr = Array.of_list sorted in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
+    arr.(idx)
+end
+
+module Timing = struct
+  let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+  let time_ms f =
+    let start = now_ns () in
+    let result = f () in
+    let stop = now_ns () in
+    (result, Int64.to_float (Int64.sub stop start) /. 1e6)
+
+  let measure_ms ?(warmup = 2) ?(runs = 10) f =
+    for _ = 1 to warmup do
+      ignore (f ())
+    done;
+    let summary = Summary.create () in
+    for _ = 1 to runs do
+      let _, ms = time_ms f in
+      Summary.add summary ms
+    done;
+    summary
+end
+
+let histogram ~buckets xs =
+  let bounds = List.sort_uniq compare buckets in
+  let label lo hi_opt =
+    match hi_opt with
+    | Some hi -> Printf.sprintf "%d-%d" lo (hi - 1)
+    | None -> Printf.sprintf "%d+" lo
+  in
+  let rec ranges = function
+    | [] -> []
+    | [ last ] -> [ (last, None) ]
+    | lo :: (hi :: _ as rest) -> (lo, Some hi) :: ranges rest
+  in
+  let rs = ranges bounds in
+  List.map
+    (fun (lo, hi_opt) ->
+      let inside x =
+        x >= lo && match hi_opt with Some hi -> x < hi | None -> true
+      in
+      (label lo hi_opt, List.length (List.filter inside xs)))
+    rs

@@ -1,0 +1,40 @@
+(** Small statistics toolkit for the bench harness.
+
+    The paper reports average execution times over repeated runs after
+    a warm-up phase; [Timing] encapsulates that protocol, and
+    [Summary] accumulates mean / stddev / percentiles for reporting. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0, 100]; nearest-rank on the
+      recorded samples. Requires at least one sample. *)
+end
+
+module Timing : sig
+  val now_ns : unit -> int64
+  (** Monotonic clock, nanoseconds. *)
+
+  val time_ms : (unit -> 'a) -> 'a * float
+  (** Run a thunk, returning its result and elapsed wall milliseconds. *)
+
+  val measure_ms : ?warmup:int -> ?runs:int -> (unit -> 'a) -> Summary.t
+  (** The paper's measurement protocol: execute [warmup] unrecorded
+      runs (default 2) to warm caches and the plan cache, then record
+      [runs] timed executions (default 10) and return their summary. *)
+end
+
+val histogram : buckets:int list -> int list -> (string * int) list
+(** [histogram ~buckets xs] counts values into right-open ranges
+    delimited by the sorted [buckets] boundaries, labelling each range
+    (e.g. "0-9", "10-99", "100+"). Used to bucket sweep parameters the
+    way Figure 4's x-axes do. *)

@@ -1,0 +1,66 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    rows;
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> Left
+  in
+  let line sep =
+    let dashes = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    sep ^ String.concat sep dashes ^ sep ^ "\n"
+  in
+  let format_row row =
+    let cells =
+      List.mapi (fun i cell -> " " ^ pad (align_of i) widths.(i) cell ^ " ") row
+    in
+    "|" ^ String.concat "|" cells ^ "|\n"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line "+");
+  Buffer.add_string buf (format_row header);
+  Buffer.add_string buf (line "+");
+  List.iter (fun row -> Buffer.add_string buf (format_row row)) rows;
+  Buffer.add_string buf (line "+");
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)
+
+let fmt_ms ms =
+  if ms < 0.1 then Printf.sprintf "%.3f" ms
+  else if ms < 10. then Printf.sprintf "%.2f" ms
+  else if ms < 100. then Printf.sprintf "%.1f" ms
+  else Printf.sprintf "%.0f" ms
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

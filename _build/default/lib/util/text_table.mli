@@ -1,0 +1,20 @@
+(** Plain-text table rendering for bench output.
+
+    Every table and figure reproduction prints through this module so
+    the harness output has one consistent, diffable format. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a boxed ASCII table. Columns are
+    sized to fit; [aligns] defaults to left for every column. Rows
+    shorter than the header are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_ms : float -> string
+(** Milliseconds with adaptive precision ("0.042", "1.3", "128"). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer ("24,789,792"). *)

@@ -1,0 +1,1 @@
+test/test_bitmap.ml: Alcotest Fun Int List Mgq_bitmap Mgq_util Printf QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Array List Mgq_core Mgq_cypher Mgq_neo Mgq_queries Mgq_sparks Mgq_storage Mgq_twitter Printf

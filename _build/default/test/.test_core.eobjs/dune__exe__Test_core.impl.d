@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Gen List Mgq_core Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cypher.ml: Alcotest Array Buffer Format Fun List Mgq_core Mgq_cypher Mgq_neo Mgq_util Printf QCheck QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_neo.ml: Alcotest Array Filename Format Hashtbl List Mgq_core Mgq_neo Mgq_storage Mgq_util Printf QCheck QCheck_alcotest Queue Seq String Sys

@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Array Float Format Hashtbl Lazy List Mgq_core Mgq_neo Mgq_queries Mgq_rel Mgq_sparks Mgq_twitter Mgq_util Option Printf

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Array Lazy List Mgq_rel Mgq_storage Mgq_twitter Option Printf

@@ -1,0 +1,1 @@
+test/test_sparks.ml: Alcotest Array Filename Format Fun List Mgq_core Mgq_neo Mgq_sparks Mgq_storage Mgq_util Option Printf QCheck QCheck_alcotest Sys

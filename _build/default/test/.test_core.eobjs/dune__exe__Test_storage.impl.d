@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Gen Hashtbl List Mgq_storage QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_twitter.ml: Alcotest Array Filename List Mgq_core Mgq_neo Mgq_sparks Mgq_storage Mgq_twitter Option Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Gen Hashtbl List Mgq_util Printf QCheck QCheck_alcotest String Sys

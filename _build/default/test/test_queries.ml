@@ -1,0 +1,386 @@
+(* Integration tests for the query workload: on generated datasets,
+   every query must return identical canonical answers from the
+   reference oracle, the Cypher layer, the Neo core API and the
+   Sparksee API. This is the strongest correctness statement in the
+   repository: two independently built engines and a declarative
+   compiler agree with a naive evaluator. *)
+
+module Generator = Mgq_twitter.Generator
+module Dataset = Mgq_twitter.Dataset
+module Contexts = Mgq_queries.Contexts
+module Reference = Mgq_queries.Reference
+module Workload = Mgq_queries.Workload
+module Results = Mgq_queries.Results
+module Params = Mgq_queries.Params
+module Q_cypher = Mgq_queries.Q_cypher
+module Composite = Mgq_queries.Composite
+module Rng = Mgq_util.Rng
+
+let check = Alcotest.check
+
+(* One shared fixture: building contexts imports the dataset into both
+   engines, which is the expensive part. *)
+let dataset =
+  Generator.generate
+    {
+      (Generator.scaled ~n_users:300 ()) with
+      Generator.active_fraction = 0.08;
+      (* denser activity than the default so every query has non-empty
+         answers at this tiny scale *)
+      tweets_per_active = 30;
+      mentions_per_tweet = 1.2;
+      tags_per_tweet = 0.8;
+      with_retweets = true;
+      retweets_per_tweet = 0.4;
+    }
+
+let reference = Reference.build dataset
+let neo = Contexts.build_neo dataset
+let sparks = Contexts.build_sparks dataset
+
+let results_testable =
+  Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Results.to_string r))
+    Results.equal
+
+(* Parameter draws covering hubs, average users and loners. *)
+let interesting_uids =
+  let by_mentions = Params.users_by_mention_degree reference in
+  let spread = Params.spread 4 by_mentions in
+  List.sort_uniq compare (0 :: List.map snd spread)
+
+let args_for uid =
+  { Workload.default_args with Workload.uid; uid2 = (uid + 37) mod 300; tag = "topic1" }
+
+let test_engine_agreement (q : Workload.query) () =
+  List.iter
+    (fun uid ->
+      let args = args_for uid in
+      let expected = q.Workload.run_reference reference args in
+      let label impl = Printf.sprintf "%s uid=%d (%s)" q.Workload.id uid impl in
+      check results_testable (label "cypher") expected (q.Workload.run_cypher neo args);
+      check results_testable (label "neo api") expected (q.Workload.run_neo_api neo args);
+      check results_testable (label "sparks") expected (q.Workload.run_sparks sparks args))
+    interesting_uids
+
+let agreement_cases =
+  List.map
+    (fun q ->
+      Alcotest.test_case (q.Workload.id ^ " agreement") `Quick (test_engine_agreement q))
+    Workload.all
+
+(* Conjunctive selection: Cypher does it in one pass with AND; the
+   Sparksee translation runs one range scan per predicate and
+   intersects the Objects sets. Both must match the oracle. *)
+let test_conjunctive_select_agreement () =
+  List.iter
+    (fun (lo, hi) ->
+      let expected = Reference.q1_band reference ~lo ~hi in
+      check results_testable
+        (Printf.sprintf "band (%d,%d) cypher" lo hi)
+        expected
+        (Q_cypher.q1_band neo ~lo ~hi);
+      check results_testable
+        (Printf.sprintf "band (%d,%d) sparks" lo hi)
+        expected
+        (Mgq_queries.Q_sparks.q1_band sparks ~lo ~hi))
+    [ (0, 5); (2, 20); (10, 11); (100, 2000) ]
+
+(* ------------------------------------------------------------------ *)
+(* Q4 Cypher variants (Section 4, D1)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_q4_variants_agree () =
+  List.iter
+    (fun uid ->
+      let expected = Reference.q4_1 reference ~uid ~n:10 in
+      List.iter
+        (fun (name, variant) ->
+          check results_testable
+            (Printf.sprintf "variant %s uid=%d" name uid)
+            expected
+            (Q_cypher.q4_variant neo ~variant ~uid ~n:10))
+        [ ("a", `A); ("b", `B); ("c", `C) ])
+    interesting_uids
+
+let test_q2_3_context_agrees () =
+  List.iter
+    (fun uid ->
+      check results_testable
+        (Printf.sprintf "context Q2.3 uid=%d" uid)
+        (Reference.q2_3 reference ~uid)
+        (Mgq_queries.Q_sparks.q2_3_context sparks ~uid))
+    interesting_uids
+
+(* ------------------------------------------------------------------ *)
+(* Q6 across many random pairs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_q6_random_pairs () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 15 do
+    let uid = Rng.int rng 300 and uid2 = Rng.int rng 300 in
+    let args = { (args_for uid) with Workload.uid2 } in
+    let q = Option.get (Workload.find "Q6.1") in
+    let expected = q.Workload.run_reference reference args in
+    check results_testable
+      (Printf.sprintf "Q6 %d->%d cypher" uid uid2)
+      expected
+      (q.Workload.run_cypher neo args);
+    check results_testable
+      (Printf.sprintf "Q6 %d->%d sparks" uid uid2)
+      expected
+      (q.Workload.run_sparks sparks args)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parameter helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_params_spread () =
+  let sorted = [ (1, 'a'); (2, 'b'); (3, 'c'); (4, 'd'); (5, 'e') ] in
+  check Alcotest.int "spread count" 3 (List.length (Params.spread 3 sorted));
+  check Alcotest.bool "includes extremes" true
+    (let s = Params.spread 3 sorted in
+     List.mem (1, 'a') s && List.mem (5, 'e') s);
+  check Alcotest.int "short list passes through" 2
+    (List.length (Params.spread 5 [ (1, 'a'); (2, 'b') ]))
+
+let test_params_path_buckets () =
+  let pairs = Params.pairs_by_path_length ~per_bucket:2 ~max_hops:3 reference in
+  List.iter
+    (fun (l, (a, b)) ->
+      match Reference.q6_1 reference ~uid1:a ~uid2:b ~max_hops:3 with
+      | Results.Path_length (Some actual) ->
+        check Alcotest.int (Printf.sprintf "bucket %d" l) l actual
+      | _ -> Alcotest.fail "bucketed pair has no path")
+    pairs;
+  check Alcotest.bool "found some pairs" true (List.length pairs > 0)
+
+let test_params_mention_degree_sorted () =
+  let xs = Params.users_by_mention_degree reference in
+  let degrees = List.map fst xs in
+  check Alcotest.bool "ascending" true (List.sort compare degrees = degrees);
+  check Alcotest.int "covers all users" 300 (List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Composite query (Section 3.3)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_composite_engines_agree () =
+  let run_engine run = run ~uid:0 ~tag:"topic0" ~n_hashtags:3 ~n_tweets:10 ~max_hops:4 in
+  let from_neo = run_engine (Composite.run_neo neo) in
+  let from_sparks = run_engine (Composite.run_sparks sparks) in
+  let render e =
+    Printf.sprintf "%d@%s" e.Composite.expert_uid
+      (match e.Composite.distance with Some d -> string_of_int d | None -> "inf")
+  in
+  check
+    Alcotest.(list string)
+    "composite agreement"
+    (List.map render from_neo)
+    (List.map render from_sparks);
+  check Alcotest.bool "found experts" true (List.length from_neo > 0)
+
+let test_composite_ordering () =
+  let experts =
+    Composite.run_neo neo ~uid:0 ~tag:"topic0" ~n_hashtags:3 ~n_tweets:10 ~max_hops:4
+  in
+  let rec nondecreasing = function
+    | { Composite.distance = Some a; _ } :: ({ Composite.distance = Some b; _ } :: _ as rest)
+      ->
+      a <= b && nondecreasing rest
+    | { Composite.distance = Some _; _ } :: rest -> nondecreasing rest
+    | { Composite.distance = None; _ } :: rest ->
+      (* unreachable users must all be at the tail *)
+      List.for_all (fun e -> e.Composite.distance = None) rest
+    | [] -> true
+  in
+  check Alcotest.bool "closest first" true (nondecreasing experts)
+
+(* ------------------------------------------------------------------ *)
+(* Relational baseline agreement                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Rdb = Mgq_rel.Rdb
+module Rel_queries = Mgq_rel.Rel_queries
+
+let rdb =
+  lazy
+    (let r = Rdb.create () in
+     ignore (Rdb.load r dataset);
+     r)
+
+let test_relational_agreement () =
+  let r = Lazy.force rdb in
+  List.iter
+    (fun uid ->
+      let agree name expected got =
+        check results_testable (Printf.sprintf "%s uid=%d (rel)" name uid) expected got
+      in
+      agree "Q1.1"
+        (Reference.q1_select reference ~threshold:5)
+        (Results.Ids (Rel_queries.q1_select r ~threshold:5));
+      agree "Q2.1" (Reference.q2_1 reference ~uid) (Results.Ids (Rel_queries.q2_1 r ~uid));
+      agree "Q2.2" (Reference.q2_2 reference ~uid) (Results.Ids (Rel_queries.q2_2 r ~uid));
+      agree "Q2.3" (Reference.q2_3 reference ~uid) (Results.Tags (Rel_queries.q2_3 r ~uid));
+      agree "Q3.1"
+        (Reference.q3_1 reference ~uid ~n:10)
+        (Results.Counted (Rel_queries.q3_1 r ~uid ~n:10));
+      agree "Q3.2"
+        (Reference.q3_2 reference ~tag:"topic1" ~n:10)
+        (Results.Tag_counts (Rel_queries.q3_2 r ~tag:"topic1" ~n:10));
+      agree "Q4.1"
+        (Reference.q4_1 reference ~uid ~n:10)
+        (Results.Counted (Rel_queries.q4_1 r ~uid ~n:10));
+      agree "Q4.2"
+        (Reference.q4_2 reference ~uid ~n:10)
+        (Results.Counted (Rel_queries.q4_2 r ~uid ~n:10));
+      agree "Q5.1"
+        (Reference.q5_1 reference ~uid ~n:10)
+        (Results.Counted (Rel_queries.q5_1 r ~uid ~n:10));
+      agree "Q5.2"
+        (Reference.q5_2 reference ~uid ~n:10)
+        (Results.Counted (Rel_queries.q5_2 r ~uid ~n:10));
+      agree "Q6.1"
+        (Reference.q6_1 reference ~uid1:uid ~uid2:((uid + 37) mod 300) ~max_hops:3)
+        (Results.Path_length
+           (Rel_queries.q6_1 r ~uid1:uid ~uid2:((uid + 37) mod 300) ~max_hops:3)))
+    interesting_uids
+
+(* ------------------------------------------------------------------ *)
+(* Whole-graph analytics (extension; paper excludes these on purpose)  *)
+(* ------------------------------------------------------------------ *)
+
+module Analytics = Mgq_queries.Analytics
+
+(* A pure user/follows graph on both engines, aligned with the
+   reference: node construction order = uid order. *)
+let analytics_fixture =
+  lazy
+    (let db = Mgq_neo.Db.create () in
+     let neo_nodes =
+       Array.init dataset.Dataset.n_users (fun i ->
+           Mgq_neo.Db.create_node db ~label:"user"
+             (Mgq_core.Property.of_list [ ("uid", Mgq_core.Value.Int i) ]))
+     in
+     let sdb = Mgq_sparks.Sdb.create () in
+     let user_t = Mgq_sparks.Sdb.new_node_type sdb "user" in
+     let follows_t = Mgq_sparks.Sdb.new_edge_type sdb "follows" in
+     let s_nodes =
+       Array.init dataset.Dataset.n_users (fun _ -> Mgq_sparks.Sdb.new_node sdb user_t)
+     in
+     Array.iter
+       (fun (a, b) ->
+         ignore
+           (Mgq_neo.Db.create_edge db ~etype:"follows" ~src:neo_nodes.(a) ~dst:neo_nodes.(b)
+              Mgq_core.Property.empty);
+         ignore (Mgq_sparks.Sdb.new_edge sdb follows_t ~tail:s_nodes.(a) ~head:s_nodes.(b)))
+       dataset.Dataset.follows;
+     (db, neo_nodes, sdb, user_t, follows_t, s_nodes))
+
+let test_pagerank_engines_match_reference () =
+  let db, neo_nodes, sdb, user_t, follows_t, s_nodes = Lazy.force analytics_fixture in
+  let expected = Analytics.pagerank_reference reference in
+  let node_to_uid = Hashtbl.create 512 in
+  Array.iteri (fun uid node -> Hashtbl.replace node_to_uid node uid) neo_nodes;
+  let oid_to_uid = Hashtbl.create 512 in
+  Array.iteri (fun uid oid -> Hashtbl.replace oid_to_uid oid uid) s_nodes;
+  let close a b = Float.abs (a -. b) < 1e-9 in
+  let from_neo = Analytics.pagerank_neo db ~etype:"follows" in
+  List.iter
+    (fun (node, score) ->
+      let uid = Hashtbl.find node_to_uid node in
+      if not (close score expected.(uid)) then
+        Alcotest.failf "neo pagerank mismatch for uid %d: %f vs %f" uid score expected.(uid))
+    from_neo;
+  let from_sparks = Analytics.pagerank_sparks sdb ~node_types:[ user_t ] ~etype:follows_t in
+  List.iter
+    (fun (oid, score) ->
+      let uid = Hashtbl.find oid_to_uid oid in
+      if not (close score expected.(uid)) then
+        Alcotest.failf "sparks pagerank mismatch for uid %d" uid)
+    from_sparks;
+  (* sanity: scores form a distribution *)
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. from_neo in
+  check (Alcotest.float 1e-6) "scores sum to 1" 1.0 total;
+  (* the most-followed user should rank near the top *)
+  let counts = Dataset.follower_counts dataset in
+  let celebrity = ref 0 in
+  Array.iteri (fun uid c -> if c > counts.(!celebrity) then celebrity := uid) counts;
+  let top10 =
+    List.filteri (fun i _ -> i < 10) from_neo
+    |> List.map (fun (node, _) -> Hashtbl.find node_to_uid node)
+  in
+  check Alcotest.bool "celebrity in top 10" true (List.mem !celebrity top10)
+
+let test_components_engines_match_reference () =
+  let db, neo_nodes, sdb, user_t, follows_t, s_nodes = Lazy.force analytics_fixture in
+  let expected = Analytics.components_reference reference in
+  let sizes comps = List.map List.length comps in
+  let node_to_uid = Hashtbl.create 512 in
+  Array.iteri (fun uid node -> Hashtbl.replace node_to_uid node uid) neo_nodes;
+  let oid_to_uid = Hashtbl.create 512 in
+  Array.iteri (fun uid oid -> Hashtbl.replace oid_to_uid oid uid) s_nodes;
+  let canon mapping comps =
+    List.map (fun comp -> List.sort compare (List.map (Hashtbl.find mapping) comp)) comps
+    |> List.sort (fun a b ->
+           let c = compare (List.length b) (List.length a) in
+           if c <> 0 then c else compare a b)
+  in
+  let from_neo = canon node_to_uid (Analytics.components_neo db ~etype:"follows") in
+  let from_sparks =
+    canon oid_to_uid (Analytics.components_sparks sdb ~node_types:[ user_t ] ~etype:follows_t)
+  in
+  check Alcotest.(list (list int)) "neo components" expected from_neo;
+  check Alcotest.(list (list int)) "sparks components" expected from_sparks;
+  check Alcotest.bool "giant component" true
+    (match sizes expected with
+    | biggest :: _ -> biggest > dataset.Dataset.n_users / 2
+    | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Import reports exposed through contexts                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_context_reports () =
+  check Alcotest.bool "neo import recorded" true
+    (neo.Contexts.report.Mgq_twitter.Import_report.total_sim_ms > 0.);
+  check Alcotest.bool "sparks import recorded" true
+    (sparks.Contexts.s_report.Mgq_twitter.Import_report.total_sim_ms > 0.)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ("engine-agreement", agreement_cases);
+    ("variants", [ Alcotest.test_case "Q4 cypher variants agree" `Slow test_q4_variants_agree ]);
+    ( "context-class",
+      [ Alcotest.test_case "Q2.3 via Context agrees" `Quick test_q2_3_context_agrees ] );
+    ( "conjunctive",
+      [ Alcotest.test_case "composite predicates agree" `Quick
+          test_conjunctive_select_agreement ] );
+    ("q6-pairs", [ Alcotest.test_case "random pairs" `Quick test_q6_random_pairs ]);
+    ( "params",
+      [
+        Alcotest.test_case "spread" `Quick test_params_spread;
+        Alcotest.test_case "path buckets" `Quick test_params_path_buckets;
+        Alcotest.test_case "mention degrees" `Quick test_params_mention_degree_sorted;
+      ] );
+    ( "composite",
+      [
+        Alcotest.test_case "engines agree" `Quick test_composite_engines_agree;
+        Alcotest.test_case "ordering" `Quick test_composite_ordering;
+      ] );
+    ( "relational-baseline",
+      [ Alcotest.test_case "agrees with reference" `Quick test_relational_agreement ] );
+    ( "analytics",
+      [
+        Alcotest.test_case "pagerank agreement" `Quick test_pagerank_engines_match_reference;
+        Alcotest.test_case "components agreement" `Quick
+          test_components_engines_match_reference;
+      ] );
+    ("contexts", [ Alcotest.test_case "import reports" `Quick test_context_reports ]);
+  ]
+
+let () = Alcotest.run "mgq_queries" suite

@@ -1,0 +1,113 @@
+(* Unit tests for the relational baseline engine: loading, row access,
+   index probes and their B-tree-shaped cost accounting. (Workload
+   answer agreement with the reference oracle lives in
+   test_queries.ml.) *)
+
+module Rdb = Mgq_rel.Rdb
+module Rel_queries = Mgq_rel.Rel_queries
+module Generator = Mgq_twitter.Generator
+module Dataset = Mgq_twitter.Dataset
+module Cost_model = Mgq_storage.Cost_model
+module Sim_disk = Mgq_storage.Sim_disk
+
+let check = Alcotest.check
+
+let dataset = Generator.generate (Generator.scaled ~n_users:300 ())
+
+let rdb =
+  lazy
+    (let r = Rdb.create () in
+     let report = Rdb.load r dataset in
+     (r, report))
+
+let hits r f =
+  let cost = Sim_disk.cost (Rdb.disk r) in
+  let before = (Cost_model.snapshot cost).Cost_model.db_hits in
+  let result = f () in
+  (result, (Cost_model.snapshot cost).Cost_model.db_hits - before)
+
+let test_load_counts () =
+  let r, report = Lazy.force rdb in
+  let s = Dataset.stats dataset in
+  check Alcotest.int "users" s.Dataset.users (Rdb.user_count r);
+  check Alcotest.int "follows" s.Dataset.follows_edges (Rdb.follows_count r);
+  check Alcotest.int "six table series" 6
+    (List.length report.Mgq_twitter.Import_report.edge_series);
+  check Alcotest.bool "sim cost recorded" true
+    (report.Mgq_twitter.Import_report.total_sim_ms > 0.)
+
+let test_row_access () =
+  let r, _ = Lazy.force rdb in
+  match Rdb.user_row r ~uid:5 with
+  | None -> Alcotest.fail "user 5 missing"
+  | Some row ->
+    check Alcotest.int "uid round trip" 5 (Rdb.user_uid r row);
+    let counts = Dataset.follower_counts dataset in
+    check Alcotest.int "followers column" counts.(5) (Rdb.user_followers r row)
+
+let test_probe_matches_dataset () =
+  let r, _ = Lazy.force rdb in
+  let expected = ref [] in
+  Array.iter (fun (a, b) -> if a = 7 then expected := b :: !expected) dataset.Dataset.follows;
+  let row = Option.get (Rdb.user_row r ~uid:7) in
+  let got =
+    List.sort compare (List.map (Rdb.user_uid r) (Rdb.followees_of r ~user_row:row))
+  in
+  check Alcotest.(list int) "followees" (List.sort compare !expected) got
+
+let test_probe_cost_scales_with_matches () =
+  let r, _ = Lazy.force rdb in
+  (* Find a high- and a low-degree user and compare probe costs. *)
+  let counts = Dataset.follower_counts dataset in
+  let hub = ref 0 and loner = ref 0 in
+  Array.iteri
+    (fun uid c ->
+      if c > counts.(!hub) then hub := uid;
+      if c < counts.(!loner) then loner := uid)
+    counts;
+  let row_of uid = Option.get (Rdb.user_row r ~uid) in
+  let _, hub_hits = hits r (fun () -> Rdb.followers_of r ~user_row:(row_of !hub)) in
+  let _, loner_hits = hits r (fun () -> Rdb.followers_of r ~user_row:(row_of !loner)) in
+  check Alcotest.bool
+    (Printf.sprintf "hub probe (%d) costs more than loner probe (%d)" hub_hits loner_hits)
+    true (hub_hits > loner_hits);
+  (* Even an empty probe pays the B-tree descent. *)
+  check Alcotest.bool "descent cost is positive" true (loner_hits > 0)
+
+let test_unknown_keys () =
+  let r, _ = Lazy.force rdb in
+  check Alcotest.(option int) "unknown uid" None (Rdb.user_row r ~uid:999_999);
+  check Alcotest.(option int) "unknown tag" None (Rdb.hashtag_row r ~tag:"nope");
+  check Alcotest.(list int) "q2_1 on unknown user" [] (Rel_queries.q2_1 r ~uid:999_999);
+  check Alcotest.(option int) "q6_1 on unknown user" None
+    (Rel_queries.q6_1 r ~uid1:999_999 ~uid2:0 ~max_hops:3)
+
+let test_hashtag_join () =
+  let r, _ = Lazy.force rdb in
+  match Rdb.hashtag_row r ~tag:dataset.Dataset.hashtags.(0) with
+  | None -> Alcotest.fail "hashtag 0 missing"
+  | Some h ->
+    check Alcotest.string "tag text" dataset.Dataset.hashtags.(0) (Rdb.hashtag_text r h);
+    let expected =
+      Array.fold_left
+        (fun acc (tw : Dataset.tweet) ->
+          acc + List.length (List.filter (fun t -> t = 0) tw.Dataset.tag_targets))
+        0 dataset.Dataset.tweets
+    in
+    check Alcotest.int "tweets tagging" expected
+      (List.length (Rdb.tweets_tagging r ~hashtag_row:h))
+
+let suite =
+  [
+    ( "relational",
+      [
+        Alcotest.test_case "load counts" `Quick test_load_counts;
+        Alcotest.test_case "row access" `Quick test_row_access;
+        Alcotest.test_case "probe matches dataset" `Quick test_probe_matches_dataset;
+        Alcotest.test_case "probe cost scaling" `Quick test_probe_cost_scales_with_matches;
+        Alcotest.test_case "unknown keys" `Quick test_unknown_keys;
+        Alcotest.test_case "hashtag join" `Quick test_hashtag_join;
+      ] );
+  ]
+
+let () = Alcotest.run "mgq_rel" suite

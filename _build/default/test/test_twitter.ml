@@ -1,0 +1,433 @@
+(* Tests for the Twitter substrate: generator shape, dataset
+   validation, source-file roundtrip, and both batch importers. *)
+
+module Dataset = Mgq_twitter.Dataset
+module Generator = Mgq_twitter.Generator
+module Source_files = Mgq_twitter.Source_files
+module Import_neo = Mgq_twitter.Import_neo
+module Import_sparks = Mgq_twitter.Import_sparks
+module Import_report = Mgq_twitter.Import_report
+module Schema = Mgq_twitter.Schema
+module Db = Mgq_neo.Db
+module Sdb = Mgq_sparks.Sdb
+module Value = Mgq_core.Value
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let small_config = Generator.scaled ~n_users:400 ()
+let small = Generator.generate small_config
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_deterministic () =
+  let a = Generator.generate small_config in
+  let b = Generator.generate small_config in
+  check Alcotest.bool "identical datasets" true (a = b)
+
+let test_generator_seed_changes_output () =
+  let a = Generator.generate { small_config with Generator.seed = 1 } in
+  let b = Generator.generate { small_config with Generator.seed = 2 } in
+  check Alcotest.bool "different datasets" true (a <> b)
+
+let test_generator_valid () =
+  match Dataset.validate small with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_generator_table1_ratios () =
+  let big = Generator.generate (Generator.scaled ~n_users:3000 ()) in
+  let s = Dataset.stats big in
+  let ratio a b = float_of_int a /. float_of_int b in
+  (* follows / users ~ 11.5 *)
+  let fpu = ratio s.Dataset.follows_edges s.Dataset.users in
+  check Alcotest.bool
+    (Printf.sprintf "follows per user in band (%.2f)" fpu)
+    true
+    (fpu > 8. && fpu < 14.);
+  (* tweets ~ users (0.6 .. 1.4) *)
+  let tpu = ratio s.Dataset.tweet_nodes s.Dataset.users in
+  check Alcotest.bool (Printf.sprintf "tweets/users in band (%.2f)" tpu) true
+    (tpu > 0.5 && tpu < 1.5);
+  (* mentions per tweet ~ 0.46 *)
+  let mpt = ratio s.Dataset.mentions_edges s.Dataset.tweet_nodes in
+  check Alcotest.bool (Printf.sprintf "mentions/tweet in band (%.2f)" mpt) true
+    (mpt > 0.25 && mpt < 0.7);
+  (* tags per tweet ~ 0.30 *)
+  let tagpt = ratio s.Dataset.tags_edges s.Dataset.tweet_nodes in
+  check Alcotest.bool (Printf.sprintf "tags/tweet in band (%.2f)" tagpt) true
+    (tagpt > 0.15 && tagpt < 0.5);
+  (* posts = tweets, retweets absent by default *)
+  check Alcotest.int "posts = tweets" s.Dataset.tweet_nodes s.Dataset.posts_edges;
+  check Alcotest.int "no retweets" 0 s.Dataset.retweets_edges
+
+let test_generator_skewed_in_degree () =
+  (* Skew needs headroom: at tiny n the ~11.5 mean degree saturates
+     the 399 possible targets, flattening the distribution. *)
+  let big = Generator.generate (Generator.scaled ~n_users:3000 ()) in
+  let counts = Dataset.follower_counts big in
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  let total = Array.fold_left ( + ) 0 sorted in
+  let top_decile =
+    Array.fold_left ( + ) 0 (Array.sub sorted 0 (Array.length sorted / 10))
+  in
+  (* Preferential attachment: top 10% of users hold well over 10% of
+     followers. *)
+  check Alcotest.bool "in-degree skew" true
+    (float_of_int top_decile > 0.3 *. float_of_int total)
+
+let test_generator_retweets_option () =
+  let d =
+    Generator.generate
+      { small_config with Generator.with_retweets = true; retweets_per_tweet = 0.5 }
+  in
+  check Alcotest.bool "retweets generated" true (Array.length d.Dataset.retweets > 0);
+  match Dataset.validate d with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let prop_generator_valid_any_seed =
+  QCheck.Test.make ~name:"generated datasets validate for any seed" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let d = Generator.generate (Generator.scaled ~seed ~n_users:150 ()) in
+      Dataset.validate d = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Source files                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_roundtrip () =
+  let dir = Filename.temp_file "mgq" "" in
+  Sys.remove dir;
+  let paths = Source_files.write small dir in
+  let back = Source_files.read paths in
+  check Alcotest.bool "roundtrip equal" true (back = small);
+  check Alcotest.bool "bytes counted" true (Source_files.total_bytes paths > 0);
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [
+      paths.Source_files.users;
+      paths.Source_files.tweets;
+      paths.Source_files.hashtags;
+      paths.Source_files.follows;
+      paths.Source_files.mentions;
+      paths.Source_files.tags;
+      paths.Source_files.retweets;
+    ];
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Importers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_import_neo_counts () =
+  let db = Db.create () in
+  let report, users, tweets, hashtags = Import_neo.run db small in
+  let s = Dataset.stats small in
+  check Alcotest.int "node count" s.Dataset.total_nodes (Db.node_count db);
+  check Alcotest.int "edge count" s.Dataset.total_edges (Db.edge_count db);
+  check Alcotest.int "follows count" s.Dataset.follows_edges
+    (Db.edge_type_count db Schema.follows);
+  check Alcotest.int "user map" s.Dataset.users (Array.length users);
+  check Alcotest.bool "id maps populated" true
+    (Array.for_all (fun id -> id >= 0) users
+    && Array.for_all (fun id -> id >= 0) tweets
+    && Array.for_all (fun id -> id >= 0) hashtags);
+  check Alcotest.bool "report has node series" true
+    (List.length report.Import_report.node_series = 3);
+  check Alcotest.bool "sim time advanced" true (report.Import_report.total_sim_ms > 0.)
+
+let test_import_neo_properties_and_indexes () =
+  let db = Db.create () in
+  let _, users, _, _ = Import_neo.run db small in
+  check Alcotest.bool "uid index" true (Db.has_index db ~label:"user" ~property:"uid");
+  check Alcotest.bool "tid index" true (Db.has_index db ~label:"tweet" ~property:"tid");
+  check Alcotest.bool "tag index" true (Db.has_index db ~label:"hashtag" ~property:"tag");
+  let uid7 = Db.index_lookup db ~label:"user" ~property:"uid" (Value.Int 7) in
+  check Alcotest.(list int) "seek finds user 7" [ users.(7) ] uid7;
+  (* followers property matches the dataset in-degree *)
+  let counts = Dataset.follower_counts small in
+  check Alcotest.bool "followers property" true
+    (Db.node_property db users.(3) "followers" = Value.Int counts.(3))
+
+let test_import_neo_degrees_match () =
+  let db = Db.create () in
+  let _, users, _, _ = Import_neo.run db small in
+  (* user out-degree in follows = followees count *)
+  let followees = Array.make small.Dataset.n_users 0 in
+  Array.iter (fun (a, _) -> followees.(a) <- followees.(a) + 1) small.Dataset.follows;
+  let ok = ref true in
+  Array.iteri
+    (fun i node ->
+      let d = Db.degree db node ~etype:Schema.follows Mgq_core.Types.Out in
+      if d <> followees.(i) then ok := false)
+    users;
+  check Alcotest.bool "follows out-degrees" true !ok
+
+let test_import_sparks_counts () =
+  let sdb = Sdb.create () in
+  let report, users, _, _ = Import_sparks.run sdb small in
+  let s = Dataset.stats small in
+  check Alcotest.int "node count" s.Dataset.total_nodes (Sdb.node_count sdb);
+  check Alcotest.int "edge count" s.Dataset.total_edges (Sdb.edge_count sdb);
+  check Alcotest.int "users of type" s.Dataset.users
+    (Sdb.count_objects sdb (Sdb.find_type sdb Schema.user));
+  check Alcotest.int "follows of type" s.Dataset.follows_edges
+    (Sdb.count_objects sdb (Sdb.find_type sdb Schema.follows));
+  check Alcotest.int "user map" s.Dataset.users (Array.length users);
+  (* node series in hashtag, tweet, user order *)
+  check
+    Alcotest.(list string)
+    "payload regions"
+    [ Schema.hashtag; Schema.tweet; Schema.user ]
+    (List.map (fun s -> s.Import_report.label) report.Import_report.node_series);
+  (* follows leads the edge series *)
+  (match report.Import_report.edge_series with
+  | first :: _ -> check Alcotest.string "follows first" Schema.follows first.Import_report.label
+  | [] -> Alcotest.fail "no edge series")
+
+let test_import_sparks_attributes () =
+  let sdb = Sdb.create () in
+  let _, users, tweets, _ = Import_sparks.run sdb small in
+  let user_t = Sdb.find_type sdb Schema.user in
+  let uid_a = Sdb.find_attribute sdb user_t Schema.uid in
+  check Alcotest.bool "uid attr" true
+    (Sdb.get_attribute sdb users.(5) uid_a = Value.Int 5);
+  check Alcotest.(option int) "find_object by uid" (Some users.(9))
+    (Sdb.find_object sdb uid_a (Value.Int 9));
+  let tweet_t = Sdb.find_type sdb Schema.tweet in
+  let text_a = Sdb.find_attribute sdb tweet_t Schema.text in
+  check Alcotest.bool "tweet text stored" true
+    (match Sdb.get_attribute sdb tweets.(0) text_a with
+    | Value.Str s -> String.length s > 0
+    | _ -> false)
+
+let test_import_sparks_cache_flushes () =
+  (* A tiny cache must flush many times during load. *)
+  let sdb = Sdb.create () in
+  let options = { Import_sparks.default_options with Import_sparks.cache_mb = 0.01 } in
+  let _report, _, _, _ = Import_sparks.run ~options sdb small in
+  let flushes = (Mgq_storage.Cost_model.snapshot (Sdb.cost sdb)).page_flushes in
+  check Alcotest.bool "flush bursts happened" true (flushes > 10)
+
+let test_import_sparks_materialize_slower () =
+  let run materialize =
+    let sdb = Sdb.create ~materialize_neighbors:materialize () in
+    let report, _, _, _ = Import_sparks.run sdb small in
+    report.Import_report.total_sim_ms
+  in
+  let plain = run false in
+  let materialized = run true in
+  check Alcotest.bool
+    (Printf.sprintf "materialized import much slower (%.1f vs %.1f)" materialized plain)
+    true
+    (materialized > 2. *. plain)
+
+let test_import_neo_checkpoint_jumps () =
+  (* With a checkpoint threshold, some batches carry flush bursts:
+     their simulated cost is visibly above the median batch. *)
+  let db = Db.create ~checkpoint_dirty_pages:16 () in
+  let report, _, _, _ = Import_neo.run ~batch:200 db small in
+  let batches =
+    List.concat_map
+      (fun s -> List.map (fun p -> p.Import_report.batch_sim_ms) s.Import_report.points)
+      (report.Import_report.node_series @ report.Import_report.edge_series)
+  in
+  let sorted = List.sort compare batches in
+  let median = List.nth sorted (List.length sorted / 2) in
+  let spikes = List.filter (fun b -> b > 1.5 *. median) batches in
+  check Alcotest.bool "flush spikes exist" true (List.length spikes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming updates (Section 5 future work)                           *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = Mgq_twitter.Stream
+module Live = Mgq_twitter.Live
+
+let test_stream_deterministic () =
+  let mk () = Stream.take (Stream.create ~seed:7 small) 50 in
+  check Alcotest.bool "same events" true (mk () = mk ());
+  let other = Stream.take (Stream.create ~seed:8 small) 50 in
+  check Alcotest.bool "seed changes stream" true (mk () <> other)
+
+let test_stream_mix () =
+  let events = Stream.take (Stream.create ~seed:3 small) 2000 in
+  let count pred = List.length (List.filter pred events) in
+  let users = count (function Stream.New_user _ -> true | _ -> false) in
+  let follows = count (function Stream.New_follow _ -> true | _ -> false) in
+  let unfollows = count (function Stream.Unfollow _ -> true | _ -> false) in
+  let tweets = count (function Stream.New_tweet _ -> true | _ -> false) in
+  check Alcotest.bool "users ~5%" true (users > 50 && users < 200);
+  check Alcotest.bool "follows dominate" true (follows > 700);
+  check Alcotest.bool "unfollows present" true (unfollows > 20);
+  check Alcotest.bool "tweets ~40%" true (tweets > 500)
+
+let test_stream_no_duplicate_follows () =
+  let s = Stream.create ~seed:5 small in
+  let model = Stream.Model.of_dataset small in
+  let seen_dup = ref false in
+  for _ = 1 to 3000 do
+    let e = Stream.next s in
+    (match e with
+    | Stream.New_follow { follower; followee } ->
+      if List.mem followee (Stream.Model.followees model follower) then seen_dup := true
+    | _ -> ());
+    Stream.Model.apply model e
+  done;
+  check Alcotest.bool "no duplicate follow events" false !seen_dup
+
+let test_live_appliers_agree_with_model () =
+  let db = Db.create () in
+  let _, users, tweets, hashtags = Import_neo.run db small in
+  let live_neo = Live.Live_neo.attach db ~users ~tweets ~hashtags small in
+  let sdb = Sdb.create () in
+  let _, s_users, s_tweets, s_hashtags = Import_sparks.run sdb small in
+  let live_sparks = Live.Live_sparks.attach sdb ~users:s_users ~tweets:s_tweets
+      ~hashtags:s_hashtags small in
+  let model = Stream.Model.of_dataset small in
+  let s = Stream.create ~seed:11 small in
+  for _ = 1 to 1500 do
+    let e = Stream.next s in
+    Stream.Model.apply model e;
+    Live.Live_neo.apply live_neo e;
+    Live.Live_sparks.apply live_sparks e
+  done;
+  (* Edge totals: follows in model vs engines. *)
+  check Alcotest.int "neo follows count" (Stream.Model.follows_count model)
+    (Db.edge_type_count db Schema.follows);
+  let follows_t = Sdb.find_type sdb Schema.follows in
+  check Alcotest.int "sparks follows count" (Stream.Model.follows_count model)
+    (Sdb.count_objects sdb follows_t);
+  (* Followee sets for sampled users (old and streamed-in). *)
+  let check_user uid =
+    let expected = Stream.Model.followees model uid in
+    (match Live.Live_neo.node_of_uid live_neo uid with
+    | Some node ->
+      let got =
+        List.sort compare
+          (List.map
+             (fun n ->
+               match Db.node_property db n Schema.uid with
+               | Value.Int u -> u
+               | _ -> -1)
+             (List.of_seq (Db.neighbors db node ~etype:Schema.follows Mgq_core.Types.Out)))
+      in
+      check Alcotest.(list int) (Printf.sprintf "neo followees u%d" uid) expected got
+    | None -> Alcotest.fail "missing neo user");
+    match Live.Live_sparks.oid_of_uid live_sparks uid with
+    | Some oid ->
+      let user_t = Sdb.find_type sdb Schema.user in
+      let uid_a = Sdb.find_attribute sdb user_t Schema.uid in
+      let got =
+        List.sort compare
+          (List.map
+             (fun o ->
+               match Sdb.get_attribute sdb o uid_a with Value.Int u -> u | _ -> -1)
+             (Mgq_sparks.Objects.to_list
+                (Sdb.neighbors sdb oid follows_t Mgq_core.Types.Out)))
+      in
+      check Alcotest.(list int) (Printf.sprintf "sparks followees u%d" uid) expected got
+    | None -> Alcotest.fail "missing sparks user"
+  in
+  List.iter check_user [ 0; 7; 42; 123; Stream.Model.n_users model - 1 ];
+  (* Queries over the evolved graph still agree across engines. *)
+  check Alcotest.int "user totals agree" (Db.label_count db Schema.user)
+    (Sdb.count_objects sdb (Sdb.find_type sdb Schema.user))
+
+let test_live_followers_property_fresh () =
+  let db = Db.create () in
+  let _, users, tweets, hashtags = Import_neo.run db small in
+  let live = Live.Live_neo.attach db ~users ~tweets ~hashtags small in
+  let uid = 3 in
+  let node = Option.get (Live.Live_neo.node_of_uid live uid) in
+  let before =
+    match Db.node_property db node Schema.followers with Value.Int c -> c | _ -> -1
+  in
+  (* A brand-new user follows uid. *)
+  Live.Live_neo.apply live (Stream.New_user { uid = 100_000; name = "newbie" });
+  Live.Live_neo.apply live (Stream.New_follow { follower = 100_000; followee = uid });
+  check Alcotest.bool "followers bumped" true
+    (Db.node_property db node Schema.followers = Value.Int (before + 1));
+  Live.Live_neo.apply live (Stream.Unfollow { follower = 100_000; followee = uid });
+  check Alcotest.bool "followers restored" true
+    (Db.node_property db node Schema.followers = Value.Int before)
+
+let test_sparks_drop_edge_and_node () =
+  let sdb = Sdb.create () in
+  let user_t = Sdb.new_node_type sdb "user" in
+  let follows_t = Sdb.new_edge_type sdb "follows" in
+  let a = Sdb.new_node sdb user_t and b = Sdb.new_node sdb user_t in
+  let e = Sdb.new_edge sdb follows_t ~tail:a ~head:b in
+  check Alcotest.bool "cannot drop connected node" true
+    (try Sdb.drop_node sdb a; false with Failure _ -> true);
+  Sdb.drop_edge sdb e;
+  check Alcotest.int "edge gone" 0 (Sdb.count_objects sdb follows_t);
+  check Alcotest.int "degree zero" 0 (Sdb.degree sdb a follows_t Mgq_core.Types.Out);
+  Sdb.drop_node sdb a;
+  check Alcotest.int "node gone" 1 (Sdb.node_count sdb);
+  check Alcotest.bool "drop missing edge raises" true
+    (try Sdb.drop_edge sdb e; false with Mgq_core.Types.Edge_not_found _ -> true)
+
+let test_sparks_drop_edge_materialized_parallel () =
+  let sdb = Sdb.create ~materialize_neighbors:true () in
+  let user_t = Sdb.new_node_type sdb "user" in
+  let follows_t = Sdb.new_edge_type sdb "follows" in
+  let a = Sdb.new_node sdb user_t and b = Sdb.new_node sdb user_t in
+  let e1 = Sdb.new_edge sdb follows_t ~tail:a ~head:b in
+  let _e2 = Sdb.new_edge sdb follows_t ~tail:a ~head:b in
+  Sdb.drop_edge sdb e1;
+  (* Parallel edge keeps the neighbor bit alive. *)
+  check Alcotest.int "neighbor survives parallel drop" 1
+    (Mgq_sparks.Objects.count (Sdb.neighbors sdb a follows_t Mgq_core.Types.Out))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "generator",
+      [
+        Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_generator_seed_changes_output;
+        Alcotest.test_case "validates" `Quick test_generator_valid;
+        Alcotest.test_case "table 1 ratios" `Quick test_generator_table1_ratios;
+        Alcotest.test_case "in-degree skew" `Quick test_generator_skewed_in_degree;
+        Alcotest.test_case "retweets option" `Quick test_generator_retweets_option;
+        qtest prop_generator_valid_any_seed;
+      ] );
+    ( "source-files",
+      [ Alcotest.test_case "roundtrip" `Quick test_source_roundtrip ] );
+    ( "import-neo",
+      [
+        Alcotest.test_case "counts" `Quick test_import_neo_counts;
+        Alcotest.test_case "properties and indexes" `Quick test_import_neo_properties_and_indexes;
+        Alcotest.test_case "degrees" `Quick test_import_neo_degrees_match;
+        Alcotest.test_case "checkpoint jumps" `Quick test_import_neo_checkpoint_jumps;
+      ] );
+    ( "stream",
+      [
+        Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+        Alcotest.test_case "event mix" `Quick test_stream_mix;
+        Alcotest.test_case "no duplicate follows" `Quick test_stream_no_duplicate_follows;
+        Alcotest.test_case "live appliers agree with model" `Quick
+          test_live_appliers_agree_with_model;
+        Alcotest.test_case "followers property fresh" `Quick
+          test_live_followers_property_fresh;
+        Alcotest.test_case "sparks drop edge/node" `Quick test_sparks_drop_edge_and_node;
+        Alcotest.test_case "sparks drop with materialized parallel" `Quick
+          test_sparks_drop_edge_materialized_parallel;
+      ] );
+    ( "import-sparks",
+      [
+        Alcotest.test_case "counts" `Quick test_import_sparks_counts;
+        Alcotest.test_case "attributes" `Quick test_import_sparks_attributes;
+        Alcotest.test_case "cache flushes" `Quick test_import_sparks_cache_flushes;
+        Alcotest.test_case "materialize slower" `Quick test_import_sparks_materialize_slower;
+      ] );
+  ]
+
+let () = Alcotest.run "mgq_twitter" suite
