@@ -1,0 +1,258 @@
+(* R1: robustness experiments — crash-safe recovery, budgeted queries,
+   retried ingestion. None of these come from the paper's tables; they
+   exercise the fault-tolerance layer the 2015 experiments could not
+   (the paper ran each system once on a healthy disk). *)
+
+open Bench_support
+module Fault = Mgq_storage.Fault
+module Wal = Mgq_neo.Wal
+module Stream = Mgq_twitter.Stream
+module Live = Mgq_twitter.Live
+module Q_neo_api = Mgq_queries.Q_neo_api
+module Rng = Mgq_util.Rng
+module Budget = Mgq_util.Budget
+module Retry = Mgq_util.Retry
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+module Schema = Mgq_twitter.Schema
+
+(* A miniature transactional import: every batch is one [Db.with_tx],
+   so every WAL record is one batch and the committed prefix after a
+   crash is exactly a batch boundary. Returns the per-commit expected
+   (node_count, edge_count) oracle. *)
+let batches_of (d : Mgq_twitter.Dataset.t) ~batch =
+  let user_ids = Hashtbl.create 1024 in
+  let tweet_ids = Hashtbl.create 1024 in
+  let hashtag_ids = Hashtbl.create 64 in
+  let chunks total = (total + batch - 1) / batch in
+  let chunk_jobs total make =
+    List.init (chunks total) (fun c ->
+        fun db ->
+          for i = c * batch to min total (c * batch + batch) - 1 do
+            make db i
+          done)
+  in
+  let followers = Mgq_twitter.Dataset.follower_counts d in
+  chunk_jobs d.Mgq_twitter.Dataset.n_users (fun db i ->
+      Hashtbl.replace user_ids i
+        (Db.create_node db ~label:Schema.user
+           (Property.of_list
+              [
+                (Schema.uid, Value.Int i);
+                (Schema.name, Value.Str d.Mgq_twitter.Dataset.user_names.(i));
+                (Schema.followers, Value.Int followers.(i));
+              ])))
+  @ chunk_jobs
+      (Array.length d.Mgq_twitter.Dataset.tweets)
+      (fun db i ->
+        let tw = d.Mgq_twitter.Dataset.tweets.(i) in
+        Hashtbl.replace tweet_ids i
+          (Db.create_node db ~label:Schema.tweet
+             (Property.of_list
+                [
+                  (Schema.tid, Value.Int tw.Mgq_twitter.Dataset.tid);
+                  (Schema.text, Value.Str tw.Mgq_twitter.Dataset.text);
+                ])))
+  @ chunk_jobs
+      (Array.length d.Mgq_twitter.Dataset.hashtags)
+      (fun db i ->
+        Hashtbl.replace hashtag_ids i
+          (Db.create_node db ~label:Schema.hashtag
+             (Property.of_list
+                [ (Schema.tag, Value.Str d.Mgq_twitter.Dataset.hashtags.(i)) ])))
+  @ chunk_jobs
+      (Array.length d.Mgq_twitter.Dataset.follows)
+      (fun db i ->
+        let a, b = d.Mgq_twitter.Dataset.follows.(i) in
+        ignore
+          (Db.create_edge db ~etype:Schema.follows ~src:(Hashtbl.find user_ids a)
+             ~dst:(Hashtbl.find user_ids b) Property.empty))
+  @ chunk_jobs
+      (Array.length d.Mgq_twitter.Dataset.tweets)
+      (fun db i ->
+        let tw = d.Mgq_twitter.Dataset.tweets.(i) in
+        let tweet = Hashtbl.find tweet_ids i in
+        ignore
+          (Db.create_edge db ~etype:Schema.posts
+             ~src:(Hashtbl.find user_ids tw.Mgq_twitter.Dataset.author)
+             ~dst:tweet Property.empty);
+        List.iter
+          (fun h ->
+            ignore
+              (Db.create_edge db ~etype:Schema.tags ~src:tweet
+                 ~dst:(Hashtbl.find hashtag_ids h) Property.empty))
+          tw.Mgq_twitter.Dataset.tag_targets)
+
+let fresh_db () = Db.create ~pool_pages:256 ()
+
+(* Run the batches, stopping when the disk crashes; returns committed
+   batch count. *)
+let run_batches db jobs =
+  let committed = ref 0 in
+  (try
+     List.iter
+       (fun job ->
+         Db.with_tx db (fun () -> job db);
+         incr committed)
+       jobs
+   with Fault.Crashed _ | Fault.Torn_write _ -> ());
+  !committed
+
+let run_crash_sweep env =
+  section
+    "R1a: crash-recovery sweep\n\
+     import crashes at a random page write; recover must land exactly on the\n\
+     last committed batch (counts below are over the whole sweep)";
+  let d = env.dataset in
+  let batch = 500 in
+  (* Oracle: per-commit (nodes, edges) on a fault-free run. *)
+  let jobs = batches_of d ~batch in
+  let oracle_db = fresh_db () in
+  let oracle = Array.make (List.length jobs + 1) (0, 0) in
+  List.iteri
+    (fun i job ->
+      Db.with_tx oracle_db (fun () -> job oracle_db);
+      oracle.(i + 1) <- (Db.node_count oracle_db, Db.edge_count oracle_db))
+    jobs;
+  let total_writes =
+    let plan = Fault.plan () in
+    let db = fresh_db () in
+    Mgq_storage.Sim_disk.arm_faults (Db.disk db) plan;
+    ignore (run_batches db (batches_of d ~batch));
+    (Fault.stats plan).Fault.writes
+  in
+  let rng = Rng.create 20260806 in
+  let trials = 40 in
+  let exact = ref 0 and crashed_trials = ref 0 and replayed_total = ref 0 in
+  let recover_ms = ref 0.0 in
+  for _ = 1 to trials do
+    let crash_at = 1 + Rng.int rng total_writes in
+    let db = fresh_db () in
+    Mgq_storage.Sim_disk.arm_faults (Db.disk db) (Fault.plan ~crash_at_write:crash_at ());
+    ignore (run_batches db (batches_of d ~batch));
+    if Mgq_storage.Sim_disk.crashed (Db.disk db) then incr crashed_trials;
+    let recovered, ms = Mgq_util.Stats.Timing.time_ms (fun () -> Db.recover db) in
+    recover_ms := !recover_ms +. ms;
+    let replayed =
+      match Db.wal recovered with Some w -> Wal.records w | None -> 0
+    in
+    replayed_total := !replayed_total + replayed;
+    let expected_nodes, expected_edges = oracle.(replayed) in
+    if
+      Db.node_count recovered = expected_nodes
+      && Db.edge_count recovered = expected_edges
+    then incr exact
+  done;
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right ]
+    ~header:[ "metric"; "value" ]
+    [
+      [ "total page writes in import"; string_of_int total_writes ];
+      [ "crash trials"; string_of_int trials ];
+      [ "trials that crashed mid-import"; string_of_int !crashed_trials ];
+      [ "recoveries matching committed state"; Printf.sprintf "%d/%d" !exact trials ];
+      [ "mean WAL records replayed"; string_of_int (!replayed_total / trials) ];
+      [ "mean recovery wall ms"; Text_table.fmt_ms (!recover_ms /. float_of_int trials) ];
+    ]
+
+let run_budgets env =
+  section
+    "R1b: query budgets (graceful degradation)\n\
+     Q2.3 (3-step expansion) under shrinking db-hit budgets: the partial\n\
+     answer grows with the budget and the full answer needs no budget";
+  (* Among the biggest 2-step fan-out seeds (the queries most worth
+     bounding), pick the one whose full answer is largest — a big
+     fan-out can still reach zero tags at small scales. *)
+  let uid, full_n =
+    let candidates =
+      match List.rev (Params.users_by_two_step_fanout env.reference) with
+      | [] -> [ 0 ]
+      | top -> List.filteri (fun i _ -> i < 40) (List.map snd top)
+    in
+    List.fold_left
+      (fun ((_, best_n) as best) uid ->
+        let n = Results.cardinality (Q_neo_api.q2_3 env.neo ~uid) in
+        if n > best_n then (uid, n) else best)
+      (List.hd candidates, Results.cardinality (Q_neo_api.q2_3 env.neo ~uid:(List.hd candidates)))
+      (List.tl candidates)
+  in
+  let row budget_hits =
+    let outcome =
+      try
+        let r = Q_neo_api.q2_3 ~budget:(Budget.create ~max_hits:budget_hits ()) env.neo ~uid in
+        (`Complete, Results.cardinality r)
+      with Results.Budget_exhausted { partial; hits = _; _ } ->
+        (`Partial, Results.cardinality partial)
+    in
+    let status, n = outcome in
+    [
+      string_of_int budget_hits;
+      (match status with `Complete -> "complete" | `Partial -> "partial");
+      Printf.sprintf "%d/%d" n full_n;
+    ]
+  in
+  Text_table.print
+    ~aligns:[ Text_table.Right; Left; Right ]
+    ~header:[ "max db hits"; "status"; "tags returned" ]
+    (List.map row [ 50; 200; 1_000; 5_000; 50_000; 1_000_000 ])
+
+let run_retries env =
+  section
+    "R1c: live ingestion under transient write faults\n\
+     every event retried with deterministic backoff; the stream must land\n\
+     the same final counts as a fault-free application";
+  let n_events = 2_000 in
+  let events = Stream.take (Stream.create ~seed:4242 env.dataset) n_events in
+  (* Fault-free oracle on a fresh copy of the engine. *)
+  let clean = Contexts.build_neo env.dataset in
+  let clean_live =
+    Live.Live_neo.attach clean.Contexts.db ~users:clean.Contexts.users
+      ~tweets:clean.Contexts.tweets ~hashtags:clean.Contexts.hashtags env.dataset
+  in
+  List.iter (Live.Live_neo.apply clean_live) events;
+  let faulty = Contexts.build_neo env.dataset in
+  let live =
+    Live.Live_neo.attach faulty.Contexts.db ~users:faulty.Contexts.users
+      ~tweets:faulty.Contexts.tweets ~hashtags:faulty.Contexts.hashtags env.dataset
+  in
+  let plan = Fault.plan ~seed:99 ~hit_fail_p:0.0005 () in
+  Mgq_storage.Sim_disk.arm_faults (Db.disk faulty.Contexts.db) plan;
+  let rng = Rng.create 7 in
+  let attempts = ref 0 and backoff_ns = ref 0 and gave_up = ref 0 in
+  List.iter
+    (fun event ->
+      match Live.Live_neo.apply_with_retry ~rng live event with
+      | { Retry.attempts = a; backoff_ns = b } ->
+        attempts := !attempts + a;
+        backoff_ns := !backoff_ns + b
+      | exception Retry.Attempts_exhausted { attempts = a; backoff_ns = b; _ } ->
+        incr gave_up;
+        attempts := !attempts + a;
+        backoff_ns := !backoff_ns + b)
+    events;
+  Mgq_storage.Sim_disk.disarm_faults (Db.disk faulty.Contexts.db);
+  let stats = Fault.stats plan in
+  Text_table.print
+    ~aligns:[ Text_table.Left; Right ]
+    ~header:[ "metric"; "value" ]
+    [
+      [ "events"; string_of_int n_events ];
+      [ "faults injected"; string_of_int stats.Fault.injected ];
+      [ "total attempts"; string_of_int !attempts ];
+      [ "events abandoned"; string_of_int !gave_up ];
+      [ "backoff sim ms"; Text_table.fmt_ms (float_of_int !backoff_ns /. 1e6) ];
+      [
+        "final counts match fault-free";
+        (if
+           !gave_up = 0
+           && Db.node_count faulty.Contexts.db = Db.node_count clean.Contexts.db
+           && Db.edge_count faulty.Contexts.db = Db.edge_count clean.Contexts.db
+         then "yes"
+         else "NO");
+      ];
+    ]
+
+let run_robustness env =
+  run_crash_sweep env;
+  run_budgets env;
+  run_retries env

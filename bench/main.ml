@@ -40,6 +40,9 @@ let experiments =
       ("A4: dense-node relationship groups", Bench_extensions.run_ablation_dense) );
     ("analytics", ("E2: whole-graph analytics", Bench_extensions.run_analytics));
     ("relational", ("E3: relational baseline comparison", Bench_extensions.run_relational));
+    ( "robustness",
+      ("R1: crash recovery, query budgets, retried ingestion", Bench_robustness.run_robustness)
+    );
   ]
 
 let usage () =

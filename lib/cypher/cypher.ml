@@ -53,9 +53,11 @@ let compile t text =
     Hashtbl.replace t.cache text cached;
     (cached, { compiled = true; parse_plan_ms = ms })
 
-let run ?(params = []) t text =
+let run ?(params = []) ?budget t text =
   let cached, stats = compile t text in
-  let execute () = Executor.run t.db ~params ~profile:cached.profile_requested cached.plan in
+  let execute () =
+    Executor.run ?budget t.db ~params ~profile:cached.profile_requested cached.plan
+  in
   let result =
     try
       (* Writes run transactionally so a failing statement leaves the

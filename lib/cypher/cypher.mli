@@ -36,12 +36,15 @@ type result = {
 exception Query_error of string
 (** Wraps parse, plan and execution errors with context. *)
 
-val run : ?params:Runtime.params -> t -> string -> result
+val run : ?params:Runtime.params -> ?budget:Mgq_util.Budget.t -> t -> string -> result
 (** Parse (or fetch from cache), plan and execute. A query prefixed
     with [PROFILE] returns per-operator statistics in [profile].
     Queries containing write clauses (CREATE / SET / REMOVE / DELETE)
     execute inside a transaction: an execution error rolls back every
-    change the statement made. *)
+    change the statement made. With [budget], execution (not
+    compilation) runs under it and may raise
+    {!Mgq_util.Budget.Exhausted}; a budgeted write query that exhausts
+    mid-statement rolls back. *)
 
 val explain : ?params:Runtime.params -> t -> string -> string
 (** The physical plan rendering, without executing. *)

@@ -546,7 +546,8 @@ let rec apply_op db ~params ~acc (op : Plan.op) (rows : row list) : row list =
 
 (* ---------------- driver ---------------- *)
 
-let run db ~params ~profile (plan : Plan.t) =
+let run ?budget db ~params ~profile (plan : Plan.t) =
+  Cost_model.with_budget (Sim_disk.cost (Db.disk db)) budget @@ fun () ->
   let rows = ref [ empty_row ] in
   let entries = ref [] in
   let acc =

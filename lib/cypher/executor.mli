@@ -33,7 +33,17 @@ type result = {
 exception Exec_error of string
 
 val run :
-  Mgq_neo.Db.t -> params:Runtime.params -> profile:bool -> Plan.t -> result
+  ?budget:Mgq_util.Budget.t ->
+  Mgq_neo.Db.t ->
+  params:Runtime.params ->
+  profile:bool ->
+  Plan.t ->
+  result
+(** Execute a plan. With [budget], the whole evaluation runs under it:
+    every db hit charges a hit and simulated time, and crossing a
+    ceiling raises {!Mgq_util.Budget.Exhausted} (rolling back any
+    write operators executed so far when called inside a
+    transaction). *)
 
 val total_db_hits : profile_entry list -> int
 

@@ -59,6 +59,16 @@ type index_key = { ilabel : int; ikey : int }
 
 type tx = { mutable undo : (unit -> unit) list }
 
+(* Creation parameters, kept so [recover] can rebuild an identically
+   configured empty database when no snapshot exists. *)
+type settings = {
+  s_config : Cost_model.config;
+  s_pool_pages : int option;
+  s_checkpoint_dirty_pages : int option;
+  s_dense_node_threshold : int;
+  s_wal : bool;
+}
+
 type t = {
   disk : Sim_disk.t;
   nodes : Record_store.t;
@@ -73,47 +83,78 @@ type t = {
   label_scans : (int, label_scan) Hashtbl.t;
   type_counts : (int, int ref) Hashtbl.t;
   indexes : (index_key, (int, node_id list ref) Hashtbl.t) Hashtbl.t;
+  settings : settings;
   mutable node_count : int;
   mutable edge_count : int;
   mutable current_tx : tx option;
+  mutable wal : Wal.t option;
+  mutable tx_redo : Wal.op list; (* reversed; committed as one record *)
 }
 
-let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 50) () =
+let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 50)
+    ?(wal = true) () =
   let disk = Sim_disk.create ?config ?pool_pages ?checkpoint_dirty_pages () in
-  {
-    disk;
-    nodes = Record_store.create disk ~name:"neostore.nodestore" ~fields:node_fields;
-    rels = Record_store.create disk ~name:"neostore.relationshipstore" ~fields:rel_fields;
-    props = Record_store.create disk ~name:"neostore.propertystore" ~fields:prop_fields;
-    groups = Record_store.create disk ~name:"neostore.relationshipgroupstore" ~fields:group_fields;
-    strings = Blob_store.create disk ~name:"neostore.stringstore";
-    dense_node_threshold = max 2 dense_node_threshold;
-    label_dict = Dict.create ();
-    type_dict = Dict.create ();
-    key_dict = Dict.create ();
-    label_scans = Hashtbl.create 8;
-    type_counts = Hashtbl.create 8;
-    indexes = Hashtbl.create 8;
-    node_count = 0;
-    edge_count = 0;
-    current_tx = None;
-  }
+  let t =
+    {
+      disk;
+      nodes = Record_store.create disk ~name:"neostore.nodestore" ~fields:node_fields;
+      rels = Record_store.create disk ~name:"neostore.relationshipstore" ~fields:rel_fields;
+      props = Record_store.create disk ~name:"neostore.propertystore" ~fields:prop_fields;
+      groups =
+        Record_store.create disk ~name:"neostore.relationshipgroupstore" ~fields:group_fields;
+      strings = Blob_store.create disk ~name:"neostore.stringstore";
+      dense_node_threshold = max 2 dense_node_threshold;
+      label_dict = Dict.create ();
+      type_dict = Dict.create ();
+      key_dict = Dict.create ();
+      label_scans = Hashtbl.create 8;
+      type_counts = Hashtbl.create 8;
+      indexes = Hashtbl.create 8;
+      settings =
+        {
+          s_config = Cost_model.config (Sim_disk.cost disk);
+          s_pool_pages = pool_pages;
+          s_checkpoint_dirty_pages = checkpoint_dirty_pages;
+          s_dense_node_threshold = dense_node_threshold;
+          s_wal = wal;
+        };
+      node_count = 0;
+      edge_count = 0;
+      current_tx = None;
+      wal = None;
+      tx_redo = [];
+    }
+  in
+  if wal then t.wal <- Some (Wal.create disk);
+  t
 
 let disk t = t.disk
 let cost t = Sim_disk.cost t.disk
+let wal t = t.wal
 
 (* ---------------- persistence ---------------- *)
 
-let save_magic = "MGQNEO1\n"
+exception Corrupt_snapshot of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_snapshot msg)) fmt
+
+let save_magic = "MGQNEO2\n"
+let save_version = 2
 
 let save t path =
   if t.current_tx <> None then failwith "Db.save: transaction open";
+  let payload = Marshal.to_string t [] in
+  let meta = Bytes.create 12 in
+  Bytes.set_int64_le meta 0 (Int64.of_int (String.length payload));
+  Bytes.set_int32_le meta 8 (Mgq_util.Crc32.digest payload);
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc save_magic;
-      Marshal.to_channel oc t [])
+      output_byte oc save_version;
+      output_bytes oc meta;
+      output_string oc payload)
 
 let load path =
   let ic =
@@ -122,9 +163,24 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let header = really_input_string ic (String.length save_magic) in
-      if header <> save_magic then failwith "Db.load: not a record-store database file";
-      (Marshal.from_channel ic : t))
+      let read_exactly what n =
+        try really_input_string ic n with End_of_file -> corrupt "truncated %s" what
+      in
+      let header = read_exactly "header" (String.length save_magic) in
+      if header <> save_magic then corrupt "not a record-store database file";
+      let version = try input_byte ic with End_of_file -> corrupt "truncated header" in
+      if version <> save_version then corrupt "unsupported snapshot version %d" version;
+      let meta = Bytes.of_string (read_exactly "header" 12) in
+      let len = Int64.to_int (Bytes.get_int64_le meta 0) in
+      if len < 0 || len > Sys.max_string_length then corrupt "implausible payload length";
+      let crc = Bytes.get_int32_le meta 8 in
+      let payload = read_exactly "payload" len in
+      if Mgq_util.Crc32.digest payload <> crc then corrupt "checksum mismatch";
+      let t = (Marshal.from_string payload 0 : t) in
+      (* The snapshot's own log records are already folded into its
+         pages; truncating makes the snapshot the replay base. *)
+      (match t.wal with Some w -> Wal.truncate w | None -> ());
+      t)
 
 let labels t = Dict.names t.label_dict
 let edge_types t = Dict.names t.type_dict
@@ -136,14 +192,27 @@ let in_tx t = t.current_tx <> None
 
 let begin_tx t =
   if in_tx t then failwith "Db.begin_tx: transaction already open";
+  t.tx_redo <- [];
   t.current_tx <- Some { undo = [] }
 
 let commit t =
   match t.current_tx with
   | None -> failwith "Db.commit: no open transaction"
   | Some _ ->
-    (* Commit appends the transaction to the log: one page write. *)
+    (* Commit appends the transaction to the log: the durability
+       point. With a WAL the append is real page traffic an armed
+       fault plan can interrupt — in which case the transaction is
+       NOT committed and [current_tx] stays open for rollback. The
+       flush itself is also a decision point: a transiently failing
+       log sync aborts the commit before the append. *)
+    (match Sim_disk.fault_plan t.disk with
+    | Some plan -> Mgq_storage.Fault.on_flush plan
+    | None -> ());
     Cost_model.record_page_flush (cost t);
+    (match t.wal with
+    | Some w when t.tx_redo <> [] -> Wal.append_ops w (List.rev t.tx_redo)
+    | _ -> ());
+    t.tx_redo <- [];
     t.current_tx <- None
 
 let rollback t =
@@ -151,20 +220,49 @@ let rollback t =
   | None -> failwith "Db.rollback: no open transaction"
   | Some tx ->
     t.current_tx <- None;
-    List.iter (fun undo -> undo ()) tx.undo
+    t.tx_redo <- [];
+    (* After a simulated crash the process is conceptually dead: no
+       undo runs, recovery rebuilds from snapshot + WAL. Otherwise undo
+       runs with injection paused — rollback models in-memory work the
+       plan must not sabotage. *)
+    if not (Sim_disk.crashed t.disk) then
+      Sim_disk.with_faults_suspended t.disk (fun () ->
+          List.iter (fun undo -> undo ()) tx.undo)
 
 let with_tx t f =
   begin_tx t;
-  match f () with
-  | result ->
-    commit t;
-    result
-  | exception e ->
-    rollback t;
-    raise e
+  let result =
+    try f ()
+    with e ->
+      rollback t;
+      raise e
+  in
+  (try commit t
+   with e ->
+     if in_tx t then rollback t;
+     raise e);
+  result
 
 let log_undo t f =
   match t.current_tx with None -> () | Some tx -> tx.undo <- f :: tx.undo
+
+(* Record a logical redo op. Inside a transaction it joins the
+   transaction's record; outside, the call auto-commits as a
+   single-op record. *)
+let log_redo t op =
+  match t.current_tx with
+  | Some _ -> t.tx_redo <- op :: t.tx_redo
+  | None -> ( match t.wal with Some w -> Wal.append_ops w [ op ] | None -> ())
+
+(* Mutators are exception-atomic. Their record rewrites touch
+   buffer-pool memory — the disk I/O that can transiently fail happens
+   at commit (WAL append) and flush time — so transient injection is
+   paused across the physical-mutation region: a transient fault
+   either rejects the operation before it mutates anything (reads and
+   validation stay outside) or the operation completes together with
+   its undo registration. The crash point stays armed throughout;
+   recovery never trusts partial state. *)
+let atomic t f = Sim_disk.with_transients_suspended t.disk f
 
 (* ---------------- existence checks ---------------- *)
 
@@ -583,7 +681,12 @@ let dense_node_threshold t = t.dense_node_threshold
 
 let densify_node t id =
   check_node t id;
-  if not (is_dense t id) then densify t id
+  if not (is_dense t id) then
+    atomic t (fun () ->
+        densify t id;
+        (* Only explicit conversions are logged; threshold-triggered
+           ones re-fire deterministically during replay. *)
+        log_redo t (Wal.Densify id))
 
 let node_count t = t.node_count
 let edge_count t = t.edge_count
@@ -602,6 +705,7 @@ let edge_type_count t etype =
 (* ---------------- writes ---------------- *)
 
 let create_node t ~label properties =
+  atomic t @@ fun () ->
   let label_id = Dict.intern t.label_dict label in
   let id = Record_store.allocate t.nodes in
   Record_store.set_record t.nodes ~id [| 1; label_id; nil; nil; nil; 0; 0; 0 |];
@@ -627,6 +731,7 @@ let create_node t ~label properties =
       Record_store.set t.nodes ~id ~field:n_in_use 0;
       scan_remove t label_id id;
       t.node_count <- t.node_count - 1);
+  log_redo t (Wal.Create_node { label; props = Property.to_list properties });
   id
 
 let bump_type_count t type_id delta =
@@ -669,6 +774,7 @@ let insert_edge_physically t id =
 let create_edge t ~etype ~src ~dst properties =
   check_node t src;
   check_node t dst;
+  atomic t @@ fun () ->
   let type_id = Dict.intern t.type_dict etype in
   let id = Record_store.allocate t.rels in
   Record_store.set_record t.rels ~id [| 0; type_id; src; dst; nil; nil; nil |];
@@ -686,30 +792,37 @@ let create_edge t ~etype ~src ~dst properties =
   maybe_densify t src;
   maybe_densify t dst;
   log_undo t (fun () -> remove_edge_physically t id);
+  log_redo t (Wal.Create_edge { etype; src; dst; props = Property.to_list properties });
   id
 
 let set_node_property t id key value =
   check_node t id;
   let old_v = node_property t id key in
+  atomic t @@ fun () ->
   let undo_write = write_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key value in
   let label_id = Record_store.get t.nodes ~id ~field:n_label in
   let key_id = Dict.intern t.key_dict key in
   let undo_index = index_maintain t ~label_id ~key_id ~node:id ~old_v ~new_v:value in
   log_undo t (fun () ->
       undo_index ();
-      undo_write ())
+      undo_write ());
+  log_redo t (Wal.Set_node_prop { node = id; key; value })
 
 let set_edge_property t id key value =
   check_edge t id;
+  atomic t @@ fun () ->
   let undo_write = write_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key value in
-  log_undo t undo_write
+  log_undo t undo_write;
+  log_redo t (Wal.Set_edge_prop { edge = id; key; value })
 
 let delete_edge t id =
   check_edge t id;
+  atomic t @@ fun () ->
   remove_edge_physically t id;
   (* Undo re-inserts at the then-current chain heads; order within a
      chain is not semantic. *)
-  log_undo t (fun () -> insert_edge_physically t id)
+  log_undo t (fun () -> insert_edge_physically t id);
+  log_redo t (Wal.Delete_edge id)
 
 let delete_node t id =
   check_node t id;
@@ -718,6 +831,7 @@ let delete_node t id =
   let label_id = Record_store.get t.nodes ~id ~field:n_label in
   (* Drop indexed entries for this node. *)
   let props = node_properties t id in
+  atomic t @@ fun () ->
   let index_undos =
     List.map
       (fun (key, value) ->
@@ -732,7 +846,8 @@ let delete_node t id =
       Record_store.set t.nodes ~id ~field:n_in_use 1;
       scan_add t label_id id;
       t.node_count <- t.node_count + 1;
-      List.iter (fun u -> u ()) index_undos)
+      List.iter (fun u -> u ()) index_undos);
+  log_redo t (Wal.Delete_node id)
 
 (* ---------------- schema indexes ---------------- *)
 
@@ -745,15 +860,16 @@ let create_index t ~label ~property =
   let ilabel = Dict.intern t.label_dict label in
   let ikey = Dict.intern t.key_dict property in
   let key = { ilabel; ikey } in
-  if not (Hashtbl.mem t.indexes key) then begin
-    let index = Hashtbl.create 1024 in
-    Hashtbl.replace t.indexes key index;
-    Seq.iter
-      (fun node ->
-        let v = node_property t node property in
-        if v <> Value.Null then index_insert index (Value.hash_fold v) node)
-      (nodes_with_label t label)
-  end
+  if not (Hashtbl.mem t.indexes key) then
+    atomic t (fun () ->
+        let index = Hashtbl.create 1024 in
+        Hashtbl.replace t.indexes key index;
+        Seq.iter
+          (fun node ->
+            let v = node_property t node property in
+            if v <> Value.Null then index_insert index (Value.hash_fold v) node)
+          (nodes_with_label t label);
+        log_redo t (Wal.Create_index { label; property }))
 
 let index_lookup t ~label ~property value =
   match (Dict.find t.label_dict label, Dict.find t.key_dict property) with
@@ -770,3 +886,53 @@ let index_lookup t ~label ~property value =
       | Some bucket ->
         List.filter (fun node -> Value.equal (node_property t node property) value) !bucket))
   | _ -> raise (Schema_error (Printf.sprintf "no index on :%s(%s)" label property))
+
+(* ---------------- checkpoint & recovery ---------------- *)
+
+let checkpoint t path =
+  if t.current_tx <> None then failwith "Db.checkpoint: transaction open";
+  (* Order matters: only once the snapshot is safely on disk may the
+     log be truncated. A failure at any earlier step leaves the
+     previous snapshot + full log intact. *)
+  Sim_disk.flush_all t.disk;
+  save t path;
+  match t.wal with Some w -> Wal.truncate w | None -> ()
+
+let replay_op t = function
+  | Wal.Create_node { label; props } ->
+    ignore (create_node t ~label (Property.of_list props) : node_id)
+  | Wal.Create_edge { etype; src; dst; props } ->
+    ignore (create_edge t ~etype ~src ~dst (Property.of_list props) : edge_id)
+  | Wal.Set_node_prop { node; key; value } -> set_node_property t node key value
+  | Wal.Set_edge_prop { edge; key; value } -> set_edge_property t edge key value
+  | Wal.Delete_edge id -> delete_edge t id
+  | Wal.Delete_node id -> delete_node t id
+  | Wal.Densify id -> densify_node t id
+  | Wal.Create_index { label; property } -> create_index t ~label ~property
+
+let recover ?snapshot t =
+  (* Forget any transaction that was in flight: it never reached the
+     log, so it never happened. *)
+  t.current_tx <- None;
+  t.tx_redo <- [];
+  if Sim_disk.crashed t.disk then Sim_disk.reopen t.disk else Sim_disk.disarm_faults t.disk;
+  let base =
+    match snapshot with
+    | Some path -> load path
+    | None ->
+      let s = t.settings in
+      create ~config:s.s_config ?pool_pages:s.s_pool_pages
+        ?checkpoint_dirty_pages:s.s_checkpoint_dirty_pages
+        ~dense_node_threshold:s.s_dense_node_threshold ~wal:s.s_wal ()
+  in
+  (* Data pages of the crashed instance are never trusted; the intact
+     record prefix of its log is the sole source of truth past the
+     snapshot. Replaying re-commits each transaction, so the recovered
+     instance's own log again covers everything past its snapshot. *)
+  (match t.wal with
+  | None -> ()
+  | Some w ->
+    Wal.fold_ops w
+      (fun () ops -> with_tx base (fun () -> List.iter (replay_op base) ops))
+      ());
+  base

@@ -30,28 +30,61 @@ val create :
   ?pool_pages:int ->
   ?checkpoint_dirty_pages:int ->
   ?dense_node_threshold:int ->
+  ?wal:bool ->
   unit ->
   t
 (** [dense_node_threshold] (default 50): total degree at which a node
     converts to the dense representation — per-type relationship
     group records, so a typed expansion walks only that type's chain
     (Neo4j's dense-node optimisation; the import tool's "computing
-    the dense nodes" step). *)
+    the dense nodes" step).
+
+    [wal] (default [true]): maintain a write-ahead log (see {!Wal}) on
+    the same simulated disk. Committing then appends the transaction's
+    logical redo record, making {!recover} possible after a simulated
+    crash. *)
 
 val disk : t -> Mgq_storage.Sim_disk.t
 
+val wal : t -> Wal.t option
+
 (** {1 Persistence} *)
+
+exception Corrupt_snapshot of string
+(** A snapshot file failed validation: wrong magic, unsupported
+    version, truncation, or CRC mismatch. Raised by {!load} {e before}
+    unmarshalling, so a corrupt file can never produce a silently
+    broken (or crashing) database. *)
 
 val save : t -> string -> unit
 (** Serialise the whole database — store pages, dictionaries, label
-    scans, indexes, counters — to a file. The format is the running
-    program's marshalling format plus a magic header: portable across
-    runs of the same build, not across compiler versions.
+    scans, indexes, counters — to a file. Format: an 8-byte magic, a
+    version byte, the payload length (int64 LE) and CRC-32 (int32 LE),
+    then the marshalled payload — portable across runs of the same
+    build, not across compiler versions.
     @raise Failure when a transaction is open. *)
 
 val load : string -> t
-(** Inverse of {!save}.
-    @raise Failure on a missing/foreign/corrupt file. *)
+(** Inverse of {!save}; validates magic, version, length and checksum
+    before touching [Marshal]. The loaded instance's write-ahead log
+    is truncated: the snapshot is its own replay base.
+    @raise Corrupt_snapshot on a foreign, truncated or corrupt file.
+    @raise Failure when the file cannot be opened. *)
+
+val checkpoint : t -> string -> unit
+(** Flush every dirty page, {!save} a snapshot to [path], then
+    truncate the write-ahead log. Ordered so that a fault at any step
+    leaves the previous snapshot and the full log intact.
+    @raise Failure when a transaction is open. *)
+
+val recover : ?snapshot:string -> t -> t
+(** Rebuild the database after a simulated crash (or at any point):
+    load the last checkpoint [snapshot] (an identically configured
+    empty database when absent) and replay the intact prefix of [t]'s
+    write-ahead log into it, one transaction per log record — torn
+    tail records are discarded. The crashed instance's data pages are
+    never trusted. Returns the recovered instance; [t] should be
+    discarded. *)
 
 (** {1 Schema} *)
 
@@ -65,11 +98,16 @@ val begin_tx : t -> unit
 (** @raise Failure when a transaction is already open. *)
 
 val commit : t -> unit
-(** Charges a commit (log flush) cost.
+(** Charges a commit (log flush) cost and, when the WAL is enabled,
+    appends the transaction's redo record — the durability point. An
+    armed fault plan can interrupt the append; the transaction is then
+    not committed and stays open for {!rollback}.
     @raise Failure when no transaction is open. *)
 
 val rollback : t -> unit
-(** Undo every mutation of the open transaction, in reverse order. *)
+(** Undo every mutation of the open transaction, in reverse order,
+    with fault injection suspended. After a simulated crash no undo
+    runs ({!recover} is the only way forward). *)
 
 val in_tx : t -> bool
 

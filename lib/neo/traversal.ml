@@ -87,27 +87,41 @@ let children_of db t visited path =
       ([], visited) raw
     |> fun (acc, vis) -> (List.rev acc, vis)
 
-let traverse db t start =
+let traverse db ?budget t start =
   if t.expanders = [] then invalid_arg "Traversal.traverse: no expander";
+  let cost = Mgq_storage.Sim_disk.cost (Db.disk db) in
   let start_path = { end_node = start; length = 0; nodes_rev = [ start ] } in
+  (* Each forced step runs under the budget, so exhaustion raises from
+     inside the consumer's [Seq] pull — everything already pulled is
+     the partial result. The budgeted section only computes one step;
+     recursion stays in tail position for non-emitted paths. *)
+  let step agenda visited =
+    Mgq_storage.Cost_model.with_budget cost budget (fun () ->
+        match agenda_pop t agenda with
+        | None -> None
+        | Some (path, agenda) ->
+          let evaluation =
+            if path.length = 0 then include_and_continue else t.evaluator db path
+          in
+          let emit =
+            evaluation.emit && path.length >= t.min_depth && path.length <= t.max_depth
+          in
+          let agenda, visited =
+            if evaluation.expand && path.length < t.max_depth then begin
+              let children, visited = children_of db t visited path in
+              (agenda_push t agenda children, visited)
+            end
+            else (agenda, visited)
+          in
+          Some ((if emit then Some path else None), agenda, visited))
+  in
   let rec drain agenda visited () =
-    match agenda_pop t agenda with
+    match step agenda visited with
     | None -> Seq.Nil
-    | Some (path, agenda) ->
-      let evaluation =
-        if path.length = 0 then include_and_continue else t.evaluator db path
-      in
-      let emit = evaluation.emit && path.length >= t.min_depth && path.length <= t.max_depth in
-      let agenda, visited =
-        if evaluation.expand && path.length < t.max_depth then begin
-          let children, visited = children_of db t visited path in
-          (agenda_push t agenda children, visited)
-        end
-        else (agenda, visited)
-      in
-      if emit then Seq.Cons (path, drain agenda visited)
-      else drain agenda visited ()
+    | Some (Some path, agenda, visited) -> Seq.Cons (path, drain agenda visited)
+    | Some (None, agenda, visited) -> drain agenda visited ()
   in
   drain { front = [ start_path ]; back = [] } (Iset.singleton start)
 
-let traverse_nodes db t start = Seq.map (fun p -> p.end_node) (traverse db t start)
+let traverse_nodes db ?budget t start =
+  Seq.map (fun p -> p.end_node) (traverse db ?budget t start)

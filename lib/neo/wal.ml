@@ -1,0 +1,129 @@
+module Sim_disk = Mgq_storage.Sim_disk
+module Crc32 = Mgq_util.Crc32
+
+type op =
+  | Create_node of { label : string; props : (string * Mgq_core.Value.t) list }
+  | Create_edge of {
+      etype : string;
+      src : int;
+      dst : int;
+      props : (string * Mgq_core.Value.t) list;
+    }
+  | Set_node_prop of { node : int; key : string; value : Mgq_core.Value.t }
+  | Set_edge_prop of { edge : int; key : string; value : Mgq_core.Value.t }
+  | Delete_edge of int
+  | Delete_node of int
+  | Densify of int
+  | Create_index of { label : string; property : string }
+
+type t = {
+  disk : Sim_disk.t;
+  mutable pages : int array; (* log page index -> disk page id *)
+  mutable n_pages : int;
+  mutable length : int; (* bytes appended since truncation *)
+  mutable records : int;
+}
+
+let magic = '\xA5'
+let header_bytes = 9
+
+let create disk = { disk; pages = Array.make 8 0; n_pages = 0; length = 0; records = 0 }
+
+let records t = t.records
+let length_bytes t = t.length
+
+let ensure_capacity t bytes =
+  let ps = Sim_disk.page_size t.disk in
+  let needed = (bytes + ps - 1) / ps in
+  while t.n_pages < needed do
+    if t.n_pages = Array.length t.pages then begin
+      let bigger = Array.make (2 * t.n_pages) 0 in
+      Array.blit t.pages 0 bigger 0 t.n_pages;
+      t.pages <- bigger
+    end;
+    t.pages.(t.n_pages) <- Sim_disk.allocate_page t.disk;
+    t.n_pages <- t.n_pages + 1
+  done
+
+(* Write [src] at log offset [off], page chunk by page chunk: each
+   chunk is one page write the fault plan can fail or crash. *)
+let write_bytes t off src =
+  let ps = Sim_disk.page_size t.disk in
+  let len = Bytes.length src in
+  ensure_capacity t (off + len);
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page_idx = abs / ps and page_off = abs mod ps in
+    let chunk = min (len - !pos) (ps - page_off) in
+    let from = !pos in
+    Sim_disk.with_page_write t.disk t.pages.(page_idx) (fun b ->
+        Bytes.blit src from b page_off chunk);
+    pos := !pos + chunk
+  done
+
+let read_bytes t off len =
+  let ps = Sim_disk.page_size t.disk in
+  let dst = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page_idx = abs / ps and page_off = abs mod ps in
+    let chunk = min (len - !pos) (ps - page_off) in
+    let into = !pos in
+    Sim_disk.with_page_read t.disk t.pages.(page_idx) (fun b ->
+        Bytes.blit b page_off dst into chunk);
+    pos := !pos + chunk
+  done;
+  dst
+
+let zero_sentinel t off =
+  write_bytes t off (Bytes.make header_bytes '\000')
+
+let append_ops t ops =
+  let payload = Marshal.to_string (ops : op list) [] in
+  let len = String.length payload in
+  let frame = Bytes.create (header_bytes + len) in
+  Bytes.set frame 0 magic;
+  Bytes.set_int32_le frame 1 (Int32.of_int len);
+  Bytes.set_int32_le frame 5 (Crc32.digest payload);
+  Bytes.blit_string payload 0 frame header_bytes len;
+  write_bytes t t.length frame;
+  let tail = t.length + Bytes.length frame in
+  zero_sentinel t tail;
+  (* The record is durable the moment its last frame byte lands; the
+     sentinel only guards the scan. Update in-memory counters last. *)
+  t.length <- tail;
+  t.records <- t.records + 1
+
+let truncate t =
+  t.length <- 0;
+  t.records <- 0;
+  if t.n_pages > 0 then
+    Sim_disk.with_faults_suspended t.disk (fun () -> zero_sentinel t 0)
+
+let fold_ops t f init =
+  let allocated = t.n_pages * Sim_disk.page_size t.disk in
+  let rec scan acc off =
+    if off + header_bytes > allocated then acc
+    else begin
+      let header = read_bytes t off header_bytes in
+      if Bytes.get header 0 <> magic then acc
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_le header 1) in
+        let crc = Bytes.get_int32_le header 5 in
+        if len < 0 || off + header_bytes + len > allocated then acc
+        else begin
+          let payload = Bytes.to_string (read_bytes t (off + header_bytes) len) in
+          if Crc32.digest payload <> crc then acc
+          else begin
+            let ops : op list = Marshal.from_string payload 0 in
+            scan (f acc ops) (off + header_bytes + len)
+          end
+        end
+      end
+    end
+  in
+  scan init 0
+
+let valid_records t = fold_ops t (fun n _ -> n + 1) 0

@@ -1,0 +1,67 @@
+(** Write-ahead log: checksummed logical redo records on the
+    simulated disk.
+
+    Each committed transaction appends one record — the framed,
+    CRC-32-checksummed marshalling of its logical operations
+    ({!op}). Appends go through {!Mgq_storage.Sim_disk} page writes,
+    so an injected crash can land inside a record and tear it;
+    {!fold_ops} replays exactly the prefix of intact records and
+    stops at the first torn or missing frame, which is the whole
+    recovery contract: {e a transaction is durable iff its record is
+    fully on disk with a valid checksum}.
+
+    Frame layout, byte-packed across pages:
+    [0xA5][len:4 LE][crc32:4 LE][payload]. After every append (and on
+    {!truncate}) the next frame's header position is zeroed so a scan
+    terminates at the true tail rather than running into stale
+    bytes. *)
+
+type op =
+  | Create_node of { label : string; props : (string * Mgq_core.Value.t) list }
+  | Create_edge of {
+      etype : string;
+      src : int;
+      dst : int;
+      props : (string * Mgq_core.Value.t) list;
+    }
+  | Set_node_prop of { node : int; key : string; value : Mgq_core.Value.t }
+  | Set_edge_prop of { edge : int; key : string; value : Mgq_core.Value.t }
+  | Delete_edge of int
+  | Delete_node of int
+  | Densify of int
+  | Create_index of { label : string; property : string }
+      (** Logical redo operations. Node/edge ids are implicit: ids are
+          allocation-ordered, so replaying every committed operation
+          in log order reproduces them. Automatic densification is
+          {e not} logged — it re-fires deterministically during
+          replay; only the importer's explicit [Densify] calls are. *)
+
+type t
+
+val create : Mgq_storage.Sim_disk.t -> t
+(** An empty log allocating its pages from [disk]. *)
+
+val append_ops : t -> op list -> unit
+(** Append one record (one committed transaction). May raise the
+    armed fault plan's exceptions mid-frame — the torn-tail case
+    {!fold_ops} discards. *)
+
+val fold_ops : t -> ('a -> op list -> 'a) -> 'a -> 'a
+(** Scan the log from the start, folding over each intact record's
+    operations; stops at the first invalid frame (torn tail or end of
+    log). *)
+
+val valid_records : t -> int
+(** Number of records {!fold_ops} would yield — a scan, charging
+    reads. *)
+
+val records : t -> int
+(** Records appended since creation/truncation (in-memory counter;
+    after a crash, trust {!valid_records} instead). *)
+
+val length_bytes : t -> int
+
+val truncate : t -> unit
+(** Empty the log (checkpoint). Pages stay allocated for reuse; the
+    head sentinel is zeroed with fault injection suspended, modelling
+    an atomic metadata update. *)

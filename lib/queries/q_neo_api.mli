@@ -14,7 +14,12 @@ val tag_of : Contexts.neo -> int -> string
 val q1_select : Contexts.neo -> threshold:int -> Results.t
 val q2_1 : Contexts.neo -> uid:int -> Results.t
 val q2_2 : Contexts.neo -> uid:int -> Results.t
-val q2_3 : Contexts.neo -> uid:int -> Results.t
+
+val q2_3 : ?budget:Mgq_util.Budget.t -> Contexts.neo -> uid:int -> Results.t
+(** The 3-step expansion — the workload's db-hit explosion. With
+    [budget], exhaustion raises {!Results.Budget_exhausted} carrying
+    the tags collected so far. *)
+
 val q3_1 : Contexts.neo -> uid:int -> n:int -> Results.t
 val q3_2 : Contexts.neo -> tag:string -> n:int -> Results.t
 val q4_1 : Contexts.neo -> uid:int -> n:int -> Results.t

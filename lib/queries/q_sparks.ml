@@ -72,35 +72,38 @@ let q2_2 (ctx : Contexts.sparks) ~uid =
       (Sdb.neighbors sdb a ctx.Contexts.t_follows Out);
     Results.Ids (Results.sort_ids (List.map (tid_of ctx) (Objects.to_list tweets)))
 
-let q2_3 (ctx : Contexts.sparks) ~uid =
+let q2_3 ?budget (ctx : Contexts.sparks) ~uid =
   match oid_of_uid ctx uid with
   | None -> Results.Tags []
   | Some a ->
     let sdb = ctx.Contexts.sdb in
-    let tweets = Objects.empty () in
-    Objects.iter
-      (fun f -> Objects.union_into tweets (Sdb.neighbors sdb f ctx.Contexts.t_posts Out))
-      (Sdb.neighbors sdb a ctx.Contexts.t_follows Out);
     let hashtags = Objects.empty () in
-    Objects.iter
-      (fun t -> Objects.union_into hashtags (Sdb.neighbors sdb t ctx.Contexts.t_tags Out))
-      tweets;
-    Results.Tags (List.sort compare (List.map (tag_of ctx) (Objects.to_list hashtags)))
+    let partial () =
+      Results.Tags (List.sort compare (List.map (tag_of ctx) (Objects.to_list hashtags)))
+    in
+    Results.budgeted (Sdb.cost sdb) budget ~partial (fun () ->
+        let tweets = Objects.empty () in
+        Objects.iter
+          (fun f -> Objects.union_into tweets (Sdb.neighbors sdb f ctx.Contexts.t_posts Out))
+          (Sdb.neighbors sdb a ctx.Contexts.t_follows Out);
+        Objects.iter
+          (fun t -> Objects.union_into hashtags (Sdb.neighbors sdb t ctx.Contexts.t_tags Out))
+          tweets)
 
 (* Q2.3 again, but through the Context class instead of raw
    navigation — "queries can also be translated to a series of
    traversals using the Traversal or Context classes"; the paper found
    the raw operations "slightly more efficient ... perhaps due to the
    overhead involved with the traversals". *)
-let q2_3_context (ctx : Contexts.sparks) ~uid =
+let q2_3_context ?budget (ctx : Contexts.sparks) ~uid =
   match oid_of_uid ctx uid with
   | None -> Results.Tags []
   | Some a ->
     let sdb = ctx.Contexts.sdb in
     let c0 = Straversal.Context.start sdb (Objects.of_list [ a ]) in
-    let c1 = Straversal.Context.expand c0 ~etype:ctx.Contexts.t_follows Out in
-    let c2 = Straversal.Context.expand c1 ~etype:ctx.Contexts.t_posts Out in
-    let c3 = Straversal.Context.expand c2 ~etype:ctx.Contexts.t_tags Out in
+    let c1 = Straversal.Context.expand ?budget c0 ~etype:ctx.Contexts.t_follows Out in
+    let c2 = Straversal.Context.expand ?budget c1 ~etype:ctx.Contexts.t_posts Out in
+    let c3 = Straversal.Context.expand ?budget c2 ~etype:ctx.Contexts.t_tags Out in
     Results.Tags
       (List.sort compare
          (List.map (tag_of ctx) (Objects.to_list (Straversal.Context.frontier c3))))

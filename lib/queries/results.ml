@@ -9,6 +9,17 @@ type t =
   | Tags of string list (* ascending *)
   | Path_length of int option
 
+exception Budget_exhausted of { partial : t; hits : int; consumed_ns : int }
+
+(* Run the accumulating body of a budgeted query; on exhaustion,
+   convert whatever accumulated into a typed partial answer. *)
+let budgeted cost budget ~partial body =
+  try
+    Mgq_storage.Cost_model.with_budget cost budget body;
+    partial ()
+  with Mgq_util.Budget.Exhausted { hits; ns; _ } ->
+    raise (Budget_exhausted { partial = partial (); hits; consumed_ns = ns })
+
 let sort_ids ids = List.sort_uniq compare ids
 
 let sort_counted pairs =

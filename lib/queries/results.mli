@@ -13,6 +13,27 @@ type t =
   | Tags of string list  (** ascending, deduplicated *)
   | Path_length of int option
 
+exception
+  Budget_exhausted of {
+    partial : t;  (** everything accumulated before the ceiling *)
+    hits : int;  (** db hits charged when the budget tripped *)
+    consumed_ns : int;  (** simulated time charged when it tripped *)
+  }
+(** A budgeted query ran out of budget. Graceful degradation: the
+    answer so far is carried along, canonically ordered, so callers can
+    serve it as an explicit partial response. *)
+
+val budgeted :
+  Mgq_storage.Cost_model.t ->
+  Mgq_util.Budget.t option ->
+  partial:(unit -> t) ->
+  (unit -> unit) ->
+  t
+(** [budgeted cost budget ~partial body] runs the accumulating [body]
+    under [budget] (attached to [cost]); returns [partial ()] on
+    completion, and raises {!Budget_exhausted} around [partial ()]
+    when {!Mgq_util.Budget.Exhausted} fires mid-body. *)
+
 val sort_ids : int list -> int list
 val sort_counted : (int * int) list -> (int * int) list
 val sort_tag_counts : (string * int) list -> (string * int) list

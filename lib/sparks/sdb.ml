@@ -191,11 +191,14 @@ let new_node t type_id =
   check_type t type_id;
   if t.types.(type_id).kind <> `Node then
     raise (Schema_error (Printf.sprintf "%s is not a node type" t.types.(type_id).tname));
+  (* Charge (and let an armed plan inject) before any bytes move, so
+     a transient fault rejects the operation instead of orphaning a
+     half-applied one from the caller's compensation journal. *)
+  charge t;
   let oid = fresh_oid t in
   Bitmap.add t.types.(type_id).objects oid;
   Hashtbl.replace t.nodes oid type_id;
   t.node_count <- t.node_count + 1;
-  charge t;
   oid
 
 let link table key oid =
@@ -212,6 +215,10 @@ let new_edge t type_id ~tail ~head =
     raise (Schema_error (Printf.sprintf "%s is not an edge type" t.types.(type_id).tname));
   if not (Hashtbl.mem t.nodes tail) then raise (Node_not_found tail);
   if not (Hashtbl.mem t.nodes head) then raise (Node_not_found head);
+  (* Charged up front (see [new_node]); the neighbor index costs
+     extra work per edge. *)
+  charge t;
+  if t.materialize then charge ~n:2 t;
   let oid = fresh_oid t in
   Bitmap.add t.types.(type_id).objects oid;
   Hashtbl.replace t.edges oid { etype = type_id; tail; head };
@@ -219,12 +226,9 @@ let new_edge t type_id ~tail ~head =
   link t.in_links (type_id, head) oid;
   if t.materialize then begin
     link t.out_neighbors (type_id, tail) head;
-    link t.in_neighbors (type_id, head) tail;
-    (* Maintaining the neighbor index costs extra work per edge. *)
-    charge ~n:2 t
+    link t.in_neighbors (type_id, head) tail
   end;
   t.edge_count <- t.edge_count + 1;
-  charge t;
   oid
 
 let remove_attribute_entries t oid owner_type =
@@ -244,6 +248,7 @@ let drop_edge t oid =
     | Some e -> e
     | None -> raise (Edge_not_found oid)
   in
+  charge t;
   Bitmap.remove t.types.(e.etype).objects oid;
   (match Hashtbl.find_opt t.out_links (e.etype, e.tail) with
   | Some bitmap -> Bitmap.remove bitmap oid
@@ -270,8 +275,7 @@ let drop_edge t oid =
       | None -> ()
     end
   end;
-  t.edge_count <- t.edge_count - 1;
-  charge t
+  t.edge_count <- t.edge_count - 1
 
 let drop_node t oid =
   let node_type =
@@ -290,11 +294,11 @@ let drop_node t oid =
         failwith "Sdb.drop_node: node still has incident edges"
     end
   done;
+  charge t;
   Bitmap.remove t.types.(node_type).objects oid;
   Hashtbl.remove t.nodes oid;
   remove_attribute_entries t oid node_type;
-  t.node_count <- t.node_count - 1;
-  charge t
+  t.node_count <- t.node_count - 1
 
 (* ---------------- attributes ---------------- *)
 

@@ -13,8 +13,9 @@ let add_edge_type t etype dir = { t with expanders = t.expanders @ [ (etype, dir
 let set_order t order = { t with order }
 let set_max_depth t max_depth = { t with max_depth }
 
-let run t =
+let run ?budget t =
   if t.expanders = [] then invalid_arg "Straversal.run: no edge type added";
+  Mgq_storage.Cost_model.with_budget (Sdb.cost t.db) budget @@ fun () ->
   let visited = Hashtbl.create 256 in
   Hashtbl.replace visited t.start ();
   let results = ref [] in
@@ -52,7 +53,8 @@ module Context = struct
   let start db frontier =
     { db; frontier = Objects.copy frontier; visited = Objects.copy frontier; depth = 0 }
 
-  let expand ctx ~etype dir =
+  let expand ?budget ctx ~etype dir =
+    Mgq_storage.Cost_model.with_budget (Sdb.cost ctx.db) budget @@ fun () ->
     let next = Objects.empty () in
     Objects.iter
       (fun node -> Objects.union_into next (Sdb.neighbors ctx.db node etype dir))

@@ -46,19 +46,52 @@ let sub_counters a b =
 
 let simulated_ms c = float_of_int c.simulated_ns /. 1e6
 
-type t = { cfg : config; mutable acc : counters }
+type t = {
+  cfg : config;
+  mutable acc : counters;
+  mutable budget : Mgq_util.Budget.t option;
+  mutable faults : Fault.plan option;
+}
 
-let create ?(config = default_config) () = { cfg = config; acc = zero_counters }
+let create ?(config = default_config) () =
+  { cfg = config; acc = zero_counters; budget = None; faults = None }
 
 let config t = t.cfg
 
+let set_budget t budget = t.budget <- budget
+let budget t = t.budget
+
+let with_budget t budget f =
+  match budget with
+  | None -> f ()
+  | Some _ ->
+    let previous = t.budget in
+    t.budget <- budget;
+    Fun.protect ~finally:(fun () -> t.budget <- previous) f
+
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+
+(* Budget charging happens after counting: the work was done, then the
+   meter trips. Fault injection happens before counting: a failed
+   access never completed. *)
+let charge_budget t ~hits ~ns =
+  match t.budget with
+  | None -> ()
+  | Some b -> Mgq_util.Budget.charge ~hits ~ns b
+
+let inject_db_hit t =
+  match t.faults with None -> () | Some plan -> Fault.on_db_hit plan
+
 let record_db_hit ?(n = 1) t =
+  inject_db_hit t;
   t.acc <-
     {
       t.acc with
       db_hits = t.acc.db_hits + n;
       simulated_ns = t.acc.simulated_ns + (n * t.cfg.record_access_ns);
-    }
+    };
+  charge_budget t ~hits:n ~ns:(n * t.cfg.record_access_ns)
 
 let record_page_hit t =
   t.acc <-
@@ -66,7 +99,8 @@ let record_page_hit t =
       t.acc with
       page_hits = t.acc.page_hits + 1;
       simulated_ns = t.acc.simulated_ns + t.cfg.page_hit_ns;
-    }
+    };
+  charge_budget t ~hits:0 ~ns:t.cfg.page_hit_ns
 
 let record_page_fault t ~sequential =
   let cost =
@@ -77,7 +111,8 @@ let record_page_fault t ~sequential =
       t.acc with
       page_faults = t.acc.page_faults + 1;
       simulated_ns = t.acc.simulated_ns + cost;
-    }
+    };
+  charge_budget t ~hits:0 ~ns:cost
 
 let record_page_flush ?(n = 1) t =
   t.acc <-
@@ -85,7 +120,8 @@ let record_page_flush ?(n = 1) t =
       t.acc with
       page_flushes = t.acc.page_flushes + n;
       simulated_ns = t.acc.simulated_ns + (n * t.cfg.page_flush_ns);
-    }
+    };
+  charge_budget t ~hits:0 ~ns:(n * t.cfg.page_flush_ns)
 
 let advance_ns t ns = t.acc <- { t.acc with simulated_ns = t.acc.simulated_ns + ns }
 

@@ -44,6 +44,34 @@ type t
 val create : ?config:config -> unit -> t
 val config : t -> config
 
+val set_budget : t -> Mgq_util.Budget.t option -> unit
+(** Attach (or clear) a query budget. While attached, every db hit
+    charges it one hit, and every accounted event charges its
+    simulated nanoseconds, so [max_ns] acts as a deterministic
+    deadline. Charging past a ceiling raises
+    {!Mgq_util.Budget.Exhausted} from inside the accounting call —
+    attach only around read paths, and clear with [Fun.protect]. *)
+
+val budget : t -> Mgq_util.Budget.t option
+
+val with_budget : t -> Mgq_util.Budget.t option -> (unit -> 'a) -> 'a
+(** [with_budget t (Some b) f] runs [f] with [b] attached, restoring
+    the previously attached budget afterwards (even on raise); with
+    [None] it is just [f ()] — an enclosing attachment stays in
+    force. The scoping primitive behind every [?budget] argument in
+    the query layers. *)
+
+val set_faults : t -> Fault.plan option -> unit
+(** Attach (or clear) a fault plan consulted on every db hit; engines
+    that do not route traffic through {!Sim_disk} (the bitmap engine
+    charges record accesses directly) get transient-fault coverage
+    this way. A plan armed on a {!Sim_disk} is automatically attached
+    here as well. *)
+
+val faults : t -> Fault.plan option
+
+(** [record_db_hit] may raise {!Fault.Io_error} (armed plan) or
+    {!Mgq_util.Budget.Exhausted} (attached budget). *)
 val record_db_hit : ?n:int -> t -> unit
 val record_page_hit : t -> unit
 val record_page_fault : t -> sequential:bool -> unit

@@ -19,6 +19,8 @@ type t = {
   mutable lru_head : node option; (* most recently used *)
   mutable lru_tail : node option; (* eviction candidate *)
   mutable last_faulted_page : int;
+  mutable faults : Fault.plan option;
+  mutable crashed : bool;
 }
 
 let create ?config ?(page_size = 8192) ?(pool_pages = 4096) ?checkpoint_dirty_pages () =
@@ -34,9 +36,36 @@ let create ?config ?(page_size = 8192) ?(pool_pages = 4096) ?checkpoint_dirty_pa
     lru_head = None;
     lru_tail = None;
     last_faulted_page = -100;
+    faults = None;
+    crashed = false;
   }
 
 let cost t = t.cost
+
+(* ---- fault injection ---- *)
+
+let arm_faults t plan =
+  t.faults <- Some plan;
+  Cost_model.set_faults t.cost (Some plan)
+
+let disarm_faults t =
+  t.faults <- None;
+  Cost_model.set_faults t.cost None
+
+let fault_plan t = t.faults
+let crashed t = t.crashed
+
+let with_faults_suspended t f =
+  match t.faults with None -> f () | Some plan -> Fault.with_suspended plan f
+
+let with_transients_suspended t f =
+  match t.faults with None -> f () | Some plan -> Fault.with_transients_suspended plan f
+
+let check_alive t =
+  if t.crashed then begin
+    let writes = match t.faults with Some p -> (Fault.stats p).writes | None -> 0 in
+    raise (Fault.Crashed { writes })
+  end
 let page_size t = t.page_size
 let page_count t = t.page_count
 let resident_pages t = Hashtbl.length t.resident
@@ -107,6 +136,8 @@ let fetch t page ~dirty =
     node
 
 let flush_all t =
+  check_alive t;
+  (match t.faults with None -> () | Some plan -> Fault.on_flush plan);
   let dirty = ref 0 in
   Hashtbl.iter (fun _ node -> if node.dirty then begin incr dirty; node.dirty <- false end)
     t.resident;
@@ -121,6 +152,7 @@ let maybe_checkpoint t =
   | Some _ | None -> ()
 
 let allocate_page t =
+  check_alive t;
   if t.page_count = Array.length t.pages then begin
     let bigger = Array.make (2 * t.page_count) Bytes.empty in
     Array.blit t.pages 0 bigger 0 t.page_count;
@@ -141,15 +173,53 @@ let allocate_page t =
 
 let with_page_read t page f =
   assert (page >= 0 && page < t.page_count);
+  check_alive t;
+  (match t.faults with None -> () | Some plan -> Fault.on_page_read plan ~page);
   let _node = fetch t page ~dirty:false in
   f t.pages.(page)
 
 let with_page_write t page f =
   assert (page >= 0 && page < t.page_count);
-  let _node = fetch t page ~dirty:true in
-  let result = f t.pages.(page) in
-  maybe_checkpoint t;
-  result
+  check_alive t;
+  let decision =
+    match t.faults with None -> Fault.Write_ok | Some plan -> Fault.on_page_write plan ~page
+  in
+  match decision with
+  | Fault.Write_ok ->
+    let _node = fetch t page ~dirty:true in
+    let result = f t.pages.(page) in
+    maybe_checkpoint t;
+    result
+  | Fault.Write_crash { torn } ->
+    (* The machine dies on this write. The callback runs (the process
+       issued the write), but only a prefix of the new bytes reaches
+       the platter; then the disk refuses everything until reopened. *)
+    let plan = Option.get t.faults in
+    Fault.record_crash plan;
+    let bytes = t.pages.(page) in
+    let before = Bytes.copy bytes in
+    let _node = fetch t page ~dirty:true in
+    ignore (f bytes);
+    t.crashed <- true;
+    let writes = (Fault.stats plan).writes in
+    if torn then begin
+      let persisted = Fault.tear_offset plan ~page_size:t.page_size in
+      Bytes.blit before persisted bytes persisted (t.page_size - persisted);
+      raise (Fault.Torn_write { page; persisted })
+    end
+    else raise (Fault.Crashed { writes })
+
+let reopen t =
+  (* Restart after a crash: the pool is cold, the fault plan is gone,
+     whatever reached the platter (including any torn page) is what
+     recovery gets to read. *)
+  t.crashed <- false;
+  disarm_faults t;
+  Hashtbl.reset t.resident;
+  t.lru_head <- None;
+  t.lru_tail <- None;
+  t.dirty_count <- 0;
+  t.last_faulted_page <- -100
 
 let evict_all t =
   flush_all t;

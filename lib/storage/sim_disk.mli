@@ -61,3 +61,37 @@ val evict_all : t -> unit
 
 val disk_bytes : t -> int
 (** Total allocated size ("database size on disk"). *)
+
+(** {1 Fault injection}
+
+    See {!Fault} for the semantics of plans, transient errors, and
+    crashes. While a plan is armed, {!with_page_read},
+    {!with_page_write}, {!flush_all} and (via the cost model) every
+    db hit become decision points; a crashed disk raises
+    {!Fault.Crashed} on all I/O until {!reopen}. *)
+
+val arm_faults : t -> Fault.plan -> unit
+(** Arm a plan on this disk and on its cost model (so db-hit faults
+    fire too). Replaces any previous plan. *)
+
+val disarm_faults : t -> unit
+
+val fault_plan : t -> Fault.plan option
+
+val crashed : t -> bool
+
+val reopen : t -> unit
+(** Restart after a crash: clears the crashed flag, disarms the
+    plan, and empties the pool (cold cache). Durable page bytes —
+    including any torn page — are untouched; it is the recovery
+    code's job to distrust them. *)
+
+val with_faults_suspended : t -> (unit -> 'a) -> 'a
+(** Run [f] with injection paused (no-op when no plan is armed).
+    Rollback and recovery paths use this: they model in-memory or
+    post-restart work that the plan must not sabotage. *)
+
+val with_transients_suspended : t -> (unit -> 'a) -> 'a
+(** Run [f] with transient injection paused but the crash point still
+    armed (see {!Fault.with_transients_suspended}). Mutators use this
+    for their physical-mutation region. *)

@@ -1,6 +1,18 @@
 module Value = Mgq_core.Value
 module Property = Mgq_core.Property
+module Cost_model = Mgq_storage.Cost_model
+module Fault = Mgq_storage.Fault
+module Retry = Mgq_util.Retry
 open Mgq_core.Types
+
+(* Transient injected I/O errors are worth retrying; crashes, torn
+   writes and logic errors are not. *)
+let retryable = function Fault.Io_error _ -> true | _ -> false
+
+let run_with_retry ?policy ?rng cost f =
+  Retry.run ?policy ?rng ~retryable
+    ~on_backoff:(fun ns -> Cost_model.advance_ns cost ns)
+    f
 
 module Live_neo = struct
   module Db = Mgq_neo.Db
@@ -99,6 +111,34 @@ module Live_neo = struct
                   (Db.create_edge t.db ~etype:Schema.tags ~src:tweet ~dst:(hashtag_node t tag)
                      Property.empty))
               tags))
+
+  (* The uid/tag caches sit outside the store's undo log: a rolled-back
+     attempt can leave them pointing at nodes whose creation was
+     undone. Drop such entries so a retry re-creates the nodes. *)
+  let forget_rolled_back t event =
+    let purge_user uid =
+      match Hashtbl.find_opt t.user_nodes uid with
+      | Some node when not (Db.node_exists t.db node) -> Hashtbl.remove t.user_nodes uid
+      | _ -> ()
+    in
+    let purge_tag tag =
+      match Hashtbl.find_opt t.hashtag_nodes tag with
+      | Some node when not (Db.node_exists t.db node) -> Hashtbl.remove t.hashtag_nodes tag
+      | _ -> ()
+    in
+    match event with
+    | Stream.New_user { uid; _ } -> purge_user uid
+    | Stream.New_tweet { tags; _ } -> List.iter purge_tag tags
+    | Stream.New_follow _ | Stream.Unfollow _ -> ()
+
+  let apply_with_retry ?policy ?rng t event =
+    let cost = Mgq_storage.Sim_disk.cost (Db.disk t.db) in
+    let (), outcome =
+      run_with_retry ?policy ?rng cost (fun () ->
+          forget_rolled_back t event;
+          apply t event)
+    in
+    outcome
 end
 
 module Live_sparks = struct
@@ -155,65 +195,105 @@ module Live_sparks = struct
 
   let oid_of_uid t uid = Hashtbl.find_opt t.user_oids uid
 
-  let hashtag_oid t tag =
-    match Hashtbl.find_opt t.hashtag_oids tag with
-    | Some oid -> oid
-    | None ->
-      let oid = Sdb.new_node t.sdb t.t_hashtag in
-      Sdb.set_attribute t.sdb oid t.a_tag (Value.Str tag);
-      Hashtbl.replace t.hashtag_oids tag oid;
-      oid
-
-  let bump_followers t oid delta =
-    match Sdb.get_attribute t.sdb oid t.a_followers with
-    | Value.Int c -> Sdb.set_attribute t.sdb oid t.a_followers (Value.Int (c + delta))
-    | _ -> ()
-
+  (* The bitmap engine has no transaction layer ("Sparksee ... is not
+     [fully transactional]"), so atomicity is compensation-based: every
+     mutation journals its inverse, and a failing event rolls the
+     journal back in reverse order — which is what makes the event
+     retryable. *)
   let apply t event =
-    match event with
-    | Stream.New_user { uid; name } ->
-      let oid = Sdb.new_node t.sdb t.t_user in
-      Sdb.set_attribute t.sdb oid t.a_uid (Value.Int uid);
-      Sdb.set_attribute t.sdb oid t.a_name (Value.Str name);
-      Sdb.set_attribute t.sdb oid t.a_followers (Value.Int 0);
-      Hashtbl.replace t.user_oids uid oid
-    | Stream.New_follow { follower; followee } -> (
-      match (oid_of_uid t follower, oid_of_uid t followee) with
-      | Some a, Some b ->
-        ignore (Sdb.new_edge t.sdb t.t_follows ~tail:a ~head:b);
-        bump_followers t b 1
-      | _ -> ())
-    | Stream.Unfollow { follower; followee } -> (
-      match (oid_of_uid t follower, oid_of_uid t followee) with
-      | Some a, Some b -> (
-        let edges = Sdb.explode t.sdb a t.t_follows Out in
-        let victim =
-          Mgq_sparks.Objects.fold
-            (fun acc e -> if acc = None && Sdb.head_of t.sdb e = b then Some e else acc)
-            None edges
-        in
-        match victim with
-        | Some e ->
-          Sdb.drop_edge t.sdb e;
-          bump_followers t b (-1)
-        | None -> ())
-      | _ -> ())
-    | Stream.New_tweet { tid; author; text; mentions; tags } -> (
-      match oid_of_uid t author with
-      | None -> ()
-      | Some author_oid ->
-        let tweet = Sdb.new_node t.sdb t.t_tweet in
-        Sdb.set_attribute t.sdb tweet t.a_tid (Value.Int tid);
-        Sdb.set_attribute t.sdb tweet t.a_text (Value.Str text);
-        ignore (Sdb.new_edge t.sdb t.t_posts ~tail:author_oid ~head:tweet);
-        List.iter
-          (fun uid ->
-            match oid_of_uid t uid with
-            | Some u -> ignore (Sdb.new_edge t.sdb t.t_mentions ~tail:tweet ~head:u)
-            | None -> ())
-          mentions;
-        List.iter
-          (fun tag ->
-            ignore (Sdb.new_edge t.sdb t.t_tags ~tail:tweet ~head:(hashtag_oid t tag)))
-          tags)
+    let journal = ref [] in
+    let note u = journal := u :: !journal in
+    let new_node typ =
+      let oid = Sdb.new_node t.sdb typ in
+      note (fun () -> Sdb.drop_node t.sdb oid);
+      oid
+    in
+    let new_edge typ ~tail ~head =
+      let e = Sdb.new_edge t.sdb typ ~tail ~head in
+      note (fun () -> Sdb.drop_edge t.sdb e);
+      e
+    in
+    let set_attr oid attr v =
+      let old_v = Sdb.get_attribute t.sdb oid attr in
+      Sdb.set_attribute t.sdb oid attr v;
+      note (fun () -> Sdb.set_attribute t.sdb oid attr old_v)
+    in
+    let hashtag_oid tag =
+      match Hashtbl.find_opt t.hashtag_oids tag with
+      | Some oid -> oid
+      | None ->
+        let oid = new_node t.t_hashtag in
+        set_attr oid t.a_tag (Value.Str tag);
+        Hashtbl.replace t.hashtag_oids tag oid;
+        note (fun () -> Hashtbl.remove t.hashtag_oids tag);
+        oid
+    in
+    let bump_followers oid delta =
+      match Sdb.get_attribute t.sdb oid t.a_followers with
+      | Value.Int c -> set_attr oid t.a_followers (Value.Int (c + delta))
+      | _ -> ()
+    in
+    let run () =
+      match event with
+      | Stream.New_user { uid; name } ->
+        let oid = new_node t.t_user in
+        set_attr oid t.a_uid (Value.Int uid);
+        set_attr oid t.a_name (Value.Str name);
+        set_attr oid t.a_followers (Value.Int 0);
+        Hashtbl.replace t.user_oids uid oid;
+        note (fun () -> Hashtbl.remove t.user_oids uid)
+      | Stream.New_follow { follower; followee } -> (
+        match (oid_of_uid t follower, oid_of_uid t followee) with
+        | Some a, Some b ->
+          ignore (new_edge t.t_follows ~tail:a ~head:b);
+          bump_followers b 1
+        | _ -> ())
+      | Stream.Unfollow { follower; followee } -> (
+        match (oid_of_uid t follower, oid_of_uid t followee) with
+        | Some a, Some b -> (
+          let edges = Sdb.explode t.sdb a t.t_follows Out in
+          let victim =
+            Mgq_sparks.Objects.fold
+              (fun acc e -> if acc = None && Sdb.head_of t.sdb e = b then Some e else acc)
+              None edges
+          in
+          match victim with
+          | Some e ->
+            (* Re-creating the edge is the only inverse the engine
+               offers; the replacement gets a fresh oid, which is fine
+               because edge oids never escape an event. *)
+            Sdb.drop_edge t.sdb e;
+            note (fun () -> ignore (Sdb.new_edge t.sdb t.t_follows ~tail:a ~head:b));
+            bump_followers b (-1)
+          | None -> ())
+        | _ -> ())
+      | Stream.New_tweet { tid; author; text; mentions; tags } -> (
+        match oid_of_uid t author with
+        | None -> ()
+        | Some author_oid ->
+          let tweet = new_node t.t_tweet in
+          set_attr tweet t.a_tid (Value.Int tid);
+          set_attr tweet t.a_text (Value.Str text);
+          ignore (new_edge t.t_posts ~tail:author_oid ~head:tweet);
+          List.iter
+            (fun uid ->
+              match oid_of_uid t uid with
+              | Some u -> ignore (new_edge t.t_mentions ~tail:tweet ~head:u)
+              | None -> ())
+            mentions;
+          List.iter
+            (fun tag -> ignore (new_edge t.t_tags ~tail:tweet ~head:(hashtag_oid tag)))
+            tags)
+    in
+    try run ()
+    with e ->
+      let roll () = List.iter (fun u -> u ()) !journal in
+      (match Cost_model.faults (Sdb.cost t.sdb) with
+      | Some plan -> Fault.with_suspended plan roll
+      | None -> roll ());
+      raise e
+
+  let apply_with_retry ?policy ?rng t event =
+    let (), outcome = run_with_retry ?policy ?rng (Sdb.cost t.sdb) (fun () -> apply t event) in
+    outcome
 end

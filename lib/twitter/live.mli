@@ -21,6 +21,20 @@ module Live_neo : sig
       and mentions of unknown users are ignored (at-least-once stream
       semantics). *)
 
+  val apply_with_retry :
+    ?policy:Mgq_util.Retry.policy ->
+    ?rng:Mgq_util.Rng.t ->
+    t ->
+    Stream.event ->
+    Mgq_util.Retry.outcome
+  (** {!apply} under a retry policy: a transiently failing attempt
+      rolls back (transaction + id caches) and is re-applied after a
+      deterministic backoff, whose simulated nanoseconds are charged
+      to the engine's clock. Only {!Mgq_storage.Fault.Io_error} is
+      retried — crashes and logic errors propagate immediately.
+      @raise Mgq_util.Retry.Attempts_exhausted
+        when every attempt failed. *)
+
   val node_of_uid : t -> int -> int option
 end
 
@@ -31,5 +45,19 @@ module Live_sparks : sig
     Mgq_sparks.Sdb.t -> users:int array -> tweets:int array -> hashtags:int array -> Dataset.t -> t
 
   val apply : t -> Stream.event -> unit
+  (** The bitmap engine has no transactions, so atomicity is
+      compensation-based: a failing event rolls back its own journal
+      (with injection suspended) before re-raising. *)
+
+  val apply_with_retry :
+    ?policy:Mgq_util.Retry.policy ->
+    ?rng:Mgq_util.Rng.t ->
+    t ->
+    Stream.event ->
+    Mgq_util.Retry.outcome
+  (** As {!Live_neo.apply_with_retry}, over the compensation journal.
+      @raise Mgq_util.Retry.Attempts_exhausted
+        when every attempt failed. *)
+
   val oid_of_uid : t -> int -> int option
 end

@@ -1,0 +1,30 @@
+type t = {
+  max_hits : int option;
+  max_ns : int option;
+  mutable hits : int;
+  mutable ns : int;
+}
+
+exception
+  Exhausted of { hits : int; max_hits : int option; ns : int; max_ns : int option }
+
+let create ?max_hits ?max_ns () = { max_hits; max_ns; hits = 0; ns = 0 }
+
+let exhausted t =
+  (match t.max_hits with Some m -> t.hits > m | None -> false)
+  || match t.max_ns with Some m -> t.ns > m | None -> false
+
+let check t =
+  if exhausted t then
+    raise (Exhausted { hits = t.hits; max_hits = t.max_hits; ns = t.ns; max_ns = t.max_ns })
+
+let charge ?(hits = 0) ?(ns = 0) t =
+  t.hits <- t.hits + hits;
+  t.ns <- t.ns + ns;
+  check t
+
+let hits t = t.hits
+let consumed_ns t = t.ns
+
+let remaining_hits t =
+  match t.max_hits with Some m -> Some (max 0 (m - t.hits)) | None -> None

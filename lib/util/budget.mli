@@ -1,0 +1,44 @@
+(** Query budgets: bounded db hits and/or a simulated-time deadline.
+
+    The paper's Q2.3 / Q6.1-style expansions either finish or explode;
+    a budget turns "explode" into graceful degradation. A budget is a
+    mutable meter charged as work happens — db hits by the storage
+    layer (attach it to a {e cost model}), expansion steps by the
+    traversal frameworks — and raises {!Exhausted} the moment a limit
+    is crossed. Because charging happens inside lazy sequences, the
+    results produced before exhaustion are already in the caller's
+    hands: catching {!Exhausted} yields a partial answer plus exact
+    consumption counters.
+
+    Deadlines are expressed in {e simulated} nanoseconds (the
+    deterministic clock of {!Mgq_storage.Cost_model}), so budgeted runs
+    are reproducible bit-for-bit. *)
+
+type t
+
+exception
+  Exhausted of {
+    hits : int;  (** hits consumed when the budget tripped *)
+    max_hits : int option;
+    ns : int;  (** simulated nanoseconds consumed *)
+    max_ns : int option;
+  }
+
+val create : ?max_hits:int -> ?max_ns:int -> unit -> t
+(** A budget with the given ceilings; omitted ceilings are unlimited.
+    At least one limit should be set for the budget to ever trip. *)
+
+val charge : ?hits:int -> ?ns:int -> t -> unit
+(** Add consumption, then {!check}. Defaults are zero. *)
+
+val check : t -> unit
+(** @raise Exhausted when either ceiling has been crossed. *)
+
+val exhausted : t -> bool
+(** Whether {!check} would raise. *)
+
+val hits : t -> int
+val consumed_ns : t -> int
+
+val remaining_hits : t -> int option
+(** [None] when the budget has no hit ceiling. *)

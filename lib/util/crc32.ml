@@ -1,0 +1,33 @@
+(* Table-driven CRC-32 with the reflected IEEE polynomial 0xEDB88320,
+   matching zlib's crc32(). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let initial = 0xFFFFFFFFl
+
+let update crc byte =
+  let table = Lazy.force table in
+  let index = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int (Char.code byte))) 0xFFl) in
+  Int32.logxor table.(index) (Int32.shift_right_logical crc 8)
+
+let finalize crc = Int32.logxor crc 0xFFFFFFFFl
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.digest_sub: out of bounds";
+  let crc = ref initial in
+  for i = pos to pos + len - 1 do
+    crc := update !crc s.[i]
+  done;
+  finalize !crc
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)

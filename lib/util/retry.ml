@@ -1,0 +1,40 @@
+type policy = {
+  max_attempts : int;
+  base_delay_ns : int;
+  multiplier : float;
+  max_delay_ns : int;
+}
+
+let default_policy =
+  { max_attempts = 5; base_delay_ns = 1_000_000; multiplier = 2.0; max_delay_ns = 50_000_000 }
+
+type outcome = { attempts : int; backoff_ns : int }
+
+exception Attempts_exhausted of { attempts : int; backoff_ns : int; last : exn }
+
+let delay_ns policy rng ~attempt =
+  (* attempt = 1 for the backoff after the first failure. *)
+  let raw =
+    float_of_int policy.base_delay_ns *. (policy.multiplier ** float_of_int (attempt - 1))
+  in
+  let capped = min raw (float_of_int policy.max_delay_ns) in
+  let jitter = match rng with None -> 1.0 | Some rng -> 0.5 +. Rng.float rng 0.5 in
+  int_of_float (capped *. jitter)
+
+let run ?(policy = default_policy) ?rng ?(on_backoff = fun _ -> ()) ~retryable f =
+  if policy.max_attempts < 1 then invalid_arg "Retry.run: max_attempts < 1";
+  let backoff_total = ref 0 in
+  let rec attempt n =
+    match f () with
+    | result -> (result, { attempts = n; backoff_ns = !backoff_total })
+    | exception e when retryable e ->
+      if n >= policy.max_attempts then
+        raise (Attempts_exhausted { attempts = n; backoff_ns = !backoff_total; last = e })
+      else begin
+        let d = delay_ns policy rng ~attempt:n in
+        backoff_total := !backoff_total + d;
+        on_backoff d;
+        attempt (n + 1)
+      end
+  in
+  attempt 1

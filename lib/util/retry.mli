@@ -1,0 +1,46 @@
+(** Bounded retry with deterministic exponential backoff.
+
+    The live-update path applies stream events one transaction at a
+    time; a transient I/O fault mid-apply should roll the transaction
+    back and replay it, not kill the stream. This module is the
+    policy half: it decides how many attempts to make and how long to
+    back off between them. Backoff never sleeps — delays are reported
+    to an [on_backoff] callback so callers can charge them to the
+    simulated clock, keeping fault runs reproducible. Jitter comes
+    from a caller-supplied {!Rng.t}, so the whole schedule is a pure
+    function of the seed. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay_ns : int;  (** backoff before the second attempt *)
+  multiplier : float;  (** exponential growth factor *)
+  max_delay_ns : int;  (** cap on a single backoff *)
+}
+
+val default_policy : policy
+(** 5 attempts, 1 ms base, doubling, capped at 50 ms. *)
+
+type outcome = {
+  attempts : int;  (** attempts actually made (1 = first try worked) *)
+  backoff_ns : int;  (** total simulated backoff charged *)
+}
+
+exception
+  Attempts_exhausted of {
+    attempts : int;
+    backoff_ns : int;
+    last : exn;  (** the final attempt's exception *)
+  }
+
+val run :
+  ?policy:policy ->
+  ?rng:Rng.t ->
+  ?on_backoff:(int -> unit) ->
+  retryable:(exn -> bool) ->
+  (unit -> 'a) ->
+  'a * outcome
+(** [run ~retryable f] calls [f] until it returns, a non-retryable
+    exception escapes (re-raised as-is), or attempts run out
+    ({!Attempts_exhausted}). [on_backoff] receives each backoff in
+    nanoseconds before the next attempt. With [rng], each delay is
+    scaled by a jitter factor in [0.5, 1.0). *)

@@ -304,6 +304,58 @@ let test_with_tx_exception_rolls_back () =
   check Alcotest.int "rolled back" 0 (Db.node_count db);
   check Alcotest.bool "tx closed" false (Db.in_tx db)
 
+let test_with_tx_exception_restores_structures () =
+  (* One failing transaction touching every structure at once:
+     degrees, relationship chains, property chains and index entries
+     must all come back. *)
+  let db, u0, u1, u2, t0 = small_graph () in
+  Db.create_index db ~label:"user" ~property:"uid";
+  let degrees () = (Db.out_degree db u0, Db.in_degree db u2) in
+  let neighbors () =
+    List.sort compare (List.of_seq (Db.neighbors db u0 ~etype:"follows" Types.Out))
+  in
+  let before = (degrees (), neighbors (), Db.node_property db t0 "text") in
+  (try
+     Db.with_tx db (fun () ->
+         ignore (Db.create_edge db ~etype:"follows" ~src:u2 ~dst:u0 no_props);
+         let edges = List.of_seq (Db.edges_of db u0 ~etype:"follows" Types.Out) in
+         Db.delete_edge db (List.hd edges).Types.id;
+         Db.set_node_property db u1 "uid" (Value.Int 99);
+         Db.set_node_property db t0 "text" (Value.Str "rewritten");
+         failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "tx closed" false (Db.in_tx db);
+  check
+    (Alcotest.triple
+       (Alcotest.pair Alcotest.int Alcotest.int)
+       Alcotest.(list int)
+       value_testable)
+    "degrees, chains, property restored" before
+    (degrees (), neighbors (), Db.node_property db t0 "text");
+  check Alcotest.(list int) "index entry restored" [ u1 ]
+    (Db.index_lookup db ~label:"user" ~property:"uid" (Value.Int 1));
+  check Alcotest.(list int) "phantom index entry cleared" []
+    (Db.index_lookup db ~label:"user" ~property:"uid" (Value.Int 99))
+
+let test_rollback_of_densify_node () =
+  (* An explicit densify_node inside a rolled-back tx: the conversion
+     is a semantically neutral reorganisation and persists, but every
+     logical change from the tx disappears and the graph reads the
+     same as before. *)
+  let db, u0, _, _, _ = small_graph () in
+  let before =
+    List.sort compare (List.of_seq (Db.neighbors db u0 ~etype:"follows" Types.Out))
+  in
+  Db.begin_tx db;
+  Db.densify_node db u0;
+  let extra = Db.create_node db ~label:"user" no_props in
+  ignore (Db.create_edge db ~etype:"follows" ~src:u0 ~dst:extra no_props);
+  Db.rollback db;
+  check Alcotest.bool "conversion persists" true (Db.is_dense_node db u0);
+  check Alcotest.int "degree restored" 3 (Db.out_degree db u0);
+  check Alcotest.(list int) "neighbors restored" before
+    (List.sort compare (List.of_seq (Db.neighbors db u0 ~etype:"follows" Types.Out)))
+
 let test_nested_tx_rejected () =
   let db = Db.create () in
   Db.begin_tx db;
@@ -797,16 +849,59 @@ let test_save_rejects_open_tx () =
      with Failure _ -> true);
   Db.rollback db
 
+let rejects_load what path =
+  check Alcotest.bool what true
+    (try
+       ignore (Db.load path);
+       false
+     with Db.Corrupt_snapshot _ -> true)
+
 let test_load_rejects_garbage () =
   let path = Filename.temp_file "mgq_garbage" ".bin" in
   let oc = open_out path in
   output_string oc "not a database";
   close_out oc;
-  check Alcotest.bool "rejected" true
-    (try
-       ignore (Db.load path);
-       false
-     with Failure _ | End_of_file -> true);
+  rejects_load "garbage rejected" path;
+  Sys.remove path
+
+(* Truncation and single-bit corruption anywhere in the payload must
+   surface as [Corrupt_snapshot], never as a [Marshal] failure or a
+   segfault. *)
+let test_load_rejects_corruption () =
+  let db = Db.create () in
+  let _ = Db.create_node db ~label:"user" (Property.of_list [ ("name", Value.Str "ann") ]) in
+  let path = Filename.temp_file "mgq_corrupt" ".bin" in
+  Db.save db path;
+  let bytes =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    Bytes.of_string b
+  in
+  let write b =
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc
+  in
+  (* Truncated payload. *)
+  write (Bytes.sub bytes 0 (Bytes.length bytes - 7));
+  rejects_load "truncated rejected" path;
+  (* Flip one bit deep in the payload. *)
+  let flipped = Bytes.copy bytes in
+  let pos = Bytes.length flipped - 11 in
+  Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x10));
+  write flipped;
+  rejects_load "bit flip rejected" path;
+  (* Bad version byte. *)
+  let bad_version = Bytes.copy bytes in
+  Bytes.set bad_version 8 '\x7f';
+  write bad_version;
+  rejects_load "bad version rejected" path;
+  (* Intact snapshot still loads. *)
+  write bytes;
+  let reloaded = Db.load path in
+  check Alcotest.int "intact loads" 1 (Db.node_count reloaded);
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
@@ -849,6 +944,9 @@ let suite =
         Alcotest.test_case "rollback delete edge" `Quick test_tx_rollback_delete_edge;
         Alcotest.test_case "rollback index sync" `Quick test_tx_rollback_index_sync;
         Alcotest.test_case "with_tx exception" `Quick test_with_tx_exception_rolls_back;
+        Alcotest.test_case "with_tx restores structures" `Quick
+          test_with_tx_exception_restores_structures;
+        Alcotest.test_case "rollback of densify_node" `Quick test_rollback_of_densify_node;
         Alcotest.test_case "nested rejected" `Quick test_nested_tx_rejected;
         qtest prop_rollback_restores_counts;
       ] );
@@ -880,6 +978,7 @@ let suite =
         Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
         Alcotest.test_case "save rejects open tx" `Quick test_save_rejects_open_tx;
         Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+        Alcotest.test_case "load rejects corruption" `Quick test_load_rejects_corruption;
       ] );
     ( "shortest-path",
       [

@@ -1,0 +1,507 @@
+(* The fault-tolerance layer: checksums, budgets, retry policies,
+   deterministic fault plans, WAL crash recovery and retried live
+   ingestion. The crash sweep is the load-bearing test — it kills a
+   transactional import at EVERY page-write offset and requires
+   recovery to land exactly on a committed prefix. *)
+
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+module Crc32 = Mgq_util.Crc32
+module Budget = Mgq_util.Budget
+module Retry = Mgq_util.Retry
+module Rng = Mgq_util.Rng
+module Fault = Mgq_storage.Fault
+module Sim_disk = Mgq_storage.Sim_disk
+module Cost_model = Mgq_storage.Cost_model
+module Db = Mgq_neo.Db
+module Wal = Mgq_neo.Wal
+module Generator = Mgq_twitter.Generator
+module Stream = Mgq_twitter.Stream
+module Live = Mgq_twitter.Live
+module Contexts = Mgq_queries.Contexts
+module Results = Mgq_queries.Results
+module Reference = Mgq_queries.Reference
+module Params = Mgq_queries.Params
+module Q_neo_api = Mgq_queries.Q_neo_api
+module Q_sparks = Mgq_queries.Q_sparks
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Crc32                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_known_answers () =
+  (* The standard CRC-32 check value. *)
+  check Alcotest.int32 "123456789" 0xCBF43926l (Crc32.digest "123456789");
+  check Alcotest.int32 "empty" 0l (Crc32.digest "");
+  check Alcotest.bool "one bit changes the digest" true
+    (Crc32.digest "hello worlc" <> Crc32.digest "hello world")
+
+let test_crc32_streaming_matches_digest () =
+  let s = "write-ahead log frame payload" in
+  let streamed =
+    Crc32.finalize (String.fold_left Crc32.update Crc32.initial s)
+  in
+  check Alcotest.int32 "streaming" (Crc32.digest s) streamed;
+  check Alcotest.int32 "digest_sub"
+    (Crc32.digest (String.sub s 6 9))
+    (Crc32.digest_sub s ~pos:6 ~len:9)
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_hits () =
+  let b = Budget.create ~max_hits:5 () in
+  Budget.charge ~hits:5 b;
+  check Alcotest.int "at the limit" 5 (Budget.hits b);
+  check Alcotest.bool "not yet exhausted" false (Budget.exhausted b);
+  check Alcotest.bool "6th hit raises" true
+    (try
+       Budget.charge ~hits:1 b;
+       false
+     with Budget.Exhausted { hits = 6; max_hits = Some 5; _ } -> true)
+
+let test_budget_deadline () =
+  let b = Budget.create ~max_ns:1_000 () in
+  Budget.charge ~ns:999 b;
+  check Alcotest.bool "deadline raises" true
+    (try
+       Budget.charge ~ns:2 b;
+       false
+     with Budget.Exhausted { ns = 1_001; max_ns = Some 1_000; _ } -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let transient = Fault.Io_error { op = Fault.Db_hit; at = 0 }
+
+let test_retry_succeeds_after_failures () =
+  let calls = ref 0 in
+  let backoffs = ref [] in
+  let v, outcome =
+    Retry.run
+      ~retryable:(function Fault.Io_error _ -> true | _ -> false)
+      ~on_backoff:(fun ns -> backoffs := ns :: !backoffs)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then raise transient;
+        "ok")
+  in
+  check Alcotest.string "value" "ok" v;
+  check Alcotest.int "attempts" 3 outcome.Retry.attempts;
+  (* Without an rng the schedule is the bare exponential: 1 ms, 2 ms. *)
+  check
+    Alcotest.(list int)
+    "backoff schedule" [ 1_000_000; 2_000_000 ]
+    (List.rev !backoffs);
+  check Alcotest.int "outcome sums backoff" 3_000_000 outcome.Retry.backoff_ns
+
+let test_retry_gives_up () =
+  let calls = ref 0 in
+  check Alcotest.bool "exhausted" true
+    (try
+       ignore
+         (Retry.run
+            ~policy:{ Retry.default_policy with Retry.max_attempts = 3 }
+            ~retryable:(fun _ -> true)
+            (fun () ->
+              incr calls;
+              raise transient));
+       false
+     with Retry.Attempts_exhausted { attempts = 3; last = Fault.Io_error _; _ } ->
+       true);
+  check Alcotest.int "made every attempt" 3 !calls
+
+let test_retry_propagates_non_retryable () =
+  let calls = ref 0 in
+  check Alcotest.bool "propagated as-is" true
+    (try
+       ignore
+         (Retry.run
+            ~retryable:(function Fault.Io_error _ -> true | _ -> false)
+            (fun () ->
+              incr calls;
+              failwith "logic error"));
+       false
+     with Failure _ -> true);
+  check Alcotest.int "no retry" 1 !calls
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a plan through [n] db hits, returning the 1-based ordinals at
+   which it injected. *)
+let injection_ordinals plan n =
+  let failed = ref [] in
+  for i = 1 to n do
+    try Fault.on_db_hit plan
+    with Fault.Io_error _ -> failed := i :: !failed
+  done;
+  List.rev !failed
+
+let test_fault_plan_deterministic () =
+  let schedule () = injection_ordinals (Fault.plan ~seed:5 ~hit_fail_p:0.02 ()) 1_000 in
+  let a = schedule () and b = schedule () in
+  check Alcotest.bool "injects something" true (a <> []);
+  check Alcotest.(list int) "same seed, same schedule" a b;
+  let c = injection_ordinals (Fault.plan ~seed:6 ~hit_fail_p:0.02 ()) 1_000 in
+  check Alcotest.bool "different seed differs" true (a <> c)
+
+let test_fault_exact_hits () =
+  let plan = Fault.plan ~fail_hits:[ 3; 7 ] () in
+  check Alcotest.(list int) "exact ordinals" [ 3; 7 ] (injection_ordinals plan 10);
+  check Alcotest.int "both counted" 2 (Fault.stats plan).Fault.injected;
+  check Alcotest.int "all observed" 10 (Fault.stats plan).Fault.hits
+
+let test_fault_transient_suspension_keeps_crash () =
+  (* Pausing transients must not pause the crash point: mutators run
+     their physical writes under [with_transients_suspended] and a
+     crash there must still land. *)
+  let plan = Fault.plan ~hit_fail_p:1.0 ~crash_at_write:2 () in
+  Fault.with_transients_suspended plan (fun () ->
+      Fault.on_db_hit plan;
+      (* would raise if transients were live *)
+      check Alcotest.bool "write 1 ok" true (Fault.on_page_write plan ~page:0 = Fault.Write_ok);
+      match Fault.on_page_write plan ~page:1 with
+      | Fault.Write_crash _ -> ()
+      | Fault.Write_ok -> Alcotest.fail "crash point was suspended");
+  check Alcotest.bool "transients live again" true
+    (try
+       Fault.on_db_hit plan;
+       false
+     with Fault.Io_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* WAL crash sweep                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let props l = Property.of_list l
+let fresh () = Db.create ~pool_pages:64 ()
+
+(* A miniature transactional import: 30 users in batches of 5, a ring
+   of 30 edges in batches of 5, then one property batch. Every batch
+   is one [with_tx], so the committed prefix is a batch boundary. *)
+let import_jobs =
+  List.init 6 (fun b db ->
+      for i = (b * 5) to (b * 5) + 4 do
+        ignore (Db.create_node db ~label:"user" (props [ ("uid", Value.Int i) ]))
+      done)
+  @ List.init 6 (fun b db ->
+        for i = (b * 5) to (b * 5) + 4 do
+          ignore (Db.create_edge db ~etype:"follows" ~src:i ~dst:((i + 7) mod 30) Property.empty)
+        done)
+  @ [ (fun db -> Db.set_node_property db 3 "name" (Value.Str "ann")) ]
+
+let run_jobs db =
+  let committed = ref 0 in
+  (try
+     List.iter
+       (fun job ->
+         Db.with_tx db (fun () -> job db);
+         incr committed)
+       import_jobs
+   with Fault.Crashed _ | Fault.Torn_write _ -> ());
+  !committed
+
+let oracle =
+  lazy
+    (let db = fresh () in
+     let states = Array.make (List.length import_jobs + 1) (0, 0) in
+     List.iteri
+       (fun i job ->
+         Db.with_tx db (fun () -> job db);
+         states.(i + 1) <- (Db.node_count db, Db.edge_count db))
+       import_jobs;
+     states)
+
+let total_writes =
+  lazy
+    (let plan = Fault.plan () in
+     let db = fresh () in
+     Sim_disk.arm_faults (Db.disk db) plan;
+     ignore (run_jobs db);
+     (Fault.stats plan).Fault.writes)
+
+let test_crash_sweep () =
+  let oracle = Lazy.force oracle in
+  let batches = Array.length oracle - 1 in
+  for crash_at = 1 to Lazy.force total_writes do
+    let db = fresh () in
+    Sim_disk.arm_faults (Db.disk db) (Fault.plan ~crash_at_write:crash_at ());
+    let committed = run_jobs db in
+    let recovered = Db.recover db in
+    let replayed =
+      match Db.wal recovered with Some w -> Wal.records w | None -> -1
+    in
+    (* A crash that lands on the zero-sentinel write AFTER a complete
+       frame leaves that frame durable even though [commit] raised:
+       the classic "error on commit, yet committed" ambiguity. The
+       recovered state must still be a committed-batch boundary — the
+       one the log proves. *)
+    if not (replayed = committed || replayed = committed + 1) then
+      Alcotest.failf "crash@%d: replayed %d, observed %d commits" crash_at
+        replayed committed;
+    let expected_nodes, expected_edges = oracle.(replayed) in
+    check Alcotest.int
+      (Printf.sprintf "crash@%d nodes" crash_at)
+      expected_nodes (Db.node_count recovered);
+    check Alcotest.int
+      (Printf.sprintf "crash@%d edges" crash_at)
+      expected_edges (Db.edge_count recovered);
+    if replayed = batches then
+      check Alcotest.bool "final property present" true
+        (Db.node_property recovered 3 "name" = Value.Str "ann")
+  done
+
+let test_recover_without_crash () =
+  let db = fresh () in
+  let committed = run_jobs db in
+  check Alcotest.int "all batches committed" (List.length import_jobs) committed;
+  let recovered = Db.recover db in
+  check Alcotest.int "nodes" (Db.node_count db) (Db.node_count recovered);
+  check Alcotest.int "edges" (Db.edge_count db) (Db.edge_count recovered);
+  check Alcotest.bool "property" true (Db.node_property recovered 3 "name" = Value.Str "ann")
+
+let test_checkpoint_then_crash_recovers_from_snapshot () =
+  let path = Filename.temp_file "mgq_ckpt" ".neo" in
+  let db = fresh () in
+  Db.with_tx db (fun () ->
+      for i = 0 to 3 do
+        ignore (Db.create_node db ~label:"user" (props [ ("uid", Value.Int i) ]))
+      done);
+  Db.checkpoint db path;
+  check Alcotest.int "checkpoint truncates the log" 0
+    (match Db.wal db with Some w -> Wal.records w | None -> -1);
+  (* One committed transaction past the checkpoint... *)
+  Db.with_tx db (fun () ->
+      ignore (Db.create_node db ~label:"user" (props [ ("uid", Value.Int 4) ]));
+      ignore (Db.create_edge db ~etype:"follows" ~src:0 ~dst:4 Property.empty));
+  (* ...then a crash in the middle of the next one. *)
+  Sim_disk.arm_faults (Db.disk db) (Fault.plan ~crash_at_write:1 ());
+  (try Db.with_tx db (fun () -> ignore (Db.create_node db ~label:"user" Property.empty))
+   with Fault.Crashed _ | Fault.Torn_write _ -> ());
+  let recovered = Db.recover ~snapshot:path db in
+  Sys.remove path;
+  check Alcotest.int "snapshot + replayed tx nodes" 5 (Db.node_count recovered);
+  check Alcotest.int "snapshot + replayed tx edges" 1 (Db.edge_count recovered);
+  check Alcotest.int "uncommitted tx discarded" 1 (Db.out_degree recovered 0)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets through the query layer                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared fixture: one small-but-busy dataset imported into both
+   engines (the expensive part, done once). *)
+let dataset =
+  Generator.generate
+    {
+      (Generator.scaled ~n_users:150 ()) with
+      Generator.active_fraction = 0.12;
+      tweets_per_active = 20;
+      mentions_per_tweet = 1.0;
+      tags_per_tweet = 0.9;
+    }
+
+let neo = lazy (Contexts.build_neo dataset)
+let sparks = lazy (Contexts.build_sparks dataset)
+
+(* A seed whose full Q2.3 answer is non-empty, so partial answers have
+   something to approach. *)
+let busy_uid = lazy (
+  let reference = Reference.build dataset in
+  let candidates = List.rev_map snd (Params.users_by_two_step_fanout reference) in
+  match
+    List.find_opt
+      (fun uid -> Results.cardinality (Q_neo_api.q2_3 (Lazy.force neo) ~uid) > 0)
+      candidates
+  with
+  | Some uid -> uid
+  | None -> Alcotest.fail "no user with a non-empty Q2.3 answer")
+
+let tags_of = function
+  | Results.Tags tags -> tags
+  | r -> Alcotest.failf "expected Tags, got %s" (Results.to_string r)
+
+let degradation_sweep run =
+  let uid = Lazy.force busy_uid in
+  let full = tags_of (run ~budget:None ~uid) in
+  check Alcotest.bool "full answer non-empty" true (full <> []);
+  (* An unpayable budget must raise, not run to completion. *)
+  (match run ~budget:(Some (Budget.create ~max_hits:2 ())) ~uid with
+  | (_ : Results.t) -> Alcotest.fail "budget of 2 hits completed"
+  | exception Results.Budget_exhausted { partial; hits; _ } ->
+    check Alcotest.bool "charged more than nothing" true (hits > 2);
+    check Alcotest.bool "partial is a subset" true
+      (List.for_all (fun t -> List.mem t full) (tags_of partial)));
+  (* Partial answers grow with the budget and stay subsets of full. *)
+  let sizes =
+    List.map
+      (fun max_hits ->
+        match run ~budget:(Some (Budget.create ~max_hits ())) ~uid with
+        | r ->
+          check Alcotest.(list string) "complete run equals full" full (tags_of r);
+          List.length full
+        | exception Results.Budget_exhausted { partial; _ } ->
+          let tags = tags_of partial in
+          check Alcotest.bool "subset" true (List.for_all (fun t -> List.mem t full) tags);
+          List.length tags)
+      [ 10; 100; 1_000; 1_000_000 ]
+  in
+  check Alcotest.bool "monotone degradation" true
+    (List.for_all2 ( >= ) (List.tl sizes) (List.rev (List.tl (List.rev sizes))));
+  check Alcotest.int "biggest budget is complete" (List.length full)
+    (List.nth sizes (List.length sizes - 1))
+
+let test_budget_q2_3_neo () =
+  degradation_sweep (fun ~budget ~uid -> Q_neo_api.q2_3 ?budget (Lazy.force neo) ~uid)
+
+let test_budget_q2_3_sparks () =
+  degradation_sweep (fun ~budget ~uid -> Q_sparks.q2_3 ?budget (Lazy.force sparks) ~uid)
+
+let test_budget_scope_is_per_query () =
+  (* Exhaustion must not leak the budget into later unbudgeted runs. *)
+  let neo = Lazy.force neo in
+  let uid = Lazy.force busy_uid in
+  (try ignore (Q_neo_api.q2_3 ~budget:(Budget.create ~max_hits:5 ()) neo ~uid)
+   with Results.Budget_exhausted _ -> ());
+  let full = Q_neo_api.q2_3 neo ~uid in
+  check Alcotest.bool "subsequent run unbudgeted" true (Results.cardinality full > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Live ingestion under injected faults                                *)
+(* ------------------------------------------------------------------ *)
+
+let events = lazy (Stream.take (Stream.create ~seed:31337 dataset) 600)
+
+let test_live_neo_retry_matches_fault_free () =
+  let events = Lazy.force events in
+  let clean = Contexts.build_neo dataset in
+  let clean_live =
+    Live.Live_neo.attach clean.Contexts.db ~users:clean.Contexts.users
+      ~tweets:clean.Contexts.tweets ~hashtags:clean.Contexts.hashtags dataset
+  in
+  List.iter (Live.Live_neo.apply clean_live) events;
+  let faulty = Contexts.build_neo dataset in
+  let live =
+    Live.Live_neo.attach faulty.Contexts.db ~users:faulty.Contexts.users
+      ~tweets:faulty.Contexts.tweets ~hashtags:faulty.Contexts.hashtags dataset
+  in
+  let plan = Fault.plan ~seed:99 ~hit_fail_p:0.002 () in
+  Sim_disk.arm_faults (Db.disk faulty.Contexts.db) plan;
+  let rng = Rng.create 7 in
+  let retried = ref 0 in
+  List.iter
+    (fun event ->
+      let outcome = Live.Live_neo.apply_with_retry ~rng live event in
+      if outcome.Retry.attempts > 1 then incr retried)
+    events;
+  Sim_disk.disarm_faults (Db.disk faulty.Contexts.db);
+  check Alcotest.bool "faults were injected" true ((Fault.stats plan).Fault.injected > 0);
+  check Alcotest.bool "some events needed a retry" true (!retried > 0);
+  check Alcotest.int "node counts agree" (Db.node_count clean.Contexts.db)
+    (Db.node_count faulty.Contexts.db);
+  check Alcotest.int "edge counts agree" (Db.edge_count clean.Contexts.db)
+    (Db.edge_count faulty.Contexts.db)
+
+let test_live_sparks_retry_matches_fault_free () =
+  let module Sdb = Mgq_sparks.Sdb in
+  let events = Lazy.force events in
+  let clean = Contexts.build_sparks dataset in
+  let clean_live =
+    Live.Live_sparks.attach clean.Contexts.sdb ~users:clean.Contexts.s_users
+      ~tweets:clean.Contexts.s_tweets ~hashtags:clean.Contexts.s_hashtags dataset
+  in
+  List.iter (Live.Live_sparks.apply clean_live) events;
+  let faulty = Contexts.build_sparks dataset in
+  let live =
+    Live.Live_sparks.attach faulty.Contexts.sdb ~users:faulty.Contexts.s_users
+      ~tweets:faulty.Contexts.s_tweets ~hashtags:faulty.Contexts.s_hashtags dataset
+  in
+  let plan = Fault.plan ~seed:4 ~hit_fail_p:0.002 () in
+  Cost_model.set_faults (Sdb.cost faulty.Contexts.sdb) (Some plan);
+  let rng = Rng.create 11 in
+  List.iter (fun e -> ignore (Live.Live_sparks.apply_with_retry ~rng live e)) events;
+  Cost_model.set_faults (Sdb.cost faulty.Contexts.sdb) None;
+  check Alcotest.bool "faults were injected" true ((Fault.stats plan).Fault.injected > 0);
+  check Alcotest.int "node counts agree" (Sdb.node_count clean.Contexts.sdb)
+    (Sdb.node_count faulty.Contexts.sdb);
+  check Alcotest.int "edge counts agree" (Sdb.edge_count clean.Contexts.sdb)
+    (Sdb.edge_count faulty.Contexts.sdb)
+
+let test_live_retry_gives_up_under_permanent_faults () =
+  let faulty = Contexts.build_neo dataset in
+  let live =
+    Live.Live_neo.attach faulty.Contexts.db ~users:faulty.Contexts.users
+      ~tweets:faulty.Contexts.tweets ~hashtags:faulty.Contexts.hashtags dataset
+  in
+  (* Every commit-time flush fails: the mutation succeeds, the
+     transaction never becomes durable, and each attempt rolls back. *)
+  Sim_disk.arm_faults (Db.disk faulty.Contexts.db) (Fault.plan ~flush_fail_p:1.0 ());
+  let before = Db.node_count faulty.Contexts.db in
+  check Alcotest.bool "exhausts attempts" true
+    (try
+       ignore
+         (Live.Live_neo.apply_with_retry live
+            (Stream.New_user { uid = 1_000_000; name = "ghost" }));
+       false
+     with Retry.Attempts_exhausted { attempts; _ } ->
+       attempts = Retry.default_policy.Retry.max_attempts);
+  Sim_disk.disarm_faults (Db.disk faulty.Contexts.db);
+  check Alcotest.int "nothing half-applied" before (Db.node_count faulty.Contexts.db)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mgq_robustness"
+    [
+      ( "checksums",
+        [
+          Alcotest.test_case "crc32 known answers" `Quick test_crc32_known_answers;
+          Alcotest.test_case "crc32 streaming" `Quick test_crc32_streaming_matches_digest;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "hit limit" `Quick test_budget_hits;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "succeeds after failures" `Quick test_retry_succeeds_after_failures;
+          Alcotest.test_case "gives up" `Quick test_retry_gives_up;
+          Alcotest.test_case "non-retryable propagates" `Quick
+            test_retry_propagates_non_retryable;
+        ] );
+      ( "fault-plans",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_fault_plan_deterministic;
+          Alcotest.test_case "exact hit ordinals" `Quick test_fault_exact_hits;
+          Alcotest.test_case "transient suspension keeps crash" `Quick
+            test_fault_transient_suspension_keeps_crash;
+        ] );
+      ( "wal-recovery",
+        [
+          Alcotest.test_case "crash at every page write" `Slow test_crash_sweep;
+          Alcotest.test_case "recover without crash" `Quick test_recover_without_crash;
+          Alcotest.test_case "checkpoint then crash" `Quick
+            test_checkpoint_then_crash_recovers_from_snapshot;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "q2.3 degradation (neo)" `Quick test_budget_q2_3_neo;
+          Alcotest.test_case "q2.3 degradation (sparks)" `Quick test_budget_q2_3_sparks;
+          Alcotest.test_case "budget scope per query" `Quick test_budget_scope_is_per_query;
+        ] );
+      ( "live-retry",
+        [
+          Alcotest.test_case "neo stream matches fault-free" `Slow
+            test_live_neo_retry_matches_fault_free;
+          Alcotest.test_case "sparks stream matches fault-free" `Slow
+            test_live_sparks_retry_matches_fault_free;
+          Alcotest.test_case "permanent faults give up cleanly" `Quick
+            test_live_retry_gives_up_under_permanent_faults;
+        ] );
+    ]
