@@ -1,0 +1,17 @@
+module Db = Mgq_neo.Db
+module Property = Mgq_core.Property
+let () =
+  let db = Db.create () in
+  (* tx1: committed node 0 *)
+  let n0 = Db.with_tx db (fun () -> Db.create_node db ~label:"User" Property.empty) in
+  (* tx2: rolled back — consumes an allocation *)
+  Db.begin_tx db;
+  let _n1 = Db.create_node db ~label:"User" Property.empty in
+  Db.rollback db;
+  (* tx3: committed node (gets id 2 live) + edge to it *)
+  let n2 = Db.with_tx db (fun () -> Db.create_node db ~label:"User" Property.empty) in
+  ignore (Db.with_tx db (fun () -> Db.create_edge db ~etype:"F" ~src:n0 ~dst:n2 Property.empty));
+  Printf.printf "live: n0=%d n2=%d nodes=%d edges=%d\n" n0 n2 (Db.node_count db) (Db.edge_count db);
+  match Db.recover db with
+  | r -> Printf.printf "recovered: nodes=%d edges=%d\n" (Db.node_count r) (Db.edge_count r)
+  | exception e -> Printf.printf "recover raised: %s\n" (Printexc.to_string e)
