@@ -143,6 +143,9 @@ let run_crash_sweep env =
       && Db.edge_count recovered = expected_edges
     then incr exact
   done;
+  if !exact <> trials then
+    record_failure "R1a: %d/%d recoveries diverged from the committed prefix"
+      (trials - !exact) trials;
   Text_table.print
     ~aligns:[ Text_table.Left; Right ]
     ~header:[ "metric"; "value" ]
@@ -231,6 +234,19 @@ let run_retries env =
         backoff_ns := !backoff_ns + b)
     events;
   Mgq_storage.Sim_disk.disarm_faults (Db.disk faulty.Contexts.db);
+  let counts_match =
+    !gave_up = 0
+    && Db.node_count faulty.Contexts.db = Db.node_count clean.Contexts.db
+    && Db.edge_count faulty.Contexts.db = Db.edge_count clean.Contexts.db
+  in
+  if not counts_match then
+    record_failure
+      "R1c: retried ingestion diverged from fault-free (%d abandoned, %d/%d nodes, %d/%d edges)"
+      !gave_up
+      (Db.node_count faulty.Contexts.db)
+      (Db.node_count clean.Contexts.db)
+      (Db.edge_count faulty.Contexts.db)
+      (Db.edge_count clean.Contexts.db);
   let stats = Fault.stats plan in
   Text_table.print
     ~aligns:[ Text_table.Left; Right ]
@@ -241,15 +257,7 @@ let run_retries env =
       [ "total attempts"; string_of_int !attempts ];
       [ "events abandoned"; string_of_int !gave_up ];
       [ "backoff sim ms"; Text_table.fmt_ms (float_of_int !backoff_ns /. 1e6) ];
-      [
-        "final counts match fault-free";
-        (if
-           !gave_up = 0
-           && Db.node_count faulty.Contexts.db = Db.node_count clean.Contexts.db
-           && Db.edge_count faulty.Contexts.db = Db.edge_count clean.Contexts.db
-         then "yes"
-         else "NO");
-      ];
+      [ "final counts match fault-free"; (if counts_match then "yes" else "NO") ];
     ]
 
 let run_robustness env =

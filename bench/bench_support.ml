@@ -26,6 +26,22 @@ type env = {
    same shape ratios. Override with MGQ_BENCH_USERS. *)
 let default_users = 5_000
 
+(* --smoke: shrink every experiment to a CI-sized sanity pass. The
+   numbers stop being interesting; the oracles below still hold. *)
+let smoke = ref false
+
+(* Experiments with a known-correct answer assert it through
+   [record_failure]; the harness exits non-zero when any fired, so CI
+   treats an oracle mismatch as a build failure, not a log line. *)
+let failures : string list ref = ref []
+
+let record_failure fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "ORACLE MISMATCH: %s\n%!" s;
+      failures := s :: !failures)
+    fmt
+
 let announce fmt = Printf.printf fmt
 
 let build_env ?(with_retweets = false) scale =

@@ -275,6 +275,196 @@ let script_cmd =
   in
   Cmd.v info Term.(const run $ path_arg)
 
+(* ---------------- cluster ---------------- *)
+
+let cluster_cmd =
+  let module Cluster = Mgq_cluster.Cluster in
+  let module Replica = Mgq_cluster.Replica in
+  let module Router = Mgq_cluster.Router in
+  let module Db = Mgq_neo.Db in
+  let module Value = Mgq_core.Value in
+  let module Property = Mgq_core.Property in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas"; "r" ] ~docv:"N" ~doc:"Read replicas.")
+  in
+  let policy =
+    let doc = "Routing policy: $(b,round-robin), $(b,least-lagged) or $(b,sticky)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("round-robin", Router.Round_robin);
+               ("least-lagged", Router.Least_lagged);
+               ("sticky", Router.Sticky);
+             ])
+          Router.Round_robin
+      & info [ "policy"; "p" ] ~doc)
+  in
+  let lag =
+    let parse s =
+      match Replica.lag_of_string s with
+      | Some l -> Ok l
+      | None -> Error (`Msg (Printf.sprintf "bad lag %S (immediate | latency:N | behind:N)" s))
+    in
+    let print ppf l = Format.pp_print_string ppf (Replica.lag_to_string l) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Replica.Latency { ticks = 2 })
+      & info [ "lag" ] ~docv:"MODEL"
+          ~doc:
+            "Replica lag model: $(b,immediate), $(b,latency:N) (apply N ticks after \
+             receipt) or $(b,behind:N) (trail the head by N frames).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.05
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-shipment drop probability (resent).")
+  in
+  let sync =
+    Arg.(
+      value & opt int 1
+      & info [ "sync" ] ~docv:"K"
+          ~doc:"Receipt quorum acknowledging a commit (0 = fully async).")
+  in
+  let sessions =
+    Arg.(value & opt int 8 & info [ "sessions" ] ~docv:"S" ~doc:"Concurrent sessions.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 500
+      & info [ "steps" ] ~docv:"N" ~doc:"Workload steps (reads and writes mixed).")
+  in
+  let write_ratio =
+    Arg.(
+      value & opt float 0.25
+      & info [ "write-ratio" ] ~docv:"P" ~doc:"Fraction of steps that are writes.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let failover =
+    Arg.(
+      value & flag
+      & info [ "failover" ]
+          ~doc:"Kill the primary mid-workload, promote, finish on the new primary.")
+  in
+  let run replicas policy lag drop sync sessions steps write_ratio seed failover =
+    let config =
+      {
+        Cluster.default_config with
+        Cluster.replicas;
+        policy;
+        lag;
+        drop_p = drop;
+        sync_replicas = sync;
+        seed;
+      }
+    in
+    let cluster = Cluster.create ~config () in
+    let rng = Mgq_util.Rng.create seed in
+    let markers = Array.make sessions 0 in
+    let value = Array.make sessions 0 in
+    for sid = 0 to sessions - 1 do
+      let s = Cluster.session cluster sid in
+      markers.(sid) <-
+        Cluster.write cluster ~session:s (fun db ->
+            Db.create_node db ~label:"user" (Property.of_list [ ("v", Value.Int 0) ]))
+    done;
+    let stale = ref 0 in
+    let crash_step = if failover then steps / 2 else -1 in
+    let step i =
+      let sid = Mgq_util.Rng.int rng sessions in
+      let s = Cluster.session cluster sid in
+      if Mgq_util.Rng.chance rng write_ratio then begin
+        Cluster.write cluster ~session:s (fun db ->
+            Db.set_node_property db markers.(sid) "v" (Value.Int i));
+        value.(sid) <- i
+      end
+      else
+        let v =
+          Cluster.read cluster
+            ~budget:(Mgq_util.Budget.create ~max_ns:1_000_000_000 ())
+            ~session:s
+            (fun db -> Db.node_property db markers.(sid) "v")
+        in
+        if v <> Value.Int value.(sid) then incr stale
+    in
+    let i = ref 1 in
+    while !i <= steps do
+      if !i = crash_step then
+        Cluster.kill_primary cluster ~crash_at_write:(1 + Mgq_util.Rng.int rng 50);
+      (try step !i with
+      | Mgq_storage.Fault.Torn_write _ | Mgq_storage.Fault.Crashed _ ->
+        let p = Cluster.promote cluster in
+        Printf.printf
+          "primary crashed at step %d: promoted replica %d (tail %d frames, log %s, \
+           %d acked commits lost, %d ticks down)\n"
+          !i p.Cluster.new_primary p.Cluster.tail_applied
+          (Mgq_neo.Wal.stop_to_string p.Cluster.stop)
+          p.Cluster.lost_acked p.Cluster.downtime_ticks);
+      incr i
+    done;
+    let router = Cluster.router cluster in
+    Printf.printf "cluster: %d replicas, %s routing, lag %s, drop %.2f, quorum %d\n"
+      (Array.length (Cluster.replicas cluster))
+      (Router.policy_to_string policy) (Replica.lag_to_string lag) drop sync;
+    Printf.printf
+      "workload: %d steps over %d sessions; head lsn %d, acked lsn %d, %d ticks, \
+       epoch %d\n"
+      steps sessions (Cluster.head_lsn cluster) (Cluster.acked_lsn cluster)
+      (Cluster.now cluster) (Cluster.epoch cluster);
+    Text_table.print
+      ~aligns:[ Text_table.Left; Text_table.Right ]
+      ~header:[ "routing"; "count" ]
+      ([
+         [ "reads via replicas"; string_of_int (Array.fold_left ( + ) 0 (Router.served router)) ];
+         [ "reads via primary"; string_of_int (Router.primary_served router) ];
+         [ "redirects"; string_of_int (Router.redirects router) ];
+         [ "wait ticks"; string_of_int (Router.waits router) ];
+         [ "primary fallbacks"; string_of_int (Router.fallbacks router) ];
+         [ "stale reads of own writes"; string_of_int !stale ];
+       ]
+      @
+      let st = Router.staleness router in
+      if Mgq_util.Stats.Summary.count st = 0 then []
+      else
+        [
+          [
+            "replica staleness mean/max (frames)";
+            Printf.sprintf "%.2f / %.0f"
+              (Mgq_util.Stats.Summary.mean st)
+              (Mgq_util.Stats.Summary.max st);
+          ];
+        ]);
+    Text_table.print
+      ~aligns:[ Text_table.Right; Right; Right; Right; Right ]
+      ~header:[ "replica"; "received"; "applied"; "drops"; "apply faults" ]
+      (Array.to_list
+         (Array.map
+            (fun r ->
+              [
+                string_of_int (Replica.id r);
+                string_of_int (Replica.received_lsn r);
+                string_of_int (Replica.applied_lsn r);
+                string_of_int (Replica.drops r);
+                string_of_int (Replica.apply_faults r);
+              ])
+            (Cluster.replicas cluster)));
+    if !stale > 0 then begin
+      Printf.printf "ERROR: read-your-writes violated %d times\n" !stale;
+      exit 1
+    end
+  in
+  let info =
+    Cmd.info "cluster"
+      ~doc:
+        "Run a seeded session workload against a WAL-shipping replication cluster \
+         (primary + read replicas, consistency-aware routing, optional failover)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ replicas $ policy $ lag $ drop $ sync $ sessions $ steps
+      $ write_ratio $ seed $ failover)
+
 (* ---------------- workload listing ---------------- *)
 
 let workload_cmd =
@@ -292,6 +482,15 @@ let main =
   let doc = "Microblogging queries on (simulated) graph databases" in
   let info = Cmd.info "mgq" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ generate_cmd; stats_cmd; import_cmd; query_cmd; cypher_cmd; script_cmd; workload_cmd ]
+    [
+      generate_cmd;
+      stats_cmd;
+      import_cmd;
+      query_cmd;
+      cypher_cmd;
+      script_cmd;
+      workload_cmd;
+      cluster_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,131 @@
+module Stats = Mgq_util.Stats
+
+type policy = Round_robin | Least_lagged | Sticky
+
+let policy_to_string = function
+  | Round_robin -> "round-robin"
+  | Least_lagged -> "least-lagged"
+  | Sticky -> "sticky"
+
+let policy_of_string = function
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-lagged" | "ll" -> Some Least_lagged
+  | "sticky" -> Some Sticky
+  | _ -> None
+
+type session = {
+  sid : int;
+  mutable high_water : int;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+let session sid = { sid; high_water = 0; writes = 0; reads = 0 }
+
+type choice = Serve_replica of int | Serve_primary
+
+type t = {
+  policy : policy;
+  mutable cursor : int;
+  served : int array;
+  mutable primary_served : int;
+  mutable redirects : int;
+  mutable waits : int;
+  mutable fallbacks : int;
+  staleness : Stats.Summary.t;
+}
+
+let create policy ~n_replicas =
+  {
+    policy;
+    cursor = 0;
+    served = Array.make (max 1 n_replicas) 0;
+    primary_served = 0;
+    redirects = 0;
+    waits = 0;
+    fallbacks = 0;
+    staleness = Stats.Summary.create ();
+  }
+
+let policy_of t = t.policy
+let served t = Array.copy t.served
+let primary_served t = t.primary_served
+let redirects t = t.redirects
+let waits t = t.waits
+let fallbacks t = t.fallbacks
+let staleness t = t.staleness
+
+let route t ~session ~head_lsn ~applied ~wait =
+  let serve_primary () =
+    t.primary_served <- t.primary_served + 1;
+    session.reads <- session.reads + 1;
+    Serve_primary
+  in
+  let snapshot = applied () in
+  let n = Array.length snapshot in
+  if n = 0 then serve_primary ()
+  else begin
+    (* The load-balancing choice, before consistency is considered. *)
+    let preferred =
+      match t.policy with
+      | Round_robin ->
+        let i = t.cursor mod n in
+        t.cursor <- t.cursor + 1;
+        i
+      | Least_lagged ->
+        let best = ref 0 in
+        Array.iteri (fun i a -> if a > snapshot.(!best) then best := i) snapshot;
+        !best
+      | Sticky -> session.sid mod n
+    in
+    let fresh s i = s.(i) >= session.high_water in
+    let serve s i =
+      t.served.(i) <- t.served.(i) + 1;
+      Stats.Summary.add t.staleness (float_of_int (max 0 (head_lsn - s.(i))));
+      session.reads <- session.reads + 1;
+      Serve_replica i
+    in
+    (* Read-your-writes redirect: the least-stale replica already at or
+       past the session's high-water mark. Sticky sessions instead wait
+       on their own replica, preserving locality. *)
+    let redirect_target s =
+      if t.policy = Sticky then None
+      else begin
+        let best = ref (-1) in
+        Array.iteri
+          (fun i a ->
+            if a >= session.high_water && (!best < 0 || a > s.(!best)) then best := i)
+          s;
+        if !best >= 0 then Some !best else None
+      end
+    in
+    if fresh snapshot preferred then serve snapshot preferred
+    else begin
+      match redirect_target snapshot with
+      | Some i ->
+        t.redirects <- t.redirects + 1;
+        serve snapshot i
+      | None ->
+        let rec await () =
+          if wait () then begin
+            t.waits <- t.waits + 1;
+            let s = applied () in
+            if fresh s preferred then serve s preferred
+            else begin
+              match redirect_target s with
+              | Some i ->
+                t.redirects <- t.redirects + 1;
+                serve s i
+              | None -> await ()
+            end
+          end
+          else begin
+            (* Deadline exhausted: the primary trivially satisfies
+               read-your-writes. *)
+            t.fallbacks <- t.fallbacks + 1;
+            serve_primary ()
+          end
+        in
+        await ()
+    end
+  end

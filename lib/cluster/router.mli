@@ -1,0 +1,66 @@
+(** Consistency-aware read routing.
+
+    The router load-balances reads across replicas under a pluggable
+    policy while enforcing {e read-your-writes}: every session carries
+    the LSN of its latest acknowledged write ([high_water]), and a
+    read is only ever served by an instance whose applied LSN has
+    reached it. When the policy's choice is too stale the router
+    first {e redirects} (to the least-stale replica that qualifies;
+    sticky sessions skip this to preserve locality), then {e waits}
+    (each wait step advances simulated time via the caller's [wait]
+    callback, typically charged to a {!Mgq_util.Budget} deadline), and
+    finally {e falls back} to the primary, which trivially satisfies
+    the guarantee. *)
+
+type policy =
+  | Round_robin  (** rotate across replicas *)
+  | Least_lagged  (** always the replica with the highest applied LSN *)
+  | Sticky  (** pin each session to [sid mod n] for cache locality *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type session = {
+  sid : int;
+  mutable high_water : int;  (** LSN of the session's latest acked write *)
+  mutable writes : int;
+  mutable reads : int;
+}
+
+val session : int -> session
+(** A fresh session with no writes observed yet. *)
+
+type choice = Serve_replica of int | Serve_primary
+
+type t
+
+val create : policy -> n_replicas:int -> t
+val policy_of : t -> policy
+
+val route :
+  t ->
+  session:session ->
+  head_lsn:int ->
+  applied:(unit -> int array) ->
+  wait:(unit -> bool) ->
+  choice
+(** Choose where to serve one read. [applied ()] snapshots each
+    replica's applied LSN (index [i] = replica [i]); [wait ()]
+    advances simulated time one step and returns [false] when the
+    deadline is exhausted. The returned choice always satisfies
+    [applied >= session.high_water] (the primary counts as fully
+    applied). *)
+
+(** {1 Accumulated routing statistics} *)
+
+val served : t -> int array
+(** Reads served per replica index. *)
+
+val primary_served : t -> int
+val redirects : t -> int
+val waits : t -> int
+val fallbacks : t -> int
+
+val staleness : t -> Mgq_util.Stats.Summary.t
+(** Distribution of [head_lsn - applied_lsn] over served replica
+    reads (frames of staleness accepted per read). *)

@@ -131,6 +131,7 @@ let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 
 let disk t = t.disk
 let cost t = Sim_disk.cost t.disk
 let wal t = t.wal
+let last_lsn t = match t.wal with Some w -> Wal.last_lsn w | None -> 0
 
 (* ---------------- persistence ---------------- *)
 
@@ -139,7 +140,7 @@ exception Corrupt_snapshot of string
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_snapshot msg)) fmt
 
 let save_magic = "MGQNEO2\n"
-let save_version = 2
+let save_version = 3 (* v3: WAL frames carry LSNs *)
 
 let save t path =
   if t.current_tx <> None then failwith "Db.save: transaction open";
@@ -210,7 +211,7 @@ let commit t =
     | None -> ());
     Cost_model.record_page_flush (cost t);
     (match t.wal with
-    | Some w when t.tx_redo <> [] -> Wal.append_ops w (List.rev t.tx_redo)
+    | Some w when t.tx_redo <> [] -> ignore (Wal.append_ops w (List.rev t.tx_redo) : int)
     | _ -> ());
     t.tx_redo <- [];
     t.current_tx <- None
@@ -252,7 +253,8 @@ let log_undo t f =
 let log_redo t op =
   match t.current_tx with
   | Some _ -> t.tx_redo <- op :: t.tx_redo
-  | None -> ( match t.wal with Some w -> Wal.append_ops w [ op ] | None -> ())
+  | None -> (
+    match t.wal with Some w -> ignore (Wal.append_ops w [ op ] : int) | None -> ())
 
 (* Mutators are exception-atomic. Their record rewrites touch
    buffer-pool memory — the disk I/O that can transiently fail happens
@@ -910,7 +912,15 @@ let replay_op t = function
   | Wal.Densify id -> densify_node t id
   | Wal.Create_index { label; property } -> create_index t ~label ~property
 
-let recover ?snapshot t =
+(* Apply one shipped WAL record as a transaction of its own: the
+   replication path. The ops re-commit through this instance's WAL,
+   so a replica's own log stays a faithful, LSN-aligned copy of the
+   primary's — the property failover promotion relies on. *)
+let apply_redo t ops = with_tx t (fun () -> List.iter (replay_op t) ops)
+
+type recovery = { replayed : int; replay_last_lsn : int; stop : Wal.stop }
+
+let recover_report ?snapshot t =
   (* Forget any transaction that was in flight: it never reached the
      log, so it never happened. *)
   t.current_tx <- None;
@@ -929,10 +939,16 @@ let recover ?snapshot t =
      record prefix of its log is the sole source of truth past the
      snapshot. Replaying re-commits each transaction, so the recovered
      instance's own log again covers everything past its snapshot. *)
-  (match t.wal with
-  | None -> ()
+  match t.wal with
+  | None -> (base, { replayed = 0; replay_last_lsn = 0; stop = Wal.Clean })
   | Some w ->
-    Wal.fold_ops w
-      (fun () ops -> with_tx base (fun () -> List.iter (replay_op base) ops))
-      ());
-  base
+    let (replayed, last), stop =
+      Wal.fold_ops_stop w
+        (fun (n, _) ~lsn ops ->
+          with_tx base (fun () -> List.iter (replay_op base) ops);
+          (n + 1, lsn))
+        (0, Wal.base_lsn w)
+    in
+    (base, { replayed; replay_last_lsn = last; stop })
+
+let recover ?snapshot t = fst (recover_report ?snapshot t)

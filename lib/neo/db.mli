@@ -48,6 +48,10 @@ val disk : t -> Mgq_storage.Sim_disk.t
 
 val wal : t -> Wal.t option
 
+val last_lsn : t -> int
+(** LSN of the newest committed WAL record (0 without a WAL) — the
+    instance's replication high-water mark. *)
+
 (** {1 Persistence} *)
 
 exception Corrupt_snapshot of string
@@ -85,6 +89,23 @@ val recover : ?snapshot:string -> t -> t
     tail records are discarded. The crashed instance's data pages are
     never trusted. Returns the recovered instance; [t] should be
     discarded. *)
+
+type recovery = {
+  replayed : int;  (** intact records replayed *)
+  replay_last_lsn : int;  (** LSN of the last replayed record *)
+  stop : Wal.stop;  (** why the log scan ended: {!Wal.Clean} or corruption *)
+}
+
+val recover_report : ?snapshot:string -> t -> t * recovery
+(** {!recover}, plus a diagnosis of the replay: how many records were
+    applied, up to which LSN, and whether the scan ended cleanly (the
+    zero sentinel) or on a torn/corrupt frame. *)
+
+val apply_redo : t -> Wal.op list -> unit
+(** Apply one shipped WAL record as a transaction of its own (the
+    replication path): replays each op and re-commits through this
+    instance's WAL, keeping the local log LSN-aligned with the
+    shipped stream. *)
 
 (** {1 Schema} *)
 

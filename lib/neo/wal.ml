@@ -16,21 +16,49 @@ type op =
   | Densify of int
   | Create_index of { label : string; property : string }
 
+type stop =
+  | Clean
+  | Torn_header
+  | Truncated_payload of { lsn : int }
+  | Crc_mismatch of { lsn : int }
+  | Lsn_mismatch of { expected : int; found : int }
+
+let stop_to_string = function
+  | Clean -> "clean"
+  | Torn_header -> "torn header"
+  | Truncated_payload { lsn } -> Printf.sprintf "truncated payload at lsn %d" lsn
+  | Crc_mismatch { lsn } -> Printf.sprintf "crc mismatch at lsn %d" lsn
+  | Lsn_mismatch { expected; found } ->
+    Printf.sprintf "lsn mismatch (expected %d, found %d)" expected found
+
 type t = {
   disk : Sim_disk.t;
   mutable pages : int array; (* log page index -> disk page id *)
   mutable n_pages : int;
   mutable length : int; (* bytes appended since truncation *)
   mutable records : int;
+  mutable base_lsn : int; (* lsn of the last record truncated away *)
+  mutable offsets : int array; (* record index in this log -> byte offset *)
 }
 
 let magic = '\xA5'
-let header_bytes = 9
+let header_bytes = 17 (* magic(1) + lsn(8 LE) + len(4 LE) + crc(4 LE) *)
 
-let create disk = { disk; pages = Array.make 8 0; n_pages = 0; length = 0; records = 0 }
+let create disk =
+  {
+    disk;
+    pages = Array.make 8 0;
+    n_pages = 0;
+    length = 0;
+    records = 0;
+    base_lsn = 0;
+    offsets = Array.make 8 0;
+  }
 
 let records t = t.records
 let length_bytes t = t.length
+let base_lsn t = t.base_lsn
+let last_lsn t = t.base_lsn + t.records
 
 let ensure_capacity t bytes =
   let ps = Sim_disk.page_size t.disk in
@@ -80,50 +108,98 @@ let read_bytes t off len =
 let zero_sentinel t off =
   write_bytes t off (Bytes.make header_bytes '\000')
 
+let push_offset t off =
+  if t.records = Array.length t.offsets then begin
+    let bigger = Array.make (2 * t.records) 0 in
+    Array.blit t.offsets 0 bigger 0 t.records;
+    t.offsets <- bigger
+  end;
+  t.offsets.(t.records) <- off
+
 let append_ops t ops =
   let payload = Marshal.to_string (ops : op list) [] in
   let len = String.length payload in
+  let lsn = last_lsn t + 1 in
   let frame = Bytes.create (header_bytes + len) in
   Bytes.set frame 0 magic;
-  Bytes.set_int32_le frame 1 (Int32.of_int len);
-  Bytes.set_int32_le frame 5 (Crc32.digest payload);
+  Bytes.set_int64_le frame 1 (Int64.of_int lsn);
+  Bytes.set_int32_le frame 9 (Int32.of_int len);
+  Bytes.set_int32_le frame 13 (Crc32.digest payload);
   Bytes.blit_string payload 0 frame header_bytes len;
   write_bytes t t.length frame;
   let tail = t.length + Bytes.length frame in
   zero_sentinel t tail;
   (* The record is durable the moment its last frame byte lands; the
      sentinel only guards the scan. Update in-memory counters last. *)
+  push_offset t t.length;
   t.length <- tail;
-  t.records <- t.records + 1
+  t.records <- t.records + 1;
+  lsn
+
+let corrupt_payload_byte t ~lsn =
+  let idx = lsn - t.base_lsn - 1 in
+  if idx < 0 || idx >= t.records then
+    invalid_arg "Wal.corrupt_payload_byte: no such record";
+  let off = t.offsets.(idx) + header_bytes in
+  Sim_disk.with_faults_suspended t.disk (fun () ->
+      let b = read_bytes t off 1 in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+      write_bytes t off b)
 
 let truncate t =
+  t.base_lsn <- t.base_lsn + t.records;
   t.length <- 0;
   t.records <- 0;
   if t.n_pages > 0 then
     Sim_disk.with_faults_suspended t.disk (fun () -> zero_sentinel t 0)
 
-let fold_ops t f init =
+(* Scan intact records starting at byte [from_off], whose first frame
+   must carry lsn [expected]; folds [f] and reports why the scan
+   stopped. Every frame is re-validated (magic, lsn continuity,
+   length, crc) so a torn tail or a corrupt shipment is distinguished
+   from a clean end of log. *)
+let scan t ~from_off ~expected f init =
   let allocated = t.n_pages * Sim_disk.page_size t.disk in
-  let rec scan acc off =
-    if off + header_bytes > allocated then acc
+  let rec step acc off expected =
+    if off + header_bytes > allocated then (acc, Clean)
     else begin
       let header = read_bytes t off header_bytes in
-      if Bytes.get header 0 <> magic then acc
+      if Bytes.get header 0 <> magic then
+        (acc, if Bytes.for_all (fun c -> c = '\000') header then Clean else Torn_header)
       else begin
-        let len = Int32.to_int (Bytes.get_int32_le header 1) in
-        let crc = Bytes.get_int32_le header 5 in
-        if len < 0 || off + header_bytes + len > allocated then acc
+        let lsn = Int64.to_int (Bytes.get_int64_le header 1) in
+        if lsn <> expected then (acc, Lsn_mismatch { expected; found = lsn })
         else begin
-          let payload = Bytes.to_string (read_bytes t (off + header_bytes) len) in
-          if Crc32.digest payload <> crc then acc
+          let len = Int32.to_int (Bytes.get_int32_le header 9) in
+          let crc = Bytes.get_int32_le header 13 in
+          if len < 0 || off + header_bytes + len > allocated then
+            (acc, Truncated_payload { lsn })
           else begin
-            let ops : op list = Marshal.from_string payload 0 in
-            scan (f acc ops) (off + header_bytes + len)
+            let payload = Bytes.to_string (read_bytes t (off + header_bytes) len) in
+            if Crc32.digest payload <> crc then (acc, Crc_mismatch { lsn })
+            else begin
+              let ops : op list = Marshal.from_string payload 0 in
+              step (f acc ~lsn ops) (off + header_bytes + len) (expected + 1)
+            end
           end
         end
       end
     end
   in
-  scan init 0
+  step init from_off expected
+
+let fold_ops_stop t f init = scan t ~from_off:0 ~expected:(t.base_lsn + 1) f init
+
+let fold_ops t f init =
+  fst (fold_ops_stop t (fun acc ~lsn:_ ops -> f acc ops) init)
+
+let fold_from t ~lsn f init =
+  if lsn < t.base_lsn then
+    invalid_arg
+      (Printf.sprintf "Wal.fold_from: lsn %d predates the log base %d (compacted)" lsn
+         t.base_lsn);
+  let idx = lsn - t.base_lsn in
+  if idx >= t.records then (init, Clean)
+  else scan t ~from_off:t.offsets.(idx) ~expected:(lsn + 1) f init
 
 let valid_records t = fold_ops t (fun n _ -> n + 1) 0

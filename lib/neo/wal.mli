@@ -1,20 +1,27 @@
 (** Write-ahead log: checksummed logical redo records on the
-    simulated disk.
+    simulated disk, with log sequence numbers.
 
     Each committed transaction appends one record — the framed,
-    CRC-32-checksummed marshalling of its logical operations
-    ({!op}). Appends go through {!Mgq_storage.Sim_disk} page writes,
-    so an injected crash can land inside a record and tear it;
+    CRC-32-checksummed marshalling of its logical operations ({!op})
+    — stamped with a monotonically increasing {e log sequence number}
+    (LSN). Appends go through {!Mgq_storage.Sim_disk} page writes, so
+    an injected crash can land inside a record and tear it;
     {!fold_ops} replays exactly the prefix of intact records and
     stops at the first torn or missing frame, which is the whole
     recovery contract: {e a transaction is durable iff its record is
     fully on disk with a valid checksum}.
 
+    LSNs survive {!truncate} (a checkpoint advances {!base_lsn}
+    instead of resetting numbering), so a replication consumer's
+    high-water mark stays meaningful across the log's lifetime.
+    {!fold_from} streams the suffix after a given LSN — the shipping
+    primitive the cluster layer is built on.
+
     Frame layout, byte-packed across pages:
-    [0xA5][len:4 LE][crc32:4 LE][payload]. After every append (and on
-    {!truncate}) the next frame's header position is zeroed so a scan
-    terminates at the true tail rather than running into stale
-    bytes. *)
+    [0xA5][lsn:8 LE][len:4 LE][crc32:4 LE][payload]. After every
+    append (and on {!truncate}) the next frame's header position is
+    zeroed so a scan terminates at the true tail rather than running
+    into stale bytes. *)
 
 type op =
   | Create_node of { label : string; props : (string * Mgq_core.Value.t) list }
@@ -36,20 +43,46 @@ type op =
           {e not} logged — it re-fires deterministically during
           replay; only the importer's explicit [Densify] calls are. *)
 
+type stop =
+  | Clean  (** the zero sentinel (or end of allocated space): caught up *)
+  | Torn_header  (** non-magic, non-zero bytes where a header should be *)
+  | Truncated_payload of { lsn : int }
+      (** a frame header whose payload runs past the allocated log *)
+  | Crc_mismatch of { lsn : int }  (** payload bytes fail their checksum *)
+  | Lsn_mismatch of { expected : int; found : int }
+      (** a valid-looking frame carrying the wrong sequence number
+          (stale bytes from an earlier log generation) *)
+      (** Why a scan stopped. [Clean] means "caught up"; everything
+          else means the bytes past this point are not to be trusted —
+          a replica distinguishes end-of-shipment from a corrupt
+          shipment with this. *)
+
+val stop_to_string : stop -> string
+
 type t
 
 val create : Mgq_storage.Sim_disk.t -> t
 (** An empty log allocating its pages from [disk]. *)
 
-val append_ops : t -> op list -> unit
-(** Append one record (one committed transaction). May raise the
-    armed fault plan's exceptions mid-frame — the torn-tail case
-    {!fold_ops} discards. *)
+val append_ops : t -> op list -> int
+(** Append one record (one committed transaction); returns its LSN.
+    May raise the armed fault plan's exceptions mid-frame — the torn-
+    tail case {!fold_ops} discards. *)
 
 val fold_ops : t -> ('a -> op list -> 'a) -> 'a -> 'a
 (** Scan the log from the start, folding over each intact record's
     operations; stops at the first invalid frame (torn tail or end of
     log). *)
+
+val fold_ops_stop : t -> ('a -> lsn:int -> op list -> 'a) -> 'a -> 'a * stop
+(** Like {!fold_ops} but passes each record's LSN and also returns
+    {e why} the scan stopped. *)
+
+val fold_from : t -> lsn:int -> ('a -> lsn:int -> op list -> 'a) -> 'a -> 'a * stop
+(** [fold_from t ~lsn f init] streams the suffix strictly after [lsn]
+    (the caller's high-water mark): records [lsn+1 .. last_lsn t].
+    Raises [Invalid_argument] when [lsn] predates {!base_lsn} (the
+    records were compacted away by a checkpoint). *)
 
 val valid_records : t -> int
 (** Number of records {!fold_ops} would yield — a scan, charging
@@ -59,9 +92,23 @@ val records : t -> int
 (** Records appended since creation/truncation (in-memory counter;
     after a crash, trust {!valid_records} instead). *)
 
+val base_lsn : t -> int
+(** LSN of the last record truncated away by a checkpoint; the first
+    record in this log carries [base_lsn + 1]. 0 for a fresh log. *)
+
+val last_lsn : t -> int
+(** LSN of the newest appended record ([base_lsn t + records t]). *)
+
 val length_bytes : t -> int
 
+val corrupt_payload_byte : t -> lsn:int -> unit
+(** Fault-injection aid: flip one payload byte of the record carrying
+    [lsn] in place (bypassing armed faults), so a scan reaching it
+    reports {!Crc_mismatch}.
+    @raise Invalid_argument when no such record is in this log. *)
+
 val truncate : t -> unit
-(** Empty the log (checkpoint). Pages stay allocated for reuse; the
-    head sentinel is zeroed with fault injection suspended, modelling
-    an atomic metadata update. *)
+(** Empty the log (checkpoint). LSN numbering continues ({!base_lsn}
+    advances past the truncated records). Pages stay allocated for
+    reuse; the head sentinel is zeroed with fault injection suspended,
+    modelling an atomic metadata update. *)

@@ -19,7 +19,9 @@ let delay_ns policy rng ~attempt =
   in
   let capped = min raw (float_of_int policy.max_delay_ns) in
   let jitter = match rng with None -> 1.0 | Some rng -> 0.5 +. Rng.float rng 0.5 in
-  int_of_float (capped *. jitter)
+  (* A sub-nanosecond base delay would truncate to 0 and turn backoff
+     into a busy retry; every backoff waits at least 1 ns. *)
+  max 1 (int_of_float (capped *. jitter))
 
 let run ?(policy = default_policy) ?rng ?(on_backoff = fun _ -> ()) ~retryable f =
   if policy.max_attempts < 1 then invalid_arg "Retry.run: max_attempts < 1";

@@ -32,6 +32,12 @@ exception
     last : exn;  (** the final attempt's exception *)
   }
 
+val delay_ns : policy -> Rng.t option -> attempt:int -> int
+(** The backoff after failure number [attempt] (1-based): the capped
+    exponential, jitter-scaled when an rng is given, and clamped to at
+    least 1 ns so a tiny base delay can never truncate to a busy
+    retry. *)
+
 val run :
   ?policy:policy ->
   ?rng:Rng.t ->

@@ -1,0 +1,561 @@
+(* The replication cluster: WAL LSNs and suffix shipping, replay
+   determinism, lag models, dropped-shipment resends, the
+   consistency-aware router (read-your-writes under every policy), and
+   the failover sweep — >= 30 seeded crash/promote runs that must lose
+   zero acknowledged commits. *)
+
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+module Db = Mgq_neo.Db
+module Wal = Mgq_neo.Wal
+module Fault = Mgq_storage.Fault
+module Sim_disk = Mgq_storage.Sim_disk
+module Budget = Mgq_util.Budget
+module Rng = Mgq_util.Rng
+module Replica = Mgq_cluster.Replica
+module Router = Mgq_cluster.Router
+module Cluster = Mgq_cluster.Cluster
+
+let check = Alcotest.check
+
+let props l = Property.of_list l
+
+let stop_testable =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Wal.stop_to_string s))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* WAL LSNs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let commit_node db i =
+  Db.with_tx db (fun () ->
+      ignore (Db.create_node db ~label:"user" (props [ ("uid", Value.Int i) ])))
+
+let test_lsn_assignment () =
+  let db = Db.create () in
+  let w = Option.get (Db.wal db) in
+  check Alcotest.int "fresh log" 0 (Wal.last_lsn w);
+  check Alcotest.int "fresh db" 0 (Db.last_lsn db);
+  for i = 1 to 3 do
+    commit_node db i;
+    check Alcotest.int (Printf.sprintf "lsn after commit %d" i) i (Wal.last_lsn w)
+  done;
+  let lsns, stop = Wal.fold_ops_stop w (fun acc ~lsn _ -> lsn :: acc) [] in
+  check Alcotest.(list int) "monotonic lsns" [ 1; 2; 3 ] (List.rev lsns);
+  check stop_testable "clean scan" Wal.Clean stop
+
+let suffix_lsns w ~lsn =
+  let acc, stop = Wal.fold_from w ~lsn (fun acc ~lsn _ -> lsn :: acc) [] in
+  (List.rev acc, stop)
+
+let test_fold_from_suffix () =
+  let db = Db.create () in
+  let w = Option.get (Db.wal db) in
+  for i = 1 to 5 do
+    commit_node db i
+  done;
+  let all, stop = suffix_lsns w ~lsn:0 in
+  check Alcotest.(list int) "whole log" [ 1; 2; 3; 4; 5 ] all;
+  check stop_testable "clean" Wal.Clean stop;
+  let tail, _ = suffix_lsns w ~lsn:3 in
+  check Alcotest.(list int) "suffix past 3" [ 4; 5 ] tail;
+  let empty, stop = suffix_lsns w ~lsn:5 in
+  check Alcotest.(list int) "caught up" [] empty;
+  check stop_testable "caught up is clean" Wal.Clean stop
+
+let test_lsn_survives_truncate () =
+  let w = Wal.create (Sim_disk.create ()) in
+  let ops = [ Wal.Create_node { label = "user"; props = [] } ] in
+  check Alcotest.int "lsn 1" 1 (Wal.append_ops w ops);
+  check Alcotest.int "lsn 2" 2 (Wal.append_ops w ops);
+  Wal.truncate w;
+  check Alcotest.int "base advanced" 2 (Wal.base_lsn w);
+  check Alcotest.int "last unchanged" 2 (Wal.last_lsn w);
+  check Alcotest.int "numbering continues" 3 (Wal.append_ops w ops);
+  let tail, _ = suffix_lsns w ~lsn:2 in
+  check Alcotest.(list int) "suffix from the base" [ 3 ] tail;
+  check Alcotest.bool "compacted suffix rejected" true
+    (try
+       ignore (Wal.fold_from w ~lsn:1 (fun acc ~lsn:_ _ -> acc) []);
+       false
+     with Invalid_argument _ -> true)
+
+(* A torn append must be diagnosed. Tearing the frame write directly
+   (seeded persisted-prefix lengths) produces the whole taxonomy:
+   nothing persisted scans Clean with one record; a partial header or
+   payload is named as corruption — and either way exactly the intact
+   prefix replays. *)
+let test_stop_reasons_on_torn_tail () =
+  let reasons = ref [] in
+  let ops i = [ Wal.Create_node { label = "user"; props = [ ("uid", Value.Int i) ] } ] in
+  for seed = 1 to 40 do
+    let disk = Sim_disk.create () in
+    let w = Wal.create disk in
+    ignore (Wal.append_ops w (ops 1));
+    Sim_disk.arm_faults disk
+      (Fault.plan ~seed ~crash_at_write:1 ~torn_crash:true ());
+    (try ignore (Wal.append_ops w (ops 2))
+     with Fault.Torn_write _ | Fault.Crashed _ -> ());
+    Sim_disk.reopen disk;
+    let n, stop = Wal.fold_ops_stop w (fun n ~lsn:_ _ -> n + 1) 0 in
+    (* The torn frame never replays; a tear persisting the whole frame
+       would yield 2 intact records, anything else exactly 1. *)
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: intact prefix only (%d, %s)" seed n
+         (Wal.stop_to_string stop))
+      true
+      (n = 1 || n = 2);
+    if n = 1 then reasons := stop :: !reasons
+  done;
+  check Alcotest.bool "some tears are diagnosed as corruption" true
+    (List.exists (fun s -> s <> Wal.Clean) !reasons);
+  (* And the diagnosis reaches recover_report: a Db whose WAL tail is
+     corrupted in place reports a non-Clean stop. *)
+  let db = Db.create () in
+  commit_node db 1;
+  commit_node db 2;
+  let w = Option.get (Db.wal db) in
+  Wal.corrupt_payload_byte w ~lsn:2;
+  let recovered, report = Db.recover_report db in
+  check Alcotest.int "corrupted tail: prefix replays" 1 report.Db.replayed;
+  check Alcotest.int "corrupted tail: recovered counts" 1 (Db.node_count recovered);
+  check Alcotest.bool "corrupted tail: crc mismatch surfaced" true
+    (match report.Db.stop with Wal.Crc_mismatch { lsn = 2 } -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Replay determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let file_contents path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let snapshot_bytes db =
+  let path = Filename.temp_file "mgq_cluster" ".neo" in
+  Db.save db path;
+  let bytes = file_contents path in
+  Sys.remove path;
+  bytes
+
+(* A random committed workload driven by one seed: transactions of
+   node creations, edge creations and property updates. *)
+let random_workload seed db =
+  let rng = Rng.create seed in
+  let nodes = ref 0 in
+  for _ = 1 to 8 + Rng.int rng 8 do
+    Db.with_tx db (fun () ->
+        for _ = 1 to 1 + Rng.int rng 4 do
+          match Rng.int rng 3 with
+          | 0 ->
+            ignore
+              (Db.create_node db ~label:(if Rng.bool rng then "user" else "tweet")
+                 (props [ ("uid", Value.Int !nodes) ]));
+            incr nodes
+          | 1 when !nodes >= 2 ->
+            let src = Rng.int rng !nodes and dst = Rng.int rng !nodes in
+            ignore (Db.create_edge db ~etype:"follows" ~src ~dst Property.empty)
+          | _ when !nodes >= 1 ->
+            Db.set_node_property db (Rng.int rng !nodes) "name"
+              (Value.Str (Printf.sprintf "u%d" (Rng.int rng 100)))
+          | _ ->
+            ignore (Db.create_node db ~label:"user" Property.empty);
+            incr nodes
+        done)
+  done
+
+(* Ship every frame of [w] into [db] one transaction per record,
+   optionally in two chunks through fold_from. *)
+let apply_stream ?(split = 0) w db =
+  let apply_upto ~from ~upto =
+    ignore
+      (Wal.fold_from w ~lsn:from
+         (fun () ~lsn ops -> if lsn <= upto then Db.apply_redo db ops)
+         ())
+  in
+  if split = 0 then apply_upto ~from:0 ~upto:max_int
+  else begin
+    apply_upto ~from:0 ~upto:split;
+    apply_upto ~from:split ~upto:max_int
+  end
+
+let replay_determinism_prop seed =
+  let primary = Db.create () in
+  random_workload seed primary;
+  let w = Option.get (Db.wal primary) in
+  let total = Wal.records w in
+  (* replica A: whole stream in one pass *)
+  let a = Db.create () in
+  apply_stream w a;
+  (* replica B: shipped as two fold_from chunks *)
+  let b = Db.create () in
+  apply_stream ~split:(total / 2) w b;
+  (* replica C: crash-recovery replay of the same log *)
+  let c = Db.recover primary in
+  let sa = snapshot_bytes a and sb = snapshot_bytes b and sc = snapshot_bytes c in
+  String.equal sa sb && String.equal sa sc
+  && Db.node_count a = Db.node_count primary
+  && Db.edge_count a = Db.edge_count primary
+
+let test_replay_determinism =
+  QCheck.Test.make ~name:"replay determinism: byte-identical snapshots" ~count:15
+    QCheck.(int_range 1 10_000)
+    replay_determinism_prop
+
+(* ------------------------------------------------------------------ *)
+(* Shipping, lag models, drops                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_config ?(replicas = 3) ?(lag = Replica.Immediate) ?(drop_p = 0.0)
+    ?(sync_replicas = 1) ?(policy = Router.Round_robin) ?(seed = 42) () =
+  {
+    Cluster.default_config with
+    Cluster.replicas;
+    lag;
+    drop_p;
+    sync_replicas;
+    policy;
+    seed;
+  }
+
+let write_marker cluster session i =
+  Cluster.write cluster ~session (fun db ->
+      ignore (Db.create_node db ~label:"user" (props [ ("k", Value.Int i) ])))
+
+let test_replicas_catch_up () =
+  let cluster = Cluster.create ~config:(cluster_config ()) () in
+  let s = Cluster.session cluster 0 in
+  for i = 1 to 10 do
+    write_marker cluster s i
+  done;
+  check Alcotest.int "head" 10 (Cluster.head_lsn cluster);
+  Array.iter
+    (fun r ->
+      check Alcotest.int
+        (Printf.sprintf "replica %d applied" (Replica.id r))
+        10 (Replica.applied_lsn r);
+      check Alcotest.int
+        (Printf.sprintf "replica %d nodes" (Replica.id r))
+        10
+        (Db.node_count (Replica.db r)))
+    (Cluster.replicas cluster)
+
+let test_drops_trigger_resend () =
+  let cluster =
+    Cluster.create ~config:(cluster_config ~drop_p:0.4 ~seed:7 ()) ()
+  in
+  let s = Cluster.session cluster 0 in
+  for i = 1 to 50 do
+    write_marker cluster s i
+  done;
+  let ticks = ref 0 in
+  while
+    Array.exists
+      (fun r -> Replica.applied_lsn r < Cluster.head_lsn cluster)
+      (Cluster.replicas cluster)
+    && !ticks < 1_000
+  do
+    incr ticks;
+    Cluster.tick cluster
+  done;
+  let dropped =
+    Array.fold_left (fun n r -> n + Replica.drops r) 0 (Cluster.replicas cluster)
+  in
+  check Alcotest.bool "shipments were dropped" true (dropped > 0);
+  Array.iter
+    (fun r ->
+      check Alcotest.int
+        (Printf.sprintf "replica %d caught up" (Replica.id r))
+        50 (Replica.applied_lsn r))
+    (Cluster.replicas cluster)
+
+let test_latency_lag_model () =
+  let cluster =
+    Cluster.create
+      ~config:(cluster_config ~lag:(Replica.Latency { ticks = 3 }) ()) ()
+  in
+  let s = Cluster.session cluster 0 in
+  write_marker cluster s 1;
+  let r = (Cluster.replicas cluster).(0) in
+  check Alcotest.int "journaled immediately" 1 (Replica.received_lsn r);
+  check Alcotest.int "not yet visible" 0 (Replica.applied_lsn r);
+  Cluster.tick cluster;
+  Cluster.tick cluster;
+  check Alcotest.int "still latent" 0 (Replica.applied_lsn r);
+  Cluster.tick cluster;
+  check Alcotest.int "visible after the latency" 1 (Replica.applied_lsn r)
+
+let test_frames_behind_lag_model () =
+  let cluster =
+    Cluster.create ~config:(cluster_config ~lag:(Replica.Frames_behind 2) ()) ()
+  in
+  let s = Cluster.session cluster 0 in
+  for i = 1 to 10 do
+    write_marker cluster s i
+  done;
+  Array.iter
+    (fun r ->
+      check Alcotest.int
+        (Printf.sprintf "replica %d trails by 2" (Replica.id r))
+        8 (Replica.applied_lsn r))
+    (Cluster.replicas cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let no_wait () = false
+
+let test_router_round_robin () =
+  let r = Router.create Router.Round_robin ~n_replicas:3 in
+  let s = Router.session 0 in
+  let applied () = [| 5; 5; 5 |] in
+  let serve () = Router.route r ~session:s ~head_lsn:5 ~applied ~wait:no_wait in
+  let a = serve () in
+  let b = serve () in
+  let c = serve () in
+  let d = serve () in
+  check Alcotest.bool "rotates" true
+    (a = Router.Serve_replica 0 && b = Router.Serve_replica 1
+    && c = Router.Serve_replica 2 && d = Router.Serve_replica 0)
+
+let test_router_least_lagged_and_sticky () =
+  let r = Router.create Router.Least_lagged ~n_replicas:3 in
+  let s = Router.session 0 in
+  check Alcotest.bool "least lagged picks the max" true
+    (Router.route r ~session:s ~head_lsn:9
+       ~applied:(fun () -> [| 3; 9; 5 |])
+       ~wait:no_wait
+    = Router.Serve_replica 1);
+  let r = Router.create Router.Sticky ~n_replicas:3 in
+  let s7 = Router.session 7 in
+  let serve () =
+    Router.route r ~session:s7 ~head_lsn:5
+      ~applied:(fun () -> [| 5; 5; 5 |])
+      ~wait:no_wait
+  in
+  check Alcotest.bool "sticky pins sid mod n" true
+    (serve () = Router.Serve_replica 1 && serve () = Router.Serve_replica 1)
+
+let test_router_redirect_and_wait () =
+  (* Redirect: the policy's choice is stale, another replica qualifies. *)
+  let r = Router.create Router.Round_robin ~n_replicas:3 in
+  let s = Router.session 0 in
+  s.Router.high_water <- 4;
+  check Alcotest.bool "redirects to the freshest qualifying replica" true
+    (Router.route r ~session:s ~head_lsn:9
+       ~applied:(fun () -> [| 2; 9; 3 |])
+       ~wait:no_wait
+    = Router.Serve_replica 1);
+  check Alcotest.int "redirect counted" 1 (Router.redirects r);
+  (* Wait: nobody qualifies until the third wait tick. *)
+  let applied = [| 2; 2; 2 |] in
+  let waits = ref 0 in
+  let wait () =
+    incr waits;
+    if !waits = 3 then applied.(2) <- 4;
+    true
+  in
+  (match
+     Router.route r ~session:s ~head_lsn:9 ~applied:(fun () -> applied) ~wait
+   with
+  | Router.Serve_replica 2 -> ()
+  | _ -> Alcotest.fail "expected the caught-up replica");
+  check Alcotest.int "waited three ticks" 3 !waits;
+  (* Fallback: the deadline never lets anyone catch up. *)
+  check Alcotest.bool "primary fallback" true
+    (Router.route r ~session:s ~head_lsn:9
+       ~applied:(fun () -> [| 2; 2; 2 |])
+       ~wait:no_wait
+    = Router.Serve_primary);
+  check Alcotest.int "fallback counted" 1 (Router.fallbacks r)
+
+(* ------------------------------------------------------------------ *)
+(* Read-your-writes through the cluster                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Under every policy, with laggy replicas, each session must observe
+   its own writes: a read issued right after a write either waits for
+   a replica, redirects, or falls back — never serves stale data. *)
+let ryw_under policy =
+  let cluster =
+    Cluster.create
+      ~config:
+        (cluster_config ~policy ~lag:(Replica.Latency { ticks = 2 }) ~drop_p:0.1
+           ~seed:11 ())
+      ()
+  in
+  let n_sessions = 5 in
+  (* Each session owns one node; node ids are allocation-ordered. *)
+  for sid = 0 to n_sessions - 1 do
+    let s = Cluster.session cluster sid in
+    Cluster.write cluster ~session:s (fun db ->
+        ignore (Db.create_node db ~label:"user" (props [ ("v", Value.Int 0) ])))
+  done;
+  for i = 1 to 40 do
+    let sid = i mod n_sessions in
+    let s = Cluster.session cluster sid in
+    Cluster.write cluster ~session:s (fun db ->
+        Db.set_node_property db sid "v" (Value.Int i));
+    let seen =
+      Cluster.read cluster
+        ~budget:(Budget.create ~max_ns:50_000_000 ())
+        ~session:s
+        (fun db -> Db.node_property db sid "v")
+    in
+    check Alcotest.bool
+      (Printf.sprintf "%s: session %d read its write %d"
+         (Router.policy_to_string policy) sid i)
+      true
+      (seen = Value.Int i)
+  done;
+  let router = Cluster.router cluster in
+  check Alcotest.bool "some reads landed on replicas" true
+    (Array.fold_left ( + ) 0 (Router.served router) > 0)
+
+let test_ryw_round_robin () = ryw_under Router.Round_robin
+let test_ryw_least_lagged () = ryw_under Router.Least_lagged
+let test_ryw_sticky () = ryw_under Router.Sticky
+
+let test_budget_deadline_falls_back_to_primary () =
+  let cluster =
+    Cluster.create
+      ~config:(cluster_config ~lag:(Replica.Latency { ticks = 50 }) ()) ()
+  in
+  let s = Cluster.session cluster 0 in
+  write_marker cluster s 1;
+  (* The only replica able to serve within budget is none: one wait
+     tick costs 1 ms, the budget affords none. *)
+  let v, choice =
+    Cluster.read_routed cluster
+      ~budget:(Budget.create ~max_ns:500_000 ())
+      ~session:s
+      (fun db -> Db.node_count db)
+  in
+  check Alcotest.int "served the fresh value" 1 v;
+  check Alcotest.bool "from the primary" true (choice = Router.Serve_primary);
+  check Alcotest.int "fallback counted" 1 (Router.fallbacks (Cluster.router cluster))
+
+(* ------------------------------------------------------------------ *)
+(* Failover sweep                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One seeded crash/promote run. Returns (acked, promotion, cluster). *)
+let failover_run seed =
+  let cluster =
+    Cluster.create
+      ~config:
+        (cluster_config ~replicas:3 ~lag:(Replica.Latency { ticks = 1 })
+           ~drop_p:0.1 ~policy:Router.Least_lagged ~seed ())
+      ()
+  in
+  let s = Cluster.session cluster 0 in
+  let rng = Rng.create (seed * 7919) in
+  Cluster.kill_primary cluster ~crash_at_write:(1 + Rng.int rng 300);
+  let acked = ref [] in
+  (try
+     for i = 0 to 79 do
+       write_marker cluster s i;
+       acked := i :: !acked
+     done
+   with Fault.Torn_write _ | Fault.Crashed _ -> ());
+  (* The crash point may land past the whole workload; force the next
+     write to die so every run exercises failover. *)
+  if not (Cluster.primary_down cluster) then begin
+    Cluster.kill_primary cluster ~crash_at_write:1;
+    try write_marker cluster s 999 with
+    | Fault.Torn_write _ | Fault.Crashed _ -> ()
+  end;
+  let promotion = Cluster.promote cluster in
+  (List.rev !acked, promotion, cluster)
+
+let test_failover_sweep () =
+  let tails = ref 0 in
+  for seed = 1 to 32 do
+    let acked, promotion, cluster = failover_run seed in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: zero acked commits lost" seed)
+      0 promotion.Cluster.lost_acked;
+    check stop_testable
+      (Printf.sprintf "seed %d: promoted log scans clean" seed)
+      Wal.Clean promotion.Cluster.stop;
+    (* Every acknowledged write is present on the new primary. Writes
+       are create-only, so write i made node i. *)
+    let np = Cluster.primary cluster in
+    List.iter
+      (fun i ->
+        if not (Db.node_exists np i) || Db.node_property np i "k" <> Value.Int i
+        then
+          Alcotest.failf "seed %d: acked write %d missing after failover" seed i)
+      acked;
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: nothing beyond the attempted workload" seed)
+      true
+      (Db.node_count np >= List.length acked && Db.node_count np <= 81);
+    tails := !tails + promotion.Cluster.tail_applied;
+    (* The promoted cluster keeps working, read-your-writes intact. *)
+    let s2 = Cluster.session cluster 1 in
+    Cluster.write cluster ~session:s2 (fun db ->
+        ignore
+          (Db.create_node db ~label:"user" (props [ ("post", Value.Int seed) ])));
+    let n =
+      Cluster.read cluster
+        ~budget:(Budget.create ~max_ns:50_000_000 ())
+        ~session:s2 Db.node_count
+    in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: post-failover write visible" seed)
+      (Cluster.head_lsn cluster)
+      (Cluster.acked_lsn cluster);
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: post-failover read-your-writes" seed)
+      true
+      (n >= List.length acked + 1)
+  done;
+  check Alcotest.bool "some runs replayed a journaled tail" true (!tails > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mgq_cluster"
+    [
+      ( "wal-lsn",
+        [
+          Alcotest.test_case "lsn assignment" `Quick test_lsn_assignment;
+          Alcotest.test_case "fold_from suffix" `Quick test_fold_from_suffix;
+          Alcotest.test_case "lsn survives truncate" `Quick test_lsn_survives_truncate;
+          Alcotest.test_case "stop reasons on torn tails" `Quick
+            test_stop_reasons_on_torn_tail;
+        ] );
+      ( "replay-determinism",
+        [ QCheck_alcotest.to_alcotest test_replay_determinism ] );
+      ( "shipping",
+        [
+          Alcotest.test_case "replicas catch up" `Quick test_replicas_catch_up;
+          Alcotest.test_case "drops trigger resend" `Quick test_drops_trigger_resend;
+          Alcotest.test_case "latency lag model" `Quick test_latency_lag_model;
+          Alcotest.test_case "frames-behind lag model" `Quick
+            test_frames_behind_lag_model;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "round robin rotates" `Quick test_router_round_robin;
+          Alcotest.test_case "least lagged and sticky" `Quick
+            test_router_least_lagged_and_sticky;
+          Alcotest.test_case "redirect, wait, fallback" `Quick
+            test_router_redirect_and_wait;
+        ] );
+      ( "read-your-writes",
+        [
+          Alcotest.test_case "round robin" `Quick test_ryw_round_robin;
+          Alcotest.test_case "least lagged" `Quick test_ryw_least_lagged;
+          Alcotest.test_case "sticky" `Quick test_ryw_sticky;
+          Alcotest.test_case "budget fallback to primary" `Quick
+            test_budget_deadline_falls_back_to_primary;
+        ] );
+      ( "failover",
+        [ Alcotest.test_case "32-run crash/promote sweep" `Slow test_failover_sweep ] );
+    ]

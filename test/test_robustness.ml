@@ -129,6 +129,25 @@ let test_retry_propagates_non_retryable () =
      with Failure _ -> true);
   check Alcotest.int "no retry" 1 !calls
 
+(* A tiny base delay with a jitter factor below 1 used to truncate to
+   0 ns — a busy retry that charged no simulated time. The delay is
+   now clamped to at least 1 ns. *)
+let test_retry_delay_never_truncates_to_zero () =
+  let tiny =
+    { Retry.max_attempts = 5; base_delay_ns = 1; multiplier = 1.0; max_delay_ns = 10 }
+  in
+  for seed = 0 to 49 do
+    let rng = Rng.create seed in
+    for attempt = 1 to 4 do
+      let d = Retry.delay_ns tiny (Some rng) ~attempt in
+      if d < 1 then
+        Alcotest.failf "seed %d attempt %d: delay %d ns truncated below 1" seed
+          attempt d
+    done
+  done;
+  check Alcotest.int "deterministic floor without jitter" 1
+    (Retry.delay_ns tiny None ~attempt:1)
+
 (* ------------------------------------------------------------------ *)
 (* Fault plans                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -474,6 +493,8 @@ let () =
           Alcotest.test_case "gives up" `Quick test_retry_gives_up;
           Alcotest.test_case "non-retryable propagates" `Quick
             test_retry_propagates_non_retryable;
+          Alcotest.test_case "delay never truncates to zero" `Quick
+            test_retry_delay_never_truncates_to_zero;
         ] );
       ( "fault-plans",
         [
