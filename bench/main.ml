@@ -51,6 +51,9 @@ let experiments =
     ( "cluster",
       ( "C1-C3: WAL-shipping replication (scale-out, staleness, failover)",
         fun _env -> Bench_cluster.run_cluster () ) );
+    ( "overload",
+      ( "O1-O3: overload protection (admission, breakers, degradation)",
+        e Bench_overload.run_overload ) );
   ]
 
 let usage () =
@@ -98,11 +101,26 @@ let () =
   Printf.printf "scale: %d users (paper: 24.8M); set MGQ_BENCH_USERS to change%s\n%!" scale
     (if !Bench_support.smoke then " [smoke]" else "");
   let env = lazy (build_env scale) in
-  List.iter
-    (fun id ->
-      let _, run = List.assoc id experiments in
-      run env)
-    requested;
+  (* Run every requested experiment even when one fails mid-way: an
+     exception becomes an oracle failure for that experiment instead
+     of aborting before later experiments get to report. *)
+  let verdicts =
+    List.map
+      (fun id ->
+        let _, run = List.assoc id experiments in
+        let before = List.length !Bench_support.failures in
+        (try run env
+         with exn ->
+           Bench_support.record_failure "%s: uncaught exception %s" id
+             (Printexc.to_string exn));
+        (id, List.length !Bench_support.failures - before))
+      requested
+  in
+  Bench_support.section "verdict summary";
+  Bench_support.table ~name:"verdicts" ~header:[ "experiment"; "oracles"; "mismatches" ]
+    (List.map
+       (fun (id, n) -> [ id; (if n = 0 then "PASS" else "FAIL"); string_of_int n ])
+       verdicts);
   match List.rev !Bench_support.failures with
   | [] -> Printf.printf "\ndone.\n"
   | fs ->

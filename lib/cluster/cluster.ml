@@ -110,7 +110,7 @@ let tick t =
   if not t.primary_down then Array.iter (fun r -> ship_to t r) t.replicas;
   apply_all t
 
-let write t ~session f =
+let write t ?budget ~session f =
   if t.primary_down then raise (Unavailable "primary is down");
   let result =
     try Db.with_tx t.primary (fun () -> f t.primary)
@@ -121,11 +121,22 @@ let write t ~session f =
       if Sim_disk.crashed (Db.disk t.primary) then t.primary_down <- true;
       raise e
   in
+  (* Once committed, the frame is durable: deadline charges below keep
+     the caller's budget honest across resend rounds, but exhaustion
+     must not un-commit — the budget is left exhausted for the caller's
+     next charge to trip instead of raising here. *)
+  let charge_tick () =
+    match budget with
+    | None -> ()
+    | Some b -> ( try Budget.charge ~ns:t.config.wait_tick_ns b with Budget.Exhausted _ -> ())
+  in
   let lsn = Db.last_lsn t.primary in
   t.now <- t.now + 1;
+  charge_tick ();
   (* Semi-synchronous shipping: acknowledge only once [sync_replicas]
      replicas have journaled the frame. Dropped shipments are resent,
-     each resend round costing a tick. *)
+     each resend round costing a tick (and a slice of the caller's
+     deadline, when one is attached). *)
   if t.config.sync_replicas > 0 then begin
     let received () =
       Array.fold_left
@@ -138,6 +149,7 @@ let write t ~session f =
       incr rounds;
       if !rounds > 100_000 then failwith "Cluster.write: sync quorum unreachable";
       t.now <- t.now + 1;
+      charge_tick ();
       Array.iter (fun r -> ship_to t r) t.replicas
     done
   end;
@@ -147,7 +159,7 @@ let write t ~session f =
   apply_all t;
   result
 
-let read_routed t ?budget ~session f =
+let choose t ?budget ~session () =
   let applied () = Array.map Replica.applied_lsn t.replicas in
   let waited = ref 0 in
   let wait () =
@@ -167,19 +179,19 @@ let read_routed t ?budget ~session f =
     end
     else false
   in
-  let choice =
-    Router.route t.router ~session ~head_lsn:(head_lsn t) ~applied ~wait
-  in
-  let result =
-    match choice with
-    | Router.Serve_replica i -> f (Replica.db t.replicas.(i))
-    | Router.Serve_primary ->
-      if t.primary_down then
-        raise
-          (Unavailable "primary is down and no replica satisfies read-your-writes");
-      f t.primary
-  in
-  (result, choice)
+  Router.route t.router ~session ~head_lsn:(head_lsn t) ~applied ~wait
+
+let serve t choice f =
+  match choice with
+  | Router.Serve_replica i -> f (Replica.db t.replicas.(i))
+  | Router.Serve_primary ->
+    if t.primary_down then
+      raise (Unavailable "primary is down and no replica satisfies read-your-writes");
+    f t.primary
+
+let read_routed t ?budget ~session f =
+  let choice = choose t ?budget ~session () in
+  (serve t choice f, choice)
 
 let read t ?budget ~session f = fst (read_routed t ?budget ~session f)
 

@@ -79,12 +79,16 @@ val session : t -> int -> Router.session
 (** Find or create the session with this id. Sessions carry the
     high-water LSN that read-your-writes enforces. *)
 
-val write : t -> session:Router.session -> (Mgq_neo.Db.t -> 'a) -> 'a
+val write :
+  t -> ?budget:Mgq_util.Budget.t -> session:Router.session -> (Mgq_neo.Db.t -> 'a) -> 'a
 (** Run [f] on the primary inside a transaction; on commit, ship the
     frame until the receipt quorum acknowledges, then advance the
     session's high-water mark. Exceptions from [f] (including injected
     crashes, which also take the primary down) propagate after
-    rollback.
+    rollback. Each shipping/resend round charges [wait_tick_ns] to
+    [budget] — deadline propagation across cluster retries — but a
+    committed write is never un-acknowledged by exhaustion: the budget
+    is simply left spent for the caller's next charge to trip.
     @raise Unavailable when the primary is down. *)
 
 val read :
@@ -102,6 +106,18 @@ val read_routed :
   (Mgq_neo.Db.t -> 'a) ->
   'a * Router.choice
 (** {!read}, also reporting where the read was served. *)
+
+val choose :
+  t -> ?budget:Mgq_util.Budget.t -> session:Router.session -> unit -> Router.choice
+(** The routing decision alone, without running the read — the hook an
+    overload guard needs to interpose a circuit breaker between
+    routing and serving (record the outcome against the chosen
+    replica's breaker, re-route on failure). Waiting for a lagged
+    replica charges [budget] exactly as {!read} does. *)
+
+val serve : t -> Router.choice -> (Mgq_neo.Db.t -> 'a) -> 'a
+(** Run [f] against the instance a {!choose} decision names.
+    @raise Unavailable when the choice is the (down) primary. *)
 
 val tick : t -> unit
 (** Advance time one tick: ship pending frames to every replica (when

@@ -28,10 +28,14 @@ type t = {
   policy : policy;
   mutable cursor : int;
   served : int array;
+  active : bool array;
+  mutable n_active : int;
   mutable primary_served : int;
   mutable redirects : int;
   mutable waits : int;
   mutable fallbacks : int;
+  mutable ejections : int;
+  mutable restores : int;
   staleness : Stats.Summary.t;
 }
 
@@ -40,10 +44,14 @@ let create policy ~n_replicas =
     policy;
     cursor = 0;
     served = Array.make (max 1 n_replicas) 0;
+    active = Array.make (max 1 n_replicas) true;
+    n_active = n_replicas;
     primary_served = 0;
     redirects = 0;
     waits = 0;
     fallbacks = 0;
+    ejections = 0;
+    restores = 0;
     staleness = Stats.Summary.create ();
   }
 
@@ -53,7 +61,38 @@ let primary_served t = t.primary_served
 let redirects t = t.redirects
 let waits t = t.waits
 let fallbacks t = t.fallbacks
+let ejections t = t.ejections
+let restores t = t.restores
 let staleness t = t.staleness
+let n_active t = t.n_active
+
+let is_active t i = i >= 0 && i < Array.length t.active && t.active.(i)
+
+(* Removing a replica mid-rotation shrinks the active set under the
+   round-robin cursor; left alone, the cursor keeps indexing positions
+   in the old, larger rotation (and the same modulus would skew which
+   replica comes up next). Clamp it back into the new rotation on
+   every topology change. *)
+let clamp_cursor t =
+  if t.n_active <= 0 then t.cursor <- 0 else t.cursor <- t.cursor mod t.n_active
+
+let eject t i =
+  if i < 0 || i >= Array.length t.active then invalid_arg "Router.eject: bad index";
+  if t.active.(i) then begin
+    t.active.(i) <- false;
+    t.n_active <- t.n_active - 1;
+    t.ejections <- t.ejections + 1;
+    clamp_cursor t
+  end
+
+let restore t i =
+  if i < 0 || i >= Array.length t.active then invalid_arg "Router.restore: bad index";
+  if not t.active.(i) then begin
+    t.active.(i) <- true;
+    t.n_active <- t.n_active + 1;
+    t.restores <- t.restores + 1;
+    clamp_cursor t
+  end
 
 let route t ~session ~head_lsn ~applied ~wait =
   let serve_primary () =
@@ -63,20 +102,28 @@ let route t ~session ~head_lsn ~applied ~wait =
   in
   let snapshot = applied () in
   let n = Array.length snapshot in
-  if n = 0 then serve_primary ()
+  (* The rotation only covers replicas that are both present in the
+     snapshot and active (not ejected by a circuit breaker). *)
+  let actives = ref [] in
+  for i = n - 1 downto 0 do
+    if is_active t i then actives := i :: !actives
+  done;
+  let actives = Array.of_list !actives in
+  let n_active = Array.length actives in
+  if n_active = 0 then serve_primary ()
   else begin
     (* The load-balancing choice, before consistency is considered. *)
     let preferred =
       match t.policy with
       | Round_robin ->
-        let i = t.cursor mod n in
-        t.cursor <- t.cursor + 1;
+        let i = actives.(t.cursor mod n_active) in
+        t.cursor <- (t.cursor + 1) mod n_active;
         i
       | Least_lagged ->
-        let best = ref 0 in
-        Array.iteri (fun i a -> if a > snapshot.(!best) then best := i) snapshot;
+        let best = ref actives.(0) in
+        Array.iter (fun i -> if snapshot.(i) > snapshot.(!best) then best := i) actives;
         !best
-      | Sticky -> session.sid mod n
+      | Sticky -> actives.(session.sid mod n_active)
     in
     let fresh s i = s.(i) >= session.high_water in
     let serve s i =
@@ -85,17 +132,18 @@ let route t ~session ~head_lsn ~applied ~wait =
       session.reads <- session.reads + 1;
       Serve_replica i
     in
-    (* Read-your-writes redirect: the least-stale replica already at or
-       past the session's high-water mark. Sticky sessions instead wait
-       on their own replica, preserving locality. *)
+    (* Read-your-writes redirect: the least-stale active replica already
+       at or past the session's high-water mark. Sticky sessions instead
+       wait on their own replica, preserving locality. *)
     let redirect_target s =
       if t.policy = Sticky then None
       else begin
         let best = ref (-1) in
-        Array.iteri
-          (fun i a ->
-            if a >= session.high_water && (!best < 0 || a > s.(!best)) then best := i)
-          s;
+        Array.iter
+          (fun i ->
+            if s.(i) >= session.high_water && (!best < 0 || s.(i) > s.(!best)) then
+              best := i)
+          actives;
         if !best >= 0 then Some !best else None
       end
     in

@@ -37,6 +37,25 @@ type t
 val create : policy -> n_replicas:int -> t
 val policy_of : t -> policy
 
+(** {1 Topology: breaker-driven ejection}
+
+    A circuit breaker that opens on a failing replica removes it from
+    rotation with {!eject} and puts it back with {!restore} once its
+    probes succeed. Both clamp the round-robin cursor into the new
+    (smaller or larger) rotation — a replica removed mid-rotation must
+    not leave the cursor pointing past the end of the active set. *)
+
+val eject : t -> int -> unit
+(** Remove replica [i] from rotation (idempotent).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val restore : t -> int -> unit
+(** Return replica [i] to rotation (idempotent).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val is_active : t -> int -> bool
+val n_active : t -> int
+
 val route :
   t ->
   session:session ->
@@ -49,7 +68,8 @@ val route :
     advances simulated time one step and returns [false] when the
     deadline is exhausted. The returned choice always satisfies
     [applied >= session.high_water] (the primary counts as fully
-    applied). *)
+    applied), and is never an ejected replica; when no replica is
+    active every read falls to the primary. *)
 
 (** {1 Accumulated routing statistics} *)
 
@@ -60,6 +80,8 @@ val primary_served : t -> int
 val redirects : t -> int
 val waits : t -> int
 val fallbacks : t -> int
+val ejections : t -> int
+val restores : t -> int
 
 val staleness : t -> Mgq_util.Stats.Summary.t
 (** Distribution of [head_lsn - applied_lsn] over served replica

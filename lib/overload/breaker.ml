@@ -1,0 +1,119 @@
+(* A circuit breaker: Closed -> Open on consecutive failures, Open ->
+   Half_open after a cooldown, Half_open -> Closed after enough probe
+   successes (or back to Open on any probe failure). Time is whatever
+   integer clock the caller runs on — cluster ticks, simulated ns —
+   the breaker only compares and adds. *)
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  failure_threshold : int;
+  open_for : int;
+  probe_successes : int;
+  probe_p : float;
+}
+
+let default_config =
+  { failure_threshold = 5; open_for = 10; probe_successes = 2; probe_p = 0.5 }
+
+type t = {
+  name : string;
+  config : config;
+  rng : Mgq_util.Rng.t;
+  on_open : unit -> unit;
+  on_close : unit -> unit;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable probe_streak : int;
+  mutable opened_at : int;
+  mutable opens : int;
+  mutable closes : int;
+  mutable rejections : int;
+}
+
+let create ?(config = default_config) ?(on_open = ignore) ?(on_close = ignore) ~name rng =
+  if config.failure_threshold <= 0 then invalid_arg "Breaker.create: failure_threshold";
+  if config.probe_successes <= 0 then invalid_arg "Breaker.create: probe_successes";
+  {
+    name;
+    config;
+    rng;
+    on_open;
+    on_close;
+    state = Closed;
+    consecutive_failures = 0;
+    probe_streak = 0;
+    opened_at = 0;
+    opens = 0;
+    closes = 0;
+    rejections = 0;
+  }
+
+let name t = t.name
+let opens t = t.opens
+let closes t = t.closes
+let rejections t = t.rejections
+
+(* Advance the timed Open -> Half_open transition before reporting or
+   acting — the breaker has no clock of its own. *)
+let advance t ~now =
+  if t.state = Open && now - t.opened_at >= t.config.open_for then begin
+    t.state <- Half_open;
+    t.probe_streak <- 0
+  end
+
+let state t ~now =
+  advance t ~now;
+  t.state
+
+let allow t ~now =
+  advance t ~now;
+  match t.state with
+  | Closed -> true
+  | Open ->
+    t.rejections <- t.rejections + 1;
+    false
+  | Half_open ->
+    (* Seeded probe admission: let a fraction of traffic test the
+       backend rather than a thundering herd. *)
+    if Mgq_util.Rng.chance t.rng t.config.probe_p then true
+    else begin
+      t.rejections <- t.rejections + 1;
+      false
+    end
+
+let trip t ~now =
+  t.state <- Open;
+  t.opened_at <- now;
+  t.consecutive_failures <- 0;
+  t.probe_streak <- 0;
+  t.opens <- t.opens + 1;
+  t.on_open ()
+
+let record_success t ~now =
+  advance t ~now;
+  match t.state with
+  | Closed -> t.consecutive_failures <- 0
+  | Open -> () (* stale report from before the trip; ignore *)
+  | Half_open ->
+    t.probe_streak <- t.probe_streak + 1;
+    if t.probe_streak >= t.config.probe_successes then begin
+      t.state <- Closed;
+      t.consecutive_failures <- 0;
+      t.closes <- t.closes + 1;
+      t.on_close ()
+    end
+
+let record_failure t ~now =
+  advance t ~now;
+  match t.state with
+  | Closed ->
+    t.consecutive_failures <- t.consecutive_failures + 1;
+    if t.consecutive_failures >= t.config.failure_threshold then trip t ~now
+  | Open -> ()
+  | Half_open -> trip t ~now (* a failed probe re-opens immediately *)

@@ -1,0 +1,220 @@
+(* Open-loop workload simulator: a seeded discrete-event simulation of
+   a server with [workers] parallel workers fed by Poisson arrivals of
+   the microblogging mix (cheap selects / moderate traversals /
+   expensive influence queries). Open-loop means arrivals keep coming
+   at the offered rate regardless of how slow the server gets — the
+   regime where an unprotected queue grows without bound and latency
+   collapses goodput. With the admission controller in front, excess
+   load is shed at the door and the admitted traffic keeps meeting its
+   SLO. *)
+
+module Workload = Mgq_queries.Workload
+module Rng = Mgq_util.Rng
+module Summary = Mgq_util.Stats.Summary
+
+type config = {
+  seed : int;
+  duration_ns : int;
+  rate_per_s : float;  (** offered arrival rate *)
+  workers : int;
+  slo_ns : int;  (** end-to-end latency a completion must meet to count *)
+  cheap_ns : int;  (** mean service time per class... *)
+  moderate_ns : int;
+  expensive_ns : int;
+  admission : Admission.config option;  (** [None] = unprotected baseline *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    duration_ns = 2_000_000_000;
+    rate_per_s = 1_000.;
+    workers = 4;
+    slo_ns = 50_000_000;
+    cheap_ns = 200_000;
+    moderate_ns = 1_000_000;
+    expensive_ns = 5_000_000;
+    admission = Some Admission.default_config;
+  }
+
+type report = {
+  offered_per_s : float;
+  arrivals : int;
+  admitted : int;
+  shed_cheap : int;
+  shed_moderate : int;
+  shed_expensive : int;
+  completed : int;
+  good : int;  (** completions within the SLO *)
+  goodput_per_s : float;
+  p50_ns : int;
+  p99_ns : int;
+  max_queue : int;
+  final_limit : float;  (** AIMD limit at the end (0 when unprotected) *)
+}
+
+(* The workload mix: mostly cheap selects, a thin expensive tail —
+   the shape Table 2's per-category timings imply for a timeline-
+   serving frontend. *)
+let draw_class rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.6 then Workload.Cheap
+  else if u < 0.9 then Workload.Moderate
+  else Workload.Expensive
+
+let service_ns config rng cls =
+  let mean =
+    match cls with
+    | Workload.Cheap -> config.cheap_ns
+    | Workload.Moderate -> config.moderate_ns
+    | Workload.Expensive -> config.expensive_ns
+  in
+  (* uniform [0.75, 1.25) x mean: the max/min ratio (1.67) stays below
+     the AIMD tolerance, so pure service jitter never reads as
+     congestion — only queueing delay does *)
+  max 1 (int_of_float (float_of_int mean *. (0.75 +. Rng.float rng 0.5)))
+
+(* Exponential interarrival gap for a Poisson process at [rate]. *)
+let interarrival_ns rng rate =
+  let u = Float.max 1e-12 (Rng.float rng 1.0) in
+  max 1 (int_of_float (-.log u /. rate *. 1e9))
+
+type request = { cls : Workload.cost_class; arrived_ns : int }
+
+(* Event heap keyed by (time, seq): seq breaks ties deterministically. *)
+type event = Arrival of Workload.cost_class | Completion of request
+
+module Heap = struct
+  type entry = { at : int; seq : int; ev : event }
+  type t = { mutable a : entry array; mutable n : int; mutable seq : int }
+
+  let dummy = { at = 0; seq = 0; ev = Arrival Workload.Cheap }
+  let create () = { a = Array.make 64 dummy; n = 0; seq = 0 }
+  let lt x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+  let push t ~at ev =
+    if t.n = Array.length t.a then begin
+      let a' = Array.make (2 * t.n) dummy in
+      Array.blit t.a 0 a' 0 t.n;
+      t.a <- a'
+    end;
+    let e = { at; seq = t.seq; ev } in
+    t.seq <- t.seq + 1;
+    let i = ref t.n in
+    t.n <- t.n + 1;
+    t.a.(!i) <- e;
+    while !i > 0 && lt t.a.(!i) t.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.n = 0 then None
+    else begin
+      let top = t.a.(0) in
+      t.n <- t.n - 1;
+      t.a.(0) <- t.a.(t.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && lt t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.n && lt t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.a.(!smallest) in
+          t.a.(!smallest) <- t.a.(!i);
+          t.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some (top.at, top.ev)
+    end
+end
+
+let run config =
+  if config.workers <= 0 then invalid_arg "Sim_load.run: workers";
+  if config.rate_per_s <= 0. then invalid_arg "Sim_load.run: rate_per_s";
+  let arrival_rng = Rng.create config.seed in
+  let service_rng = Rng.split arrival_rng in
+  let heap = Heap.create () in
+  let admission = Option.map (fun c -> Admission.create ~config:c ()) config.admission in
+  let queue = Queue.create () in
+  let idle = ref config.workers in
+  let arrivals = ref 0 in
+  let completed = ref 0 in
+  let good = ref 0 in
+  let max_queue = ref 0 in
+  let latencies = Summary.create () in
+  let start_service now req =
+    decr idle;
+    let finish = now + service_ns config service_rng req.cls in
+    Heap.push heap ~at:finish (Completion req)
+  in
+  Heap.push heap ~at:(interarrival_ns arrival_rng config.rate_per_s)
+    (Arrival (draw_class arrival_rng));
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (now, ev) ->
+      (match ev with
+      | Arrival cls ->
+        incr arrivals;
+        (* keep the open loop open until the horizon *)
+        let next = now + interarrival_ns arrival_rng config.rate_per_s in
+        if next <= config.duration_ns then
+          Heap.push heap ~at:next (Arrival (draw_class arrival_rng));
+        let admit =
+          match admission with
+          | None -> true
+          | Some a -> (
+            match Admission.offer a ~now_ns:now ~cls with
+            | Admission.Admitted -> true
+            | Admission.Rejected _ -> false)
+        in
+        if admit then begin
+          let req = { cls; arrived_ns = now } in
+          if !idle > 0 then start_service now req
+          else begin
+            Queue.push req queue;
+            max_queue := max !max_queue (Queue.length queue)
+          end
+        end
+      | Completion req ->
+        incr idle;
+        incr completed;
+        let latency = now - req.arrived_ns in
+        Summary.add latencies (float_of_int latency);
+        if latency <= config.slo_ns then incr good;
+        Option.iter
+          (fun a -> Admission.complete a ~now_ns:now ~cls:req.cls ~latency_ns:latency)
+          admission;
+        if not (Queue.is_empty queue) then start_service now (Queue.pop queue));
+      loop ()
+  in
+  loop ();
+  let pct p =
+    if Summary.count latencies = 0 then 0 else int_of_float (Summary.percentile latencies p)
+  in
+  let shed_of cls = match admission with None -> 0 | Some a -> Admission.shed a cls in
+  {
+    offered_per_s = config.rate_per_s;
+    arrivals = !arrivals;
+    admitted = (match admission with None -> !arrivals | Some a -> Admission.admitted a);
+    shed_cheap = shed_of Workload.Cheap;
+    shed_moderate = shed_of Workload.Moderate;
+    shed_expensive = shed_of Workload.Expensive;
+    completed = !completed;
+    good = !good;
+    goodput_per_s = float_of_int !good /. (float_of_int config.duration_ns /. 1e9);
+    p50_ns = pct 50.;
+    p99_ns = pct 99.;
+    max_queue = !max_queue;
+    final_limit = (match admission with None -> 0. | Some a -> Admission.limit a);
+  }
+
+let shed_total r = r.shed_cheap + r.shed_moderate + r.shed_expensive

@@ -1,0 +1,56 @@
+(** Seeded open-loop workload simulator.
+
+    A discrete-event simulation of a query server: [workers] parallel
+    workers, Poisson arrivals of the microblogging mix (60% cheap
+    selects, 30% moderate traversals, 10% expensive influence
+    queries), per-class service times with bounded seeded jitter.
+    Open-loop arrivals do not slow down when the server does — the
+    regime where an unprotected FIFO queue grows without bound past
+    saturation and end-to-end latency destroys goodput.
+
+    With [admission = Some _] the {!Admission} controller fronts the
+    queue; excess load is shed at the door and the admitted traffic
+    keeps meeting the SLO. The bench's O1 experiment sweeps
+    [rate_per_s] across the saturation knee and asserts exactly
+    that. *)
+
+type config = {
+  seed : int;
+  duration_ns : int;  (** arrival horizon (the sim drains after it) *)
+  rate_per_s : float;  (** offered arrival rate *)
+  workers : int;
+  slo_ns : int;  (** a completion within this latency counts as goodput *)
+  cheap_ns : int;  (** mean service time per workload class... *)
+  moderate_ns : int;
+  expensive_ns : int;
+  admission : Admission.config option;  (** [None] = unprotected baseline *)
+}
+
+val default_config : config
+(** 4 workers, 1k req/s offered, 2 simulated seconds, 50 ms SLO,
+    admission on. Mean service ≈ 1.06 ms/request under the mix, so
+    saturation sits near 3.8k req/s. *)
+
+type report = {
+  offered_per_s : float;
+  arrivals : int;
+  admitted : int;
+  shed_cheap : int;
+  shed_moderate : int;
+  shed_expensive : int;
+  completed : int;
+  good : int;  (** completions within the SLO *)
+  goodput_per_s : float;
+  p50_ns : int;  (** latency percentiles over completed requests *)
+  p99_ns : int;
+  max_queue : int;
+  final_limit : float;  (** AIMD limit at the end (0 when unprotected) *)
+}
+
+val run : config -> report
+(** Run one simulation to completion (all admitted requests drain).
+    Deterministic for a given config.
+    @raise Invalid_argument on non-positive [workers] or
+    [rate_per_s]. *)
+
+val shed_total : report -> int

@@ -109,20 +109,26 @@ let q2_3 ?budget (ctx : Contexts.neo) ~uid =
               (Db.neighbors db f ~etype:Schema.posts Out))
           (Db.neighbors db a ~etype:Schema.follows Out))
 
-(* Q3.1: co-mentions. *)
-let q3_1 (ctx : Contexts.neo) ~uid ~n =
+(* Q3.1: co-mentions. Budgeted: the mention lists of a celebrity's
+   mention-tweets explode the same way Q2.3 does, so exhaustion
+   returns the best-so-far counts as a typed partial answer. *)
+let q3_1 ?budget (ctx : Contexts.neo) ~uid ~n =
   match node_of_uid ctx uid with
   | None -> Results.Counted []
   | Some a ->
     let db = ctx.Contexts.db in
     let counts = Hashtbl.create 64 in
-    Seq.iter
-      (fun t ->
+    let partial () = Results.Counted (Results.top_n_counted n counts) in
+    Results.budgeted
+      (Mgq_storage.Sim_disk.cost (Db.disk db))
+      budget ~partial
+      (fun () ->
         Seq.iter
-          (fun o -> if o <> a then Results.bump counts (uid_of ctx o))
-          (Db.neighbors db t ~etype:Schema.mentions Out))
-      (Db.neighbors db a ~etype:Schema.mentions In);
-    Results.Counted (Results.top_n_counted n counts)
+          (fun t ->
+            Seq.iter
+              (fun o -> if o <> a then Results.bump counts (uid_of ctx o))
+              (Db.neighbors db t ~etype:Schema.mentions Out))
+          (Db.neighbors db a ~etype:Schema.mentions In))
 
 (* Q3.2: co-occurring hashtags. *)
 let q3_2 (ctx : Contexts.neo) ~tag ~n =
@@ -232,11 +238,144 @@ let influence (ctx : Contexts.neo) ~uid ~n ~current =
 let q5_1 ctx ~uid ~n = influence ctx ~uid ~n ~current:true
 let q5_2 ctx ~uid ~n = influence ctx ~uid ~n ~current:false
 
-(* Q6.1: bidirectional BFS shortest path. *)
-let q6_1 (ctx : Contexts.neo) ~uid1 ~uid2 ~max_hops =
+(* Q6.1: bidirectional BFS shortest path. Budgeted: a path search cut
+   off mid-frontier has no usable prefix, so the partial answer is
+   "no path found within budget" (Path_length None). *)
+let q6_1 ?budget (ctx : Contexts.neo) ~uid1 ~uid2 ~max_hops =
   match (node_of_uid ctx uid1, node_of_uid ctx uid2) with
   | Some a, Some b ->
-    Results.Path_length
-      (Algo.hop_distance ctx.Contexts.db ~etype:Schema.follows ~direction:Both ~src:a ~dst:b
-         ~max_hops)
+    let db = ctx.Contexts.db in
+    let found = ref None in
+    let partial () = Results.Path_length !found in
+    Results.budgeted
+      (Mgq_storage.Sim_disk.cost (Db.disk db))
+      budget ~partial
+      (fun () ->
+        found :=
+          Algo.hop_distance db ~etype:Schema.follows ~direction:Both ~src:a ~dst:b
+            ~max_hops)
   | _ -> Results.Path_length None
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-aware degraded modes (overload protection)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* How many db hits the remaining deadline can still afford, taking one
+   record access as the unit of work — a deliberate under-estimate
+   (page faults cost more), which errs toward degrading early rather
+   than blowing the deadline. *)
+let affordable_hits db deadline =
+  let hit_ns =
+    (Mgq_storage.Cost_model.config (Mgq_storage.Sim_disk.cost (Db.disk db)))
+      .Mgq_storage.Cost_model.record_access_ns
+  in
+  let by_ns =
+    match Mgq_util.Budget.remaining_ns deadline with
+    | None -> max_int
+    | Some ns -> ns / max 1 hit_ns
+  in
+  let by_hits =
+    match Mgq_util.Budget.remaining_hits deadline with None -> max_int | Some h -> h
+  in
+  min by_ns by_hits
+
+(* Estimate the fan-out of a frontier by probing the cached (O(1))
+   out-degrees of a few seeded members. *)
+let estimate_fanout db rng frontier =
+  let d = Array.length frontier in
+  if d = 0 then 1
+  else begin
+    let probes = min 4 d in
+    let total = ref 0 in
+    List.iter
+      (fun i -> total := !total + Db.out_degree db frontier.(i))
+      (Mgq_util.Rng.sample_without_replacement rng probes d);
+    max 1 (!total / probes)
+  end
+
+(* Shared shape of the two degraded queries: materialise the frontier,
+   decide up front how many members the deadline affords, and either
+   run the full expansion or a seeded sample of size k. The expansion
+   runs under the deadline either way; if the estimate was optimistic
+   and the budget trips mid-flight, the answer degrades further to
+   whatever was counted (never raises). *)
+let frontier_sampled ~deadline ~seed db ~frontier ~fixed_cost ~expand ~finish =
+  let total = Array.length frontier in
+  let rng = Mgq_util.Rng.create seed in
+  let fanout = estimate_fanout db rng frontier in
+  let afford = affordable_hits db deadline in
+  let k =
+    let usable = max 0 (afford - fixed_cost - total) in
+    min total (usable / (1 + fanout))
+  in
+  let chosen =
+    if k >= total then Array.to_list (Array.init total (fun i -> i))
+    else Mgq_util.Rng.sample_without_replacement rng k total
+  in
+  let processed = ref 0 in
+  let cost = Mgq_storage.Sim_disk.cost (Db.disk db) in
+  (try
+     Mgq_storage.Cost_model.with_budget cost (Some deadline) (fun () ->
+         List.iter
+           (fun i ->
+             expand frontier.(i);
+             incr processed)
+           chosen)
+   with Mgq_util.Budget.Exhausted _ -> ());
+  if !processed >= total then finish ()
+  else
+    Results.Degraded { partial = finish (); frontier = !processed; frontier_total = total }
+
+(* Q4.1 under a deadline: when the remaining budget can't afford
+   expanding every followee, expand a seeded sample and label the
+   answer Degraded. *)
+let q4_1_within ?(seed = 0) ?deadline (ctx : Contexts.neo) ~uid ~n =
+  match deadline with
+  | None -> q4_1 ctx ~uid ~n
+  | Some deadline -> (
+    match node_of_uid ctx uid with
+    | None -> Results.Counted []
+    | Some a ->
+      let db = ctx.Contexts.db in
+      let friends = Hashtbl.create 64 in
+      let frontier =
+        Array.of_seq
+          (Seq.map
+             (fun f ->
+               Hashtbl.replace friends f ();
+               f)
+             (Db.neighbors db a ~etype:Schema.follows Out))
+      in
+      let counts = Hashtbl.create 64 in
+      frontier_sampled ~deadline ~seed:(seed + uid) db ~frontier ~fixed_cost:0
+        ~expand:(fun f ->
+          Seq.iter
+            (fun fof ->
+              if fof <> a && not (Hashtbl.mem friends fof) then
+                Results.bump counts (uid_of ctx fof))
+            (Db.neighbors db f ~etype:Schema.follows Out))
+        ~finish:(fun () -> Results.Counted (Results.top_n_counted n counts)))
+
+(* Q5.1 under a deadline: the frontier is the tweets mentioning A; the
+   follower prefetch is a fixed cost paid on either path. *)
+let q5_1_within ?(seed = 0) ?deadline (ctx : Contexts.neo) ~uid ~n =
+  match deadline with
+  | None -> q5_1 ctx ~uid ~n
+  | Some deadline -> (
+    match node_of_uid ctx uid with
+    | None -> Results.Counted []
+    | Some a ->
+      let db = ctx.Contexts.db in
+      let followers = Hashtbl.create 64 in
+      Seq.iter
+        (fun u -> Hashtbl.replace followers u ())
+        (Db.neighbors db a ~etype:Schema.follows In);
+      let frontier = Array.of_seq (Db.neighbors db a ~etype:Schema.mentions In) in
+      let counts = Hashtbl.create 64 in
+      frontier_sampled ~deadline ~seed:(seed + uid) db ~frontier
+        ~fixed_cost:(Hashtbl.length followers)
+        ~expand:(fun t ->
+          Seq.iter
+            (fun u -> if Hashtbl.mem followers u then Results.bump counts (uid_of ctx u))
+            (Db.neighbors db t ~etype:Schema.posts In))
+        ~finish:(fun () -> Results.Counted (Results.top_n_counted n counts)))

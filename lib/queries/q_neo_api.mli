@@ -20,7 +20,11 @@ val q2_3 : ?budget:Mgq_util.Budget.t -> Contexts.neo -> uid:int -> Results.t
     [budget], exhaustion raises {!Results.Budget_exhausted} carrying
     the tags collected so far. *)
 
-val q3_1 : Contexts.neo -> uid:int -> n:int -> Results.t
+val q3_1 : ?budget:Mgq_util.Budget.t -> Contexts.neo -> uid:int -> n:int -> Results.t
+(** Co-mentions, budgeted like {!q2_3}: exhaustion raises
+    {!Results.Budget_exhausted} carrying the top-n of the counts
+    accumulated so far. *)
+
 val q3_2 : Contexts.neo -> tag:string -> n:int -> Results.t
 val q4_1 : Contexts.neo -> uid:int -> n:int -> Results.t
 val q4_2 : Contexts.neo -> uid:int -> n:int -> Results.t
@@ -32,4 +36,30 @@ val q4_1_traversal : Contexts.neo -> uid:int -> n:int -> Results.t
 
 val q5_1 : Contexts.neo -> uid:int -> n:int -> Results.t
 val q5_2 : Contexts.neo -> uid:int -> n:int -> Results.t
-val q6_1 : Contexts.neo -> uid1:int -> uid2:int -> max_hops:int -> Results.t
+
+val q6_1 :
+  ?budget:Mgq_util.Budget.t -> Contexts.neo -> uid1:int -> uid2:int -> max_hops:int -> Results.t
+(** Shortest path, budgeted: a BFS cut off mid-frontier has no usable
+    prefix, so {!Results.Budget_exhausted} carries
+    [Path_length None] — "no path found within budget". *)
+
+(** {1 Deadline-aware degraded modes}
+
+    Overload protection's last line: when the remaining deadline can't
+    afford the full traversal, run a seeded bounded sample of the
+    frontier and return {!Results.Degraded} instead of blowing the
+    deadline or failing. Neither function raises
+    {!Results.Budget_exhausted}; an optimistic estimate that trips
+    mid-flight degrades further to whatever was counted. *)
+
+val q4_1_within :
+  ?seed:int -> ?deadline:Mgq_util.Budget.t -> Contexts.neo -> uid:int -> n:int -> Results.t
+(** Q4.1 (recommendation) within a deadline: expands every followee
+    when affordable, otherwise a seeded sample sized by the remaining
+    budget and a probed fan-out estimate. *)
+
+val q5_1_within :
+  ?seed:int -> ?deadline:Mgq_util.Budget.t -> Contexts.neo -> uid:int -> n:int -> Results.t
+(** Q5.1 (influence) within a deadline: the frontier is the tweets
+    mentioning the user; the follower prefetch is paid on either
+    path. *)

@@ -8,6 +8,10 @@ type t =
   | Tag_counts of (string * int) list (* best-first: count desc, tag asc *)
   | Tags of string list (* ascending *)
   | Path_length of int option
+  | Degraded of { partial : t; frontier : int; frontier_total : int }
+      (* graceful degradation: answer computed from [frontier] of
+         [frontier_total] frontier entries because the remaining
+         deadline could not afford the full traversal *)
 
 exception Budget_exhausted of { partial : t; hits : int; consumed_ns : int }
 
@@ -47,7 +51,11 @@ let bump tbl key =
 
 let equal a b = a = b
 
-let to_string = function
+let rec strip_degraded = function
+  | Degraded { partial; _ } -> strip_degraded partial
+  | r -> r
+
+let rec to_string = function
   | Ids ids ->
     Printf.sprintf "ids[%s]" (String.concat "," (List.map string_of_int (take 20 ids)))
     ^ if List.length ids > 20 then Printf.sprintf "... (%d)" (List.length ids) else ""
@@ -62,10 +70,13 @@ let to_string = function
   | Tags tags -> Printf.sprintf "tags[%s]" (String.concat "," (take 20 tags))
   | Path_length None -> "path[none]"
   | Path_length (Some l) -> Printf.sprintf "path[%d]" l
+  | Degraded { partial; frontier; frontier_total } ->
+    Printf.sprintf "degraded[%d/%d]%s" frontier frontier_total (to_string partial)
 
-let cardinality = function
+let rec cardinality = function
   | Ids ids -> List.length ids
   | Counted pairs -> List.length pairs
   | Tag_counts pairs -> List.length pairs
   | Tags tags -> List.length tags
   | Path_length _ -> 1
+  | Degraded { partial; _ } -> cardinality partial

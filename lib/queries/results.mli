@@ -12,6 +12,14 @@ type t =
   | Tag_counts of (string * int) list  (** best-first: count desc, then tag asc *)
   | Tags of string list  (** ascending, deduplicated *)
   | Path_length of int option
+  | Degraded of { partial : t; frontier : int; frontier_total : int }
+      (** Graceful degradation under a deadline: [partial] was computed
+          from a seeded sample of [frontier] out of [frontier_total]
+          frontier entries because the remaining deadline could not
+          afford the full traversal. Distinct from
+          {!Budget_exhausted}, which reports a traversal cut off
+          {e mid-flight}; a [Degraded] answer chose its smaller plan
+          {e up front} and completed it. *)
 
 exception
   Budget_exhausted of {
@@ -51,3 +59,7 @@ val bump : ('a, int) Hashtbl.t -> 'a -> unit
 val equal : t -> t -> bool
 val to_string : t -> string
 val cardinality : t -> int
+
+val strip_degraded : t -> t
+(** The underlying answer, unwrapping any {!Degraded} layers — what
+    quality metrics compare against the full result. *)

@@ -152,3 +152,24 @@ let all : query list =
   ]
 
 let find id = List.find_opt (fun q -> q.id = id) all
+
+(* Cost classes for admission control: Table 2's categories span
+   orders of magnitude of db hits, and an overloaded server sheds the
+   expensive frontier-exploding queries first, the cheap point
+   lookups last. *)
+type cost_class = Cheap | Moderate | Expensive
+
+let all_cost_classes = [ Cheap; Moderate; Expensive ]
+
+let cost_class_to_string = function
+  | Cheap -> "cheap"
+  | Moderate -> "moderate"
+  | Expensive -> "expensive"
+
+let cost_class_of_category = function
+  | "Select" | "Adjacency (1-step)" | "Adjacency (2-step)" -> Cheap
+  | "Adjacency (3-step)" | "Co-occurrence" -> Moderate
+  (* Recommendation, Influence, Shortest Path: multi-step frontiers. *)
+  | _ -> Expensive
+
+let cost_class q = cost_class_of_category q.category

@@ -35,3 +35,23 @@ val all : query list
     Q5.1-Q5.2, Q6.1. *)
 
 val find : string -> query option
+
+(** {1 Cost classes}
+
+    Admission control's shedding priority. A Q1 select is orders of
+    magnitude cheaper than a Q5 influence sweep or Q6 path search, so
+    under overload the server sheds [Expensive] queries first and
+    [Cheap] ones last. *)
+
+type cost_class = Cheap | Moderate | Expensive
+
+val all_cost_classes : cost_class list
+(** [[Cheap; Moderate; Expensive]] — shedding order, last shed first. *)
+
+val cost_class_to_string : cost_class -> string
+
+val cost_class_of_category : string -> cost_class
+(** From a Table 2 category name; unknown categories classify as
+    [Expensive] (fail safe: unknown cost sheds first). *)
+
+val cost_class : query -> cost_class

@@ -18,9 +18,12 @@ let check t =
   if exhausted t then
     raise (Exhausted { hits = t.hits; max_hits = t.max_hits; ns = t.ns; max_ns = t.max_ns })
 
+(* Saturating: a re-armed simulated clock can hand a caller a negative
+   delta, and consumption must never run backwards (deadlines would
+   silently re-open). Negative charges count as zero. *)
 let charge ?(hits = 0) ?(ns = 0) t =
-  t.hits <- t.hits + hits;
-  t.ns <- t.ns + ns;
+  t.hits <- t.hits + max 0 hits;
+  t.ns <- t.ns + max 0 ns;
   check t
 
 let hits t = t.hits
@@ -28,3 +31,23 @@ let consumed_ns t = t.ns
 
 let remaining_hits t =
   match t.max_hits with Some m -> Some (max 0 (m - t.hits)) | None -> None
+
+let remaining_ns t =
+  match t.max_ns with Some m -> Some (max 0 (m - t.ns)) | None -> None
+
+let affords_ns t ~ns =
+  match t.max_ns with None -> true | Some m -> t.ns + max 0 ns <= m
+
+let sub ?max_hits ?max_ns t =
+  let cap parent child =
+    match (parent, child) with
+    | None, c -> c
+    | p, None -> p
+    | Some p, Some c -> Some (min p c)
+  in
+  {
+    max_hits = cap (remaining_hits t) max_hits;
+    max_ns = cap (remaining_ns t) max_ns;
+    hits = 0;
+    ns = 0;
+  }

@@ -29,7 +29,9 @@ val create : ?max_hits:int -> ?max_ns:int -> unit -> t
     At least one limit should be set for the budget to ever trip. *)
 
 val charge : ?hits:int -> ?ns:int -> t -> unit
-(** Add consumption, then {!check}. Defaults are zero. *)
+(** Add consumption, then {!check}. Defaults are zero. Charging
+    saturates: negative deltas (a simulated clock re-armed backwards)
+    count as zero, so {!consumed_ns} and {!hits} never decrease. *)
 
 val check : t -> unit
 (** @raise Exhausted when either ceiling has been crossed. *)
@@ -42,3 +44,20 @@ val consumed_ns : t -> int
 
 val remaining_hits : t -> int option
 (** [None] when the budget has no hit ceiling. *)
+
+val remaining_ns : t -> int option
+(** Simulated nanoseconds left before the deadline trips; [None] when
+    the budget has no time ceiling. Never negative. *)
+
+val affords_ns : t -> ns:int -> bool
+(** Whether charging [ns] more would still be within the deadline —
+    the degradation test: a query that cannot afford its full
+    traversal should fall back to a cheaper plan {e before} starting,
+    instead of tripping mid-way. Always true without a time ceiling. *)
+
+val sub : ?max_hits:int -> ?max_ns:int -> t -> t
+(** A child budget carved out of [t]'s remaining headroom: each
+    ceiling is the minimum of the parent's remaining allowance and the
+    explicit cap. This is how a deadline propagates across router hops
+    and cluster retries — every hop charges its own sub-budget, and no
+    hop can spend more than the request has left. *)

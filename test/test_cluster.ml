@@ -373,6 +373,60 @@ let test_router_redirect_and_wait () =
     = Router.Serve_primary);
   check Alcotest.int "fallback counted" 1 (Router.fallbacks r)
 
+(* Regression: removing a replica mid-rotation used to leave the
+   round-robin cursor pointing into the old, larger rotation. Eject
+   clamps it, so the very next route lands on an active replica. *)
+let test_router_eject_clamps_cursor () =
+  let r = Router.create Router.Round_robin ~n_replicas:3 in
+  let s = Router.session 0 in
+  let applied () = [| 5; 5; 5 |] in
+  let serve () = Router.route r ~session:s ~head_lsn:5 ~applied ~wait:no_wait in
+  (* Advance mid-rotation: cursor now points at replica 2. *)
+  ignore (serve ());
+  ignore (serve ());
+  Router.eject r 2;
+  check Alcotest.int "two still active" 2 (Router.n_active r);
+  (* The cursor was clamped into the 2-replica rotation; every serve
+     must land on an active replica, never on the ejected one. *)
+  for i = 1 to 6 do
+    match serve () with
+    | Router.Serve_replica j when Router.is_active r j -> ()
+    | Router.Serve_replica j ->
+      Alcotest.failf "serve %d landed on ejected replica %d" i j
+    | Router.Serve_primary -> Alcotest.failf "serve %d fell to primary" i
+  done;
+  let served = Router.served r in
+  check Alcotest.bool "rotation still balances the survivors" true
+    (served.(0) >= 3 && served.(1) >= 3);
+  (* Eject everyone: reads fall to the primary rather than crash. *)
+  Router.eject r 0;
+  Router.eject r 1;
+  check Alcotest.bool "no active replicas -> primary" true (serve () = Router.Serve_primary);
+  (* Restore re-enters the rotation. *)
+  Router.restore r 1;
+  check Alcotest.bool "restored replica serves again" true
+    (serve () = Router.Serve_replica 1);
+  check Alcotest.int "ejections counted" 3 (Router.ejections r);
+  check Alcotest.int "restores counted" 1 (Router.restores r);
+  check Alcotest.bool "out-of-range eject rejected" true
+    (try
+       Router.eject r 9;
+       false
+     with Invalid_argument _ -> true)
+
+(* Ejection composes with read-your-writes: if the only fresh replica
+   is ejected, the router waits or falls back instead of serving it. *)
+let test_router_eject_respects_ryw () =
+  let r = Router.create Router.Least_lagged ~n_replicas:3 in
+  let s = Router.session 0 in
+  s.Router.high_water <- 8;
+  Router.eject r 1;
+  check Alcotest.bool "fresh-but-ejected replica is skipped" true
+    (Router.route r ~session:s ~head_lsn:9
+       ~applied:(fun () -> [| 2; 9; 3 |])
+       ~wait:no_wait
+    = Router.Serve_primary)
+
 (* ------------------------------------------------------------------ *)
 (* Read-your-writes through the cluster                                *)
 (* ------------------------------------------------------------------ *)
@@ -545,6 +599,10 @@ let () =
           Alcotest.test_case "round robin rotates" `Quick test_router_round_robin;
           Alcotest.test_case "least lagged and sticky" `Quick
             test_router_least_lagged_and_sticky;
+          Alcotest.test_case "eject clamps cursor" `Quick
+            test_router_eject_clamps_cursor;
+          Alcotest.test_case "eject respects read-your-writes" `Quick
+            test_router_eject_respects_ryw;
           Alcotest.test_case "redirect, wait, fallback" `Quick
             test_router_redirect_and_wait;
         ] );

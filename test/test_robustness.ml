@@ -390,6 +390,78 @@ let test_budget_scope_is_per_query () =
   let full = Q_neo_api.q2_3 neo ~uid in
   check Alcotest.bool "subsequent run unbudgeted" true (Results.cardinality full > 0)
 
+let counted_of = function
+  | Results.Counted pairs -> pairs
+  | r -> Alcotest.failf "expected Counted, got %s" (Results.to_string r)
+
+(* Q3.1 (co-occurrence): partial counts must be a sound under-count of
+   the full tally — every counted user is a real co-mention, with a
+   count no larger than the truth. *)
+let test_budget_q3_1_partial () =
+  let neo = Lazy.force neo in
+  let uid =
+    match
+      List.find_opt
+        (fun uid -> Results.cardinality (Q_neo_api.q3_1 neo ~uid ~n:5) > 0)
+        (List.init 150 Fun.id)
+    with
+    | Some uid -> uid
+    | None -> Alcotest.fail "no user with a non-empty Q3.1 answer"
+  in
+  (* All co-mentioned users, not just the top-n, so subset checks are
+     against the complete tally. *)
+  let full = counted_of (Q_neo_api.q3_1 neo ~uid ~n:max_int) in
+  (match Q_neo_api.q3_1 ~budget:(Budget.create ~max_hits:2 ()) neo ~uid ~n:max_int with
+  | (_ : Results.t) -> Alcotest.fail "budget of 2 hits completed"
+  | exception Results.Budget_exhausted { partial; hits; _ } ->
+    check Alcotest.bool "charged more than nothing" true (hits > 2);
+    List.iter
+      (fun (id, c) ->
+        match List.assoc_opt id full with
+        | Some full_c ->
+          check Alcotest.bool
+            (Printf.sprintf "user %d under-counted (%d <= %d)" id c full_c)
+            true (c <= full_c)
+        | None -> Alcotest.failf "user %d not in the full answer" id)
+      (counted_of partial));
+  (* A budget the query fits inside returns exactly the full answer. *)
+  check
+    Alcotest.(list (pair int int))
+    "ample budget completes" full
+    (counted_of (Q_neo_api.q3_1 ~budget:(Budget.create ~max_hits:1_000_000 ()) neo ~uid ~n:max_int))
+
+(* Q6.1 (shortest path): a BFS cut off mid-frontier carries no usable
+   prefix, so the partial answer is an explicit "none found within
+   budget" — never a wrong length. *)
+let test_budget_q6_1_partial () =
+  let neo = Lazy.force neo in
+  let pair =
+    let rec scan = function
+      | [] -> Alcotest.fail "no user pair at distance >= 2"
+      | (uid1, uid2) :: rest -> (
+        match Q_neo_api.q6_1 neo ~uid1 ~uid2 ~max_hops:3 with
+        | Results.Path_length (Some l) when l >= 2 -> (uid1, uid2)
+        | _ -> scan rest)
+    in
+    scan (List.concat_map (fun a -> List.map (fun b -> (a, b)) (List.init 20 Fun.id))
+            (List.init 20 Fun.id))
+  in
+  let uid1, uid2 = pair in
+  let full =
+    match Q_neo_api.q6_1 neo ~uid1 ~uid2 ~max_hops:3 with
+    | Results.Path_length (Some l) -> l
+    | r -> Alcotest.failf "expected a path, got %s" (Results.to_string r)
+  in
+  (match Q_neo_api.q6_1 ~budget:(Budget.create ~max_hits:1 ()) neo ~uid1 ~uid2 ~max_hops:3 with
+  | (_ : Results.t) -> Alcotest.fail "budget of 1 hit completed"
+  | exception Results.Budget_exhausted { partial; hits; _ } ->
+    check Alcotest.bool "charged more than nothing" true (hits >= 1);
+    check Alcotest.bool "partial reports no path, not a wrong length" true
+      (partial = Results.Path_length None));
+  match Q_neo_api.q6_1 ~budget:(Budget.create ~max_hits:1_000_000 ()) neo ~uid1 ~uid2 ~max_hops:3 with
+  | Results.Path_length (Some l) -> check Alcotest.int "ample budget finds the path" full l
+  | r -> Alcotest.failf "ample budget returned %s" (Results.to_string r)
+
 (* ------------------------------------------------------------------ *)
 (* Live ingestion under injected faults                                *)
 (* ------------------------------------------------------------------ *)
@@ -515,6 +587,8 @@ let () =
           Alcotest.test_case "q2.3 degradation (neo)" `Quick test_budget_q2_3_neo;
           Alcotest.test_case "q2.3 degradation (sparks)" `Quick test_budget_q2_3_sparks;
           Alcotest.test_case "budget scope per query" `Quick test_budget_scope_is_per_query;
+          Alcotest.test_case "q3.1 partial under-counts" `Quick test_budget_q3_1_partial;
+          Alcotest.test_case "q6.1 partial is path-none" `Quick test_budget_q6_1_partial;
         ] );
       ( "live-retry",
         [

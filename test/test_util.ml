@@ -1,6 +1,7 @@
 (* Unit and property tests for mgq_util. *)
 
 module Rng = Mgq_util.Rng
+module Budget = Mgq_util.Budget
 module Sampler = Mgq_util.Sampler
 module Topn = Mgq_util.Topn
 module Stats = Mgq_util.Stats
@@ -111,6 +112,64 @@ let prop_sample_without_replacement =
       List.length xs = k
       && List.length (List.sort_uniq compare xs) = k
       && List.for_all (fun x -> x >= 0 && x < n) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_negative_charge_saturates () =
+  let b = Budget.create ~max_ns:1_000 () in
+  Budget.charge ~ns:600 b;
+  (* A re-armed simulated clock hands back a negative delta: consumption
+     must hold, not run backwards and re-open the deadline. *)
+  Budget.charge ~ns:(-400) ~hits:(-7) b;
+  check Alcotest.int "ns saturates" 600 (Budget.consumed_ns b);
+  check Alcotest.int "hits saturate" 0 (Budget.hits b);
+  check (Alcotest.option Alcotest.int) "remaining unchanged" (Some 400)
+    (Budget.remaining_ns b)
+
+let test_budget_remaining_and_affords () =
+  let b = Budget.create ~max_ns:1_000 () in
+  check (Alcotest.option Alcotest.int) "fresh" (Some 1_000) (Budget.remaining_ns b);
+  check Alcotest.bool "affords full" true (Budget.affords_ns b ~ns:1_000);
+  check Alcotest.bool "cannot afford more" false (Budget.affords_ns b ~ns:1_001);
+  Budget.charge ~ns:900 b;
+  check (Alcotest.option Alcotest.int) "after charge" (Some 100) (Budget.remaining_ns b);
+  check Alcotest.bool "affords tail" true (Budget.affords_ns b ~ns:100);
+  check Alcotest.bool "tail + 1 too much" false (Budget.affords_ns b ~ns:101);
+  let unlimited = Budget.create () in
+  check (Alcotest.option Alcotest.int) "no ceiling" None (Budget.remaining_ns unlimited);
+  check Alcotest.bool "unlimited affords anything" true
+    (Budget.affords_ns unlimited ~ns:max_int)
+
+let test_budget_sub_caps_at_remaining () =
+  let parent = Budget.create ~max_hits:10 ~max_ns:1_000 () in
+  Budget.charge ~hits:4 ~ns:700 parent;
+  let child = Budget.sub ~max_ns:10_000 parent in
+  check (Alcotest.option Alcotest.int) "child ns capped by parent" (Some 300)
+    (Budget.remaining_ns child);
+  check (Alcotest.option Alcotest.int) "child hits inherited" (Some 6)
+    (Budget.remaining_hits child);
+  let tight = Budget.sub ~max_ns:50 parent in
+  check (Alcotest.option Alcotest.int) "explicit cap wins when tighter" (Some 50)
+    (Budget.remaining_ns tight)
+
+let prop_budget_consumed_monotonic =
+  QCheck.Test.make ~name:"Budget.consumed_ns never decreases across charges"
+    ~count:500
+    QCheck.(list (pair (int_range (-1000) 1000) (int_range (-1000) 1000)))
+    (fun charges ->
+      let b = Budget.create ~max_ns:10_000 () in
+      let ok = ref true in
+      List.iter
+        (fun (hits, ns) ->
+          let before_ns = Budget.consumed_ns b in
+          let before_hits = Budget.hits b in
+          (try Budget.charge ~hits ~ns b with Budget.Exhausted _ -> ());
+          if Budget.consumed_ns b < before_ns || Budget.hits b < before_hits then
+            ok := false)
+        charges;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Sampler                                                             *)
@@ -368,6 +427,15 @@ let suite =
         qtest prop_rng_float_bounds;
         qtest prop_shuffle_is_permutation;
         qtest prop_sample_without_replacement;
+      ] );
+    ( "budget",
+      [
+        Alcotest.test_case "negative charge saturates" `Quick
+          test_budget_negative_charge_saturates;
+        Alcotest.test_case "remaining_ns / affords_ns" `Quick
+          test_budget_remaining_and_affords;
+        Alcotest.test_case "sub caps at remaining" `Quick test_budget_sub_caps_at_remaining;
+        qtest prop_budget_consumed_monotonic;
       ] );
     ( "sampler",
       [
