@@ -137,3 +137,17 @@ let export_csv name ~header rows =
 let table ?aligns ~name ~header rows =
   Text_table.print ?aligns ~header rows;
   export_csv name ~header rows
+
+(* Mirror the process-wide metrics registry next to the result CSVs:
+   one row per counter/gauge/histogram bucket, so a bench run ships
+   its own observability snapshot alongside the numbers it printed. *)
+let export_metrics name =
+  match csv_dir with
+  | None -> ()
+  | Some _ ->
+    let rows =
+      List.map
+        (fun (n, labels, value) -> [ n; labels; value ])
+        (Mgq_obs.Obs.rows (Mgq_obs.Obs.snapshot ()))
+    in
+    export_csv name ~header:[ "metric"; "labels"; "value" ] rows

@@ -116,6 +116,7 @@ let () =
         (id, List.length !Bench_support.failures - before))
       requested
   in
+  Bench_support.export_metrics "metrics";
   Bench_support.section "verdict summary";
   Bench_support.table ~name:"verdicts" ~header:[ "experiment"; "oracles"; "mismatches" ]
     (List.map

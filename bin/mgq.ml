@@ -12,13 +12,31 @@ module Generator = Mgq_twitter.Generator
 module Dataset = Mgq_twitter.Dataset
 module Source_files = Mgq_twitter.Source_files
 module Import_report = Mgq_twitter.Import_report
+module Import_neo = Mgq_twitter.Import_neo
 module Contexts = Mgq_queries.Contexts
 module Reference = Mgq_queries.Reference
 module Workload = Mgq_queries.Workload
 module Results = Mgq_queries.Results
 module Cypher = Mgq_cypher.Cypher
 module Text_table = Mgq_util.Text_table
+module Obs = Mgq_obs.Obs
 open Cmdliner
+
+(* ---------------- tracing ---------------- *)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record a span tree for the request (router, engine, traversal layers) and \
+           print it after the result.")
+
+let start_trace () = Obs.Trace.enable ~clock:Mgq_util.Stats.Timing.now_ns ()
+
+let print_trace () =
+  Printf.printf "\ntrace:\n%s%!" (Obs.Trace.render_tree ());
+  Obs.Trace.disable ()
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -165,7 +183,44 @@ let query_cmd =
       & opt (enum [ ("cypher", `Cypher); ("neo-api", `Neo_api); ("sparks", `Sparks) ]) `Cypher
       & info [ "system"; "s" ] ~doc:"Implementation: cypher, neo-api or sparks.")
   in
-  let run dir id uid uid2 tag n threshold system =
+  (* The traced path serves the read through a one-replica cluster so
+     the span tree crosses every layer the request really would:
+     router -> replica -> engine -> traversal. The import runs on the
+     primary (it manages its own transactions) and ships to the
+     replica over the WAL before the query is routed. *)
+  let run_routed dataset q args system =
+    let module Cluster = Mgq_cluster.Cluster in
+    let module Replica = Mgq_cluster.Replica in
+    let config =
+      {
+        Cluster.default_config with
+        Cluster.replicas = 1;
+        lag = Replica.Immediate;
+        drop_p = 0.;
+        sync_replicas = 0;
+      }
+    in
+    let cluster = Cluster.create ~config () in
+    let report, users, tweets, hashtags =
+      Import_neo.run (Cluster.primary cluster) dataset
+    in
+    let replica = (Cluster.replicas cluster).(0) in
+    while Replica.applied_lsn replica < Cluster.head_lsn cluster do
+      Cluster.tick cluster
+    done;
+    start_trace ();
+    let session = Cluster.session cluster 0 in
+    Cluster.read cluster ~session (fun db ->
+        (* WAL replay is deterministic, so the primary's dataset->node
+           maps are valid on the replica too. *)
+        let ctx =
+          { Contexts.db; session = Cypher.create db; users; tweets; hashtags; report }
+        in
+        match system with
+        | `Cypher -> q.Workload.run_cypher ctx args
+        | `Neo_api -> q.Workload.run_neo_api ctx args)
+  in
+  let run dir id uid uid2 tag n threshold system trace =
     match Workload.find id with
     | None ->
       Printf.eprintf "unknown query %s; known: %s\n" id
@@ -176,16 +231,25 @@ let query_cmd =
       let args = { Workload.uid; uid2; tag; n; threshold; max_hops = 3 } in
       let result =
         match system with
+        | `Cypher when trace -> run_routed dataset q args `Cypher
+        | `Neo_api when trace -> run_routed dataset q args `Neo_api
         | `Cypher -> q.Workload.run_cypher (Contexts.build_neo dataset) args
         | `Neo_api -> q.Workload.run_neo_api (Contexts.build_neo dataset) args
-        | `Sparks -> q.Workload.run_sparks (Contexts.build_sparks dataset) args
+        | `Sparks ->
+          let ctx = Contexts.build_sparks dataset in
+          if trace then start_trace ();
+          Obs.Trace.with_span "sparks.query" ~attrs:[ ("id", q.Workload.id) ]
+          @@ fun () -> q.Workload.run_sparks ctx args
       in
       Printf.printf "%s (%s): %s\n" q.Workload.id q.Workload.description
-        (Results.to_string result)
+        (Results.to_string result);
+      if trace then print_trace ()
   in
   let info = Cmd.info "query" ~doc:"Run one workload query against an engine." in
   Cmd.v info
-    Term.(const run $ dir_arg $ id_arg $ uid $ uid2 $ tag $ n $ threshold $ system)
+    Term.(
+      const run $ dir_arg $ id_arg $ uid $ uid2 $ tag $ n $ threshold $ system
+      $ trace_arg)
 
 (* ---------------- cypher ---------------- *)
 
@@ -215,7 +279,7 @@ let cypher_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Persist the database after the query (for writes).")
   in
-  let run dir db save text explain =
+  let run dir db save text explain trace =
     let database =
       match (db, dir) with
       | Some path, _ -> Mgq_neo.Db.load path
@@ -227,8 +291,10 @@ let cypher_cmd =
     let session = Cypher.create database in
     if explain then print_endline (Cypher.explain session text)
     else begin
+      if trace then start_trace ();
       let result = Cypher.run session text in
       print_string (Cypher.to_string result);
+      if trace then print_trace ();
       let u = result.Cypher.updates in
       if u <> Mgq_cypher.Executor.no_updates then
         Printf.printf
@@ -250,7 +316,7 @@ let cypher_cmd =
         "Run an ad-hoc declarative query (prefix with PROFILE for db-hit statistics; \
          supports CREATE/MERGE/SET/DELETE writes with --save)."
   in
-  Cmd.v info Term.(const run $ dir_opt $ db_opt $ save_opt $ text_arg $ explain)
+  Cmd.v info Term.(const run $ dir_opt $ db_opt $ save_opt $ text_arg $ explain $ trace_arg)
 
 (* ---------------- sparksee-style load script ---------------- *)
 
@@ -572,6 +638,69 @@ let overload_cmd =
     Term.(
       const run $ rate $ duration_ms $ workers $ slo_ms $ seed $ no_admission $ compare)
 
+(* ---------------- metrics ---------------- *)
+
+let metrics_cmd =
+  let module Admission = Mgq_overload.Admission in
+  let module Breaker = Mgq_overload.Breaker in
+  let users =
+    Arg.(
+      value & opt int 300
+      & info [ "users" ; "u" ] ~docv:"N" ~doc:"Users in the demo crawl.")
+  in
+  (* A canned workload touching every instrumented layer, then the
+     process registry dumped as "name{labels} value" lines. The same
+     scenarios are pinned down by unit tests (test/test_obs.ml). *)
+  let run users =
+    Obs.reset ();
+    let dataset = Generator.generate (Generator.scaled ~n_users:users ()) in
+    let ctx = Contexts.build_neo dataset in
+    (* One Cypher text three times: one plan-cache miss, two hits. *)
+    let text = "MATCH (a:user {uid: $uid})-[:follows]->(f:user) RETURN f.uid" in
+    List.iter
+      (fun uid ->
+        ignore
+          (Cypher.run ctx.Contexts.session ~params:[ ("uid", Mgq_core.Value.Int uid) ]
+             text))
+      [ 0; 1; 2 ];
+    (* The recommendation both hand-tuned and through the traversal
+       framework, so the traversal.* counters move too. *)
+    ignore (Mgq_queries.Q_neo_api.q4_1 ctx ~uid:0 ~n:10);
+    ignore (Mgq_queries.Q_neo_api.q4_1_traversal ctx ~uid:0 ~n:10);
+    (* A burst of three concurrent offers against a concurrency limit
+       of two: exactly one request is shed. *)
+    let adm =
+      Admission.create
+        ~config:
+          { Admission.default_config with Admission.initial_limit = 2.; min_limit = 2. }
+        ()
+    in
+    for _ = 1 to 3 do
+      ignore (Admission.offer adm ~now_ns:0 ~cls:Mgq_queries.Workload.Cheap)
+    done;
+    (* A breaker driven through its full cycle:
+       closed -> open -> half-open -> closed. *)
+    let b =
+      Breaker.create
+        ~config:
+          { Breaker.failure_threshold = 2; open_for = 1; probe_successes = 1; probe_p = 1.0 }
+        ~name:"demo" (Mgq_util.Rng.create 7)
+    in
+    Breaker.record_failure b ~now:0;
+    Breaker.record_failure b ~now:0;
+    ignore (Breaker.allow b ~now:0 : bool);
+    ignore (Breaker.state b ~now:2);
+    Breaker.record_success b ~now:2;
+    print_string (Obs.render (Obs.snapshot ()))
+  in
+  let info =
+    Cmd.info "metrics"
+      ~doc:
+        "Run a canned demo workload across every instrumented layer and dump the \
+         metrics registry."
+  in
+  Cmd.v info Term.(const run $ users)
+
 let main =
   let doc = "Microblogging queries on (simulated) graph databases" in
   let info = Cmd.info "mgq" ~version:"1.0.0" ~doc in
@@ -586,6 +715,7 @@ let main =
       workload_cmd;
       cluster_cmd;
       overload_cmd;
+      metrics_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -4,6 +4,12 @@ module Rng = Mgq_util.Rng
 module Budget = Mgq_util.Budget
 module Fault = Mgq_storage.Fault
 module Sim_disk = Mgq_storage.Sim_disk
+module Obs = Mgq_obs.Obs
+
+let m_writes = Obs.counter "cluster.writes"
+let m_reads = Obs.counter "cluster.reads"
+let m_ticks = Obs.counter "cluster.ticks"
+let m_promotions = Obs.counter "cluster.promotions"
 
 exception Unavailable of string
 
@@ -106,6 +112,7 @@ let apply_all t =
   Array.iter (fun r -> ignore (Replica.apply_ready r ~now:t.now ~head_lsn:head)) t.replicas
 
 let tick t =
+  Obs.Counter.incr m_ticks;
   t.now <- t.now + 1;
   if not t.primary_down then Array.iter (fun r -> ship_to t r) t.replicas;
   apply_all t
@@ -156,10 +163,14 @@ let write t ?budget ~session f =
   t.acked_lsn <- lsn;
   session.Router.high_water <- lsn;
   session.Router.writes <- session.Router.writes + 1;
+  Obs.Counter.incr m_writes;
   apply_all t;
   result
 
 let choose t ?budget ~session () =
+  Obs.Trace.with_span "router.route"
+    ~attrs:[ ("policy", Router.policy_to_string (Router.policy_of t.router)) ]
+  @@ fun () ->
   let applied () = Array.map Replica.applied_lsn t.replicas in
   let waited = ref 0 in
   let wait () =
@@ -179,17 +190,26 @@ let choose t ?budget ~session () =
     end
     else false
   in
-  Router.route t.router ~session ~head_lsn:(head_lsn t) ~applied ~wait
+  let choice = Router.route t.router ~session ~head_lsn:(head_lsn t) ~applied ~wait in
+  (match choice with
+  | Router.Serve_replica i -> Obs.Trace.note "choice" (Printf.sprintf "replica-%d" i)
+  | Router.Serve_primary -> Obs.Trace.note "choice" "primary");
+  if !waited > 0 then Obs.Trace.note_int "wait_ticks" !waited;
+  choice
 
 let serve t choice f =
   match choice with
-  | Router.Serve_replica i -> f (Replica.db t.replicas.(i))
+  | Router.Serve_replica i ->
+    Obs.Trace.with_span "replica.serve" ~attrs:[ ("replica", string_of_int i) ]
+    @@ fun () -> f (Replica.db t.replicas.(i))
   | Router.Serve_primary ->
     if t.primary_down then
       raise (Unavailable "primary is down and no replica satisfies read-your-writes");
-    f t.primary
+    Obs.Trace.with_span "primary.serve" @@ fun () -> f t.primary
 
 let read_routed t ?budget ~session f =
+  Obs.Trace.with_span "cluster.read" @@ fun () ->
+  Obs.Counter.incr m_reads;
   let choice = choose t ?budget ~session () in
   (serve t choice f, choice)
 
@@ -236,6 +256,7 @@ let promote t =
   t.primary <- recovered;
   t.primary_down <- false;
   t.epoch <- t.epoch + 1;
+  Obs.Counter.incr m_promotions;
   t.replicas <-
     Array.of_list (List.filteri (fun i _ -> i <> !best) (Array.to_list t.replicas));
   t.router <- Router.create (Router.policy_of t.router) ~n_replicas:(Array.length t.replicas);

@@ -1,4 +1,13 @@
 module Stats = Mgq_util.Stats
+module Obs = Mgq_obs.Obs
+
+let m_served_replica = Obs.counter "router.served" ~labels:[ ("target", "replica") ]
+let m_served_primary = Obs.counter "router.served" ~labels:[ ("target", "primary") ]
+let m_redirects = Obs.counter "router.redirects"
+let m_waits = Obs.counter "router.waits"
+let m_fallbacks = Obs.counter "router.fallbacks"
+let m_ejections = Obs.counter "router.ejections"
+let m_restores = Obs.counter "router.restores"
 
 type policy = Round_robin | Least_lagged | Sticky
 
@@ -82,6 +91,7 @@ let eject t i =
     t.active.(i) <- false;
     t.n_active <- t.n_active - 1;
     t.ejections <- t.ejections + 1;
+    Obs.Counter.incr m_ejections;
     clamp_cursor t
   end
 
@@ -91,12 +101,14 @@ let restore t i =
     t.active.(i) <- true;
     t.n_active <- t.n_active + 1;
     t.restores <- t.restores + 1;
+    Obs.Counter.incr m_restores;
     clamp_cursor t
   end
 
 let route t ~session ~head_lsn ~applied ~wait =
   let serve_primary () =
     t.primary_served <- t.primary_served + 1;
+    Obs.Counter.incr m_served_primary;
     session.reads <- session.reads + 1;
     Serve_primary
   in
@@ -128,6 +140,7 @@ let route t ~session ~head_lsn ~applied ~wait =
     let fresh s i = s.(i) >= session.high_water in
     let serve s i =
       t.served.(i) <- t.served.(i) + 1;
+      Obs.Counter.incr m_served_replica;
       Stats.Summary.add t.staleness (float_of_int (max 0 (head_lsn - s.(i))));
       session.reads <- session.reads + 1;
       Serve_replica i
@@ -152,17 +165,20 @@ let route t ~session ~head_lsn ~applied ~wait =
       match redirect_target snapshot with
       | Some i ->
         t.redirects <- t.redirects + 1;
+        Obs.Counter.incr m_redirects;
         serve snapshot i
       | None ->
         let rec await () =
           if wait () then begin
             t.waits <- t.waits + 1;
+            Obs.Counter.incr m_waits;
             let s = applied () in
             if fresh s preferred then serve s preferred
             else begin
               match redirect_target s with
               | Some i ->
                 t.redirects <- t.redirects + 1;
+                Obs.Counter.incr m_redirects;
                 serve s i
               | None -> await ()
             end
@@ -171,6 +187,7 @@ let route t ~session ~head_lsn ~applied ~wait =
             (* Deadline exhausted: the primary trivially satisfies
                read-your-writes. *)
             t.fallbacks <- t.fallbacks + 1;
+            Obs.Counter.incr m_fallbacks;
             serve_primary ()
           end
         in

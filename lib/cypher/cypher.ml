@@ -1,6 +1,11 @@
 module Db = Mgq_neo.Db
 module Cost_model = Mgq_storage.Cost_model
 module Sim_disk = Mgq_storage.Sim_disk
+module Obs = Mgq_obs.Obs
+
+let m_cache_hit = Obs.counter "cypher.plan_cache" ~labels:[ ("result", "hit") ]
+let m_cache_miss = Obs.counter "cypher.plan_cache" ~labels:[ ("result", "miss") ]
+let m_queries = Obs.counter "cypher.queries"
 
 type cached_plan = { plan : Plan.t; profile_requested : bool }
 
@@ -30,8 +35,11 @@ let db t = t.db
 
 let compile t text =
   match Hashtbl.find_opt t.cache text with
-  | Some cached -> (cached, { compiled = false; parse_plan_ms = 0. })
+  | Some cached ->
+    Obs.Counter.incr m_cache_hit;
+    (cached, { compiled = false; parse_plan_ms = 0. })
   | None ->
+    Obs.Counter.incr m_cache_miss;
     let (cached, ms) =
       let work () =
         let ast =
@@ -54,7 +62,10 @@ let compile t text =
     (cached, { compiled = true; parse_plan_ms = ms })
 
 let run ?(params = []) ?budget t text =
+  Obs.Counter.incr m_queries;
+  Obs.Trace.with_span "cypher.query" @@ fun () ->
   let cached, stats = compile t text in
+  Obs.Trace.note "plan_cache" (if stats.compiled then "miss" else "hit");
   let execute () =
     Executor.run ?budget t.db ~params ~profile:cached.profile_requested cached.plan
   in

@@ -3,8 +3,12 @@ module Algo = Mgq_neo.Algo
 module Value = Mgq_core.Value
 module Cost_model = Mgq_storage.Cost_model
 module Sim_disk = Mgq_storage.Sim_disk
+module Obs = Mgq_obs.Obs
 open Mgq_core.Types
 open Runtime
+
+let m_db_hits = Obs.counter "cypher.db_hits"
+let m_rows = Obs.counter "cypher.rows"
 
 type profile_entry = { name : string; detail : string; rows : int; db_hits : int }
 
@@ -548,6 +552,8 @@ let rec apply_op db ~params ~acc (op : Plan.op) (rows : row list) : row list =
 
 let run ?budget db ~params ~profile (plan : Plan.t) =
   Cost_model.with_budget (Sim_disk.cost (Db.disk db)) budget @@ fun () ->
+  Obs.Trace.with_span "cypher.execute" @@ fun () ->
+  let run_hits_before = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
   let rows = ref [ empty_row ] in
   let entries = ref [] in
   let acc =
@@ -559,24 +565,41 @@ let run ?budget db ~params ~profile (plan : Plan.t) =
       u_edges_deleted = 0;
     }
   in
+  (* When profiling or tracing, bracket each operator with a db-hit
+     snapshot; whole-run delta equals the sum of the per-operator
+     deltas because [apply_op] is the only hit source in between. *)
+  let instrument = profile || Obs.Trace.enabled () in
   List.iter
     (fun op ->
-      if profile then begin
+      if instrument then begin
         let before = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
-        let out = apply_op db ~params ~acc op !rows in
+        let out =
+          Obs.Trace.with_span ("op." ^ Plan.op_name op) @@ fun () ->
+          let out = apply_op db ~params ~acc op !rows in
+          let after = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
+          Obs.Trace.note_int "db_hits" (after - before);
+          Obs.Trace.note_int "rows" (List.length out);
+          out
+        in
         let after = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
-        entries :=
-          {
-            name = Plan.op_name op;
-            detail = Plan.op_detail op;
-            rows = List.length out;
-            db_hits = after - before;
-          }
-          :: !entries;
+        if profile then
+          entries :=
+            {
+              name = Plan.op_name op;
+              detail = Plan.op_detail op;
+              rows = List.length out;
+              db_hits = after - before;
+            }
+            :: !entries;
         rows := out
       end
       else rows := apply_op db ~params ~acc op !rows)
     plan.Plan.ops;
+  let run_hits_after = (Cost_model.snapshot (Sim_disk.cost (Db.disk db))).db_hits in
+  Obs.Counter.incr ~by:(run_hits_after - run_hits_before) m_db_hits;
+  Obs.Counter.incr ~by:(List.length !rows) m_rows;
+  Obs.Trace.note_int "db_hits" (run_hits_after - run_hits_before);
+  Obs.Trace.note_int "rows" (List.length !rows);
   let items_of_row row =
     List.map
       (fun column ->

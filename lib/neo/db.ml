@@ -4,6 +4,12 @@ module Record_store = Mgq_storage.Record_store
 module Blob_store = Mgq_storage.Blob_store
 module Value = Mgq_core.Value
 module Property = Mgq_core.Property
+module Obs = Mgq_obs.Obs
+
+let m_commits = Obs.counter "db.commits"
+let m_rollbacks = Obs.counter "db.rollbacks"
+let m_fsyncs = Obs.counter "wal.fsyncs"
+let m_recovered_frames = Obs.counter "wal.recovered_frames"
 open Mgq_core.Types
 
 let nil = Record_store.nil
@@ -210,11 +216,13 @@ let commit t =
     | Some plan -> Mgq_storage.Fault.on_flush plan
     | None -> ());
     Cost_model.record_page_flush (cost t);
+    Obs.Counter.incr m_fsyncs;
     (match t.wal with
     | Some w when t.tx_redo <> [] -> ignore (Wal.append_ops w (List.rev t.tx_redo) : int)
     | _ -> ());
     t.tx_redo <- [];
-    t.current_tx <- None
+    t.current_tx <- None;
+    Obs.Counter.incr m_commits
 
 let rollback t =
   match t.current_tx with
@@ -222,6 +230,7 @@ let rollback t =
   | Some tx ->
     t.current_tx <- None;
     t.tx_redo <- [];
+    Obs.Counter.incr m_rollbacks;
     (* After a simulated crash the process is conceptually dead: no
        undo runs, recovery rebuilds from snapshot + WAL. Otherwise undo
        runs with injection paused — rollback models in-memory work the
@@ -949,6 +958,7 @@ let recover_report ?snapshot t =
           (n + 1, lsn))
         (0, Wal.base_lsn w)
     in
+    Obs.Counter.incr ~by:replayed m_recovered_frames;
     (base, { replayed; replay_last_lsn = last; stop })
 
 let recover ?snapshot t = fst (recover_report ?snapshot t)

@@ -1,5 +1,9 @@
 module Iset = Set.Make (Int)
+module Obs = Mgq_obs.Obs
 open Mgq_core.Types
+
+let m_hops = Obs.counter "traversal.hops"
+let m_frontier = Obs.histogram "traversal.frontier"
 
 type path = { end_node : node_id; length : int; nodes_rev : node_id list }
 
@@ -74,6 +78,9 @@ let children_of db t visited path =
     |> List.of_seq
   in
   let raw = List.concat_map step t.expanders in
+  let n_children = List.length raw in
+  Obs.Counter.incr ~by:n_children m_hops;
+  Obs.Histogram.observe m_frontier n_children;
   match t.uniqueness with
   | None_allowed -> (raw, visited)
   | Node_path ->

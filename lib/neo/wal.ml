@@ -1,5 +1,9 @@
 module Sim_disk = Mgq_storage.Sim_disk
 module Crc32 = Mgq_util.Crc32
+module Obs = Mgq_obs.Obs
+
+let m_appends = Obs.counter "wal.appends"
+let m_append_bytes = Obs.counter "wal.append_bytes"
 
 type op =
   | Create_node of { label : string; props : (string * Mgq_core.Value.t) list }
@@ -134,6 +138,8 @@ let append_ops t ops =
   push_offset t t.length;
   t.length <- tail;
   t.records <- t.records + 1;
+  Obs.Counter.incr m_appends;
+  Obs.Counter.incr ~by:(Bytes.length frame) m_append_bytes;
   lsn
 
 let corrupt_payload_byte t ~lsn =

@@ -7,6 +7,15 @@
    shed first and cheap selects shed last. *)
 
 module Workload = Mgq_queries.Workload
+module Obs = Mgq_obs.Obs
+
+let m_admitted = Obs.counter "admission.admitted"
+let m_limit = Obs.gauge "admission.limit"
+let m_increases = Obs.counter "admission.limit_increases"
+let m_decreases = Obs.counter "admission.limit_decreases"
+
+let m_shed cls =
+  Obs.counter "admission.shed" ~labels:[ ("class", Workload.cost_class_to_string cls) ]
 
 type decision = Admitted | Rejected of { retry_after_ns : int }
 
@@ -131,6 +140,7 @@ let retry_after_slot t cls =
 
 let reject t cls ~retry_after_ns =
   t.shed.(class_index cls) <- t.shed.(class_index cls) + 1;
+  Obs.Counter.incr (m_shed cls);
   Rejected { retry_after_ns }
 
 let offer t ~now_ns ~cls =
@@ -145,6 +155,7 @@ let offer t ~now_ns ~cls =
       if t.config.rate_per_s > 0. then t.tokens <- t.tokens -. 1.;
       t.inflight <- t.inflight + 1;
       t.admitted <- t.admitted + 1;
+      Obs.Counter.incr m_admitted;
       Admitted
     end
   end
@@ -165,11 +176,15 @@ let complete t ~now_ns ~cls ~latency_ns =
     let ratio = float_of_int (max 1 latency_ns) /. float_of_int (max 1 floor_ns) in
     if ratio <= t.config.tolerance then begin
       t.limit <- Float.min t.config.max_limit (t.limit +. (1. /. t.limit));
-      t.increases <- t.increases + 1
+      t.increases <- t.increases + 1;
+      Obs.Counter.incr m_increases;
+      Obs.Gauge.set m_limit t.limit
     end
     else begin
       t.limit <- Float.max t.config.min_limit (t.limit *. t.config.decrease);
-      t.decreases <- t.decreases + 1
+      t.decreases <- t.decreases + 1;
+      Obs.Counter.incr m_decreases;
+      Obs.Gauge.set m_limit t.limit
     end
 
 let abandon t =

@@ -4,12 +4,19 @@
    integer clock the caller runs on — cluster ticks, simulated ns —
    the breaker only compares and adds. *)
 
+module Obs = Mgq_obs.Obs
+
 type state = Closed | Open | Half_open
 
 let state_to_string = function
   | Closed -> "closed"
   | Open -> "open"
   | Half_open -> "half-open"
+
+let m_transition to_state =
+  Obs.counter "breaker.transitions" ~labels:[ ("to", state_to_string to_state) ]
+
+let m_rejections = Obs.counter "breaker.rejections"
 
 type config = {
   failure_threshold : int;
@@ -64,7 +71,8 @@ let rejections t = t.rejections
 let advance t ~now =
   if t.state = Open && now - t.opened_at >= t.config.open_for then begin
     t.state <- Half_open;
-    t.probe_streak <- 0
+    t.probe_streak <- 0;
+    Obs.Counter.incr (m_transition Half_open)
   end
 
 let state t ~now =
@@ -77,6 +85,7 @@ let allow t ~now =
   | Closed -> true
   | Open ->
     t.rejections <- t.rejections + 1;
+    Obs.Counter.incr m_rejections;
     false
   | Half_open ->
     (* Seeded probe admission: let a fraction of traffic test the
@@ -84,6 +93,7 @@ let allow t ~now =
     if Mgq_util.Rng.chance t.rng t.config.probe_p then true
     else begin
       t.rejections <- t.rejections + 1;
+      Obs.Counter.incr m_rejections;
       false
     end
 
@@ -93,6 +103,7 @@ let trip t ~now =
   t.consecutive_failures <- 0;
   t.probe_streak <- 0;
   t.opens <- t.opens + 1;
+  Obs.Counter.incr (m_transition Open);
   t.on_open ()
 
 let record_success t ~now =
@@ -106,6 +117,7 @@ let record_success t ~now =
       t.state <- Closed;
       t.consecutive_failures <- 0;
       t.closes <- t.closes + 1;
+      Obs.Counter.incr (m_transition Closed);
       t.on_close ()
     end
 

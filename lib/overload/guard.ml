@@ -9,6 +9,11 @@
 module Cluster = Mgq_cluster.Cluster
 module Router = Mgq_cluster.Router
 module Replica = Mgq_cluster.Replica
+module Obs = Mgq_obs.Obs
+
+let m_probes = Obs.counter "guard.probes"
+let m_probe_failures = Obs.counter "guard.probe_failures"
+let m_rerouted = Obs.counter "guard.rerouted"
 
 type t = {
   cluster : Cluster.t;
@@ -101,10 +106,12 @@ let read t ?budget ~session f =
     | None -> None
     | Some i -> (
       t.probes <- t.probes + 1;
+      Obs.Counter.incr m_probes;
       match try_replica t i f with
       | Ok v -> Some v
       | Error () ->
         t.probe_failures <- t.probe_failures + 1;
+        Obs.Counter.incr m_probe_failures;
         None)
   in
   match probed with
@@ -123,6 +130,7 @@ let read t ?budget ~session f =
         | Ok v -> v
         | Error () ->
           t.rerouted <- t.rerouted + 1;
+          Obs.Counter.incr m_rerouted;
           if n > 0 then go (n - 1)
           else Cluster.serve t.cluster Router.Serve_primary f)
     in

@@ -8,6 +8,7 @@ module Traversal = Mgq_neo.Traversal
 module Algo = Mgq_neo.Algo
 module Value = Mgq_core.Value
 module Schema = Mgq_twitter.Schema
+module Obs = Mgq_obs.Obs
 open Mgq_core.Types
 
 let node_of_uid (ctx : Contexts.neo) uid =
@@ -148,21 +149,28 @@ let q3_2 (ctx : Contexts.neo) ~tag ~n =
 (* Q4.1: recommendation — the paper's method (b): collect the friends,
    then count 2-step paths landing outside that set. *)
 let q4_1 (ctx : Contexts.neo) ~uid ~n =
+  Obs.Trace.with_span "q4.1" ~attrs:[ ("uid", string_of_int uid) ] @@ fun () ->
   match node_of_uid ctx uid with
   | None -> Results.Counted []
   | Some a ->
     let db = ctx.Contexts.db in
     let friends = Hashtbl.create 64 in
-    Seq.iter (fun f -> Hashtbl.replace friends f ()) (Db.neighbors db a ~etype:Schema.follows Out);
-    let counts = Hashtbl.create 64 in
-    Hashtbl.iter
-      (fun f () ->
+    Obs.Trace.with_span "traversal.expand" ~attrs:[ ("depth", "1") ] (fun () ->
         Seq.iter
-          (fun fof ->
-            if fof <> a && not (Hashtbl.mem friends fof) then
-              Results.bump counts (uid_of ctx fof))
-          (Db.neighbors db f ~etype:Schema.follows Out))
-      friends;
+          (fun f -> Hashtbl.replace friends f ())
+          (Db.neighbors db a ~etype:Schema.follows Out);
+        Obs.Trace.note_int "frontier" (Hashtbl.length friends));
+    let counts = Hashtbl.create 64 in
+    Obs.Trace.with_span "traversal.expand" ~attrs:[ ("depth", "2") ] (fun () ->
+        Hashtbl.iter
+          (fun f () ->
+            Seq.iter
+              (fun fof ->
+                if fof <> a && not (Hashtbl.mem friends fof) then
+                  Results.bump counts (uid_of ctx fof))
+              (Db.neighbors db f ~etype:Schema.follows Out))
+          friends;
+        Obs.Trace.note_int "frontier" (Hashtbl.length counts));
     Results.Counted (Results.top_n_counted n counts)
 
 (* Q4.2: followers of followees. *)

@@ -1,3 +1,8 @@
+module Obs = Mgq_obs.Obs
+
+let m_hops = Obs.counter "straversal.hops"
+let m_frontier = Obs.histogram "straversal.frontier"
+
 type order = Bfs | Dfs
 
 type t = {
@@ -40,6 +45,7 @@ let run ?budget t =
                  end)
           |> List.map (fun n -> (n, depth + 1))
       in
+      Obs.Counter.incr ~by:(List.length children) m_hops;
       (match t.order with
       | Dfs -> go (children @ rest)
       | Bfs -> go (rest @ children))
@@ -55,11 +61,17 @@ module Context = struct
 
   let expand ?budget ctx ~etype dir =
     Mgq_storage.Cost_model.with_budget (Sdb.cost ctx.db) budget @@ fun () ->
+    Obs.Trace.with_span "straversal.expand"
+      ~attrs:[ ("depth", string_of_int (ctx.depth + 1)) ]
+    @@ fun () ->
     let next = Objects.empty () in
     Objects.iter
       (fun node -> Objects.union_into next (Sdb.neighbors ctx.db node etype dir))
       ctx.frontier;
     let fresh = Objects.difference next ctx.visited in
+    Obs.Counter.incr ~by:(Objects.count fresh) m_hops;
+    Obs.Histogram.observe m_frontier (Objects.count fresh);
+    Obs.Trace.note_int "frontier" (Objects.count fresh);
     {
       ctx with
       frontier = fresh;

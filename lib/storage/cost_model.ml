@@ -1,3 +1,12 @@
+module Obs = Mgq_obs.Obs
+
+(* Process-wide observability counters (DESIGN.md §11). Handles are
+   resolved once; the per-access cost is one field bump. *)
+let m_db_hits = Obs.counter "store.db_hits"
+let m_page_hits = Obs.counter "store.page_hits"
+let m_page_faults = Obs.counter "store.page_faults"
+let m_page_flushes = Obs.counter "store.page_flushes"
+
 type config = {
   record_access_ns : int;
   page_hit_ns : int;
@@ -85,6 +94,7 @@ let inject_db_hit t =
 
 let record_db_hit ?(n = 1) t =
   inject_db_hit t;
+  Obs.Counter.incr ~by:n m_db_hits;
   t.acc <-
     {
       t.acc with
@@ -94,6 +104,7 @@ let record_db_hit ?(n = 1) t =
   charge_budget t ~hits:n ~ns:(n * t.cfg.record_access_ns)
 
 let record_page_hit t =
+  Obs.Counter.incr m_page_hits;
   t.acc <-
     {
       t.acc with
@@ -103,6 +114,7 @@ let record_page_hit t =
   charge_budget t ~hits:0 ~ns:t.cfg.page_hit_ns
 
 let record_page_fault t ~sequential =
+  Obs.Counter.incr m_page_faults;
   let cost =
     t.cfg.page_fault_ns + if sequential then 0 else t.cfg.seek_penalty_ns
   in
@@ -115,6 +127,7 @@ let record_page_fault t ~sequential =
   charge_budget t ~hits:0 ~ns:cost
 
 let record_page_flush ?(n = 1) t =
+  Obs.Counter.incr ~by:n m_page_flushes;
   t.acc <-
     {
       t.acc with

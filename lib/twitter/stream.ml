@@ -107,10 +107,19 @@ let rec next t =
     (* Unfollow an existing edge; retry on users with none. *)
     let follower = pick_any_user t in
     let set = followee_set t follower in
-    if Hashtbl.length set = 0 then next t
+    (* Materialise the victims as an array: [List.nth] is O(n) per
+       event, and [Rng.int _ 0] raises — guard the empty case before
+       drawing. *)
+    let victims = Array.make (Hashtbl.length set) 0 in
+    let fill = ref 0 in
+    Hashtbl.iter
+      (fun k () ->
+        victims.(!fill) <- k;
+        incr fill)
+      set;
+    if Array.length victims = 0 then next t
     else begin
-      let victims = Hashtbl.fold (fun k () acc -> k :: acc) set [] in
-      let followee = List.nth victims (Rng.int t.rng (List.length victims)) in
+      let followee = victims.(Rng.int t.rng (Array.length victims)) in
       Hashtbl.remove set followee;
       Unfollow { follower; followee }
     end

@@ -1,0 +1,14 @@
+/* Monotonic clock for Stats.Timing: benchmark deltas must survive an
+   NTP step mid-run, which Unix.gettimeofday (a wall clock) does not. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value mgq_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void) unit;
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000LL + (int64_t) ts.tv_nsec);
+}

@@ -1,6 +1,7 @@
 module Summary = struct
   type t = {
     mutable samples : float list;
+    mutable sorted : float array option; (* cache; invalidated by [add] *)
     mutable count : int;
     mutable mean : float;
     mutable m2 : float;
@@ -9,11 +10,20 @@ module Summary = struct
   }
 
   let create () =
-    { samples = []; count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+    {
+      samples = [];
+      sorted = None;
+      count = 0;
+      mean = 0.;
+      m2 = 0.;
+      min = infinity;
+      max = neg_infinity;
+    }
 
   (* Welford's online algorithm keeps mean/variance numerically stable. *)
   let add t x =
     t.samples <- x :: t.samples;
+    t.sorted <- None;
     t.count <- t.count + 1;
     let delta = x -. t.mean in
     t.mean <- t.mean +. (delta /. float_of_int t.count);
@@ -30,23 +40,42 @@ module Summary = struct
   let min t = t.min
   let max t = t.max
 
+  let sorted_samples t =
+    match t.sorted with
+    | Some arr -> arr
+    | None ->
+      let arr = Array.of_list t.samples in
+      Array.sort compare arr;
+      t.sorted <- Some arr;
+      arr
+
   let percentile t p =
-    assert (t.count > 0 && p >= 0. && p <= 100.);
-    let sorted = List.sort compare t.samples in
-    let arr = Array.of_list sorted in
+    if t.count = 0 then invalid_arg "Stats.Summary.percentile: no samples";
+    if not (p >= 0. && p <= 100.) then
+      invalid_arg "Stats.Summary.percentile: p outside [0, 100]";
+    let arr = sorted_samples t in
     let rank = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
     let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
     arr.(idx)
 end
 
 module Timing = struct
-  let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+  (* CLOCK_MONOTONIC via a C stub: a wall clock (Unix.gettimeofday)
+     stepped by NTP mid-run makes latency deltas negative or garbage,
+     poisoning every bench and the AIMD latency gradient. *)
+  external monotonic_ns : unit -> int64 = "mgq_monotonic_ns"
+
+  let now_ns () = monotonic_ns ()
 
   let time_ms f =
     let start = now_ns () in
     let result = f () in
     let stop = now_ns () in
-    (result, Int64.to_float (Int64.sub stop start) /. 1e6)
+    (* Monotonic deltas cannot go negative; clamp anyway so a broken
+       clock source degrades to zero rather than nonsense. *)
+    let delta = Int64.sub stop start in
+    let delta = if Int64.compare delta 0L < 0 then 0L else delta in
+    (result, Int64.to_float delta /. 1e6)
 
   let measure_ms ?(warmup = 2) ?(runs = 10) f =
     for _ = 1 to warmup do
@@ -72,11 +101,20 @@ let histogram ~buckets xs =
     | [ last ] -> [ (last, None) ]
     | lo :: (hi :: _ as rest) -> (lo, Some hi) :: ranges rest
   in
-  let rs = ranges bounds in
-  List.map
-    (fun (lo, hi_opt) ->
-      let inside x =
-        x >= lo && match hi_opt with Some hi -> x < hi | None -> true
-      in
-      (label lo hi_opt, List.length (List.filter inside xs)))
-    rs
+  match bounds with
+  | [] -> []
+  | first :: _ ->
+    (* Explicit underflow bucket: without it, samples below the first
+       bound silently vanish and the bucket counts no longer sum to
+       the input size. *)
+    let underflow =
+      (Printf.sprintf "<%d" first, List.length (List.filter (fun x -> x < first) xs))
+    in
+    underflow
+    :: List.map
+         (fun (lo, hi_opt) ->
+           let inside x =
+             x >= lo && match hi_opt with Some hi -> x < hi | None -> true
+           in
+           (label lo hi_opt, List.length (List.filter inside xs)))
+         (ranges bounds)

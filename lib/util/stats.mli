@@ -17,15 +17,23 @@ module Summary : sig
 
   val percentile : t -> float -> float
   (** [percentile t p] with [p] in [0, 100]; nearest-rank on the
-      recorded samples. Requires at least one sample. *)
+      recorded samples. The sorted view is cached across calls (a
+      p50/p95/p99 report sorts once, not three times) and invalidated
+      by {!add}.
+      @raise Invalid_argument on an empty summary or [p] outside
+      [0, 100]. *)
 end
 
 module Timing : sig
   val now_ns : unit -> int64
-  (** Monotonic clock, nanoseconds. *)
+  (** Monotonic clock (CLOCK_MONOTONIC), nanoseconds. Never reads the
+      wall clock, so an NTP step mid-run cannot produce negative or
+      inflated deltas. *)
 
   val time_ms : (unit -> 'a) -> 'a * float
-  (** Run a thunk, returning its result and elapsed wall milliseconds. *)
+  (** Run a thunk, returning its result and elapsed milliseconds on
+      the monotonic clock; a negative delta (broken clock source) is
+      clamped to 0. *)
 
   val measure_ms : ?warmup:int -> ?runs:int -> (unit -> 'a) -> Summary.t
   (** The paper's measurement protocol: execute [warmup] unrecorded
@@ -36,5 +44,6 @@ end
 val histogram : buckets:int list -> int list -> (string * int) list
 (** [histogram ~buckets xs] counts values into right-open ranges
     delimited by the sorted [buckets] boundaries, labelling each range
-    (e.g. "0-9", "10-99", "100+"). Used to bucket sweep parameters the
-    way Figure 4's x-axes do. *)
+    (e.g. "0-9", "10-99", "100+"), preceded by an explicit underflow
+    bucket ("<0") so the bucket counts always sum to [List.length xs].
+    Used to bucket sweep parameters the way Figure 4's x-axes do. *)

@@ -331,6 +331,39 @@ let test_summary_percentile () =
   check (Alcotest.float 1e-9) "p100" 100.0 (Stats.Summary.percentile s 100.);
   check (Alcotest.float 1e-9) "p1" 1.0 (Stats.Summary.percentile s 1.)
 
+let test_summary_percentile_invalid () =
+  let empty = Stats.Summary.create () in
+  Alcotest.check_raises "empty summary"
+    (Invalid_argument "Stats.Summary.percentile: no samples") (fun () ->
+      ignore (Stats.Summary.percentile empty 50.));
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 1.;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.Summary.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.Summary.percentile s 101.))
+
+let test_summary_percentile_cache_invalidation () =
+  (* The sorted cache must be rebuilt after add: a percentile read
+     between adds must not freeze the distribution. *)
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 10.;
+  check (Alcotest.float 1e-9) "single sample" 10.0 (Stats.Summary.percentile s 50.);
+  Stats.Summary.add s 1.;
+  Stats.Summary.add s 2.;
+  Stats.Summary.add s 3.;
+  check (Alcotest.float 1e-9) "p100 after more adds" 10.0
+    (Stats.Summary.percentile s 100.);
+  check (Alcotest.float 1e-9) "p25 sees new minimum" 1.0 (Stats.Summary.percentile s 25.)
+
+let test_timing_monotonic () =
+  (* now_ns reads CLOCK_MONOTONIC: successive reads never go backwards
+     and measured sections never come out negative. *)
+  let a = Stats.Timing.now_ns () in
+  let b = Stats.Timing.now_ns () in
+  check Alcotest.bool "clock does not step backwards" true (Int64.compare b a >= 0);
+  let (), ms = Stats.Timing.time_ms (fun () -> ignore (Sys.opaque_identity 1)) in
+  check Alcotest.bool "elapsed never negative" true (ms >= 0.)
+
 let prop_summary_mean_between_min_max =
   QCheck.Test.make ~name:"mean within [min, max]" ~count:300
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
@@ -351,8 +384,28 @@ let test_histogram () =
   check
     Alcotest.(list (pair string int))
     "bucketing"
-    [ ("0-9", 2); ("10-99", 3); ("100+", 2) ]
+    [ ("<0", 0); ("0-9", 2); ("10-99", 3); ("100+", 2) ]
     h
+
+let test_histogram_underflow () =
+  (* Samples below the first bound land in the explicit underflow
+     bucket instead of silently vanishing. *)
+  let h = Stats.histogram ~buckets:[ 10; 100 ] [ -5; 0; 9; 10; 50; 200 ] in
+  check
+    Alcotest.(list (pair string int))
+    "underflow counted"
+    [ ("<10", 3); ("10-99", 2); ("100+", 1) ]
+    h
+
+let prop_histogram_counts_sum =
+  QCheck.Test.make ~name:"histogram bucket counts sum to sample count" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (int_range (-50) 500))
+        (list (int_range (-100) 1000)))
+    (fun (buckets, xs) ->
+      let h = Stats.histogram ~buckets xs in
+      List.fold_left (fun acc (_, n) -> acc + n) 0 h = List.length xs)
 
 (* ------------------------------------------------------------------ *)
 (* Text_table                                                          *)
@@ -460,8 +513,14 @@ let suite =
       [
         Alcotest.test_case "summary moments" `Quick test_summary_moments;
         Alcotest.test_case "percentiles" `Quick test_summary_percentile;
+        Alcotest.test_case "percentile invalid input" `Quick test_summary_percentile_invalid;
+        Alcotest.test_case "percentile cache invalidation" `Quick
+          test_summary_percentile_cache_invalidation;
+        Alcotest.test_case "monotonic timing" `Quick test_timing_monotonic;
         Alcotest.test_case "measure protocol" `Quick test_measure_protocol;
         Alcotest.test_case "histogram" `Quick test_histogram;
+        Alcotest.test_case "histogram underflow" `Quick test_histogram_underflow;
+        qtest prop_histogram_counts_sum;
         qtest prop_summary_mean_between_min_max;
       ] );
     ( "text_table",
