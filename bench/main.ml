@@ -35,6 +35,7 @@ let experiments =
       ("D5: raw navigation vs Traversal classes", e Bench_discussion.run_navigation_vs_traversal)
     );
     ("micro", ("Bechamel micro-benchmarks", e Bench_micro.run_micro));
+    ("estimator", ("E4: estimator accuracy (q-error)", e Bench_estimator.run_estimator));
     ("updates", ("E1: streaming update workload (Section 5)", e Bench_extensions.run_updates));
     ("ablation-seek", ("A1: index seek vs label scan", e Bench_extensions.run_ablation_seek));
     ("ablation-pool", ("A2: buffer-pool size sweep", e Bench_extensions.run_ablation_pool));

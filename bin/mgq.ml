@@ -318,6 +318,161 @@ let cypher_cmd =
   in
   Cmd.v info Term.(const run $ dir_opt $ db_opt $ save_opt $ text_arg $ explain $ trace_arg)
 
+(* ---------------- analyze ---------------- *)
+
+let db_or_dir_args =
+  let dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"TSV source directory to import from.")
+  in
+  let db_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:"Saved record-store database (from $(b,mgq import --save)).")
+  in
+  (dir_opt, db_opt)
+
+let open_neo_db db dir =
+  match (db, dir) with
+  | Some path, _ -> Mgq_neo.Db.load path
+  | None, Some dir ->
+    let ctx = Contexts.build_neo (load_dataset dir) in
+    ctx.Contexts.db
+  | None, None -> failwith "pass --dir or --db"
+
+let analyze_cmd =
+  let dir_opt, db_opt = db_or_dir_args in
+  let save_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Persist the database (with fresh statistics).")
+  in
+  let run dir db save =
+    let database = open_neo_db db dir in
+    Mgq_neo.Db.analyze database;
+    print_string (Mgq_catalog.Catalog.render (Mgq_neo.Db.stats database));
+    Printf.printf "stats epoch: %d\n" (Mgq_neo.Db.stats_epoch database);
+    match save with
+    | Some path ->
+      Mgq_neo.Db.save database path;
+      Printf.printf "saved database to %s\n" path
+    | None -> ()
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Rebuild the graph statistics catalog from a full scan (label counts, degree \
+         histograms, value sketches) and print it. Bumps the statistics epoch, \
+         invalidating cached plans."
+  in
+  Cmd.v info Term.(const run $ dir_opt $ db_opt $ save_opt)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let dir_opt, db_opt = db_or_dir_args in
+  let text_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Query text.")
+  in
+  let workload_flag =
+    Arg.(
+      value & flag
+      & info [ "workload" ] ~doc:"Explain every Table-2 workload query instead of QUERY.")
+  in
+  let analyze_flag =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"EXPLAIN ANALYZE: execute and report estimated vs actual rows with \
+                per-operator q-error.")
+  in
+  let planner_arg =
+    let doc = "Planner: $(b,cost) (statistics-driven) or $(b,heuristic)." in
+    Arg.(
+      value
+      & opt (enum [ ("cost", Cypher.Cost_based); ("heuristic", Cypher.Heuristic) ])
+          Cypher.Cost_based
+      & info [ "planner" ] ~doc)
+  in
+  let uid = Arg.(value & opt int 0 & info [ "uid" ] ~doc:"Seed user id.") in
+  let uid2 = Arg.(value & opt int 1 & info [ "uid2" ] ~doc:"Second user id (Q6.1).") in
+  let tag = Arg.(value & opt string "topic0" & info [ "tag" ] ~doc:"Seed hashtag (Q3.2).") in
+  let n = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Top-n limit.") in
+  let threshold = Arg.(value & opt int 10 & info [ "threshold" ] ~doc:"Q1.1 threshold.") in
+  let run dir db text workload analyze planner uid uid2 tag n threshold =
+    let module Value = Mgq_core.Value in
+    let database = open_neo_db db dir in
+    let session = Cypher.create ~planner database in
+    let params =
+      [
+        ("uid", Value.Int uid);
+        ("u1", Value.Int uid);
+        ("u2", Value.Int uid2);
+        ("tag", Value.Str tag);
+        ("n", Value.Int n);
+        ("k", Value.Int threshold);
+      ]
+    in
+    let explain_one text =
+      if analyze then begin
+        let entries = Cypher.explain_analyze ~params session text in
+        let lines =
+          List.map
+            (fun (a : Cypher.analyze_entry) ->
+              Printf.sprintf "%-18s %-38s %10.1f %8d %10.1f %8d %7.2f" a.Cypher.op
+                a.Cypher.detail a.Cypher.est_rows a.Cypher.act_rows a.Cypher.est_cost
+                a.Cypher.act_hits a.Cypher.q_error)
+            entries
+        in
+        Printf.printf "%-18s %-38s %10s %8s %10s %8s %7s\n" "Operator" "Detail" "EstRows"
+          "Rows" "EstCost" "DbHits" "Q-err";
+        List.iter print_endline lines;
+        List.map (fun (a : Cypher.analyze_entry) -> a.Cypher.q_error) entries
+      end
+      else begin
+        print_endline (Cypher.explain_estimated ~params session text);
+        []
+      end
+    in
+    if workload then begin
+      let q_errors =
+        List.concat_map
+          (fun q ->
+            Printf.printf "=== %s ===\n" q.Workload.id;
+            let errs = explain_one (q.Workload.cypher_text Workload.default_args) in
+            print_newline ();
+            errs)
+          Workload.all
+      in
+      if analyze && q_errors <> [] then begin
+        let sorted = List.sort compare q_errors in
+        let median = List.nth sorted (List.length sorted / 2) in
+        Printf.printf "operators: %d  median q-error: %.2f  max q-error: %.2f\n"
+          (List.length sorted) median
+          (List.fold_left Float.max 1.0 sorted)
+      end
+    end
+    else
+      match text with
+      | Some text -> ignore (explain_one text)
+      | None -> failwith "explain: pass a QUERY or --workload"
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Show the physical plan with per-operator row/cost estimates; with $(b,--analyze), \
+         execute and compare estimates against measured rows and db hits (q-error)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ dir_opt $ db_opt $ text_opt $ workload_flag $ analyze_flag $ planner_arg
+      $ uid $ uid2 $ tag $ n $ threshold)
+
 (* ---------------- sparksee-style load script ---------------- *)
 
 let script_cmd =
@@ -711,6 +866,8 @@ let main =
       import_cmd;
       query_cmd;
       cypher_cmd;
+      analyze_cmd;
+      explain_cmd;
       script_cmd;
       workload_cmd;
       cluster_cmd;

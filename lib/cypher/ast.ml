@@ -74,7 +74,12 @@ type clause =
   | Unwind of expr * string  (** [UNWIND expr AS x]: one row per element *)
   | Merge of node_pat  (** get-or-create a single node pattern *)
 
-type query = { profile : bool; clauses : clause list }
+type explain_mode =
+  | Explain_none
+  | Explain_plan  (** EXPLAIN: plan + estimates, no execution *)
+  | Explain_analyze  (** EXPLAIN ANALYZE: execute, report est vs actual *)
+
+type query = { profile : bool; explain : explain_mode; clauses : clause list }
 
 (* ------------------------------------------------------------------ *)
 

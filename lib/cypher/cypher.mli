@@ -12,9 +12,19 @@
 
 type t
 
-val create : ?compile_cost_ns:int -> Mgq_neo.Db.t -> t
-(** [compile_cost_ns] (default 1_500_000 = 1.5 ms) is the simulated
-    cost charged per compilation. *)
+type planner =
+  | Heuristic  (** {!Plan.plan}: greedy start-point and ordering rules *)
+  | Cost_based  (** {!Planner.plan}: statistics-driven enumeration *)
+
+val create : ?planner:planner -> ?compile_cost_ns:int -> Mgq_neo.Db.t -> t
+(** [planner] defaults to [Cost_based]. [compile_cost_ns] (default
+    1_500_000 = 1.5 ms) is the simulated cost charged per
+    compilation.
+
+    The plan cache is keyed on query text {e and} validated against
+    the database's statistics epoch: ANALYZE and index DDL bump the
+    epoch, so a cached plan compiled under old statistics or an old
+    schema is recompiled on next use rather than reused. *)
 
 val db : t -> Mgq_neo.Db.t
 
@@ -38,7 +48,11 @@ exception Query_error of string
 
 val run : ?params:Runtime.params -> ?budget:Mgq_util.Budget.t -> t -> string -> result
 (** Parse (or fetch from cache), plan and execute. A query prefixed
-    with [PROFILE] returns per-operator statistics in [profile].
+    with [PROFILE] returns per-operator statistics in [profile]. A
+    query prefixed with [EXPLAIN] is planned but not executed: the
+    single [plan] column holds the rendered plan with estimated rows
+    and cost per operator. [EXPLAIN ANALYZE] executes and reports
+    estimated vs actual rows with a per-operator q-error.
     Queries containing write clauses (CREATE / SET / REMOVE / DELETE)
     execute inside a transaction: an execution error rolls back every
     change the statement made. With [budget], execution (not
@@ -48,6 +62,30 @@ val run : ?params:Runtime.params -> ?budget:Mgq_util.Budget.t -> t -> string -> 
 
 val explain : ?params:Runtime.params -> t -> string -> string
 (** The physical plan rendering, without executing. *)
+
+val explain_estimated : ?params:Runtime.params -> t -> string -> string
+(** {!explain} plus per-operator estimated rows and cost (header line
+    first). *)
+
+type analyze_entry = {
+  op : string;
+  detail : string;
+  est_rows : float;  (** estimator's row prediction *)
+  act_rows : int;  (** rows the operator actually emitted *)
+  est_cost : float;  (** predicted db hits *)
+  act_hits : int;  (** db hits actually charged *)
+  q_error : float;
+      (** max(est/actual, actual/est) over rows, both floored at 1 —
+          the standard cardinality-estimation accuracy measure *)
+}
+
+val explain_analyze :
+  ?params:Runtime.params -> ?budget:Mgq_util.Budget.t -> t -> string -> analyze_entry list
+(** Execute with profiling and pair each operator's estimate with its
+    measured rows and db hits. *)
+
+val plan_of : t -> string -> Plan.t
+(** The (possibly cached) physical plan for a query text. *)
 
 val compilations : t -> int
 (** Number of cache-miss compilations performed by this session. *)

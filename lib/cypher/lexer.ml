@@ -25,6 +25,8 @@ type token =
   | FALSE
   | NULL
   | PROFILE
+  | EXPLAIN
+  | ANALYZE
   | CREATE
   | SET
   | DELETE
@@ -82,6 +84,8 @@ let keyword_of_ident s =
   | "FALSE" -> Some FALSE
   | "NULL" -> Some NULL
   | "PROFILE" -> Some PROFILE
+  | "EXPLAIN" -> Some EXPLAIN
+  | "ANALYZE" -> Some ANALYZE
   | "CREATE" -> Some CREATE
   | "SET" -> Some SET
   | "DELETE" -> Some DELETE
@@ -270,6 +274,8 @@ let describe = function
   | FALSE -> "FALSE"
   | NULL -> "NULL"
   | PROFILE -> "PROFILE"
+  | EXPLAIN -> "EXPLAIN"
+  | ANALYZE -> "ANALYZE"
   | CREATE -> "CREATE"
   | SET -> "SET"
   | DELETE -> "DELETE"

@@ -28,6 +28,8 @@ type token =
   | FALSE
   | NULL
   | PROFILE
+  | EXPLAIN
+  | ANALYZE
   | CREATE
   | SET
   | DELETE

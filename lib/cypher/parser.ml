@@ -442,7 +442,38 @@ and expr_to_string e =
     let inner = match arg with Some a -> expr_to_string a | None -> "" in
     if kind = Count_distinct then Printf.sprintf "%s %s)" name inner
     else Printf.sprintf "%s(%s)" name inner
-  | Pattern_pred _ -> "(pattern)"
+  | Pattern_pred p ->
+    let node_str (n : node_pat) =
+      let var = Option.value ~default:"" n.nvar in
+      let label = match n.nlabel with Some l -> ":" ^ l | None -> "" in
+      let props =
+        match n.nprops with
+        | [] -> ""
+        | ps ->
+          " {"
+          ^ String.concat ", " (List.map (fun (k, e) -> k ^ ": " ^ expr_to_string e) ps)
+          ^ "}"
+      in
+      "(" ^ var ^ label ^ props ^ ")"
+    in
+    let rel_str (r : rel_pat) =
+      let types = match r.rtypes with [] -> "" | ts -> ":" ^ String.concat "|" ts in
+      let len =
+        if r.rmin = 1 && r.rmax = 1 then ""
+        else if r.rmax = max_int then Printf.sprintf "*%d.." r.rmin
+        else Printf.sprintf "*%d..%d" r.rmin r.rmax
+      in
+      let var = Option.value ~default:"" r.rvar in
+      let body =
+        if var = "" && types = "" && len = "" then "" else "[" ^ var ^ types ^ len ^ "]"
+      in
+      match r.rdir with
+      | Mgq_core.Types.Out -> "-" ^ body ^ "->"
+      | Mgq_core.Types.In -> "<-" ^ body ^ "-"
+      | Mgq_core.Types.Both -> "-" ^ body ^ "-"
+    in
+    node_str p.pstart
+    ^ String.concat "" (List.map (fun (r, n) -> rel_str r ^ node_str n) p.psteps)
 
 (* ---------------- query ---------------- *)
 
@@ -542,6 +573,11 @@ let parse src =
       raise (Parse_error (Printf.sprintf "lex error at %d: %s" pos msg))
   in
   let state = { tokens; pos = 0 } in
+  let explain =
+    if accept state EXPLAIN then
+      if accept state ANALYZE then Explain_analyze else Explain_plan
+    else Explain_none
+  in
   let profile = accept state PROFILE in
   let rec clauses acc =
     if current state = EOF then List.rev acc else clauses (parse_clause state :: acc)
@@ -561,4 +597,4 @@ let parse src =
   in
   if not (no_clause_after_return clauses) then
     raise (Parse_error "RETURN must be the final clause");
-  { profile; clauses }
+  { profile; explain; clauses }

@@ -76,9 +76,25 @@ type state = {
   mutable fresh : int;
 }
 
+(* The whole mutable planning context, so an enumerating planner can
+   try a candidate, measure it, and back out. *)
+type snapshot = { s_bound : Sset.t; s_ops : op list; s_fresh : int }
+
+let snapshot st = { s_bound = st.bound; s_ops = st.ops; s_fresh = st.fresh }
+
+let restore st s =
+  st.bound <- s.s_bound;
+  st.ops <- s.s_ops;
+  st.fresh <- s.s_fresh
+
+let db_of st = st.db
+let ops_so_far st = List.rev st.ops
+
 let emit st op = st.ops <- op :: st.ops
 
 let bind_var st v = st.bound <- Sset.add v st.bound
+
+let is_var_bound st v = Sset.mem v st.bound
 
 let fresh_var st =
   let v = Printf.sprintf "  UNNAMED%d" st.fresh in
@@ -345,7 +361,12 @@ let validate_create_path st (p : Ast.pattern_path) =
 
 (* ------------------------------------------------------------------ *)
 
-let plan db (query : Ast.query) =
+(* Heuristic MATCH planning: paths in writing order, each oriented by
+   [plan_path]'s local rules. The cost-based planner supplies its own
+   [plan_paths]. *)
+let plan_paths_heuristic st ~uniq paths = List.iter (plan_path st ~uniq) paths
+
+let plan_with ?(plan_paths = plan_paths_heuristic) db (query : Ast.query) =
   let st = { db; bound = Sset.empty; ops = []; fresh = 0 } in
   let columns = ref [] in
   List.iter
@@ -354,7 +375,7 @@ let plan db (query : Ast.query) =
       | Ast.Match { optional = false; pattern; where } ->
         (* One relationship-uniqueness scope per MATCH clause. *)
         let uniq = fresh_var st ^ ":rels" in
-        List.iter (plan_path st ~uniq) pattern;
+        plan_paths st ~uniq pattern;
         (match where with Some e -> emit st (Filter e) | None -> ())
       | Ast.Match { optional = true; pattern; where } ->
         (* Plan the optional pattern into a sub-pipeline. *)
@@ -362,7 +383,7 @@ let plan db (query : Ast.query) =
         let ops_before = st.ops in
         st.ops <- [];
         let uniq = fresh_var st ^ ":rels" in
-        List.iter (plan_path st ~uniq) pattern;
+        plan_paths st ~uniq pattern;
         (match where with Some e -> emit st (Filter e) | None -> ());
         let sub_ops = List.rev st.ops in
         let new_vars =
@@ -409,6 +430,8 @@ let plan db (query : Ast.query) =
         emit st (Delete_op { detach; vars }))
     query.Ast.clauses;
   { ops = List.rev st.ops; columns = !columns }
+
+let plan db query = plan_with db query
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -485,3 +508,137 @@ let to_string (t : t) =
     List.map (fun op -> Printf.sprintf "%-18s %s" (op_name op) (op_detail op)) t.ops
   in
   String.concat "\n" lines
+
+(* Canonical rendering: α-rename every variable and alias to v0, v1, …
+   in first-appearance order, so plans differing only in the names the
+   query text chose (or in fresh-variable numbering) render
+   identically. Labels, relationship types and property keys are left
+   alone. Traversal order is forced with lets so numbering is
+   deterministic. *)
+let to_canonical_string (t : t) =
+  let tbl = Hashtbl.create 16 in
+  let next = ref 0 in
+  let rn v =
+    match Hashtbl.find_opt tbl v with
+    | Some v' -> v'
+    | None ->
+      let v' = Printf.sprintf "v%d" !next in
+      incr next;
+      Hashtbl.add tbl v v';
+      v'
+  in
+  let rec rn_expr e =
+    match e with
+    | Ast.Lit _ | Ast.Param _ -> e
+    | Ast.Var v -> Ast.Var (rn v)
+    | Ast.Prop (e, k) -> Ast.Prop (rn_expr e, k)
+    | Ast.Cmp (op, a, b) ->
+      let a = rn_expr a in
+      let b = rn_expr b in
+      Ast.Cmp (op, a, b)
+    | Ast.Arith (op, a, b) ->
+      let a = rn_expr a in
+      let b = rn_expr b in
+      Ast.Arith (op, a, b)
+    | Ast.And (a, b) ->
+      let a = rn_expr a in
+      let b = rn_expr b in
+      Ast.And (a, b)
+    | Ast.Or (a, b) ->
+      let a = rn_expr a in
+      let b = rn_expr b in
+      Ast.Or (a, b)
+    | Ast.Not a -> Ast.Not (rn_expr a)
+    | Ast.In_coll (a, b) ->
+      let a = rn_expr a in
+      let b = rn_expr b in
+      Ast.In_coll (a, b)
+    | Ast.List_lit es -> Ast.List_lit (List.map rn_expr es)
+    | Ast.Fn (name, es) -> Ast.Fn (name, List.map rn_expr es)
+    | Ast.Agg (kind, arg) -> Ast.Agg (kind, Option.map rn_expr arg)
+    | Ast.Pattern_pred p -> Ast.Pattern_pred (rn_path p)
+  and rn_node (n : Ast.node_pat) =
+    let nvar = Option.map rn n.Ast.nvar in
+    let nprops = List.map (fun (k, e) -> (k, rn_expr e)) n.Ast.nprops in
+    { n with Ast.nvar; nprops }
+  and rn_rel (r : Ast.rel_pat) = { r with Ast.rvar = Option.map rn r.Ast.rvar }
+  and rn_path (p : Ast.pattern_path) =
+    let pvar = Option.map rn p.Ast.pvar in
+    let pstart = rn_node p.Ast.pstart in
+    let psteps =
+      List.map
+        (fun (r, n) ->
+          let r = rn_rel r in
+          let n = rn_node n in
+          (r, n))
+        p.Ast.psteps
+    in
+    { p with Ast.pvar; pstart; psteps }
+  in
+  let rn_items items =
+    List.map
+      (fun (e, a) ->
+        let e = rn_expr e in
+        (e, rn a))
+      items
+  in
+  let rec rn_op op =
+    match op with
+    | Node_index_seek r ->
+      let var = rn r.var in
+      Node_index_seek { r with var; value = rn_expr r.value }
+    | Node_label_scan r -> Node_label_scan { r with var = rn r.var }
+    | All_nodes_scan { var } -> All_nodes_scan { var = rn var }
+    | Expand r ->
+      let src = rn r.src in
+      let rel_var = Option.map rn r.rel_var in
+      let dst = rn r.dst in
+      Expand { r with src; rel_var; dst }
+    | Var_expand r ->
+      let src = rn r.src in
+      let dst = rn r.dst in
+      Var_expand { r with src; dst }
+    | Shortest_path r ->
+      let pvar = Option.map rn r.pvar in
+      let src = rn r.src in
+      let dst = rn r.dst in
+      Shortest_path { r with pvar; src; dst }
+    | Node_check r ->
+      let var = rn r.var in
+      Node_check { var; pat = rn_node r.pat }
+    | Filter e -> Filter (rn_expr e)
+    | Project items -> Project (rn_items items)
+    | Aggregate { groups; aggs } ->
+      let groups = rn_items groups in
+      let aggs =
+        List.map
+          (fun (kind, arg, alias) ->
+            let arg = Option.map rn_expr arg in
+            (kind, arg, rn alias))
+          aggs
+      in
+      Aggregate { groups; aggs }
+    | Distinct -> Distinct
+    | Sort items -> Sort (List.map (fun (e, d) -> (rn_expr e, d)) items)
+    | Skip_op e -> Skip_op (rn_expr e)
+    | Limit_op e -> Limit_op (rn_expr e)
+    | Create_op paths -> Create_op (List.map rn_path paths)
+    | Set_op items ->
+      Set_op
+        (List.map
+           (function
+             | Ast.Set_property (v, k, e) ->
+               let v = rn v in
+               Ast.Set_property (v, k, rn_expr e)
+             | Ast.Remove_property (v, k) -> Ast.Remove_property (rn v, k))
+           items)
+    | Delete_op { detach; vars } -> Delete_op { detach; vars = List.map rn vars }
+    | Unwind_op (e, var) ->
+      let e = rn_expr e in
+      Unwind_op (e, rn var)
+    | Merge_op pat -> Merge_op (rn_node pat)
+    | Optional_op { ops; new_vars } ->
+      let ops = List.map rn_op ops in
+      Optional_op { ops; new_vars = List.map rn new_vars }
+  in
+  to_string { t with ops = List.map rn_op t.ops }

@@ -75,11 +75,76 @@ exception Plan_error of string
 
 val plan : Mgq_neo.Db.t -> Ast.query -> t
 (** Compile a parsed query against the database's current schema
-    (available indexes, label statistics).
+    (available indexes, label statistics), orienting each MATCH path
+    with the built-in greedy heuristic.
     @raise Plan_error on unsupported or inconsistent queries. *)
+
+(** {1 Planner-state surface}
+
+    The clause walker (projections, writes, OPTIONAL framing, variable
+    scoping) is shared between the heuristic and the cost-based
+    planner; only MATCH path planning is pluggable. An external
+    planner receives the mutable [state] and may emit operators, try a
+    candidate and roll it back via {!snapshot}/{!restore}. *)
+
+type state
+
+type snapshot
+
+val snapshot : state -> snapshot
+val restore : state -> snapshot -> unit
+
+val db_of : state -> Mgq_neo.Db.t
+
+val ops_so_far : state -> op list
+(** Operators emitted so far, in execution order — what a cost model
+    estimates over. *)
+
+val emit : state -> op -> unit
+val bind_var : state -> string -> unit
+val is_var_bound : state -> string -> bool
+val fresh_var : state -> string
+
+val var_of : state -> Ast.node_pat -> string
+(** The pattern's variable, or a fresh anonymous one. *)
+
+val is_bound : state -> Ast.node_pat -> bool
+
+val emit_leaf : state -> Ast.node_pat -> string
+(** Emit the start-point operator(s) binding the pattern's variable
+    (index seek when available, else label scan, else all-nodes scan)
+    plus residual checks; returns the variable. *)
+
+val emit_node_residual : state -> string -> Ast.node_pat -> unit
+(** Emit a [Node_check] for the label/property constraints the
+    reaching operator did not enforce (no-op when there are none). *)
+
+val plan_path : state -> uniq:string -> Ast.pattern_path -> unit
+(** Plan one path with the greedy heuristic (bound end first, else
+    cheaper leaf). *)
+
+val plan_shortest : state -> Ast.pattern_path -> unit
+
+val reverse_path : Ast.pattern_path -> Ast.pattern_path
+
+val path_end : Ast.pattern_path -> Ast.node_pat
+
+val plan_with :
+  ?plan_paths:(state -> uniq:string -> Ast.pattern_path list -> unit) ->
+  Mgq_neo.Db.t ->
+  Ast.query ->
+  t
+(** {!plan} with MATCH path planning delegated to [plan_paths] (the
+    greedy heuristic when omitted). *)
 
 val op_name : op -> string
 val op_detail : op -> string
 val to_string : t -> string
 (** Multi-line plan rendering, one operator per line, for EXPLAIN-like
     output. *)
+
+val to_canonical_string : t -> string
+(** {!to_string} after α-renaming every variable and alias to
+    [v0, v1, …] in first-appearance order: plans that differ only in
+    the names the query text chose render identically — the witness
+    that different phrasings converged to the same physical plan. *)

@@ -1,0 +1,179 @@
+module Db = Mgq_neo.Db
+
+(* A start-point strategy for one path orientation. The heuristic
+   planner hard-codes the choice; here every admissible leaf becomes a
+   candidate and the cost model arbitrates. *)
+type leaf =
+  | Bound  (** start from an already-bound variable *)
+  | Seek of string * string * Ast.expr  (** label, indexed key, value *)
+  | Scan of string
+  | All_nodes
+
+let leaf_candidates st (pat : Ast.node_pat) =
+  if Plan.is_bound st pat then [ Bound ]
+  else
+    match pat.Ast.nlabel with
+    | Some label ->
+      let seeks =
+        List.filter_map
+          (fun (key, value) ->
+            if Db.has_index (Plan.db_of st) ~label ~property:key then
+              Some (Seek (label, key, value))
+            else None)
+          pat.Ast.nprops
+      in
+      seeks @ [ Scan label ]
+    | None -> [ All_nodes ]
+
+(* Emit the start-point operators for [pat] under an explicit
+   strategy; mirrors [Plan.emit_leaf]'s residual-check discipline. *)
+let emit_start st (pat : Ast.node_pat) leaf =
+  let var = Plan.var_of st pat in
+  (match leaf with
+  | Bound -> Plan.emit_node_residual st var pat
+  | Seek (label, key, value) ->
+    Plan.emit st (Plan.Node_index_seek { var; label; key; value });
+    let residual = List.filter (fun (k, _) -> k <> key) pat.Ast.nprops in
+    if residual <> [] then
+      Plan.emit st
+        (Plan.Node_check { var; pat = { pat with Ast.nlabel = None; nprops = residual } });
+    Plan.bind_var st var
+  | Scan label ->
+    Plan.emit st (Plan.Node_label_scan { var; label });
+    if pat.Ast.nprops <> [] then
+      Plan.emit st (Plan.Node_check { var; pat = { pat with Ast.nlabel = None } });
+    Plan.bind_var st var
+  | All_nodes ->
+    Plan.emit st (Plan.All_nodes_scan { var });
+    if pat.Ast.nlabel <> None || pat.Ast.nprops <> [] then
+      Plan.emit st (Plan.Node_check { var; pat });
+    Plan.bind_var st var);
+  var
+
+(* Endpoint-closure pruning: a label check on a node reached by at
+   least one expansion step is dropped when the observed endpoint
+   schema already implies it. Depth 0 of a [*0..k] expansion can yield
+   the source itself, so [rmin >= 1] is required. *)
+let residual_after_expand db (rel : Ast.rel_pat) (pat : Ast.node_pat) =
+  match pat.Ast.nlabel with
+  | Some l
+    when rel.Ast.rmin >= 1
+         && Rewrite.closure_implies db ~types:rel.Ast.rtypes ~dir:rel.Ast.rdir l ->
+    { pat with Ast.nlabel = None }
+  | _ -> pat
+
+(* Expansion chain for one oriented path; the same emission rules as
+   the heuristic walker, minus pruned residual labels. *)
+let walk st ~uniq start_var steps =
+  let db = Plan.db_of st in
+  let rec go src steps =
+    match steps with
+    | [] -> ()
+    | ((rel : Ast.rel_pat), (node_pat : Ast.node_pat)) :: rest ->
+      let dst_bound = Plan.is_bound st node_pat in
+      let dst = Plan.var_of st node_pat in
+      (match rel.Ast.rvar with
+      | Some rv when Plan.is_var_bound st rv ->
+        raise (Plan.Plan_error "relationship variable reuse is not supported")
+      | _ -> ());
+      if rel.Ast.rmin = 1 && rel.Ast.rmax = 1 then begin
+        Plan.emit st
+          (Plan.Expand
+             {
+               src;
+               rel_var = rel.Ast.rvar;
+               types = rel.Ast.rtypes;
+               dir = rel.Ast.rdir;
+               dst;
+               dst_new = not dst_bound;
+               uniq;
+             });
+        match rel.Ast.rvar with Some rv -> Plan.bind_var st rv | None -> ()
+      end
+      else begin
+        if rel.Ast.rvar <> None then
+          raise (Plan.Plan_error "variable-length relationships cannot bind a variable");
+        Plan.emit st
+          (Plan.Var_expand
+             {
+               src;
+               types = rel.Ast.rtypes;
+               dir = rel.Ast.rdir;
+               rmin = rel.Ast.rmin;
+               rmax = (if rel.Ast.rmax = max_int then 15 else rel.Ast.rmax);
+               dst;
+               dst_new = not dst_bound;
+               uniq;
+             })
+      end;
+      if not dst_bound then begin
+        Plan.emit_node_residual st dst (residual_after_expand db rel node_pat);
+        Plan.bind_var st dst
+      end;
+      go dst rest
+  in
+  go start_var steps
+
+let plan_one st ~uniq (p : Ast.pattern_path) =
+  if p.Ast.shortest then Plan.plan_shortest st p
+  else begin
+    (match p.Ast.pvar with
+    | Some _ -> raise (Plan.Plan_error "path variables are only supported with shortestPath")
+    | None -> ());
+    let db = Plan.db_of st in
+    let orientations = if p.Ast.psteps = [] then [ p ] else [ p; Plan.reverse_path p ] in
+    (* Candidate set is fixed by the pre-path state; compute it before
+       any trial mutates the state. *)
+    let candidates =
+      List.concat_map
+        (fun p -> List.map (fun l -> (p, l)) (leaf_candidates st p.Ast.pstart))
+        orientations
+    in
+    let base = Plan.snapshot st in
+    let best = ref None in
+    let last_err = ref None in
+    List.iter
+      (fun ((p : Ast.pattern_path), leaf) ->
+        Plan.restore st base;
+        match
+          let start_var = emit_start st p.Ast.pstart leaf in
+          walk st ~uniq start_var p.Ast.psteps;
+          Estimate.total_cost db (Plan.ops_so_far st)
+        with
+        | cost -> (
+          match !best with
+          | Some (c, _) when c <= cost -> ()
+          | _ -> best := Some (cost, Plan.snapshot st))
+        | exception Plan.Plan_error msg -> last_err := Some msg)
+      candidates;
+    match !best with
+    | Some (_, snap) -> Plan.restore st snap
+    | None ->
+      raise
+        (Plan.Plan_error
+           (match !last_err with Some m -> m | None -> "no start point candidates"))
+  end
+
+(* Greedy join order: always plan next a path with an already-bound
+   endpoint (turning it into a cheap expand-from / expand-into),
+   falling back to writing order. *)
+let plan_paths st ~uniq paths =
+  let has_bound (p : Ast.pattern_path) =
+    Plan.is_bound st p.Ast.pstart || Plan.is_bound st (Plan.path_end p)
+  in
+  let rec pick acc = function
+    | [] -> (
+      match List.rev acc with p :: rest -> (p, rest) | [] -> assert false)
+    | p :: rest when has_bound p -> (p, List.rev_append acc rest)
+    | p :: rest -> pick (p :: acc) rest
+  in
+  let rec go = function
+    | [] -> ()
+    | remaining ->
+      let next, rest = pick [] remaining in
+      plan_one st ~uniq next;
+      go rest
+  in
+  go paths
+
+let plan db q = Plan.plan_with ~plan_paths db (Rewrite.rewrite db q)

@@ -1,0 +1,368 @@
+module Db = Mgq_neo.Db
+module Catalog = Mgq_catalog.Catalog
+open Mgq_core.Types
+
+exception Skip
+
+let closure_implies db ~types ~dir label =
+  types <> []
+  && List.for_all
+       (fun t ->
+         match Catalog.endpoint_labels (Db.stats db) ~etype:t ~dir with
+         | [ l ] -> String.equal l label
+         | _ -> false)
+       types
+
+(* ---------------- expression traversals ---------------- *)
+
+let rec map_expr f e =
+  match f e with
+  | Some e' -> e'
+  | None -> (
+    match e with
+    | Ast.Lit _ | Ast.Param _ | Ast.Var _ | Ast.Pattern_pred _ -> e
+    | Ast.Prop (e, k) -> Ast.Prop (map_expr f e, k)
+    | Ast.Cmp (op, a, b) -> Ast.Cmp (op, map_expr f a, map_expr f b)
+    | Ast.Arith (op, a, b) -> Ast.Arith (op, map_expr f a, map_expr f b)
+    | Ast.And (a, b) -> Ast.And (map_expr f a, map_expr f b)
+    | Ast.Or (a, b) -> Ast.Or (map_expr f a, map_expr f b)
+    | Ast.Not a -> Ast.Not (map_expr f a)
+    | Ast.In_coll (a, b) -> Ast.In_coll (map_expr f a, map_expr f b)
+    | Ast.List_lit es -> Ast.List_lit (List.map (map_expr f) es)
+    | Ast.Fn (n, es) -> Ast.Fn (n, List.map (map_expr f) es)
+    | Ast.Agg (k, arg) -> Ast.Agg (k, Option.map (map_expr f) arg))
+
+let map_proj f (p : Ast.projection) =
+  {
+    p with
+    Ast.items = List.map (fun (e, a) -> (f e, a)) p.Ast.items;
+    order_by = List.map (fun (e, d) -> (f e, d)) p.Ast.order_by;
+    skip = Option.map f p.Ast.skip;
+    limit = Option.map f p.Ast.limit;
+  }
+
+let map_clause_exprs f = function
+  | Ast.Match m -> Ast.Match { m with where = Option.map f m.where }
+  | Ast.With (p, w) -> Ast.With (map_proj f p, Option.map f w)
+  | Ast.Return p -> Ast.Return (map_proj f p)
+  | Ast.Unwind (e, v) -> Ast.Unwind (f e, v)
+  | (Ast.Create _ | Ast.Set_clause _ | Ast.Delete _ | Ast.Merge _) as c -> c
+
+let rec expr_vars acc e =
+  match e with
+  | Ast.Var v -> v :: acc
+  | Ast.Lit _ | Ast.Param _ -> acc
+  | Ast.Prop (e, _) | Ast.Not e -> expr_vars acc e
+  | Ast.Cmp (_, a, b) | Ast.Arith (_, a, b) | Ast.And (a, b) | Ast.Or (a, b)
+  | Ast.In_coll (a, b) -> expr_vars (expr_vars acc a) b
+  | Ast.List_lit es | Ast.Fn (_, es) -> List.fold_left expr_vars acc es
+  | Ast.Agg (_, arg) -> ( match arg with Some a -> expr_vars acc a | None -> acc)
+  | Ast.Pattern_pred p -> path_vars_used acc p
+
+and path_vars_used acc (p : Ast.pattern_path) =
+  let node acc (n : Ast.node_pat) =
+    let acc = match n.Ast.nvar with Some v -> v :: acc | None -> acc in
+    List.fold_left (fun acc (_, e) -> expr_vars acc e) acc n.Ast.nprops
+  in
+  let acc = match p.Ast.pvar with Some v -> v :: acc | None -> acc in
+  let acc = node acc p.Ast.pstart in
+  List.fold_left
+    (fun acc ((r : Ast.rel_pat), n) ->
+      let acc = match r.Ast.rvar with Some v -> v :: acc | None -> acc in
+      node acc n)
+    acc p.Ast.psteps
+
+let proj_vars acc (p : Ast.projection) =
+  let acc = List.fold_left (fun acc (e, _) -> expr_vars acc e) acc p.Ast.items in
+  let acc = List.fold_left (fun acc (e, _) -> expr_vars acc e) acc p.Ast.order_by in
+  let acc = match p.Ast.skip with Some e -> expr_vars acc e | None -> acc in
+  match p.Ast.limit with Some e -> expr_vars acc e | None -> acc
+
+(* Every variable a clause mentions — in expressions or as a pattern
+   binding. Used for occurs checks, so over-approximation is safe. *)
+let clause_vars = function
+  | Ast.Match { pattern; where; _ } ->
+    let acc = List.fold_left path_vars_used [] pattern in
+    (match where with Some e -> expr_vars acc e | None -> acc)
+  | Ast.With (p, w) ->
+    let acc = proj_vars [] p in
+    (match w with Some e -> expr_vars acc e | None -> acc)
+  | Ast.Return p -> proj_vars [] p
+  | Ast.Create pattern -> List.fold_left path_vars_used [] pattern
+  | Ast.Set_clause items ->
+    List.fold_left
+      (fun acc -> function
+        | Ast.Set_property (v, _, e) -> expr_vars (v :: acc) e
+        | Ast.Remove_property (v, _) -> v :: acc)
+      [] items
+  | Ast.Delete { vars; _ } -> vars
+  | Ast.Unwind (e, v) -> expr_vars [ v ] e
+  | Ast.Merge n ->
+    let acc = match n.Ast.nvar with Some v -> [ v ] | None -> [] in
+    List.fold_left (fun acc (_, e) -> expr_vars acc e) acc n.Ast.nprops
+
+(* ---------------- pass 1: collect-membership decorrelation -------- *)
+
+let bare (n : Ast.node_pat) = n.Ast.nlabel = None && n.Ast.nprops = []
+
+(* Transplant the dropped anchor pattern's constraints onto the first
+   occurrence of its variable in the clause list's leading MATCH. *)
+let merge_anchor svar (anchor : Ast.node_pat) clauses =
+  let merged = ref false in
+  let merge_node (n : Ast.node_pat) =
+    if (not !merged) && n.Ast.nvar = Some svar then begin
+      let nlabel =
+        match (n.Ast.nlabel, anchor.Ast.nlabel) with
+        | None, l | l, None -> l
+        | Some a, Some b -> if String.equal a b then Some a else raise Skip
+      in
+      merged := true;
+      { n with Ast.nlabel; nprops = anchor.Ast.nprops @ n.Ast.nprops }
+    end
+    else n
+  in
+  let merge_path (p : Ast.pattern_path) =
+    let pstart = merge_node p.Ast.pstart in
+    let psteps = List.map (fun (r, n) -> (r, merge_node n)) p.Ast.psteps in
+    { p with Ast.pstart; psteps }
+  in
+  match clauses with
+  | Ast.Match m :: rest ->
+    let c = Ast.Match { m with pattern = List.map merge_path m.pattern } in
+    if not !merged then raise Skip;
+    c :: rest
+  | _ -> raise Skip
+
+let try_decorrelate db (p1 : Ast.pattern_path) (proj : Ast.projection) rest =
+  match p1.Ast.psteps with
+  | [ ((r1 : Ast.rel_pat), fpat) ]
+    when (not p1.Ast.shortest) && p1.Ast.pvar = None && r1.Ast.rmin = 1 && r1.Ast.rmax = 1
+         && r1.Ast.rvar = None -> (
+    try
+      let svar = match p1.Ast.pstart.Ast.nvar with Some v -> v | None -> raise Skip in
+      let fvar = match fpat.Ast.nvar with Some v -> v | None -> raise Skip in
+      if fpat.Ast.nprops <> [] then raise Skip;
+      if
+        proj.Ast.distinct || proj.Ast.order_by <> [] || proj.Ast.skip <> None
+        || proj.Ast.limit <> None
+      then raise Skip;
+      let cvar =
+        match proj.Ast.items with
+        | [ (Ast.Var v, a); (Ast.Agg (Ast.Collect, Some (Ast.Var fv)), c) ]
+        | [ (Ast.Agg (Ast.Collect, Some (Ast.Var fv)), c); (Ast.Var v, a) ]
+          when v = a && v = svar && fv = fvar -> c
+        | _ -> raise Skip
+      in
+      (* The next clause must re-require ≥1 step of the same
+         type/direction from the anchor, preserving the dropped
+         MATCH's implicit "anchor has a neighbour" row filter. *)
+      (match rest with
+      | Ast.Match { optional = false; pattern; _ } :: _ ->
+        let rerequires (p : Ast.pattern_path) =
+          (not p.Ast.shortest)
+          && p.Ast.pstart.Ast.nvar = Some svar
+          && (match p.Ast.psteps with
+             | ((r : Ast.rel_pat), _) :: _ ->
+               r.Ast.rtypes = r1.Ast.rtypes && r.Ast.rdir = r1.Ast.rdir && r.Ast.rmin >= 1
+             | [] -> false)
+        in
+        if not (List.exists rerequires pattern) then raise Skip
+      | _ -> raise Skip);
+      (* x IN c  ->  (s)-[r1]->(x); f's label is dropped when the
+         observed endpoint schema already implies it. *)
+      let flabel =
+        match fpat.Ast.nlabel with
+        | Some l when closure_implies db ~types:r1.Ast.rtypes ~dir:r1.Ast.rdir l -> None
+        | other -> other
+      in
+      let subst e =
+        match e with
+        | Ast.In_coll (Ast.Var x, Ast.Var c) when c = cvar ->
+          Some
+            (Ast.Pattern_pred
+               {
+                 Ast.shortest = false;
+                 pvar = None;
+                 pstart = { Ast.nvar = Some svar; nlabel = None; nprops = [] };
+                 psteps = [ (r1, { Ast.nvar = Some x; nlabel = flabel; nprops = [] }) ];
+               })
+        | _ -> None
+      in
+      let rest = List.map (map_clause_exprs (map_expr subst)) rest in
+      (* The collected list and the friend variable must be gone —
+         any surviving use means the membership was not the only
+         consumer and the rewrite would change semantics. *)
+      let used = List.concat_map clause_vars rest in
+      if List.mem cvar used || List.mem fvar used then raise Skip;
+      Some (merge_anchor svar p1.Ast.pstart rest)
+    with Skip -> None)
+  | _ -> None
+
+let rec decorrelate db clauses =
+  match clauses with
+  | Ast.Match { optional = false; pattern = [ p1 ]; where = None } :: Ast.With (proj, None) :: rest
+    -> (
+    match try_decorrelate db p1 proj rest with
+    | Some rest' -> decorrelate db rest'
+    | None ->
+      List.nth clauses 0 :: List.nth clauses 1 :: decorrelate db rest)
+  | c :: cs -> c :: decorrelate db cs
+  | [] -> []
+
+(* ---------------- pass 2: trivial-WITH elimination ---------------- *)
+
+let is_trivial_with (proj : Ast.projection) =
+  (not proj.Ast.distinct)
+  && proj.Ast.order_by = []
+  && proj.Ast.skip = None && proj.Ast.limit = None
+  && List.for_all (function Ast.Var v, a -> String.equal v a | _ -> false) proj.Ast.items
+
+let conj w1 w2 =
+  match (w1, w2) with None, w | w, None -> w | Some a, Some b -> Some (Ast.And (a, b))
+
+let rec trivial_with clauses =
+  match clauses with
+  | Ast.Match ({ optional = false; _ } as m) :: Ast.With (proj, w) :: rest
+    when is_trivial_with proj ->
+    trivial_with (Ast.Match { m with where = conj m.where w } :: rest)
+  | c :: cs -> c :: trivial_with cs
+  | [] -> []
+
+(* ---------------- pass 3: var-length lower-bound tightening ------- *)
+
+let rec conjuncts e acc =
+  match e with Ast.And (a, b) -> conjuncts a (conjuncts b acc) | e -> e :: acc
+
+(* NOT (s)-[:T]->(x) conjuncts over bare single-step patterns, as
+   (src, dst, types, dir) with both orientations admissible. *)
+let negated_edges where =
+  match where with
+  | None -> []
+  | Some w ->
+    List.filter_map
+      (function
+        | Ast.Not
+            (Ast.Pattern_pred
+              { Ast.shortest = false; pvar = None; pstart; psteps = [ (r, n) ] })
+          when r.Ast.rmin = 1 && r.Ast.rmax = 1 && bare pstart && bare n -> (
+          match (pstart.Ast.nvar, n.Ast.nvar) with
+          | Some s, Some x -> Some (s, x, r.Ast.rtypes, r.Ast.rdir)
+          | _ -> None)
+        | _ -> None)
+      (conjuncts w [])
+
+let tighten_clause clause =
+  match clause with
+  | Ast.Match ({ optional = false; where = Some _; pattern; _ } as m) ->
+    let negs = negated_edges m.where in
+    let tighten_path (p : Ast.pattern_path) =
+      if p.Ast.shortest then p
+      else begin
+        let rec walk src steps =
+          match steps with
+          | [] -> []
+          | (((r : Ast.rel_pat), (n : Ast.node_pat)) as step) :: rest ->
+            let excluded_at_depth_1 =
+              match (src, n.Ast.nvar) with
+              | Some s, Some x ->
+                List.exists
+                  (fun (ns, nx, nt, nd) ->
+                    nt = r.Ast.rtypes
+                    && ((ns = s && nx = x && nd = r.Ast.rdir)
+                       || (ns = x && nx = s && nd = flip r.Ast.rdir)))
+                  negs
+              | _ -> false
+            in
+            let step =
+              if r.Ast.rmin = 1 && r.Ast.rmax >= 2 && r.Ast.rvar = None && excluded_at_depth_1
+              then ({ r with Ast.rmin = 2 }, n)
+              else step
+            in
+            step :: walk n.Ast.nvar rest
+        in
+        { p with Ast.psteps = walk p.Ast.pstart.Ast.nvar p.Ast.psteps }
+      end
+    in
+    Ast.Match { m with pattern = List.map tighten_path pattern }
+  | c -> c
+
+(* ---------------- pass 4: fixed-length unrolling ------------------ *)
+
+let unroll_path (p : Ast.pattern_path) =
+  if p.Ast.shortest then p
+  else begin
+    let expand ((r : Ast.rel_pat), n) =
+      if r.Ast.rvar = None && r.Ast.rmin = r.Ast.rmax && r.Ast.rmin >= 2 && r.Ast.rmin <= 4
+      then begin
+        let one = { r with Ast.rmin = 1; rmax = 1 } in
+        let anon = { Ast.nvar = None; nlabel = None; nprops = [] } in
+        let rec reps k acc =
+          if k = 1 then List.rev ((one, n) :: acc) else reps (k - 1) ((one, anon) :: acc)
+        in
+        reps r.Ast.rmin []
+      end
+      else [ (r, n) ]
+    in
+    { p with Ast.psteps = List.concat_map expand p.Ast.psteps }
+  end
+
+let unroll_clause = function
+  | Ast.Match m -> Ast.Match { m with pattern = List.map unroll_path m.pattern }
+  | c -> c
+
+(* ---------------- pass 5: conjunct canonicalisation --------------- *)
+
+(* Shape key: the expression rendered with every variable masked, so
+   [NOT (a)-[:follows]->(fof)] and [NOT (a)-[:follows]->(x)] sort
+   identically. *)
+let shape_key e =
+  let rec mask e =
+    match e with
+    | Ast.Var _ -> Some (Ast.Var "_")
+    | Ast.Pattern_pred p -> Some (Ast.Pattern_pred (mask_path p))
+    | _ -> None
+  and mask_path (p : Ast.pattern_path) =
+    let node (n : Ast.node_pat) =
+      {
+        n with
+        Ast.nvar = Option.map (fun _ -> "_") n.Ast.nvar;
+        nprops = List.map (fun (k, e) -> (k, map_expr mask e)) n.Ast.nprops;
+      }
+    in
+    {
+      p with
+      Ast.pvar = Option.map (fun _ -> "_") p.Ast.pvar;
+      pstart = node p.Ast.pstart;
+      psteps =
+        List.map
+          (fun ((r : Ast.rel_pat), n) ->
+            ({ r with Ast.rvar = Option.map (fun _ -> "_") r.Ast.rvar }, node n))
+          p.Ast.psteps;
+    }
+  in
+  Parser.expr_to_string (map_expr mask e)
+
+let canon_where e =
+  match conjuncts e [] with
+  | [] | [ _ ] -> e
+  | cs -> (
+    let keyed = List.map (fun c -> (shape_key c, c)) cs in
+    let sorted = List.stable_sort (fun (a, _) (b, _) -> String.compare a b) keyed in
+    match List.map snd sorted with
+    | c :: rest -> List.fold_left (fun acc c -> Ast.And (acc, c)) c rest
+    | [] -> e)
+
+let canon_clause = function
+  | Ast.Match m -> Ast.Match { m with where = Option.map canon_where m.where }
+  | Ast.With (p, w) -> Ast.With (p, Option.map canon_where w)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+
+let rewrite db (q : Ast.query) =
+  let clauses = decorrelate db q.Ast.clauses in
+  let clauses = trivial_with clauses in
+  let clauses = List.map tighten_clause clauses in
+  let clauses = List.map unroll_clause clauses in
+  let clauses = List.map canon_clause clauses in
+  { q with Ast.clauses }

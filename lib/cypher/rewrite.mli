@@ -1,0 +1,41 @@
+(** Statistics-aware logical rewrites, applied before cost-based
+    planning.
+
+    Five passes, each conservative (they fire only when the enabling
+    conditions are provable from the query and the observed endpoint
+    schema) and each semantics-preserving:
+
+    + {e collect-membership decorrelation}: [MATCH (s)-[r]->(f) WITH
+      s, collect(f) AS c MATCH ... WHERE ... x IN c ...] becomes a
+      pattern predicate [(s)-[r]->(x)], the first MATCH/WITH pair is
+      dropped and the anchor's constraints are transplanted — sound
+      when the second MATCH re-requires at least one step of the same
+      type/direction from [s], so the dropped clause's implicit
+      "[s] has a neighbour" row filter is preserved;
+    + {e trivial-WITH elimination}: a bare variable-passing [WITH a, x
+      [WHERE p]] merges its filter into the preceding MATCH;
+    + {e var-length lower-bound tightening}: [-[:T*1..k]->(x)] with a
+      conjunct [NOT (s)-[:T]->(x)] cannot match at depth 1, so the
+      lower bound rises to 2;
+    + {e fixed-length unrolling}: [*k..k] (2 ≤ k ≤ 4, no relationship
+      variable) becomes k single-step expansions — sound because a
+      variable-length expansion shares the MATCH clause's
+      relationship-uniqueness scope, which unrolled expansions also
+      share;
+    + {e conjunct canonicalisation}: WHERE conjuncts are flattened and
+      sorted by a variable-masked shape key, so logically identical
+      filters from different phrasings compare (and render) equal.
+
+    Together with the cost-based planner's endpoint-closure pruning of
+    label checks, these make the paper's three Section-4
+    recommendation phrasings plan identically. *)
+
+val rewrite : Mgq_neo.Db.t -> Ast.query -> Ast.query
+
+val closure_implies :
+  Mgq_neo.Db.t -> types:string list -> dir:Mgq_core.Types.direction -> string -> bool
+(** [closure_implies db ~types ~dir l]: every node reached by
+    traversing any [types] edge in [dir] carries label [l], per the
+    catalog's observed endpoint schema — the license to drop a
+    redundant label check. False when [types] is empty (an untyped
+    expansion) or no such edges exist. *)

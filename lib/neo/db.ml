@@ -5,6 +5,7 @@ module Blob_store = Mgq_storage.Blob_store
 module Value = Mgq_core.Value
 module Property = Mgq_core.Property
 module Obs = Mgq_obs.Obs
+module Catalog = Mgq_catalog.Catalog
 
 let m_commits = Obs.counter "db.commits"
 let m_rollbacks = Obs.counter "db.rollbacks"
@@ -34,7 +35,9 @@ let g_type = 1
 let g_next = 2
 let g_first_out = 3
 let g_first_in = 4
-let group_fields = 5
+let g_out_count = 5 (* chain lengths, so typed degree is O(1) on dense nodes *)
+let g_in_count = 6
+let group_fields = 7
 
 (* Relationship record fields. *)
 let r_in_use = 0
@@ -95,6 +98,8 @@ type t = {
   mutable current_tx : tx option;
   mutable wal : Wal.t option;
   mutable tx_redo : Wal.op list; (* reversed; committed as one record *)
+  catalog : Catalog.t;
+  mutable tx_stats : Catalog.event list; (* reversed; applied at commit *)
 }
 
 let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 50)
@@ -129,6 +134,8 @@ let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 
       current_tx = None;
       wal = None;
       tx_redo = [];
+      catalog = Catalog.create ();
+      tx_stats = [];
     }
   in
   if wal then t.wal <- Some (Wal.create disk);
@@ -146,7 +153,7 @@ exception Corrupt_snapshot of string
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_snapshot msg)) fmt
 
 let save_magic = "MGQNEO2\n"
-let save_version = 3 (* v3: WAL frames carry LSNs *)
+let save_version = 4 (* v4: statistics catalog + relationship-group chain counts *)
 
 let save t path =
   if t.current_tx <> None then failwith "Db.save: transaction open";
@@ -200,6 +207,7 @@ let in_tx t = t.current_tx <> None
 let begin_tx t =
   if in_tx t then failwith "Db.begin_tx: transaction already open";
   t.tx_redo <- [];
+  t.tx_stats <- [];
   t.current_tx <- Some { undo = [] }
 
 let commit t =
@@ -220,6 +228,10 @@ let commit t =
     (match t.wal with
     | Some w when t.tx_redo <> [] -> ignore (Wal.append_ops w (List.rev t.tx_redo) : int)
     | _ -> ());
+    (* Statistics deltas land only once the transaction is durable; a
+       failed append above leaves them buffered for rollback to drop. *)
+    List.iter (Catalog.apply t.catalog) (List.rev t.tx_stats);
+    t.tx_stats <- [];
     t.tx_redo <- [];
     t.current_tx <- None;
     Obs.Counter.incr m_commits
@@ -230,6 +242,7 @@ let rollback t =
   | Some tx ->
     t.current_tx <- None;
     t.tx_redo <- [];
+    t.tx_stats <- [];
     Obs.Counter.incr m_rollbacks;
     (* After a simulated crash the process is conceptually dead: no
        undo runs, recovery rebuilds from snapshot + WAL. Otherwise undo
@@ -264,6 +277,14 @@ let log_redo t op =
   | Some _ -> t.tx_redo <- op :: t.tx_redo
   | None -> (
     match t.wal with Some w -> ignore (Wal.append_ops w [ op ] : int) | None -> ())
+
+(* Record a statistics delta. Inside a transaction it is buffered and
+   applied only after the commit's WAL append succeeds — rollback (or
+   a crash mid-commit) discards it; outside, it applies immediately. *)
+let stat_event t ev =
+  match t.current_tx with
+  | Some _ -> t.tx_stats <- ev :: t.tx_stats
+  | None -> Catalog.apply t.catalog ev
 
 (* Mutators are exception-atomic. Their record rewrites touch
    buffer-pool memory — the disk I/O that can transiently fail happens
@@ -513,7 +534,7 @@ let ensure_group t node type_id =
   | None ->
     let g = Record_store.allocate t.groups in
     let head = Record_store.get t.nodes ~id:node ~field:n_first_out in
-    Record_store.set_record t.groups ~id:g [| 1; type_id; head; nil; nil |];
+    Record_store.set_record t.groups ~id:g [| 1; type_id; head; nil; nil; 0; 0 |];
     Record_store.set t.nodes ~id:node ~field:n_first_out g;
     g
 
@@ -539,11 +560,19 @@ let head_loc t node type_id ~out =
 
 (* Link / unlink one side of an edge into its node's chain, whichever
    representation the node currently uses. *)
+let bump_group_count t loc ~out delta =
+  match loc with
+  | Node_head _ -> ()
+  | Group_head (g, _) ->
+    let field = if out then g_out_count else g_in_count in
+    Record_store.set t.groups ~id:g ~field (Record_store.get t.groups ~id:g ~field + delta)
+
 let insert_side t id ~node ~type_id ~out =
   let loc = head_loc t node type_id ~out in
   let next_field = if out then r_next_out else r_next_in in
   Record_store.set t.rels ~id ~field:next_field (read_head t loc);
-  write_head t loc id
+  write_head t loc id;
+  bump_group_count t loc ~out 1
 
 let unlink_side t id ~node ~type_id ~out =
   let loc = head_loc t node type_id ~out in
@@ -557,7 +586,8 @@ let unlink_side t id ~node ~type_id ~out =
       else walk cursor_next
     in
     walk (read_head t loc)
-  end
+  end;
+  bump_group_count t loc ~out (-1)
 
 (* Convert a node to the dense representation: pull its two mixed
    chains apart into per-type group chains. This is the work the
@@ -658,7 +688,27 @@ let degree t id ?etype dir =
   | None, Both ->
     let loops = Seq.length (Seq.filter (fun e -> e.src = e.dst) (edges_of t id Out)) in
     out_degree t id + in_degree t id - loops
-  | Some _, _ -> Seq.length (edges_of t id ?etype dir)
+  | Some name, _ -> (
+    check_node t id;
+    match Dict.find t.type_dict name with
+    | None -> 0
+    | Some type_id when is_dense t id -> (
+      (* Group records cache their chain lengths: a typed degree on a
+         dense node costs the group-chain walk, not the edge chain. *)
+      let count field =
+        match group_of t id type_id with
+        | Some g -> Record_store.get t.groups ~id:g ~field
+        | None -> 0
+      in
+      match dir with
+      | Out -> count g_out_count
+      | In -> count g_in_count
+      | Both ->
+        let loops =
+          Seq.length (Seq.filter (fun e -> e.src = e.dst) (edges_of t id ~etype:name Out))
+        in
+        count g_out_count + count g_in_count - loops)
+    | Some _ -> Seq.length (edges_of t id ?etype dir))
 
 let all_nodes t =
   let total = Record_store.count t.nodes in
@@ -743,6 +793,7 @@ let create_node t ~label properties =
       scan_remove t label_id id;
       t.node_count <- t.node_count - 1);
   log_redo t (Wal.Create_node { label; props = Property.to_list properties });
+  stat_event t (Catalog.Node_added { node = id; label; props = Property.to_list properties });
   id
 
 let bump_type_count t type_id delta =
@@ -804,6 +855,7 @@ let create_edge t ~etype ~src ~dst properties =
   maybe_densify t dst;
   log_undo t (fun () -> remove_edge_physically t id);
   log_redo t (Wal.Create_edge { etype; src; dst; props = Property.to_list properties });
+  stat_event t (Catalog.Edge_added { etype; src; dst });
   id
 
 let set_node_property t id key value =
@@ -817,7 +869,8 @@ let set_node_property t id key value =
   log_undo t (fun () ->
       undo_index ();
       undo_write ());
-  log_redo t (Wal.Set_node_prop { node = id; key; value })
+  log_redo t (Wal.Set_node_prop { node = id; key; value });
+  stat_event t (Catalog.Prop_set { node = id; key; old_v; new_v = value })
 
 let set_edge_property t id key value =
   check_edge t id;
@@ -828,12 +881,14 @@ let set_edge_property t id key value =
 
 let delete_edge t id =
   check_edge t id;
+  let e = edge t id in
   atomic t @@ fun () ->
   remove_edge_physically t id;
   (* Undo re-inserts at the then-current chain heads; order within a
      chain is not semantic. *)
   log_undo t (fun () -> insert_edge_physically t id);
-  log_redo t (Wal.Delete_edge id)
+  log_redo t (Wal.Delete_edge id);
+  stat_event t (Catalog.Edge_removed { etype = e.etype; src = e.src; dst = e.dst })
 
 let delete_node t id =
   check_node t id;
@@ -858,7 +913,8 @@ let delete_node t id =
       scan_add t label_id id;
       t.node_count <- t.node_count + 1;
       List.iter (fun u -> u ()) index_undos);
-  log_redo t (Wal.Delete_node id)
+  log_redo t (Wal.Delete_node id);
+  stat_event t (Catalog.Node_removed { node = id; props = Property.to_list props })
 
 (* ---------------- schema indexes ---------------- *)
 
@@ -880,7 +936,18 @@ let create_index t ~label ~property =
             let v = node_property t node property in
             if v <> Value.Null then index_insert index (Value.hash_fold v) node)
           (nodes_with_label t label);
-        log_redo t (Wal.Create_index { label; property }))
+        log_redo t (Wal.Create_index { label; property });
+        (* A new access path invalidates cached plans. *)
+        Catalog.bump_epoch t.catalog)
+
+let drop_index t ~label ~property =
+  match (Dict.find t.label_dict label, Dict.find t.key_dict property) with
+  | Some ilabel, Some ikey when Hashtbl.mem t.indexes { ilabel; ikey } ->
+    atomic t (fun () ->
+        Hashtbl.remove t.indexes { ilabel; ikey };
+        log_redo t (Wal.Drop_index { label; property });
+        Catalog.bump_epoch t.catalog)
+  | _ -> ()
 
 let index_lookup t ~label ~property value =
   match (Dict.find t.label_dict label, Dict.find t.key_dict property) with
@@ -897,6 +964,27 @@ let index_lookup t ~label ~property value =
       | Some bucket ->
         List.filter (fun node -> Value.equal (node_property t node property) value) !bucket))
   | _ -> raise (Schema_error (Printf.sprintf "no index on :%s(%s)" label property))
+
+(* ---------------- statistics catalog ---------------- *)
+
+let stats t = t.catalog
+let stats_epoch t = Catalog.epoch t.catalog
+
+(* ANALYZE: rebuild the statistics from a full scan. Charges real
+   store reads (labels, property chains, out-chains), like the scans
+   it is made of. *)
+let analyze t =
+  let nodes =
+    Seq.map
+      (fun id -> (id, node_label t id, Property.to_list (node_properties t id)))
+      (all_nodes t)
+  in
+  let edges =
+    Seq.concat_map
+      (fun id -> Seq.map (fun e -> (e.etype, e.src, e.dst)) (edges_of t id Out))
+      (all_nodes t)
+  in
+  Catalog.rebuild t.catalog ~nodes ~edges
 
 (* ---------------- checkpoint & recovery ---------------- *)
 
@@ -920,6 +1008,7 @@ let replay_op t = function
   | Wal.Delete_node id -> delete_node t id
   | Wal.Densify id -> densify_node t id
   | Wal.Create_index { label; property } -> create_index t ~label ~property
+  | Wal.Drop_index { label; property } -> drop_index t ~label ~property
 
 (* Apply one shipped WAL record as a transaction of its own: the
    replication path. The ops re-commit through this instance's WAL,
@@ -934,6 +1023,7 @@ let recover_report ?snapshot t =
      log, so it never happened. *)
   t.current_tx <- None;
   t.tx_redo <- [];
+  t.tx_stats <- [];
   if Sim_disk.crashed t.disk then Sim_disk.reopen t.disk else Sim_disk.disarm_faults t.disk;
   let base =
     match snapshot with

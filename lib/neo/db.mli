@@ -175,8 +175,10 @@ val in_degree : t -> Mgq_core.Types.node_id -> int
 
 val degree :
   t -> Mgq_core.Types.node_id -> ?etype:string -> Mgq_core.Types.direction -> int
-(** Without [etype] the cached degree fields answer in O(1); with a
-    type filter the chain is walked. *)
+(** Without [etype] the cached degree fields answer in O(1). With a
+    type filter, a dense node answers from its relationship group's
+    cached chain lengths (a group-chain walk, independent of degree);
+    a sparse node walks its chain. *)
 
 val edges_of :
   t ->
@@ -223,7 +225,12 @@ val edge_type_count : t -> string -> int
 
 val create_index : t -> label:string -> property:string -> unit
 (** Build a hash index over existing and future nodes of [label] keyed
-    by [property]. Idempotent. Charges one db hit per scanned node. *)
+    by [property]. Idempotent. Charges one db hit per scanned node.
+    Bumps the stats epoch, invalidating cached plans. *)
+
+val drop_index : t -> label:string -> property:string -> unit
+(** Remove the index on ([label], [property]); a no-op when absent.
+    Bumps the stats epoch, invalidating cached plans. *)
 
 val has_index : t -> label:string -> property:string -> bool
 
@@ -234,3 +241,26 @@ val index_lookup :
     planner must check {!has_index} first. Hash-bucket candidates are
     verified against the property store (charging db hits), so
     collisions cannot produce false positives. *)
+
+(** {1 Graph statistics}
+
+    A {!Mgq_catalog.Catalog} maintained incrementally: every committed
+    write applies its statistics deltas after the WAL append (rolled
+    back transactions leave no trace), so cardinality estimates are
+    available without ever running ANALYZE. {!analyze} rebuilds the
+    catalog from a full scan; both maintenance paths agree exactly. *)
+
+val stats : t -> Mgq_catalog.Catalog.t
+(** The live statistics catalog (read-only by convention; use
+    {!analyze} to rebuild it). *)
+
+val stats_epoch : t -> int
+(** Current stats epoch — bumps on {!analyze}, {!create_index} /
+    {!drop_index}, and on graph-shape changes (first occurrence of a
+    label, relationship type, property key or endpoint pair). Plan
+    caches key on this. *)
+
+val analyze : t -> unit
+(** Rebuild the statistics catalog from a full scan of the node and
+    relationship stores (the ANALYZE entry point), then bump the
+    stats epoch. Charges the scan's db hits. *)

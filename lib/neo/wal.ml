@@ -19,6 +19,7 @@ type op =
   | Delete_node of int
   | Densify of int
   | Create_index of { label : string; property : string }
+  | Drop_index of { label : string; property : string }
 
 type stop =
   | Clean

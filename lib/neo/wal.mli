@@ -37,6 +37,7 @@ type op =
   | Delete_node of int
   | Densify of int
   | Create_index of { label : string; property : string }
+  | Drop_index of { label : string; property : string }
       (** Logical redo operations. Node/edge ids are implicit: ids are
           allocation-ordered, so replaying every committed operation
           in log order reproduces them. Automatic densification is

@@ -41,11 +41,17 @@ type sparks = {
   s_report : Import_report.t;
 }
 
-let build_neo ?pool_pages ?(checkpoint_dirty_pages = Import_neo.default_checkpoint_pages)
-    ?batch dataset =
+(* The session defaults to the heuristic planner: the paper's
+   Section-4 observations (different phrasings of the recommendation
+   query plan and cost differently) are properties of that planner,
+   and the claims tests reproduce them through this context. Pass
+   [~planner:Cypher.Cost_based] to study the statistics-driven
+   planner instead. *)
+let build_neo ?(planner = Cypher.Heuristic) ?pool_pages
+    ?(checkpoint_dirty_pages = Import_neo.default_checkpoint_pages) ?batch dataset =
   let db = Db.create ?pool_pages ~checkpoint_dirty_pages () in
   let report, users, tweets, hashtags = Import_neo.run ?batch db dataset in
-  { db; session = Cypher.create db; users; tweets; hashtags; report }
+  { db; session = Cypher.create ~planner db; users; tweets; hashtags; report }
 
 let build_sparks ?(materialize_neighbors = false) ?options dataset =
   let sdb = Sdb.create ~materialize_neighbors () in

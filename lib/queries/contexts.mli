@@ -38,6 +38,7 @@ type sparks = {
 }
 
 val build_neo :
+  ?planner:Mgq_cypher.Cypher.planner ->
   ?pool_pages:int ->
   ?checkpoint_dirty_pages:int ->
   ?batch:int ->
@@ -45,7 +46,10 @@ val build_neo :
   neo
 (** Import into a fresh record-store engine (checkpoint threshold
     defaults to {!Mgq_twitter.Import_neo.default_checkpoint_pages})
-    and open a Cypher session on it. *)
+    and open a Cypher session on it. [planner] defaults to
+    [Heuristic] — the paper's Section-4 phrasing-sensitivity claims
+    are properties of the heuristic planner and the claims tests
+    reproduce them through this context. *)
 
 val build_sparks :
   ?materialize_neighbors:bool ->

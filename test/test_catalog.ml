@@ -1,0 +1,404 @@
+(* Tests for the graph-statistics catalog and the cost-based planner
+   built on it: incremental maintenance vs ANALYZE rebuild, estimator
+   exactness and bounds, statistics-driven start-point choice, the
+   epoch-keyed plan cache, and O(1) typed degree on dense nodes. *)
+
+module Db = Mgq_neo.Db
+module Catalog = Mgq_catalog.Catalog
+module Cypher = Mgq_cypher.Cypher
+module Parser = Mgq_cypher.Parser
+module Plan = Mgq_cypher.Plan
+module Planner = Mgq_cypher.Planner
+module Estimate = Mgq_cypher.Estimate
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+module Types = Mgq_core.Types
+module Rng = Mgq_util.Rng
+module Cost_model = Mgq_storage.Cost_model
+module Sim_disk = Mgq_storage.Sim_disk
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let props l = Property.of_list l
+let no_props = Property.empty
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance = ANALYZE rebuild                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a random committed write sequence — node/edge creation,
+   property updates, deletions, and transactions that roll back — and
+   require the incrementally-maintained statistics to render exactly
+   like a from-scratch rebuild. *)
+let random_write_sequence seed n_ops =
+  let rng = Rng.create seed in
+  let db = Db.create () in
+  let labels = [| "user"; "tweet"; "hashtag" |] in
+  let etypes = [| "follows"; "posts" |] in
+  let nodes = ref [] and edges = ref [] in
+  let pick l = List.nth l (Rng.int rng (List.length l)) in
+  let apply_random () =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      let label = labels.(Rng.int rng (Array.length labels)) in
+      let id = Db.create_node db ~label (props [ ("k", Value.Int (Rng.int rng 8)) ]) in
+      nodes := id :: !nodes
+    | 4 | 5 | 6 -> (
+      match !nodes with
+      | [] -> ()
+      | ns ->
+        let etype = etypes.(Rng.int rng (Array.length etypes)) in
+        let e = Db.create_edge db ~etype ~src:(pick ns) ~dst:(pick ns) no_props in
+        edges := e :: !edges)
+    | 7 -> (
+      match !nodes with
+      | [] -> ()
+      | ns -> Db.set_node_property db (pick ns) "k" (Value.Int (Rng.int rng 8)))
+    | 8 -> (
+      match !edges with
+      | [] -> ()
+      | e :: rest ->
+        Db.delete_edge db e;
+        edges := rest)
+    | _ -> (
+      match List.find_opt (fun n -> Db.degree db n Types.Both = 0) !nodes with
+      | Some n ->
+        Db.delete_node db n;
+        nodes := List.filter (fun x -> x <> n) !nodes
+      | None -> ())
+  in
+  for _ = 1 to n_ops do
+    if Rng.int rng 6 = 0 then begin
+      (* A rolled-back transaction must leave no trace in the stats. *)
+      let saved_nodes = !nodes and saved_edges = !edges in
+      Db.begin_tx db;
+      for _ = 1 to 3 do
+        apply_random ()
+      done;
+      Db.rollback db;
+      nodes := saved_nodes;
+      edges := saved_edges
+    end
+    else apply_random ()
+  done;
+  db
+
+let prop_incremental_equals_rebuild =
+  QCheck.Test.make ~name:"incremental stats = ANALYZE rebuild" ~count:40
+    QCheck.(pair small_int (int_range 1 120))
+    (fun (seed, n_ops) ->
+      let db = random_write_sequence seed n_ops in
+      let incremental = Catalog.dump (Db.stats db) in
+      Db.analyze db;
+      let rebuilt = Catalog.dump (Db.stats db) in
+      if incremental <> rebuilt then
+        QCheck.Test.fail_reportf "incremental:\n%s\nrebuilt:\n%s" incremental rebuilt;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Estimator properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_of_text db text = Planner.plan db (Parser.parse text)
+
+let ann_of db (plan : Plan.t) pred =
+  let anns = Estimate.annotate db plan.Plan.ops in
+  let rec find ops anns =
+    match (ops, anns) with
+    | op :: _, ann :: _ when pred op -> Some ann
+    | _ :: ops, _ :: anns -> find ops anns
+    | _ -> None
+  in
+  find plan.Plan.ops anns
+
+(* A bare single-label scan's row estimate is exact: label counts are
+   maintained per event, not sampled. *)
+let prop_label_scan_exact =
+  QCheck.Test.make ~name:"single-label-scan estimate is exact" ~count:40
+    QCheck.(pair small_int (int_range 1 120))
+    (fun (seed, n_ops) ->
+      let db = random_write_sequence seed n_ops in
+      let plan = plan_of_text db "MATCH (u:user) RETURN u" in
+      let expected =
+        Seq.fold_left
+          (fun acc id -> if Db.node_label db id = "user" then acc + 1 else acc)
+          0 (Db.all_nodes db)
+      in
+      match ann_of db plan (function Plan.Node_label_scan _ -> true | _ -> false) with
+      | Some ann -> int_of_float ann.Estimate.est_rows = expected
+      | None -> expected = 0 (* planner may not even scan an absent label *))
+
+(* Expanding every :user node one step along :follows must estimate
+   exactly the :follows-from-:user edge count (rows x avg degree), and
+   that estimate stays within the histogram's min/max bounds. *)
+let prop_expand_within_histogram =
+  QCheck.Test.make ~name:"1-step expand estimate = edges, within bounds" ~count:40
+    QCheck.(pair small_int (int_range 5 150))
+    (fun (seed, n_ops) ->
+      let db = random_write_sequence seed n_ops in
+      let plan = plan_of_text db "MATCH (u:user)-[:follows]->(v) RETURN v" in
+      let stats = Db.stats db in
+      let summary =
+        Catalog.degree_summary stats ~src_label:(Some "user") ~etype:(Some "follows")
+          ~dir:Types.Out
+      in
+      let users = float_of_int (Catalog.label_count stats "user") in
+      match ann_of db plan (function Plan.Expand _ -> true | _ -> false) with
+      | Some ann ->
+        let est = ann.Estimate.est_rows in
+        Float.abs (est -. float_of_int summary.Catalog.ds_edges) < 1e-6
+        && est >= (users *. float_of_int summary.Catalog.ds_min) -. 1e-6
+        && est <= (users *. float_of_int summary.Catalog.ds_max) +. 1e-6
+      | None -> true (* no :follows edges: planner output is degenerate *))
+
+(* ------------------------------------------------------------------ *)
+(* Statistics-driven plan choice                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Same query text, two value distributions: with a near-constant
+   [grp] the planner must anchor on the selective [uid] index; with a
+   unique [grp] and constant [uid] it must flip to the [grp] index. *)
+let test_seek_choice_follows_stats () =
+  let build ~unique_grp =
+    let db = Db.create () in
+    let users =
+      Array.init 64 (fun i ->
+          let grp = if unique_grp then i else 0 in
+          let uid = if unique_grp then 0 else i in
+          Db.create_node db ~label:"user"
+            (props [ ("uid", Value.Int uid); ("grp", Value.Int grp) ]))
+    in
+    Array.iteri
+      (fun i src ->
+        ignore
+          (Db.create_edge db ~etype:"follows" ~src ~dst:(users.((i + 1) mod 64)) no_props))
+      users;
+    Db.create_index db ~label:"user" ~property:"uid";
+    Db.create_index db ~label:"user" ~property:"grp";
+    Db.analyze db;
+    db
+  in
+  let text = "MATCH (a:user {grp: $g})-[:follows]->(b:user {uid: $uid}) RETURN a.uid" in
+  let first_line db =
+    match String.split_on_char '\n' (Plan.to_string (plan_of_text db text)) with
+    | l :: _ -> l
+    | [] -> ""
+  in
+  let uid_selective = first_line (build ~unique_grp:false) in
+  let grp_selective = first_line (build ~unique_grp:true) in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool
+    (Printf.sprintf "constant grp anchors on uid: %s" uid_selective)
+    true
+    (contains uid_selective "NodeIndexSeek" && contains uid_selective "(uid)");
+  check Alcotest.bool
+    (Printf.sprintf "unique grp anchors on grp: %s" grp_selective)
+    true
+    (contains grp_selective "NodeIndexSeek" && contains grp_selective "(grp)")
+
+(* ------------------------------------------------------------------ *)
+(* Three-phrasing convergence (the tentpole claim)                     *)
+(* ------------------------------------------------------------------ *)
+
+let follows_graph () =
+  let db = Db.create () in
+  let users =
+    Array.init 40 (fun i -> Db.create_node db ~label:"user" (props [ ("uid", Value.Int i) ]))
+  in
+  for a = 0 to 39 do
+    for b = 0 to 39 do
+      if a <> b && (a * 7 + b * 3) mod 5 < 2 then
+        ignore (Db.create_edge db ~etype:"follows" ~src:users.(a) ~dst:users.(b) no_props)
+    done
+  done;
+  Db.create_index db ~label:"user" ~property:"uid";
+  Db.analyze db;
+  db
+
+let test_variant_plans_converge () =
+  let db = follows_graph () in
+  let canon text = Plan.to_canonical_string (plan_of_text db text) in
+  let pa = canon Mgq_queries.Q_cypher.text_q4_variant_a in
+  let pb = canon Mgq_queries.Q_cypher.text_q4_variant_b in
+  let pc = canon Mgq_queries.Q_cypher.text_q4_variant_c in
+  check Alcotest.string "a = b" pa pb;
+  check Alcotest.string "b = c" pb pc
+
+let test_variant_results_agree () =
+  let db = follows_graph () in
+  let session = Cypher.create ~planner:Cypher.Cost_based db in
+  let heuristic = Cypher.create ~planner:Cypher.Heuristic db in
+  let params = [ ("uid", Value.Int 3); ("n", Value.Int 10) ] in
+  List.iter
+    (fun text ->
+      let cost = Cypher.value_rows (Cypher.run ~params session text) in
+      let heur = Cypher.value_rows (Cypher.run ~params heuristic text) in
+      check Alcotest.bool "cost-based rows = heuristic rows" true (cost = heur))
+    [
+      Mgq_queries.Q_cypher.text_q4_variant_a;
+      Mgq_queries.Q_cypher.text_q4_variant_b;
+      Mgq_queries.Q_cypher.text_q4_variant_c;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-keyed plan cache                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite claim: creating an index mid-session flips a cached plan
+   from label scan to index seek on next use — the cache is keyed on
+   the statistics epoch, not only on query text. *)
+let test_plan_cache_flips_on_index_creation () =
+  let db = Db.create () in
+  for i = 0 to 63 do
+    ignore (Db.create_node db ~label:"user" (props [ ("grp", Value.Int i) ]))
+  done;
+  let session = Cypher.create db in
+  let text = "MATCH (u:user {grp: $g}) RETURN u" in
+  let first_op () = (Cypher.plan_of session text).Plan.ops |> List.hd in
+  (match first_op () with
+  | Plan.Node_label_scan _ -> ()
+  | op -> Alcotest.failf "expected NodeLabelScan before index, got %s" (Plan.op_name op));
+  let before = Cypher.compilations session in
+  Db.create_index db ~label:"user" ~property:"grp";
+  (match first_op () with
+  | Plan.Node_index_seek { key; _ } -> check Alcotest.string "seek key" "grp" key
+  | op -> Alcotest.failf "expected NodeIndexSeek after index, got %s" (Plan.op_name op));
+  check Alcotest.int "stale entry recompiled" (before + 1) (Cypher.compilations session);
+  (* And the refreshed entry is cached again: no further recompile. *)
+  ignore (first_op ());
+  check Alcotest.int "refreshed entry cached" (before + 1) (Cypher.compilations session)
+
+let test_epoch_protocol () =
+  let db = Db.create () in
+  let e0 = Db.stats_epoch db in
+  let n1 = Db.create_node db ~label:"user" no_props in
+  let e1 = Db.stats_epoch db in
+  check Alcotest.bool "first label sighting bumps" true (e1 > e0);
+  let n2 = Db.create_node db ~label:"user" no_props in
+  check Alcotest.int "repeat shape does not bump" e1 (Db.stats_epoch db);
+  ignore (Db.create_edge db ~etype:"follows" ~src:n1 ~dst:n2 no_props);
+  let e2 = Db.stats_epoch db in
+  check Alcotest.bool "first edge-type sighting bumps" true (e2 > e1);
+  Db.analyze db;
+  check Alcotest.bool "ANALYZE bumps" true (Db.stats_epoch db > e2);
+  let e3 = Db.stats_epoch db in
+  Db.create_index db ~label:"user" ~property:"uid";
+  check Alcotest.bool "CREATE INDEX bumps" true (Db.stats_epoch db > e3);
+  let e4 = Db.stats_epoch db in
+  Db.drop_index db ~label:"user" ~property:"uid";
+  check Alcotest.bool "DROP INDEX bumps" true (Db.stats_epoch db > e4)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN / EXPLAIN ANALYZE surface                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_does_not_execute () =
+  let db = follows_graph () in
+  let session = Cypher.create db in
+  let r =
+    Cypher.run session ~params:[ ("uid", Value.Int 1); ("n", Value.Int 5) ]
+      ("EXPLAIN " ^ Mgq_queries.Q_cypher.text_q4_1)
+  in
+  check Alcotest.(list string) "columns" [ "plan" ] r.Cypher.columns;
+  let lines =
+    List.filter_map
+      (function [ Mgq_cypher.Runtime.Ival (Value.Str s) ] -> Some s | _ -> None)
+      r.Cypher.rows
+  in
+  check Alcotest.bool "has operator rows" true (List.length lines > 3);
+  (* Operator name starts each row (header first). *)
+  check Alcotest.bool "seek appears at column 0" true
+    (List.exists
+       (fun l -> String.length l >= 13 && String.sub l 0 13 = "NodeIndexSeek")
+       lines)
+
+let test_explain_analyze_q_error () =
+  let db = follows_graph () in
+  let session = Cypher.create db in
+  let entries =
+    Cypher.explain_analyze session
+      ~params:[ ("uid", Value.Int 3); ("n", Value.Int 10) ]
+      Mgq_queries.Q_cypher.text_q4_1
+  in
+  check Alcotest.bool "one entry per operator" true (List.length entries >= 5);
+  let errs =
+    List.sort compare (List.map (fun (a : Cypher.analyze_entry) -> a.Cypher.q_error) entries)
+  in
+  let median = List.nth errs (List.length errs / 2) in
+  check Alcotest.bool
+    (Printf.sprintf "median q-error %.2f <= 2" median)
+    true (median <= 2.0);
+  List.iter
+    (fun (a : Cypher.analyze_entry) ->
+      check Alcotest.bool "q-error >= 1" true (a.Cypher.q_error >= 1.0))
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* O(1) typed degree on dense nodes                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite claim: with an etype filter, a dense node's degree comes
+   from the relationship-group counters, so the db hits charged do not
+   scale with the node's actual degree. *)
+let test_typed_degree_constant_hits () =
+  let hub_hits fan =
+    let db = Db.create () in
+    let hub = Db.create_node db ~label:"user" no_props in
+    for _ = 1 to fan do
+      let other = Db.create_node db ~label:"user" no_props in
+      ignore (Db.create_edge db ~etype:"follows" ~src:hub ~dst:other no_props);
+      ignore (Db.create_edge db ~etype:"posts" ~src:other ~dst:hub no_props)
+    done;
+    Alcotest.(check bool) "hub is dense" true (Db.is_dense_node db hub);
+    let cost = Sim_disk.cost (Db.disk db) in
+    let before = Cost_model.snapshot cost in
+    let d = Db.degree db hub ~etype:"follows" Types.Out in
+    let delta = Cost_model.sub_counters (Cost_model.snapshot cost) before in
+    check Alcotest.int "degree value" fan d;
+    delta.Cost_model.db_hits
+  in
+  let h100 = hub_hits 100 and h400 = hub_hits 400 and h1600 = hub_hits 1600 in
+  check Alcotest.int "hits at fan 400 = hits at fan 100" h100 h400;
+  check Alcotest.int "hits at fan 1600 = hits at fan 100" h100 h1600
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "incremental",
+      [
+        qtest prop_incremental_equals_rebuild;
+        Alcotest.test_case "epoch protocol" `Quick test_epoch_protocol;
+      ] );
+    ( "estimator",
+      [
+        qtest prop_label_scan_exact;
+        qtest prop_expand_within_histogram;
+        Alcotest.test_case "explain analyze q-error" `Quick test_explain_analyze_q_error;
+      ] );
+    ( "planner",
+      [
+        Alcotest.test_case "seek choice follows stats" `Quick test_seek_choice_follows_stats;
+        Alcotest.test_case "variant plans converge" `Quick test_variant_plans_converge;
+        Alcotest.test_case "variant results agree" `Quick test_variant_results_agree;
+      ] );
+    ( "plan-cache",
+      [
+        Alcotest.test_case "flips on mid-session index" `Quick
+          test_plan_cache_flips_on_index_creation;
+      ] );
+    ( "explain",
+      [ Alcotest.test_case "EXPLAIN does not execute" `Quick test_explain_does_not_execute ]
+    );
+    ( "degree",
+      [
+        Alcotest.test_case "typed degree O(1) on dense nodes" `Quick
+          test_typed_degree_constant_hits;
+      ] );
+  ]
+
+let () = Alcotest.run "mgq_catalog" suite
