@@ -1,5 +1,14 @@
+(* Regression repro: a rolled-back transaction consumes a node
+   allocation that never reaches the WAL, so replay used to re-allocate
+   ids shifted by one and recovery raised Node_not_found. Fixed by
+   recording explicit ids in Create_node/Create_edge and re-creating
+   the allocation holes during replay. Expected output:
+     live: n0=0 n2=2 nodes=2 edges=1
+     recovered: nodes=2 edges=1
+   (dir is dune-ignored; copy next to a dune stanza to run) *)
 module Db = Mgq_neo.Db
 module Property = Mgq_core.Property
+
 let () =
   let db = Db.create () in
   (* tx1: committed node 0 *)

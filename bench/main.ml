@@ -55,6 +55,9 @@ let experiments =
     ( "overload",
       ( "O1-O3: overload protection (admission, breakers, degradation)",
         e Bench_overload.run_overload ) );
+    ( "consistency",
+      ( "C4: isolation anomaly counts and versioning overhead",
+        e Bench_consistency.run_consistency ) );
   ]
 
 let usage () =

@@ -856,6 +856,70 @@ let metrics_cmd =
   in
   Cmd.v info Term.(const run $ users)
 
+(* ---------------- audit ---------------- *)
+
+let audit_cmd =
+  let module Audit = Mgq_consistency.Audit in
+  let seeds =
+    Arg.(
+      value & opt int 32
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per arm (each is a full interleaved run).")
+  in
+  let sessions =
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent logical sessions.")
+  in
+  let txns =
+    Arg.(value & opt int 4 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per session.")
+  in
+  let ops = Arg.(value & opt int 4 & info [ "ops" ] ~docv:"N" ~doc:"Operations per transaction.") in
+  let registers =
+    Arg.(value & opt int 3 & info [ "registers" ] ~docv:"N" ~doc:"Shared register count.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Fast CI mode: 8 seeds, report only anomaly/probe summaries on stdout.")
+  in
+  let report_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the full report (histories included).")
+  in
+  let run seeds sessions txns ops registers smoke report_file =
+    let seeds = if smoke then min seeds 8 else seeds in
+    let report =
+      Audit.run ~seeds ~sessions ~txns_per_session:txns ~ops_per_txn:ops ~registers ()
+    in
+    (match report_file with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Audit.to_text report);
+      close_out oc;
+      Printf.printf "report written to %s\n" path
+    | None -> ());
+    if smoke then begin
+      (* Summary lines only: everything after the per-seed detail. *)
+      let tail =
+        List.filter
+          (fun l -> not (String.length l > 1 && l.[0] = ' '))
+          report.Audit.r_lines
+      in
+      List.iter print_endline tail
+    end
+    else List.iter print_endline report.Audit.r_lines;
+    if not report.Audit.r_passed then exit 1
+  in
+  let info =
+    Cmd.info "audit"
+      ~doc:
+        "Deterministic concurrency/crash audit: seeded interleavings under snapshot \
+         isolation (and a read-uncommitted baseline), an Elle-lite anomaly checker, \
+         mid-commit crash durability probes, and cluster failover. Exits non-zero on any \
+         forbidden anomaly, durability failure, catalog leak, or lost acked commit."
+  in
+  Cmd.v info Term.(const run $ seeds $ sessions $ txns $ ops $ registers $ smoke $ report_file)
+
 let main =
   let doc = "Microblogging queries on (simulated) graph databases" in
   let info = Cmd.info "mgq" ~version:"1.0.0" ~doc in
@@ -873,6 +937,7 @@ let main =
       cluster_cmd;
       overload_cmd;
       metrics_cmd;
+      audit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,173 @@
+type anomaly_kind =
+  | Dirty_read
+  | Aborted_read
+  | Intermediate_read
+  | Non_repeatable_read
+  | Lost_update
+  | Write_skew
+
+type anomaly = { a_kind : anomaly_kind; a_txn : int; a_detail : string }
+
+let kind_name = function
+  | Dirty_read -> "dirty-read"
+  | Aborted_read -> "aborted-read"
+  | Intermediate_read -> "intermediate-read"
+  | Non_repeatable_read -> "non-repeatable-read"
+  | Lost_update -> "lost-update"
+  | Write_skew -> "write-skew"
+
+let forbidden a = a.a_kind <> Write_skew
+
+let all_kinds =
+  [ Dirty_read; Aborted_read; Intermediate_read; Non_repeatable_read; Lost_update; Write_skew ]
+
+type status = Committed of int | Aborted of int | Inflight
+
+type info = {
+  tx : int;
+  mutable begin_idx : int;
+  mutable status : status;
+  mutable writes : (int * int * int) list; (* idx, reg, value; reversed *)
+  mutable reads : (int * int * int) list; (* idx, reg, value; reversed *)
+}
+
+let check ~initial history =
+  let txns : (int, info) Hashtbl.t = Hashtbl.create 64 in
+  let info tx =
+    match Hashtbl.find_opt txns tx with
+    | Some i -> i
+    | None ->
+      let i = { tx; begin_idx = 0; status = Inflight; writes = []; reads = [] } in
+      Hashtbl.replace txns tx i;
+      i
+  in
+  (* value -> (writer txn, reg, write idx); initial register values are
+     writes by the pseudo-transaction -1, committed before everything. *)
+  let writer_of : (int, int * int * int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun (reg, v) -> Hashtbl.replace writer_of v (-1, reg, -1)) initial;
+  List.iter
+    (fun (e : History.event) ->
+      let i = info e.txn in
+      match e.kind with
+      | History.Begin -> i.begin_idx <- e.idx
+      | History.Read { reg; value } -> i.reads <- (e.idx, reg, value) :: i.reads
+      | History.Write { reg; value } ->
+        i.writes <- (e.idx, reg, value) :: i.writes;
+        Hashtbl.replace writer_of value (e.txn, reg, e.idx)
+      | History.Commit_ok -> i.status <- Committed e.idx
+      | History.Conflict _ | History.Abort -> i.status <- Aborted e.idx
+      | History.Crash -> i.status <- Inflight)
+    (History.events history);
+  let anomalies = ref [] in
+  let flag a_kind a_txn fmt =
+    Printf.ksprintf (fun a_detail -> anomalies := { a_kind; a_txn; a_detail } :: !anomalies) fmt
+  in
+  let committed i = match i.status with Committed _ -> true | _ -> false in
+  let each_committed f =
+    Hashtbl.iter (fun _ i -> if committed i then f i) txns
+  in
+  (* Only committed transactions' observations count (Jepsen
+     convention): an aborted reader's view never escaped. *)
+  (* -- read-origin anomalies: dirty, aborted, intermediate -- *)
+  each_committed (fun i ->
+      List.iter
+        (fun (ridx, reg, v) ->
+          match Hashtbl.find_opt writer_of v with
+          | None | Some (-1, _, _) -> ()
+          | Some (w, _, widx) when w <> i.tx -> (
+            let wi = info w in
+            (match wi.status with
+            | Aborted _ ->
+              flag Aborted_read i.tx "t%d read %d of reg%d from aborted t%d" i.tx v reg w
+            | Inflight ->
+              flag Dirty_read i.tx "t%d read %d of reg%d from never-committed t%d" i.tx v reg w
+            | Committed ci ->
+              if ci > ridx then
+                flag Dirty_read i.tx "t%d read %d of reg%d before t%d committed" i.tx v reg w);
+            if
+              List.exists (fun (idx', reg', _) -> reg' = reg && idx' > widx) wi.writes
+            then
+              flag Intermediate_read i.tx "t%d read intermediate %d of reg%d from t%d" i.tx v
+                reg w)
+          | Some _ -> ())
+        (List.rev i.reads))
+  (* -- non-repeatable reads -- *);
+  each_committed (fun i ->
+      let ops =
+        List.sort compare
+          (List.rev_map (fun (idx, reg, v) -> (idx, `R (reg, v))) i.reads
+          @ List.rev_map (fun (idx, reg, _) -> (idx, `W reg)) i.writes)
+      in
+      let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (_, op) ->
+          match op with
+          | `W reg -> Hashtbl.remove last reg (* own write resets the baseline *)
+          | `R (reg, v) ->
+            (match Hashtbl.find_opt last reg with
+            | Some v' when v' <> v ->
+              flag Non_repeatable_read i.tx "t%d read reg%d as %d then %d" i.tx reg v' v
+            | _ -> ());
+            Hashtbl.replace last reg v)
+        ops)
+  (* -- lost updates: two committed read-modify-writes off the same
+        base value -- *);
+  let rmw : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* (reg, base value read before first own write) -> txn *)
+  each_committed (fun i ->
+      let writes = List.rev i.writes and reads = List.rev i.reads in
+      let regs = List.sort_uniq compare (List.map (fun (_, r, _) -> r) writes) in
+      List.iter
+        (fun reg ->
+          match List.find_opt (fun (_, r, _) -> r = reg) writes with
+          | None -> ()
+          | Some (first_w, _, _) -> (
+            let pre =
+              List.fold_left
+                (fun acc (idx, r, v) -> if r = reg && idx < first_w then Some v else acc)
+                None reads
+            in
+            match pre with
+            | None -> () (* blind write: not a read-modify-write *)
+            | Some base -> (
+              match Hashtbl.find_opt rmw (reg, base) with
+              | Some other ->
+                flag Lost_update i.tx
+                  "t%d and t%d both updated reg%d from base value %d and committed" other i.tx
+                  reg base
+              | None -> Hashtbl.replace rmw (reg, base) i.tx)))
+        regs)
+  (* -- write skew: overlapping committed pair, crossing reads,
+        disjoint write sets -- *);
+  let committed_list = ref [] in
+  each_committed (fun i -> committed_list := i :: !committed_list);
+  let commit_idx i = match i.status with Committed c -> c | _ -> max_int in
+  let wset i = List.sort_uniq compare (List.map (fun (_, r, _) -> r) i.writes) in
+  let rset i = List.sort_uniq compare (List.map (fun (_, r, _) -> r) i.reads) in
+  let mem r l = List.mem r l in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          let overlap = a.begin_idx < commit_idx b && b.begin_idx < commit_idx a in
+          let wa = wset a and wb = wset b in
+          let disjoint = not (List.exists (fun r -> mem r wb) wa) in
+          if
+            overlap && disjoint && wa <> [] && wb <> []
+            && List.exists (fun r -> mem r wb) (rset a)
+            && List.exists (fun r -> mem r wa) (rset b)
+          then
+            flag Write_skew (max a.tx b.tx)
+              "t%d and t%d overlapped with crossing reads and disjoint writes" a.tx b.tx)
+        rest;
+      pairs rest
+  in
+  pairs !committed_list;
+  List.rev !anomalies
+
+let count kind anomalies =
+  List.length (List.filter (fun a -> a.a_kind = kind) anomalies)
+
+let summary anomalies =
+  List.map (fun k -> (k, count k anomalies)) all_kinds

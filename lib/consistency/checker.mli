@@ -1,0 +1,49 @@
+(** Elle-lite anomaly checker over {!History} runs.
+
+    Because every write carries a globally unique value and the
+    engine's single-threadedness yields a total event order, each
+    anomaly is decided exactly — a read names its writer, and
+    commit/abort positions are known — rather than inferred from
+    cycle search over an uncertain dependency graph.
+
+    Checked phenomena (committed transactions' observations only, the
+    Jepsen convention):
+
+    - {e dirty read} (G1a-ish): a value read before its writer
+      committed, or from a writer that never did;
+    - {e aborted read} (G1a): a value whose writer rolled back;
+    - {e intermediate read} (G1b): a value its writer overwrote
+      before committing;
+    - {e non-repeatable read}: one transaction reads a register twice
+      (no own write in between) and sees different values;
+    - {e lost update}: two committed transactions read the same base
+      value of a register and both committed an update from it;
+    - {e write skew}: two overlapping committed transactions with
+      crossing reads and disjoint write sets — the anomaly snapshot
+      isolation {e permits}; it is reported but not {!forbidden}. *)
+
+type anomaly_kind =
+  | Dirty_read
+  | Aborted_read
+  | Intermediate_read
+  | Non_repeatable_read
+  | Lost_update
+  | Write_skew
+
+type anomaly = { a_kind : anomaly_kind; a_txn : int; a_detail : string }
+
+val kind_name : anomaly_kind -> string
+
+val forbidden : anomaly -> bool
+(** Everything except {!Write_skew}, which snapshot isolation admits
+    by design (documented in DESIGN.md §13). *)
+
+val all_kinds : anomaly_kind list
+
+val check : initial:(int * int) list -> History.t -> anomaly list
+(** [initial] maps each register to the (unique) value it held before
+    the run — writes by a pseudo-transaction committed before every
+    event. *)
+
+val count : anomaly_kind -> anomaly list -> int
+val summary : anomaly list -> (anomaly_kind * int) list

@@ -9,6 +9,8 @@ module Catalog = Mgq_catalog.Catalog
 
 let m_commits = Obs.counter "db.commits"
 let m_rollbacks = Obs.counter "db.rollbacks"
+let m_tx_conflicts = Obs.counter "db.tx_conflicts"
+let m_tx_retries = Obs.counter "db.tx_retries"
 let m_fsyncs = Obs.counter "wal.fsyncs"
 let m_recovered_frames = Obs.counter "wal.recovered_frames"
 open Mgq_core.Types
@@ -66,7 +68,48 @@ type label_scan = { mutable ids : int array; mutable len : int }
 
 type index_key = { ilabel : int; ikey : int }
 
-type tx = { mutable undo : (unit -> unit) list }
+(* ---------------- transaction bookkeeping types ---------------- *)
+
+exception Tx_error of string
+
+type conflict = { c_txn : int; c_key : string; c_reason : string }
+
+exception Tx_conflict of conflict
+
+type isolation = Snapshot | Read_uncommitted
+
+(* A versionable unit of state: record existence or one property
+   slot. Structural state (chain linkage, degrees, label scans) is
+   not versioned separately — it is derived from these. *)
+type vkey =
+  | K_node of int
+  | K_edge of int
+  | K_nprop of int * int (* node, key id *)
+  | K_eprop of int * int (* edge, key id *)
+
+(* Committed-state value of a key {e before} its writer's update.
+   Writes land in place; a version entry keeps the before-image so
+   snapshots older than the writer still resolve, and doubles as the
+   writer's undo record. *)
+type before = B_absent | B_present | B_value of Value.t
+
+type ventry = {
+  ve_writer : int; (* txn id; -1 for an auto-committed write *)
+  mutable ve_commit_ts : int; (* -1 while the writer is uncommitted *)
+  ve_before : before;
+  ve_undo : unit -> unit; (* physical restore, for rollback *)
+}
+
+type txn = {
+  tx_id : int;
+  tx_begin_ts : int; (* snapshot: commits with ts <= this are visible *)
+  mutable tx_open : bool;
+  mutable tx_entries : (vkey * ventry) list; (* write set, newest first *)
+  mutable tx_redo : Wal.op list; (* reversed; committed as one record *)
+  mutable tx_stats : Catalog.event list; (* reversed; applied at commit *)
+  mutable tx_reads : vkey list; (* newest first; only under read tracking *)
+  tx_read_seen : (vkey, unit) Hashtbl.t;
+}
 
 (* Creation parameters, kept so [recover] can rebuild an identically
    configured empty database when no snapshot exists. *)
@@ -95,11 +138,19 @@ type t = {
   settings : settings;
   mutable node_count : int;
   mutable edge_count : int;
-  mutable current_tx : tx option;
   mutable wal : Wal.t option;
-  mutable tx_redo : Wal.op list; (* reversed; committed as one record *)
   catalog : Catalog.t;
-  mutable tx_stats : Catalog.event list; (* reversed; applied at commit *)
+  (* MVCC state. [versions] and [commit_marks] are transient: both are
+     cleared whenever the last open transaction closes, so they are
+     empty (closure-free, marshal-safe) at every save point. *)
+  mutable ts : int; (* commit timestamp counter *)
+  mutable next_txn_id : int;
+  mutable active : txn option; (* the txn whose snapshot reads resolve *)
+  mutable open_txns : txn list;
+  versions : (vkey, ventry list ref) Hashtbl.t; (* newest entry first *)
+  commit_marks : (vkey, int) Hashtbl.t; (* key -> last commit ts *)
+  mutable isolation : isolation;
+  mutable track_reads : bool;
 }
 
 let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 50)
@@ -131,11 +182,16 @@ let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 
         };
       node_count = 0;
       edge_count = 0;
-      current_tx = None;
       wal = None;
-      tx_redo = [];
       catalog = Catalog.create ();
-      tx_stats = [];
+      ts = 0;
+      next_txn_id = 1;
+      active = None;
+      open_txns = [];
+      versions = Hashtbl.create 64;
+      commit_marks = Hashtbl.create 64;
+      isolation = Snapshot;
+      track_reads = false;
     }
   in
   if wal then t.wal <- Some (Wal.create disk);
@@ -153,10 +209,11 @@ exception Corrupt_snapshot of string
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_snapshot msg)) fmt
 
 let save_magic = "MGQNEO2\n"
-let save_version = 4 (* v4: statistics catalog + relationship-group chain counts *)
+let save_version = 5 (* v5: MVCC transaction state replaces the undo-list *)
 
 let save t path =
-  if t.current_tx <> None then failwith "Db.save: transaction open";
+  if t.open_txns <> [] then raise (Tx_error "Db.save: transaction open");
+  assert (Hashtbl.length t.versions = 0) (* GC cleared: no closures marshalled *);
   let payload = Marshal.to_string t [] in
   let meta = Bytes.create 12 in
   Bytes.set_int64_le meta 0 (Int64.of_int (String.length payload));
@@ -200,57 +257,292 @@ let labels t = Dict.names t.label_dict
 let edge_types t = Dict.names t.type_dict
 let property_keys t = Dict.names t.key_dict
 
-(* ---------------- transactions ---------------- *)
+(* ---------------- transactions (MVCC-lite) ---------------- *)
 
-let in_tx t = t.current_tx <> None
+(* Writes land in place; each transactional write pushes a version
+   entry carrying the key's before-image onto that key's chain.
+   Readers resolve a key by walking its chain newest-first: entries
+   written by the viewing transaction, or committed at or before its
+   begin timestamp, are visible; the key's value in the viewer's
+   snapshot is the before-image of the {e oldest invisible} entry (the
+   invisible entries form a prefix of the chain — writers are serial
+   per key), or the in-place value when every entry is visible.
 
-let begin_tx t =
-  if in_tx t then failwith "Db.begin_tx: transaction already open";
-  t.tx_redo <- [];
-  t.tx_stats <- [];
-  t.current_tx <- Some { undo = [] }
+   Write-write conflicts are detected eagerly against concurrent
+   uncommitted writers (second updater loses, like Postgres's SI
+   update conflict) and validated again at commit against commits that
+   landed after the snapshot (first committer wins). Both surface as
+   the typed {!Tx_conflict}. Under [Read_uncommitted] all of this is
+   bypassed — that mode is the undo-list baseline the consistency
+   audit uses to demonstrate the anomalies SI removes. *)
 
-let commit t =
-  match t.current_tx with
-  | None -> failwith "Db.commit: no open transaction"
-  | Some _ ->
+let describe_vkey t = function
+  | K_node id -> Printf.sprintf "node %d" id
+  | K_edge id -> Printf.sprintf "edge %d" id
+  | K_nprop (id, k) -> Printf.sprintf "node %d.%s" id (Dict.name t.key_dict k)
+  | K_eprop (id, k) -> Printf.sprintf "edge %d.%s" id (Dict.name t.key_dict k)
+
+let in_txn t = t.active <> None
+let isolation t = t.isolation
+
+let set_isolation t mode =
+  if t.open_txns <> [] then raise (Tx_error "Db.set_isolation: transactions open");
+  t.isolation <- mode
+
+let set_read_tracking t on = t.track_reads <- on
+let open_txn_count t = List.length t.open_txns
+
+(* Both tables are cleared as soon as no transaction is open: any
+   later snapshot begins after every commit recorded here, so nothing
+   old enough to need a before-image can ever look again. *)
+let gc_versions t =
+  if t.open_txns = [] then begin
+    Hashtbl.reset t.versions;
+    Hashtbl.reset t.commit_marks
+  end
+
+let entry_visible t e =
+  match t.active with
+  | Some txn when e.ve_writer = txn.tx_id -> true
+  | Some txn -> e.ve_commit_ts >= 0 && e.ve_commit_ts <= txn.tx_begin_ts
+  | None -> e.ve_commit_ts >= 0 (* no snapshot: read-committed latest *)
+
+(* Resolve key [k] for the current viewer: [base] reads the in-place
+   state, [before] projects a before-image. *)
+let resolve t k ~base ~before =
+  if t.isolation = Read_uncommitted || Hashtbl.length t.versions = 0 then base ()
+  else
+    match Hashtbl.find_opt t.versions k with
+    | None -> base ()
+    | Some entries ->
+      let rec walk oldest_invisible = function
+        | [] -> oldest_invisible
+        | e :: older ->
+          if entry_visible t e then oldest_invisible else walk (Some e) older
+      in
+      (match walk None !entries with
+      | None -> base ()
+      | Some e -> before e.ve_before)
+
+(* Snapshot reads need chain walks instead of the in-place fast path
+   only while version entries exist at all. *)
+let mvcc_read_needed t = t.isolation = Snapshot && Hashtbl.length t.versions > 0
+
+let track_read t k =
+  if t.track_reads then
+    match t.active with
+    | Some txn when not (Hashtbl.mem txn.tx_read_seen k) ->
+      Hashtbl.replace txn.tx_read_seen k ();
+      txn.tx_reads <- k :: txn.tx_reads
+    | _ -> ()
+
+let conflict t k reason victim =
+  Obs.Counter.incr m_tx_conflicts;
+  raise (Tx_conflict { c_txn = victim; c_key = describe_vkey t k; c_reason = reason })
+
+(* Pre-write conflict check, before any physical mutation. A key with
+   an uncommitted entry by another live transaction is claimed — the
+   second updater loses immediately. A key overwritten by a commit
+   newer than our snapshot is doomed to fail first-committer-wins
+   validation, so it fails fast here too. *)
+let claim_write t k =
+  if t.isolation = Snapshot then begin
+    (match Hashtbl.find_opt t.versions k with
+    | Some { contents = e :: _ } when e.ve_commit_ts < 0 -> (
+      match t.active with
+      | Some txn when e.ve_writer = txn.tx_id -> ()
+      | Some txn -> conflict t k "write-write conflict with uncommitted transaction" txn.tx_id
+      | None -> conflict t k "auto-commit write against uncommitted transaction" (-1))
+    | _ -> ());
+    match t.active with
+    | Some txn -> (
+      match Hashtbl.find_opt t.commit_marks k with
+      | Some ts when ts > txn.tx_begin_ts ->
+        conflict t k "overwritten by a commit after this snapshot" txn.tx_id
+      | _ -> ())
+    | None -> ()
+  end
+
+(* Register a write's before-image and undo. Inside a transaction the
+   entry is uncommitted bookkeeping; an auto-commit write that runs
+   while other transactions hold open snapshots leaves an
+   already-committed entry so those snapshots keep resolving to the
+   before-image. *)
+let push_entry t k ~before_img ~undo =
+  match t.active with
+  | Some txn ->
+    let e = { ve_writer = txn.tx_id; ve_commit_ts = -1; ve_before = before_img; ve_undo = undo } in
+    if t.isolation = Snapshot then begin
+      match Hashtbl.find_opt t.versions k with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.replace t.versions k (ref [ e ])
+    end;
+    txn.tx_entries <- (k, e) :: txn.tx_entries
+  | None ->
+    if t.isolation = Snapshot && t.open_txns <> [] then begin
+      t.ts <- t.ts + 1;
+      let e = { ve_writer = -1; ve_commit_ts = t.ts; ve_before = before_img; ve_undo = ignore } in
+      (match Hashtbl.find_opt t.versions k with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.replace t.versions k (ref [ e ]));
+      Hashtbl.replace t.commit_marks k t.ts
+    end
+
+(* ---- transaction lifecycle ---- *)
+
+let begin_txn t =
+  let txn =
+    {
+      tx_id = t.next_txn_id;
+      tx_begin_ts = t.ts;
+      tx_open = true;
+      tx_entries = [];
+      tx_redo = [];
+      tx_stats = [];
+      tx_reads = [];
+      tx_read_seen = Hashtbl.create 8;
+    }
+  in
+  t.next_txn_id <- t.next_txn_id + 1;
+  t.open_txns <- txn :: t.open_txns;
+  t.active <- Some txn;
+  txn
+
+let activate t txn =
+  if not txn.tx_open then raise (Tx_error "Db.activate: transaction is not open");
+  t.active <- Some txn
+
+let deactivate t = t.active <- None
+
+let txn_id txn = txn.tx_id
+let txn_is_open txn = txn.tx_open
+let txn_read_set t txn = List.rev_map (describe_vkey t) txn.tx_reads
+let txn_write_set t txn = List.rev_map (fun (k, _) -> describe_vkey t k) txn.tx_entries
+
+let close_txn t txn =
+  txn.tx_open <- false;
+  t.open_txns <- List.filter (fun o -> o != txn) t.open_txns;
+  (match t.active with Some a when a == txn -> t.active <- None | _ -> ());
+  gc_versions t
+
+let rollback_txn t txn =
+  if not txn.tx_open then raise (Tx_error "Db.rollback: transaction is not open");
+  Obs.Counter.incr m_rollbacks;
+  (* After a simulated crash the process is conceptually dead: no
+     undo runs, recovery rebuilds from snapshot + WAL. Otherwise undo
+     runs with injection paused — rollback models in-memory work the
+     plan must not sabotage. Entries run newest-first; per-key claims
+     guarantee no other live writer interleaved on these keys, so the
+     before-images restore exactly. *)
+  if not (Sim_disk.crashed t.disk) then
+    Sim_disk.with_faults_suspended t.disk (fun () ->
+        List.iter (fun (_, e) -> e.ve_undo ()) txn.tx_entries);
+  List.iter
+    (fun (k, _) ->
+      match Hashtbl.find_opt t.versions k with
+      | None -> ()
+      | Some l ->
+        l := List.filter (fun e -> not (e.ve_writer = txn.tx_id && e.ve_commit_ts < 0)) !l;
+        if !l = [] then Hashtbl.remove t.versions k)
+    txn.tx_entries;
+  close_txn t txn
+
+let commit_txn t txn =
+  if not txn.tx_open then raise (Tx_error "Db.commit: transaction is not open");
+  (* First-committer-wins validation over the write set. The eager
+     claim in [claim_write] already fails most conflicts at write
+     time; this is the authoritative check at the commit point. *)
+  let clash =
+    if t.isolation <> Snapshot then None
+    else
+      List.find_opt
+        (fun (k, _) ->
+          match Hashtbl.find_opt t.commit_marks k with
+          | Some ts -> ts > txn.tx_begin_ts
+          | None -> false)
+        txn.tx_entries
+  in
+  match clash with
+  | Some (k, _) ->
+    Obs.Counter.incr m_tx_conflicts;
+    let c =
+      { c_txn = txn.tx_id; c_key = describe_vkey t k; c_reason = "first committer wins" }
+    in
+    rollback_txn t txn;
+    Error c
+  | None ->
     (* Commit appends the transaction to the log: the durability
        point. With a WAL the append is real page traffic an armed
        fault plan can interrupt — in which case the transaction is
-       NOT committed and [current_tx] stays open for rollback. The
-       flush itself is also a decision point: a transiently failing
-       log sync aborts the commit before the append. *)
+       NOT committed and stays open for rollback. The flush itself is
+       also a decision point: a transiently failing log sync aborts
+       the commit before the append. *)
     (match Sim_disk.fault_plan t.disk with
     | Some plan -> Mgq_storage.Fault.on_flush plan
     | None -> ());
     Cost_model.record_page_flush (cost t);
     Obs.Counter.incr m_fsyncs;
     (match t.wal with
-    | Some w when t.tx_redo <> [] -> ignore (Wal.append_ops w (List.rev t.tx_redo) : int)
+    | Some w when txn.tx_redo <> [] ->
+      Obs.Trace.with_span "db.commit.wal_append"
+        ~attrs:[ ("ops", string_of_int (List.length txn.tx_redo)) ]
+        (fun () -> ignore (Wal.append_ops w (List.rev txn.tx_redo) : int))
     | _ -> ());
+    (* Durable: stamp the write set with one commit timestamp, making
+       it visible to every later snapshot atomically. *)
+    t.ts <- t.ts + 1;
+    List.iter
+      (fun (k, e) ->
+        e.ve_commit_ts <- t.ts;
+        Hashtbl.replace t.commit_marks k t.ts)
+      txn.tx_entries;
     (* Statistics deltas land only once the transaction is durable; a
        failed append above leaves them buffered for rollback to drop. *)
-    List.iter (Catalog.apply t.catalog) (List.rev t.tx_stats);
-    t.tx_stats <- [];
-    t.tx_redo <- [];
-    t.current_tx <- None;
-    Obs.Counter.incr m_commits
+    List.iter (Catalog.apply t.catalog) (List.rev txn.tx_stats);
+    close_txn t txn;
+    Obs.Counter.incr m_commits;
+    Ok ()
+
+let with_txn ?(retries = 0) t f =
+  let rec attempt n =
+    let retry c =
+      if n < retries then begin
+        Obs.Counter.incr m_tx_retries;
+        attempt (n + 1)
+      end
+      else raise (Tx_conflict c)
+    in
+    let txn = begin_txn t in
+    match f txn with
+    | v -> (
+      match commit_txn t txn with Ok () -> v | Error c -> retry c)
+    | exception Tx_conflict c ->
+      if txn.tx_open then rollback_txn t txn;
+      retry c
+    | exception e ->
+      if txn.tx_open then rollback_txn t txn;
+      raise e
+  in
+  attempt 0
+
+(* ---- legacy single-transaction API ---- *)
+
+let in_tx t = in_txn t
+
+let begin_tx t =
+  if t.open_txns <> [] then raise (Tx_error "Db.begin_tx: transaction already open");
+  ignore (begin_txn t : txn)
+
+let commit t =
+  match t.active with
+  | None -> raise (Tx_error "Db.commit: no open transaction")
+  | Some txn -> (
+    match commit_txn t txn with Ok () -> () | Error c -> raise (Tx_conflict c))
 
 let rollback t =
-  match t.current_tx with
-  | None -> failwith "Db.rollback: no open transaction"
-  | Some tx ->
-    t.current_tx <- None;
-    t.tx_redo <- [];
-    t.tx_stats <- [];
-    Obs.Counter.incr m_rollbacks;
-    (* After a simulated crash the process is conceptually dead: no
-       undo runs, recovery rebuilds from snapshot + WAL. Otherwise undo
-       runs with injection paused — rollback models in-memory work the
-       plan must not sabotage. *)
-    if not (Sim_disk.crashed t.disk) then
-      Sim_disk.with_faults_suspended t.disk (fun () ->
-          List.iter (fun undo -> undo ()) tx.undo)
+  match t.active with
+  | None -> raise (Tx_error "Db.rollback: no open transaction")
+  | Some txn -> rollback_txn t txn
 
 let with_tx t f =
   begin_tx t;
@@ -266,15 +558,12 @@ let with_tx t f =
      raise e);
   result
 
-let log_undo t f =
-  match t.current_tx with None -> () | Some tx -> tx.undo <- f :: tx.undo
-
 (* Record a logical redo op. Inside a transaction it joins the
    transaction's record; outside, the call auto-commits as a
    single-op record. *)
 let log_redo t op =
-  match t.current_tx with
-  | Some _ -> t.tx_redo <- op :: t.tx_redo
+  match t.active with
+  | Some txn -> txn.tx_redo <- op :: txn.tx_redo
   | None -> (
     match t.wal with Some w -> ignore (Wal.append_ops w [ op ] : int) | None -> ())
 
@@ -282,8 +571,8 @@ let log_redo t op =
    applied only after the commit's WAL append succeeds — rollback (or
    a crash mid-commit) discards it; outside, it applies immediately. *)
 let stat_event t ev =
-  match t.current_tx with
-  | Some _ -> t.tx_stats <- ev :: t.tx_stats
+  match t.active with
+  | Some txn -> txn.tx_stats <- ev :: txn.tx_stats
   | None -> Catalog.apply t.catalog ev
 
 (* Mutators are exception-atomic. Their record rewrites touch
@@ -298,11 +587,24 @@ let atomic t f = Sim_disk.with_transients_suspended t.disk f
 
 (* ---------------- existence checks ---------------- *)
 
-let node_exists t id =
+(* Raw = in-place store state, newest write wins regardless of
+   transaction status. Mutators work against raw state (their undo
+   closures must restore physical bytes); public reads resolve
+   through the version chains. *)
+
+let raw_node_exists t id =
   id >= 0 && id < Record_store.count t.nodes && Record_store.get t.nodes ~id ~field:n_in_use = 1
 
-let edge_exists t id =
+let raw_edge_exists t id =
   id >= 0 && id < Record_store.count t.rels && Record_store.get t.rels ~id ~field:r_in_use = 1
+
+let existence = function B_absent -> false | B_present -> true | B_value _ -> false
+
+let node_exists t id =
+  resolve t (K_node id) ~base:(fun () -> raw_node_exists t id) ~before:existence
+
+let edge_exists t id =
+  resolve t (K_edge id) ~base:(fun () -> raw_edge_exists t id) ~before:existence
 
 let check_node t id = if not (node_exists t id) then raise (Node_not_found id)
 let check_edge t id = if not (edge_exists t id) then raise (Edge_not_found id)
@@ -452,19 +754,55 @@ let node_label t id =
   check_node t id;
   Dict.name t.label_dict (Record_store.get t.nodes ~id ~field:n_label)
 
+(* In-place (newest) value of one property slot. *)
+let raw_prop t ~store ~owner ~head_field key_id =
+  let head = Record_store.get store ~id:owner ~field:head_field in
+  match find_prop t head key_id with
+  | None -> Value.Null
+  | Some (_, record) -> decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload)
+
+let prop_before = function B_value v -> v | B_absent | B_present -> Value.Null
+
 let node_property t id key =
   check_node t id;
   match Dict.find t.key_dict key with
   | None -> Value.Null
-  | Some key_id -> (
-    let head = Record_store.get t.nodes ~id ~field:n_first_prop in
-    match find_prop t head key_id with
-    | None -> Value.Null
-    | Some (_, record) -> decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload))
+  | Some key_id ->
+    let k = K_nprop (id, key_id) in
+    track_read t k;
+    resolve t k
+      ~base:(fun () -> raw_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key_id)
+      ~before:prop_before
+
+(* Full property maps resolve each versioned slot individually on top
+   of the in-place chain. *)
+let overlay_props t props owner ~node =
+  if not (mvcc_read_needed t) then props
+  else
+    Hashtbl.fold
+      (fun k _ props ->
+        match k with
+        | K_nprop (n, key_id) when node && n = owner ->
+          let v =
+            resolve t k
+              ~base:(fun () -> raw_prop t ~store:t.nodes ~owner ~head_field:n_first_prop key_id)
+              ~before:prop_before
+          in
+          Property.set props (Dict.name t.key_dict key_id) v
+        | K_eprop (e, key_id) when (not node) && e = owner ->
+          let v =
+            resolve t k
+              ~base:(fun () -> raw_prop t ~store:t.rels ~owner ~head_field:r_first_prop key_id)
+              ~before:prop_before
+          in
+          Property.set props (Dict.name t.key_dict key_id) v
+        | _ -> props)
+      t.versions props
 
 let node_properties t id =
   check_node t id;
-  read_prop_chain t (Record_store.get t.nodes ~id ~field:n_first_prop)
+  let props = read_prop_chain t (Record_store.get t.nodes ~id ~field:n_first_prop) in
+  overlay_props t props id ~node:true
 
 let edge t id =
   check_edge t id;
@@ -480,23 +818,20 @@ let edge_property t id key =
   check_edge t id;
   match Dict.find t.key_dict key with
   | None -> Value.Null
-  | Some key_id -> (
-    let head = Record_store.get t.rels ~id ~field:r_first_prop in
-    match find_prop t head key_id with
-    | None -> Value.Null
-    | Some (_, record) -> decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload))
+  | Some key_id ->
+    let k = K_eprop (id, key_id) in
+    track_read t k;
+    resolve t k
+      ~base:(fun () -> raw_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key_id)
+      ~before:prop_before
 
 let edge_properties t id =
   check_edge t id;
-  read_prop_chain t (Record_store.get t.rels ~id ~field:r_first_prop)
+  let props = read_prop_chain t (Record_store.get t.rels ~id ~field:r_first_prop) in
+  overlay_props t props id ~node:false
 
-let out_degree t id =
-  check_node t id;
-  Record_store.get t.nodes ~id ~field:n_out_degree
-
-let in_degree t id =
-  check_node t id;
-  Record_store.get t.nodes ~id ~field:n_in_degree
+let raw_out_degree t id = Record_store.get t.nodes ~id ~field:n_out_degree
+let raw_in_degree t id = Record_store.get t.nodes ~id ~field:n_in_degree
 
 (* Walk one relationship chain lazily. [next_field] selects the
    out-chain or in-chain linkage. *)
@@ -676,10 +1011,26 @@ let edges_of t id ?etype dir =
         Seq.append (side ~out:true r_next_out)
           (Seq.filter (fun e -> e.src <> e.dst) (side ~out:false r_next_in))
     in
-    Seq.filter type_ok seq
+    let seq = Seq.filter type_ok seq in
+    (* Chains are physical: edges inserted by concurrent uncommitted
+       transactions are linked in already, so snapshot expansion
+       filters them out by visibility. *)
+    if mvcc_read_needed t then Seq.filter (fun (e : edge) -> edge_exists t e.id) seq else seq
 
 let neighbors t id ?etype dir =
   Seq.map (fun e -> other_end e id) (edges_of t id ?etype dir)
+
+(* Cached degree fields count in-place chain membership, which under
+   open concurrent transactions includes uncommitted insertions — so
+   while version entries exist, degrees fall back to counting the
+   visibility-filtered expansion. *)
+let out_degree t id =
+  check_node t id;
+  if mvcc_read_needed t then Seq.length (edges_of t id Out) else raw_out_degree t id
+
+let in_degree t id =
+  check_node t id;
+  if mvcc_read_needed t then Seq.length (edges_of t id In) else raw_in_degree t id
 
 let degree t id ?etype dir =
   match (etype, dir) with
@@ -692,7 +1043,7 @@ let degree t id ?etype dir =
     check_node t id;
     match Dict.find t.type_dict name with
     | None -> 0
-    | Some type_id when is_dense t id -> (
+    | Some type_id when is_dense t id && not (mvcc_read_needed t) -> (
       (* Group records cache their chain lengths: a typed degree on a
          dense node costs the group-chain walk, not the edge chain. *)
       let count field =
@@ -712,12 +1063,25 @@ let degree t id ?etype dir =
 
 let all_nodes t =
   let total = Record_store.count t.nodes in
-  let rec from id () =
-    if id >= total then Seq.Nil
-    else if Record_store.get t.nodes ~id ~field:n_in_use = 1 then Seq.Cons (id, from (id + 1))
-    else from (id + 1) ()
-  in
-  from 0
+  if mvcc_read_needed t then begin
+    (* Visibility-resolved: covers both uncommitted creations (in use
+       but invisible) and uncommitted deletions (tombstoned but still
+       visible to older snapshots). *)
+    let rec from id () =
+      if id >= total then Seq.Nil
+      else if node_exists t id then Seq.Cons (id, from (id + 1))
+      else from (id + 1) ()
+    in
+    from 0
+  end
+  else begin
+    let rec from id () =
+      if id >= total then Seq.Nil
+      else if Record_store.get t.nodes ~id ~field:n_in_use = 1 then Seq.Cons (id, from (id + 1))
+      else from (id + 1) ()
+    in
+    from 0
+  end
 
 let nodes_with_label t label =
   match Dict.find t.label_dict label with
@@ -732,7 +1096,8 @@ let nodes_with_label t label =
         Seq.Cons (scan.ids.(i), from (i + 1))
       end
     in
-    from 0
+    let seq = from 0 in
+    if mvcc_read_needed t then Seq.filter (node_exists t) seq else seq
 
 let is_dense_node t id =
   check_node t id;
@@ -787,12 +1152,15 @@ let create_node t ~label properties =
           undo_write ())
       (Property.to_list properties)
   in
-  log_undo t (fun () ->
+  (* A fresh id cannot conflict; the entry hides the node (and its
+     initial properties, reachable only through it) from other
+     snapshots until commit. *)
+  push_entry t (K_node id) ~before_img:B_absent ~undo:(fun () ->
       List.iter (fun u -> u ()) (List.rev prop_undos);
       Record_store.set t.nodes ~id ~field:n_in_use 0;
       scan_remove t label_id id;
       t.node_count <- t.node_count - 1);
-  log_redo t (Wal.Create_node { label; props = Property.to_list properties });
+  log_redo t (Wal.Create_node { id; label; props = Property.to_list properties });
   stat_event t (Catalog.Node_added { node = id; label; props = Property.to_list properties });
   id
 
@@ -853,20 +1221,24 @@ let create_edge t ~etype ~src ~dst properties =
      not undone on rollback. *)
   maybe_densify t src;
   maybe_densify t dst;
-  log_undo t (fun () -> remove_edge_physically t id);
-  log_redo t (Wal.Create_edge { etype; src; dst; props = Property.to_list properties });
+  push_entry t (K_edge id) ~before_img:B_absent ~undo:(fun () -> remove_edge_physically t id);
+  log_redo t (Wal.Create_edge { id; etype; src; dst; props = Property.to_list properties });
   stat_event t (Catalog.Edge_added { etype; src; dst });
   id
 
 let set_node_property t id key value =
   check_node t id;
-  let old_v = node_property t id key in
+  let key_id = Dict.intern t.key_dict key in
+  claim_write t (K_nprop (id, key_id));
+  (* Before-images are the in-place (raw) values: they are what undo
+     and concurrent snapshots must restore/see, even when this
+     writer's own snapshot is older. *)
+  let old_v = raw_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key_id in
   atomic t @@ fun () ->
   let undo_write = write_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key value in
   let label_id = Record_store.get t.nodes ~id ~field:n_label in
-  let key_id = Dict.intern t.key_dict key in
   let undo_index = index_maintain t ~label_id ~key_id ~node:id ~old_v ~new_v:value in
-  log_undo t (fun () ->
+  push_entry t (K_nprop (id, key_id)) ~before_img:(B_value old_v) ~undo:(fun () ->
       undo_index ();
       undo_write ());
   log_redo t (Wal.Set_node_prop { node = id; key; value });
@@ -874,19 +1246,23 @@ let set_node_property t id key value =
 
 let set_edge_property t id key value =
   check_edge t id;
+  let key_id = Dict.intern t.key_dict key in
+  claim_write t (K_eprop (id, key_id));
+  let old_v = raw_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key_id in
   atomic t @@ fun () ->
   let undo_write = write_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key value in
-  log_undo t undo_write;
+  push_entry t (K_eprop (id, key_id)) ~before_img:(B_value old_v) ~undo:undo_write;
   log_redo t (Wal.Set_edge_prop { edge = id; key; value })
 
 let delete_edge t id =
   check_edge t id;
+  claim_write t (K_edge id);
   let e = edge t id in
   atomic t @@ fun () ->
   remove_edge_physically t id;
   (* Undo re-inserts at the then-current chain heads; order within a
      chain is not semantic. *)
-  log_undo t (fun () -> insert_edge_physically t id);
+  push_entry t (K_edge id) ~before_img:B_present ~undo:(fun () -> insert_edge_physically t id);
   log_redo t (Wal.Delete_edge id);
   stat_event t (Catalog.Edge_removed { etype = e.etype; src = e.src; dst = e.dst })
 
@@ -894,9 +1270,11 @@ let delete_node t id =
   check_node t id;
   if out_degree t id > 0 || in_degree t id > 0 then
     failwith "Db.delete_node: node still has relationships";
+  claim_write t (K_node id);
   let label_id = Record_store.get t.nodes ~id ~field:n_label in
-  (* Drop indexed entries for this node. *)
-  let props = node_properties t id in
+  (* Drop indexed entries for this node (raw map: what the index
+     physically holds). *)
+  let props = read_prop_chain t (Record_store.get t.nodes ~id ~field:n_first_prop) in
   atomic t @@ fun () ->
   let index_undos =
     List.map
@@ -908,7 +1286,7 @@ let delete_node t id =
   Record_store.set t.nodes ~id ~field:n_in_use 0;
   scan_remove t label_id id;
   t.node_count <- t.node_count - 1;
-  log_undo t (fun () ->
+  push_entry t (K_node id) ~before_img:B_present ~undo:(fun () ->
       Record_store.set t.nodes ~id ~field:n_in_use 1;
       scan_add t label_id id;
       t.node_count <- t.node_count + 1;
@@ -962,7 +1340,11 @@ let index_lookup t ~label ~property value =
       match Hashtbl.find_opt index (Value.hash_fold value) with
       | None -> []
       | Some bucket ->
-        List.filter (fun node -> Value.equal (node_property t node property) value) !bucket))
+        (* Index buckets track raw state, so candidates from invisible
+           transactions are screened out along with hash collisions. *)
+        List.filter
+          (fun node -> node_exists t node && Value.equal (node_property t node property) value)
+          !bucket))
   | _ -> raise (Schema_error (Printf.sprintf "no index on :%s(%s)" label property))
 
 (* ---------------- statistics catalog ---------------- *)
@@ -974,6 +1356,7 @@ let stats_epoch t = Catalog.epoch t.catalog
    store reads (labels, property chains, out-chains), like the scans
    it is made of. *)
 let analyze t =
+  if t.open_txns <> [] then raise (Tx_error "Db.analyze: transactions open");
   let nodes =
     Seq.map
       (fun id -> (id, node_label t id, Property.to_list (node_properties t id)))
@@ -989,7 +1372,7 @@ let analyze t =
 (* ---------------- checkpoint & recovery ---------------- *)
 
 let checkpoint t path =
-  if t.current_tx <> None then failwith "Db.checkpoint: transaction open";
+  if t.open_txns <> [] then raise (Tx_error "Db.checkpoint: transaction open");
   (* Order matters: only once the snapshot is safely on disk may the
      log be truncated. A failure at any earlier step leaves the
      previous snapshot + full log intact. *)
@@ -997,11 +1380,27 @@ let checkpoint t path =
   save t path;
   match t.wal with Some w -> Wal.truncate w | None -> ()
 
+(* Creations replay under the ids the log recorded. Transactions that
+   rolled back (or merely ran concurrently without committing first)
+   consumed allocations that never reached the log, so replay
+   re-allocates those ids as tombstones — the recovered store has the
+   same holes, and every logged id lands where it was. *)
+let align_allocation store target =
+  while Record_store.count store < target do
+    ignore (Record_store.allocate store : int)
+  done
+
 let replay_op t = function
-  | Wal.Create_node { label; props } ->
-    ignore (create_node t ~label (Property.of_list props) : node_id)
-  | Wal.Create_edge { etype; src; dst; props } ->
-    ignore (create_edge t ~etype ~src ~dst (Property.of_list props) : edge_id)
+  | Wal.Create_node { id; label; props } ->
+    align_allocation t.nodes id;
+    let got = create_node t ~label (Property.of_list props) in
+    if got <> id then
+      failwith (Printf.sprintf "Db.replay: node allocated at %d, log recorded %d" got id)
+  | Wal.Create_edge { id; etype; src; dst; props } ->
+    align_allocation t.rels id;
+    let got = create_edge t ~etype ~src ~dst (Property.of_list props) in
+    if got <> id then
+      failwith (Printf.sprintf "Db.replay: edge allocated at %d, log recorded %d" got id)
   | Wal.Set_node_prop { node; key; value } -> set_node_property t node key value
   | Wal.Set_edge_prop { edge; key; value } -> set_edge_property t edge key value
   | Wal.Delete_edge id -> delete_edge t id
@@ -1019,11 +1418,13 @@ let apply_redo t ops = with_tx t (fun () -> List.iter (replay_op t) ops)
 type recovery = { replayed : int; replay_last_lsn : int; stop : Wal.stop }
 
 let recover_report ?snapshot t =
-  (* Forget any transaction that was in flight: it never reached the
-     log, so it never happened. *)
-  t.current_tx <- None;
-  t.tx_redo <- [];
-  t.tx_stats <- [];
+  (* Forget every transaction that was in flight: they never reached
+     the log, so they never happened. *)
+  List.iter (fun txn -> txn.tx_open <- false) t.open_txns;
+  t.open_txns <- [];
+  t.active <- None;
+  Hashtbl.reset t.versions;
+  Hashtbl.reset t.commit_marks;
   if Sim_disk.crashed t.disk then Sim_disk.reopen t.disk else Sim_disk.disarm_faults t.disk;
   let base =
     match snapshot with

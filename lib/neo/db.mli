@@ -66,7 +66,7 @@ val save : t -> string -> unit
     version byte, the payload length (int64 LE) and CRC-32 (int32 LE),
     then the marshalled payload — portable across runs of the same
     build, not across compiler versions.
-    @raise Failure when a transaction is open. *)
+    @raise Tx_error when a transaction is open. *)
 
 val load : string -> t
 (** Inverse of {!save}; validates magic, version, length and checksum
@@ -79,14 +79,17 @@ val checkpoint : t -> string -> unit
 (** Flush every dirty page, {!save} a snapshot to [path], then
     truncate the write-ahead log. Ordered so that a fault at any step
     leaves the previous snapshot and the full log intact.
-    @raise Failure when a transaction is open. *)
+    @raise Tx_error when a transaction is open. *)
 
 val recover : ?snapshot:string -> t -> t
 (** Rebuild the database after a simulated crash (or at any point):
     load the last checkpoint [snapshot] (an identically configured
     empty database when absent) and replay the intact prefix of [t]'s
     write-ahead log into it, one transaction per log record — torn
-    tail records are discarded. The crashed instance's data pages are
+    tail records are discarded. Logged creations replay under their
+    recorded ids (allocations consumed by rolled-back or concurrent
+    transactions are re-created as tombstone holes), so a log that
+    interleaved with aborted transactions recovers exactly. The crashed instance's data pages are
     never trusted. Returns the recovered instance; [t] should be
     discarded. *)
 
@@ -113,22 +116,139 @@ val labels : t -> string list
 val edge_types : t -> string list
 val property_keys : t -> string list
 
-(** {1 Transactions} *)
+(** {1 Transactions}
+
+    MVCC-lite snapshot isolation. A transaction takes its snapshot at
+    {!begin_txn}: it sees exactly the state committed by then, plus
+    its own writes. Writes go to the store in place, each leaving a
+    version entry with the key's before-image on a per-key chain —
+    concurrent snapshots resolve reads through those chains, and the
+    entries double as the transaction's undo log. Version chains cost
+    nothing once no transaction is open: both MVCC tables are cleared
+    at that point, so the single-transaction fast path (imports,
+    benchmarks) reads the store directly.
+
+    Conflicts are write-write: updating a key an {e uncommitted}
+    concurrent transaction already wrote fails immediately (second
+    updater loses), and commit validates the write set against
+    commits that landed after the snapshot (first committer wins).
+    Both raise/return the typed {!Tx_conflict} / {!conflict}. Write
+    skew — disjoint write sets with crossing reads — is permitted, as
+    under any snapshot isolation; the {!Mgq_consistency} audit
+    harness reports it.
+
+    Only one transaction {e executes} at a time (the engine is
+    single-threaded); [Db] maintains any number of {e open}
+    transactions, and a scheduler interleaves them by switching the
+    active one with {!activate}. The legacy [begin_tx]/[commit]/
+    [rollback]/[with_tx] API drives a single transaction and is
+    unchanged in behaviour.
+
+    Caveat (documented limitation): deletions by a {e concurrent}
+    transaction are unlinked from relationship chains and label scans
+    in place, so older snapshots stop seeing them in [edges_of] /
+    [nodes_with_label] before the deleter commits. Existence checks
+    and [all_nodes] resolve correctly. The audit workloads are
+    insert/update-only. *)
+
+exception Tx_error of string
+(** Transaction-API misuse: begin while a legacy transaction is open,
+    commit/rollback/activate of a closed transaction, save/checkpoint
+    /analyze/set_isolation while transactions are open. *)
+
+type conflict = {
+  c_txn : int;  (** id of the transaction that lost *)
+  c_key : string;  (** human-readable key, e.g. ["node 3.balance"] *)
+  c_reason : string;
+}
+
+exception Tx_conflict of conflict
+(** A write-write conflict under {!Snapshot} isolation. Raised eagerly
+    at the losing write; returned as [Error] from {!commit_txn} when
+    first-committer-wins validation fails at the commit point. *)
+
+type isolation =
+  | Snapshot  (** MVCC snapshot isolation (default) *)
+  | Read_uncommitted
+      (** The bare undo-list baseline: in-place writes with no
+          visibility resolution and no conflict detection. Admits
+          dirty reads and lost updates — kept as the control arm the
+          consistency audit measures SI against. *)
+
+val isolation : t -> isolation
+
+val set_isolation : t -> isolation -> unit
+(** @raise Tx_error when transactions are open. *)
+
+type txn
+(** A transaction handle. *)
+
+val begin_txn : t -> txn
+(** Open a transaction with a snapshot of the currently committed
+    state, and make it the active one. *)
+
+val activate : t -> txn -> unit
+(** Make [txn] the transaction whose snapshot subsequent reads and
+    writes run under — the scheduler's context switch.
+    @raise Tx_error when [txn] is no longer open. *)
+
+val deactivate : t -> unit
+(** No active transaction: reads see the latest committed state;
+    writes auto-commit. *)
+
+val commit_txn : t -> txn -> (unit, conflict) result
+(** Validate (first committer wins), then append the redo record to
+    the WAL — the durability point, which an armed fault plan can
+    interrupt, leaving the transaction open — then stamp the write
+    set with a commit timestamp and apply buffered statistics deltas.
+    [Error] means the transaction lost validation and was rolled
+    back.
+    @raise Tx_error when [txn] is not open. *)
+
+val rollback_txn : t -> txn -> unit
+(** Undo the transaction's writes (newest first, fault injection
+    suspended) and drop its version entries. After a simulated crash
+    no undo runs ({!recover} is the only way forward).
+    @raise Tx_error when [txn] is not open. *)
+
+val with_txn : ?retries:int -> t -> (txn -> 'a) -> 'a
+(** Run [f] in a fresh transaction; commit on return, roll back on
+    exception. A {!Tx_conflict} (raised or returned by validation) is
+    retried up to [retries] times (default 0), counted by the
+    [db.tx_retries] metric, before re-raising. *)
+
+val txn_id : txn -> int
+val txn_is_open : txn -> bool
+
+val txn_read_set : t -> txn -> string list
+(** Property keys this transaction read (oldest first), as
+    human-readable key names. Recorded only under
+    {!set_read_tracking}. *)
+
+val txn_write_set : t -> txn -> string list
+(** Keys this transaction wrote (oldest first). *)
+
+val set_read_tracking : t -> bool -> unit
+(** Off by default: bulk loads would otherwise accumulate the whole
+    store in their read set. The audit harness switches it on. *)
+
+val open_txn_count : t -> int
+
+(** {2 Legacy single-transaction API} *)
 
 val begin_tx : t -> unit
-(** @raise Failure when a transaction is already open. *)
+(** {!begin_txn}, restricted to one open transaction at a time.
+    @raise Tx_error when any transaction is already open. *)
 
 val commit : t -> unit
-(** Charges a commit (log flush) cost and, when the WAL is enabled,
-    appends the transaction's redo record — the durability point. An
-    armed fault plan can interrupt the append; the transaction is then
-    not committed and stays open for {!rollback}.
-    @raise Failure when no transaction is open. *)
+(** {!commit_txn} on the active transaction.
+    @raise Tx_error when no transaction is open.
+    @raise Tx_conflict when first-committer-wins validation fails
+    (impossible when this is the only transaction). *)
 
 val rollback : t -> unit
-(** Undo every mutation of the open transaction, in reverse order,
-    with fault injection suspended. After a simulated crash no undo
-    runs ({!recover} is the only way forward). *)
+(** {!rollback_txn} on the active transaction.
+    @raise Tx_error when no transaction is open. *)
 
 val in_tx : t -> bool
 
@@ -263,4 +383,6 @@ val stats_epoch : t -> int
 val analyze : t -> unit
 (** Rebuild the statistics catalog from a full scan of the node and
     relationship stores (the ANALYZE entry point), then bump the
-    stats epoch. Charges the scan's db hits. *)
+    stats epoch. Charges the scan's db hits.
+    @raise Tx_error when transactions are open (the scan would bake
+    uncommitted state into the catalog). *)

@@ -6,8 +6,9 @@ let m_appends = Obs.counter "wal.appends"
 let m_append_bytes = Obs.counter "wal.append_bytes"
 
 type op =
-  | Create_node of { label : string; props : (string * Mgq_core.Value.t) list }
+  | Create_node of { id : int; label : string; props : (string * Mgq_core.Value.t) list }
   | Create_edge of {
+      id : int;
       etype : string;
       src : int;
       dst : int;

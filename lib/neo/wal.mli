@@ -24,8 +24,9 @@
     into stale bytes. *)
 
 type op =
-  | Create_node of { label : string; props : (string * Mgq_core.Value.t) list }
+  | Create_node of { id : int; label : string; props : (string * Mgq_core.Value.t) list }
   | Create_edge of {
+      id : int;
       etype : string;
       src : int;
       dst : int;
@@ -38,11 +39,15 @@ type op =
   | Densify of int
   | Create_index of { label : string; property : string }
   | Drop_index of { label : string; property : string }
-      (** Logical redo operations. Node/edge ids are implicit: ids are
-          allocation-ordered, so replaying every committed operation
-          in log order reproduces them. Automatic densification is
-          {e not} logged — it re-fires deterministically during
-          replay; only the importer's explicit [Densify] calls are. *)
+      (** Logical redo operations. Creations carry the id the record
+          was allocated under: ids are allocation-ordered, but rolled
+          back (or merely concurrent) transactions consume allocations
+          without ever reaching the log, so replay cannot infer ids by
+          counting — it re-allocates up to the recorded id, leaving
+          the same tombstone holes the original run had. Automatic
+          densification is {e not} logged — it re-fires
+          deterministically during replay; only the importer's
+          explicit [Densify] calls are. *)
 
 type stop =
   | Clean  (** the zero sentinel (or end of allocated space): caught up *)

@@ -67,7 +67,7 @@ let test_fold_from_suffix () =
 
 let test_lsn_survives_truncate () =
   let w = Wal.create (Sim_disk.create ()) in
-  let ops = [ Wal.Create_node { label = "user"; props = [] } ] in
+  let ops = [ Wal.Create_node { id = 0; label = "user"; props = [] } ] in
   check Alcotest.int "lsn 1" 1 (Wal.append_ops w ops);
   check Alcotest.int "lsn 2" 2 (Wal.append_ops w ops);
   Wal.truncate w;
@@ -89,7 +89,9 @@ let test_lsn_survives_truncate () =
    prefix replays. *)
 let test_stop_reasons_on_torn_tail () =
   let reasons = ref [] in
-  let ops i = [ Wal.Create_node { label = "user"; props = [ ("uid", Value.Int i) ] } ] in
+  let ops i =
+    [ Wal.Create_node { id = i - 1; label = "user"; props = [ ("uid", Value.Int i) ] } ]
+  in
   for seed = 1 to 40 do
     let disk = Sim_disk.create () in
     let w = Wal.create disk in

@@ -363,7 +363,7 @@ let test_nested_tx_rejected () =
     (try
        Db.begin_tx db;
        false
-     with Failure _ -> true);
+     with Db.Tx_error _ -> true);
   Db.rollback db
 
 (* ------------------------------------------------------------------ *)
@@ -846,7 +846,7 @@ let test_save_rejects_open_tx () =
     (try
        Db.save db "/tmp/should_not_exist.neo";
        false
-     with Failure _ -> true);
+     with Db.Tx_error _ -> true);
   Db.rollback db
 
 let rejects_load what path =
