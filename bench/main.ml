@@ -55,6 +55,9 @@ let experiments =
     ( "overload",
       ( "O1-O3: overload protection (admission, breakers, degradation)",
         e Bench_overload.run_overload ) );
+    ( "serving",
+      ( "S1-S2: HTTP serving layer over real sockets (shed knee, keep-alive)",
+        fun _env -> Bench_serving.run_serving () ) );
     ( "consistency",
       ( "C4: isolation anomaly counts and versioning overhead",
         e Bench_consistency.run_consistency ) );

@@ -5,6 +5,8 @@
      mgq import --dir crawl/ --engine neo         batch-load and summarise
      mgq query --dir crawl/ --id Q3.1 --uid 42    run a workload query
      mgq cypher --dir crawl/ "MATCH ... RETURN ..."  ad-hoc declarative query
+     mgq serve --port 8080                        HTTP front-end (navigation + Cypher)
+     mgq loadgen --port 8080 --rate 500           open-loop socket load rig
 
    Databases are in-memory: import happens per invocation. *)
 
@@ -686,6 +688,258 @@ let cluster_cmd =
       const run $ replicas $ policy $ lag $ drop $ sync $ sessions $ steps
       $ write_ratio $ seed $ failover)
 
+(* ---------------- serve ---------------- *)
+
+(* Exit code contract (documented in --help): 0 clean shutdown, 3 the
+   listen socket could not be bound (address in use, bad --host, or a
+   privileged port without the privilege). *)
+let serve_cmd =
+  let module App = Mgq_server.App in
+  let module Server = Mgq_server.Server in
+  let module Router = Mgq_cluster.Router in
+  let module Admission = Mgq_overload.Admission in
+  let dir_opt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dir"; "d" ] ~docv:"DIR"
+          ~doc:"TSV source files to serve. Omitted: generate a crawl of $(b,--users).")
+  in
+  let users =
+    Arg.(
+      value & opt int 300
+      & info [ "users"; "u" ] ~docv:"N"
+          ~doc:"Users in the generated crawl when $(b,--dir) is omitted.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen port. 0 picks an ephemeral port; the bound port is printed.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers"; "w" ] ~docv:"N" ~doc:"Socket worker threads.")
+  in
+  let replicas =
+    Arg.(value & opt int 1 & info [ "replicas"; "r" ] ~docv:"N" ~doc:"Read replicas.")
+  in
+  let policy =
+    let doc = "Routing policy: $(b,round-robin), $(b,least-lagged) or $(b,sticky)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("round-robin", Router.Round_robin);
+               ("least-lagged", Router.Least_lagged);
+               ("sticky", Router.Sticky);
+             ])
+          Router.Round_robin
+      & info [ "policy"; "p" ] ~doc)
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Admission token-bucket rate, requests/second. 0 disables the rate bound \
+             (AIMD concurrency limiting still applies).")
+  in
+  let burst =
+    Arg.(
+      value & opt float 100.
+      & info [ "burst" ] ~docv:"B" ~doc:"Admission token-bucket burst capacity.")
+  in
+  let no_admission =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ] ~doc:"Serve unprotected: no admission control at all.")
+  in
+  let duration_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "duration" ] ~docv:"MS"
+          ~doc:"Stop (gracefully) after this many milliseconds. 0 = run until SIGINT/SIGTERM.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let run dir_opt users host port workers replicas policy rate burst no_admission
+      duration_ms seed =
+    let dataset =
+      match dir_opt with
+      | Some dir -> load_dataset dir
+      | None -> Generator.generate (Generator.scaled ~n_users:users ())
+    in
+    let admission =
+      if no_admission then None
+      else
+        Some { Mgq_overload.Admission.default_config with Admission.rate_per_s = rate; burst }
+    in
+    let app =
+      App.create ~config:{ App.replicas; policy; admission; seed } dataset
+    in
+    let server =
+      try
+        Server.serve
+          ~config:{ Server.default_config with Server.host; port; workers }
+          ~handler:(App.handle app) ()
+      with Server.Bind_error msg ->
+        Printf.eprintf "mgq serve: %s\n%!" msg;
+        exit 3
+    in
+    (* The parseable boot line CI scrapes for the ephemeral port. *)
+    Printf.printf "mgq serve: listening on http://%s:%d (%d workers, %d replica%s, %s)\n%!"
+      host (Server.port server) workers replicas
+      (if replicas = 1 then "" else "s")
+      (Router.policy_to_string policy);
+    let stop_flag = ref false in
+    let stop_signal _ = stop_flag := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+    let deadline =
+      if duration_ms <= 0 then None
+      else Some (Int64.add (Mgq_util.Stats.Timing.now_ns ()) (Int64.of_int (duration_ms * 1_000_000)))
+    in
+    let expired () =
+      match deadline with
+      | None -> false
+      | Some d -> Mgq_util.Stats.Timing.now_ns () >= d
+    in
+    while not (!stop_flag || expired ()) do
+      Thread.delay 0.05
+    done;
+    Server.stop server;
+    Printf.printf "mgq serve: drained %d requests, bye\n%!" (Server.requests_served server)
+  in
+  let exits =
+    Cmd.Exit.info 3 ~doc:"The listen socket could not be bound (address in use, bad \
+                          $(b,--host), or insufficient privilege for the port)."
+    :: Cmd.Exit.defaults
+  in
+  let info =
+    Cmd.info "serve" ~exits
+      ~doc:
+        "Serve the navigation + Cypher API over HTTP/1.1 (plain Unix sockets, fixed \
+         worker pool, admission control, per-request deadlines via X-Deadline-Ms)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ dir_opt $ users $ host $ port $ workers $ replicas $ policy $ rate
+      $ burst $ no_admission $ duration_ms $ seed)
+
+(* ---------------- loadgen ---------------- *)
+
+let loadgen_cmd =
+  let module Loadgen = Mgq_server.Loadgen in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.
+      & info [ "rate" ] ~docv:"R" ~doc:"Offered rate, requests/second (open mode).")
+  in
+  let duration_ms =
+    Arg.(value & opt int 2_000 & info [ "duration" ] ~docv:"MS" ~doc:"Run length.")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "connections"; "c" ] ~docv:"N" ~doc:"Client threads (one connection each).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("open", Loadgen.Open); ("closed", Loadgen.Closed) ]) Loadgen.Open
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,open): Poisson arrivals at $(b,--rate) regardless of server speed \
+             (latency from scheduled arrival — no coordinated omission). $(b,closed): \
+             each connection sends, waits, repeats.")
+  in
+  let no_keep_alive =
+    Arg.(
+      value & flag
+      & info [ "no-keep-alive" ] ~doc:"Open a fresh TCP connection per request.")
+  in
+  let slo_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "slo" ] ~docv:"MS" ~doc:"Latency bound for a 200 to count as goodput.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Send X-Deadline-Ms on every request.")
+  in
+  let uids =
+    Arg.(
+      value & opt int 100
+      & info [ "uids" ] ~docv:"N" ~doc:"Target user ids drawn uniformly from [0, N).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let run host port rate duration_ms connections mode no_keep_alive slo_ms deadline_ms
+      uids seed =
+    let report =
+      Loadgen.run
+        {
+          Loadgen.host;
+          port;
+          seed;
+          duration_ns = duration_ms * 1_000_000;
+          rate_per_s = rate;
+          connections;
+          mode;
+          keep_alive = not no_keep_alive;
+          slo_ns = slo_ms * 1_000_000;
+          deadline_ms;
+          uids = Array.init (max 1 uids) (fun i -> i);
+        }
+    in
+    let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6) in
+    Printf.printf "loadgen: %s loop against %s:%d for %d ms (%d connections, %s)\n"
+      (match mode with Loadgen.Open -> "open" | Loadgen.Closed -> "closed")
+      host port duration_ms connections
+      (if no_keep_alive then "reconnect per request" else "keep-alive");
+    Text_table.print
+      ~aligns:Text_table.[ Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+      ~header:
+        [
+          "offered/s"; "arrivals"; "ok"; "429"; "errors"; "good/s"; "p50 ms"; "p99 ms"; "backlog";
+        ]
+      [
+        [
+          Printf.sprintf "%.0f" report.Loadgen.offered_per_s;
+          string_of_int report.Loadgen.arrivals;
+          string_of_int report.Loadgen.ok;
+          string_of_int report.Loadgen.rejected;
+          string_of_int report.Loadgen.errors;
+          Printf.sprintf "%.0f" report.Loadgen.goodput_per_s;
+          ms report.Loadgen.p50_ns;
+          ms report.Loadgen.p99_ns;
+          string_of_int report.Loadgen.max_backlog;
+        ];
+      ];
+    if report.Loadgen.rejected > 0 then
+      Printf.printf "shed: %d requests got 429 (smallest Retry-After %d s)\n"
+        report.Loadgen.rejected report.Loadgen.min_retry_after_s
+  in
+  let info =
+    Cmd.info "loadgen"
+      ~doc:
+        "Drive a running mgq serve instance over real sockets with the seeded \
+         open-loop workload mix (or a closed loop), and report goodput, latency \
+         percentiles and shed counts."
+  in
+  Cmd.v info
+    Term.(
+      const run $ host $ port $ rate $ duration_ms $ connections $ mode $ no_keep_alive
+      $ slo_ms $ deadline_ms $ uids $ seed)
+
 (* ---------------- workload listing ---------------- *)
 
 let workload_cmd =
@@ -933,6 +1187,8 @@ let main =
       analyze_cmd;
       explain_cmd;
       script_cmd;
+      serve_cmd;
+      loadgen_cmd;
       workload_cmd;
       cluster_cmd;
       overload_cmd;

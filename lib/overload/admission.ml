@@ -138,6 +138,15 @@ let retry_after_token t =
 let retry_after_slot t cls =
   match latency_floor_ns t cls with Some f -> max 1 f | None -> 1_000_000
 
+(* Rounding for the HTTP Retry-After header: ceil to whole seconds,
+   and never 0 when the hint is positive — a 0 tells well-behaved
+   clients to retry immediately, re-creating the burst that got them
+   rejected. Saturates instead of overflowing on absurd hints. *)
+let retry_after_seconds ns =
+  if ns <= 0 then 0
+  else if ns >= max_int - 999_999_999 then max_int / 1_000_000_000
+  else (ns + 999_999_999) / 1_000_000_000
+
 let reject t cls ~retry_after_ns =
   t.shed.(class_index cls) <- t.shed.(class_index cls) + 1;
   Obs.Counter.incr (m_shed cls);

@@ -59,6 +59,13 @@ val abandon : t -> unit
     downstream — e.g. a breaker refused it).
     @raise Invalid_argument when nothing is in flight. *)
 
+val retry_after_seconds : int -> int
+(** Round a [retry_after_ns] hint for the HTTP [Retry-After] header:
+    ceiling to whole seconds, so a positive hint is never rounded down
+    to 0 (which would tell well-behaved clients to retry immediately,
+    re-creating the burst that got them rejected). Non-positive hints
+    map to 0; absurdly large ones saturate instead of overflowing. *)
+
 (** {1 Introspection} *)
 
 val limit : t -> float

@@ -47,6 +47,15 @@ type report = {
   final_limit : float;  (** AIMD limit at the end (0 when unprotected) *)
 }
 
+val draw_class : Mgq_util.Rng.t -> Mgq_queries.Workload.cost_class
+(** One draw from the workload mix (60% cheap / 30% moderate /
+    10% expensive) — shared with the socket load generator so
+    simulated and measured runs drive the same traffic shape. *)
+
+val interarrival_ns : Mgq_util.Rng.t -> float -> int
+(** Exponential interarrival gap (ns) for a Poisson process at the
+    given rate (requests/s). Always at least 1. *)
+
 val run : config -> report
 (** Run one simulation to completion (all admitted requests drain).
     Deterministic for a given config.

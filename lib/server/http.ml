@@ -1,0 +1,372 @@
+(* Hand-rolled streaming HTTP/1.1 for the serving layer: a push parser
+   that accepts bytes in arbitrary fragments (a socket read can split
+   a request at any byte boundary) and yields complete requests, plus
+   a response serializer. Only what a JSON query front-end needs:
+   Content-Length bodies, keep-alive, percent-decoded targets. No
+   chunked transfer, no multipart, no TLS — typed errors instead of
+   undefined behavior for everything outside that envelope.
+
+   The error taxonomy maps 1:1 onto response codes:
+     Bad_request      -> 400 (malformed start line / header / length)
+     Body_too_large   -> 413 (declared Content-Length over the cap)
+     Headers_too_large-> 431 (header section over the cap)
+   A 503 is not a parse error — the server emits it when shedding
+   whole connections (accept-queue overflow or shutdown). *)
+
+type request = {
+  meth : string;
+  target : string;  (* raw request-target as received *)
+  path : string;  (* percent-decoded path, query stripped *)
+  query : (string * string) list;
+  version : string;  (* "HTTP/1.1" *)
+  headers : (string * string) list;  (* names lowercased, in order *)
+  body : string;
+}
+
+type error =
+  | Bad_request of string
+  | Body_too_large of { declared : int; limit : int }
+  | Headers_too_large of { limit : int }
+
+let status_of_error = function
+  | Bad_request _ -> 400
+  | Body_too_large _ -> 413
+  | Headers_too_large _ -> 431
+
+let error_message = function
+  | Bad_request msg -> msg
+  | Body_too_large { declared; limit } ->
+    Printf.sprintf "body of %d bytes exceeds the %d byte limit" declared limit
+  | Headers_too_large { limit } ->
+    Printf.sprintf "header section exceeds the %d byte limit" limit
+
+let header name req =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let query_param name req = List.assoc_opt name req.query
+
+(* ------------------------------------------------------------------ *)
+(* percent decoding and query strings                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* %XX -> byte; '+' -> space only when [plus_is_space] (query strings,
+   not paths). Stray '%' passes through undecoded rather than erroring:
+   the router 404s unknown paths anyway. *)
+let percent_decode ?(plus_is_space = false) s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex_val s.[!i + 1], hex_val s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char buf (Char.chr ((h lsl 4) lor l));
+        i := !i + 2
+      | _ -> Buffer.add_char buf '%')
+    | '+' when plus_is_space -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    List.filter_map
+      (fun pair ->
+        if pair = "" then None
+        else
+          match String.index_opt pair '=' with
+          | Some eq ->
+            Some
+              ( percent_decode ~plus_is_space:true (String.sub pair 0 eq),
+                percent_decode ~plus_is_space:true
+                  (String.sub pair (eq + 1) (String.length pair - eq - 1)) )
+          | None -> Some (percent_decode ~plus_is_space:true pair, ""))
+      (String.split_on_char '&' qs)
+
+let split_target target =
+  match String.index_opt target '?' with
+  | Some q ->
+    ( percent_decode (String.sub target 0 q),
+      parse_query (String.sub target (q + 1) (String.length target - q - 1)) )
+  | None -> (percent_decode target, [])
+
+(* ------------------------------------------------------------------ *)
+(* the push parser                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type pending = {
+  p_meth : string;
+  p_target : string;
+  p_version : string;
+  p_headers : (string * string) list;
+  p_body_len : int;
+}
+
+type state =
+  | In_headers
+  | In_body of pending
+  | Failed of error  (* sticky: a protocol error poisons the connection *)
+
+type parser = {
+  max_header_bytes : int;
+  max_body_bytes : int;
+  buf : Buffer.t;  (* unconsumed bytes *)
+  mutable consumed : int;  (* prefix of [buf] already handed out *)
+  mutable state : state;
+}
+
+let default_max_header_bytes = 8 * 1024
+let default_max_body_bytes = 1024 * 1024
+
+let parser ?(max_header_bytes = default_max_header_bytes)
+    ?(max_body_bytes = default_max_body_bytes) () =
+  {
+    max_header_bytes;
+    max_body_bytes;
+    buf = Buffer.create 512;
+    consumed = 0;
+    state = In_headers;
+  }
+
+let feed p s = Buffer.add_string p.buf s
+
+(* Drop the consumed prefix once it dominates the buffer, so a long
+   keep-alive connection does not grow its buffer without bound. *)
+let compact p =
+  let len = Buffer.length p.buf in
+  if p.consumed > 0 && (p.consumed >= len || p.consumed > 64 * 1024) then begin
+    let rest = Buffer.sub p.buf p.consumed (len - p.consumed) in
+    Buffer.clear p.buf;
+    Buffer.add_string p.buf rest;
+    p.consumed <- 0
+  end
+
+let is_token_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_' | '`' | '|'
+  | '~' ->
+    true
+  | _ -> false
+
+let trim_ows s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  while !j >= !i && (s.[!j] = ' ' || s.[!j] = '\t') do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let parse_start_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+    if meth = "" || not (String.for_all is_token_char meth) then
+      Error (Bad_request (Printf.sprintf "malformed method %S" meth))
+    else if target = "" || target.[0] <> '/' then
+      Error (Bad_request (Printf.sprintf "malformed request-target %S" target))
+    else if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+      Error (Bad_request (Printf.sprintf "unsupported version %S" version))
+    else Ok (meth, target, version)
+  | _ -> Error (Bad_request (Printf.sprintf "malformed start line %S" line))
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None | Some 0 -> Error (Bad_request (Printf.sprintf "malformed header line %S" line))
+  | Some colon ->
+    let name = String.sub line 0 colon in
+    if not (String.for_all is_token_char name) then
+      Error (Bad_request (Printf.sprintf "malformed header name %S" name))
+    else
+      Ok
+        ( String.lowercase_ascii name,
+          trim_ows (String.sub line (colon + 1) (String.length line - colon - 1)) )
+
+(* Lines end in \r\n; a bare \n is tolerated (curl never sends one,
+   hand-typed tests do). *)
+let split_lines section =
+  List.map
+    (fun line ->
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+    (String.split_on_char '\n' section)
+
+let parse_header_section p section =
+  match split_lines section with
+  | [] | [ "" ] -> Error (Bad_request "empty request")
+  | start :: rest -> (
+    match parse_start_line start with
+    | Error e -> Error e
+    | Ok (meth, target, version) -> (
+      let rec headers acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match parse_header_line line with
+          | Ok h -> headers (h :: acc) rest
+          | Error e -> Error e)
+      in
+      match headers [] (List.filter (fun l -> l <> "") rest) with
+      | Error e -> Error e
+      | Ok hs -> (
+        let body_len =
+          match List.assoc_opt "content-length" hs with
+          | None -> Ok 0
+          | Some v -> (
+            match int_of_string_opt (trim_ows v) with
+            | Some n when n >= 0 -> Ok n
+            | _ -> Error (Bad_request (Printf.sprintf "bad Content-Length %S" v)))
+        in
+        match body_len with
+        | Error e -> Error e
+        | Ok _ when List.mem_assoc "transfer-encoding" hs ->
+          Error (Bad_request "chunked transfer encoding not supported")
+        | Ok n when n > p.max_body_bytes ->
+          Error (Body_too_large { declared = n; limit = p.max_body_bytes })
+        | Ok n ->
+          Ok { p_meth = meth; p_target = target; p_version = version; p_headers = hs; p_body_len = n }
+        )))
+
+(* Find "\r\n\r\n" (or "\n\n") from [from] in the unconsumed region;
+   returns (end_of_headers, start_of_body). *)
+let find_header_end p ~from =
+  let len = Buffer.length p.buf in
+  let get i = Buffer.nth p.buf i in
+  let rec scan i =
+    if i >= len then None
+    else if get i = '\n' then
+      if i + 1 < len && get (i + 1) = '\n' then Some (i, i + 2)
+      else if i + 2 < len && get (i + 1) = '\r' && get (i + 2) = '\n' then Some (i, i + 3)
+      else scan (i + 1)
+    else scan (i + 1)
+  in
+  scan (max from p.consumed)
+
+(* Pull the next complete request out of the accumulated bytes.
+     Ok (Some r)  one request consumed (call again: pipelining)
+     Ok None      need more bytes
+     Error e      protocol error; the connection must answer and close *)
+let rec next p =
+  match p.state with
+  | Failed e -> Error e
+  | In_body pending ->
+    let available = Buffer.length p.buf - p.consumed in
+    if available < pending.p_body_len then Ok None
+    else begin
+      let body = Buffer.sub p.buf p.consumed pending.p_body_len in
+      p.consumed <- p.consumed + pending.p_body_len;
+      p.state <- In_headers;
+      compact p;
+      let path, query = split_target pending.p_target in
+      Ok
+        (Some
+           {
+             meth = pending.p_meth;
+             target = pending.p_target;
+             path;
+             query;
+             version = pending.p_version;
+             headers = pending.p_headers;
+             body;
+           })
+    end
+  | In_headers -> (
+    match find_header_end p ~from:p.consumed with
+    | None ->
+      if Buffer.length p.buf - p.consumed > p.max_header_bytes then begin
+        let e = Headers_too_large { limit = p.max_header_bytes } in
+        p.state <- Failed e;
+        Error e
+      end
+      else Ok None
+    | Some (hdr_end, body_start) ->
+      if hdr_end - p.consumed > p.max_header_bytes then begin
+        let e = Headers_too_large { limit = p.max_header_bytes } in
+        p.state <- Failed e;
+        Error e
+      end
+      else begin
+        let section = Buffer.sub p.buf p.consumed (hdr_end - p.consumed) in
+        p.consumed <- body_start;
+        match parse_header_section p section with
+        | Error e ->
+          p.state <- Failed e;
+          Error e
+        | Ok pending ->
+          p.state <- In_body pending;
+          next p
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* responses                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  resp_headers : (string * string) list;  (* Content-Length/Connection added on write *)
+  resp_body : string;
+}
+
+let response ?(headers = []) ~status body =
+  { status; resp_headers = headers; resp_body = body }
+
+let json_response ?(headers = []) ~status json =
+  {
+    status;
+    resp_headers = ("Content-Type", "application/json") :: headers;
+    resp_body = Mgq_util.Json.to_string json ^ "\n";
+  }
+
+let text_response ?(headers = []) ~status body =
+  { status; resp_headers = ("Content-Type", "text/plain; charset=utf-8") :: headers; resp_body = body }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | s -> if s >= 200 && s < 300 then "OK" else "Error"
+
+let write_response buf ~keep_alive r =
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason_phrase r.status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    r.resp_headers;
+  Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length r.resp_body));
+  Buffer.add_string buf
+    (Printf.sprintf "Connection: %s\r\n" (if keep_alive then "keep-alive" else "close"));
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.resp_body
+
+let response_to_string ~keep_alive r =
+  let buf = Buffer.create (String.length r.resp_body + 128) in
+  write_response buf ~keep_alive r;
+  Buffer.contents buf
+
+let error_response e =
+  json_response ~status:(status_of_error e)
+    (Mgq_util.Json.Obj
+       [ ("error", Mgq_util.Json.Str (error_message e));
+         ("status", Mgq_util.Json.Int (status_of_error e)) ])
+
+(* Does the client want the connection kept open afterwards? *)
+let wants_keep_alive req =
+  match Option.map String.lowercase_ascii (header "connection" req) with
+  | Some "close" -> false
+  | Some "keep-alive" -> true
+  | _ -> req.version = "HTTP/1.1"

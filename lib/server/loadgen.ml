@@ -1,0 +1,397 @@
+(* Socket load rig: drives a running server over real TCP connections
+   with the same seeded workload mix as the discrete-event simulator
+   (Sim_load), so simulated and measured shed knees are comparable.
+
+   Two driving disciplines:
+
+   - [Open]: arrivals follow a seeded Poisson process at the offered
+     rate, independent of server speed. A generator thread releases
+     requests on schedule into a queue drained by [connections] client
+     threads, and latency is measured from the *scheduled* arrival —
+     not from when a client thread got around to sending — so a slow
+     server cannot suppress its own bad samples (coordinated
+     omission).
+   - [Closed]: each connection sends, waits, repeats. Throughput
+     self-limits to the server's speed; useful for the keep-alive
+     vs. reconnect comparison where per-request overhead is the
+     subject.
+
+   Responses are read with a minimal client-side HTTP reader
+   (status line + headers + Content-Length body). 200s count toward
+   goodput when within the SLO; 429s are recorded as shed along with
+   the smallest positive Retry-After seen. *)
+
+module Rng = Mgq_util.Rng
+module Summary = Mgq_util.Stats.Summary
+module Workload = Mgq_queries.Workload
+module Sim_load = Mgq_overload.Sim_load
+
+type mode = Open | Closed
+
+type config = {
+  host : string;
+  port : int;
+  seed : int;
+  duration_ns : int;
+  rate_per_s : float;  (** offered rate ([Open] mode only) *)
+  connections : int;  (** client threads, one TCP connection each *)
+  mode : mode;
+  keep_alive : bool;  (** false = fresh TCP connection per request *)
+  slo_ns : int;
+  deadline_ms : int option;  (** sent as [X-Deadline-Ms] when set *)
+  uids : int array;  (** user ids to target; drawn uniformly *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    seed = 42;
+    duration_ns = 2_000_000_000;
+    rate_per_s = 200.;
+    connections = 4;
+    mode = Open;
+    keep_alive = true;
+    slo_ns = 50_000_000;
+    deadline_ms = None;
+    uids = [| 1 |];
+  }
+
+type report = {
+  offered_per_s : float;
+  arrivals : int;  (** scheduled arrivals ([Closed]: requests sent) *)
+  sent : int;
+  ok : int;  (** HTTP 200 *)
+  rejected : int;  (** HTTP 429 *)
+  errors : int;  (** transport failures + non-200/429 statuses *)
+  good : int;  (** 200s within the SLO *)
+  goodput_per_s : float;
+  p50_ns : int;
+  p99_ns : int;
+  min_retry_after_s : int;  (** smallest Retry-After on a 429; 0 if none seen *)
+  max_backlog : int;  (** peak depth of the open-loop release queue *)
+  wall_ns : int;
+}
+
+let now_ns () = Int64.to_int (Mgq_util.Stats.Timing.now_ns ())
+
+(* ------------------------------------------------------------------ *)
+(* request construction: the Sim_load mix mapped onto routes          *)
+(* ------------------------------------------------------------------ *)
+
+let path_of rng cls uid =
+  match cls with
+  | Workload.Cheap ->
+    if Rng.bool rng then Printf.sprintf "/users/%d/followers" uid
+    else Printf.sprintf "/users/%d/followees" uid
+  | Workload.Moderate ->
+    if Rng.bool rng then Printf.sprintf "/users/%d/timeline" uid
+    else Printf.sprintf "/users/%d/hashtags" uid
+  | Workload.Expensive -> Printf.sprintf "/users/%d/recommendations?n=5" uid
+
+let request_bytes config ~path =
+  let b = Buffer.create 128 in
+  Buffer.add_string b ("GET " ^ path ^ " HTTP/1.1\r\n");
+  Buffer.add_string b "Host: mgq\r\n";
+  (match config.deadline_ms with
+  | Some ms -> Buffer.add_string b (Printf.sprintf "X-Deadline-Ms: %d\r\n" ms)
+  | None -> ());
+  if not config.keep_alive then Buffer.add_string b "Connection: close\r\n";
+  Buffer.add_string b "\r\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* minimal HTTP client                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Transport of string
+
+let connect config =
+  let addr = Unix.inet_addr_of_string config.host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, config.port));
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+     (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with _ -> ());
+     raise (Transport (Unix.error_message err)));
+  fd
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  try
+    while !off < n do
+      match Unix.write_substring fd s !off (n - !off) with
+      | w -> off := !off + w
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  with Unix.Unix_error (err, _, _) -> raise (Transport (Unix.error_message err))
+
+(* Read one response: status + headers + Content-Length body. Only one
+   request is ever in flight per connection, so no inter-response
+   buffering is needed. *)
+let read_response fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> raise (Transport "connection closed mid-response")
+    | n -> Buffer.add_subbytes buf chunk 0 n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+      raise (Transport (Unix.error_message err))
+  in
+  let header_end () =
+    let s = Buffer.contents buf in
+    let rec scan i =
+      if i + 3 >= String.length s then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let rec wait_headers () =
+    match header_end () with
+    | Some e -> e
+    | None ->
+      if Buffer.length buf > 64 * 1024 then raise (Transport "response headers too large");
+      read_more ();
+      wait_headers ()
+  in
+  let hdr_end = wait_headers () in
+  let s = Buffer.contents buf in
+  let head = String.sub s 0 hdr_end in
+  let lines = String.split_on_char '\n' head in
+  let status =
+    match lines with
+    | first :: _ -> (
+      (* "HTTP/1.1 200 OK" *)
+      match String.split_on_char ' ' (String.trim first) with
+      | _ :: code :: _ -> ( try int_of_string code with _ -> raise (Transport "bad status"))
+      | _ -> raise (Transport "bad status line"))
+    | [] -> raise (Transport "empty response")
+  in
+  let header name =
+    let name = String.lowercase_ascii name in
+    List.find_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | None -> None
+        | Some i ->
+          if String.lowercase_ascii (String.trim (String.sub line 0 i)) = name then
+            Some
+              (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+          else None)
+      lines
+  in
+  let content_length =
+    match header "content-length" with
+    | Some v -> ( try int_of_string v with _ -> raise (Transport "bad content-length"))
+    | None -> 0
+  in
+  let want = hdr_end + content_length in
+  while Buffer.length buf < want do
+    read_more ()
+  done;
+  let retry_after =
+    match header "retry-after" with
+    | Some v -> ( try int_of_string v with _ -> 0)
+    | None -> 0
+  in
+  let keep =
+    match header "connection" with
+    | Some v -> String.lowercase_ascii v <> "close"
+    | None -> true
+  in
+  (status, retry_after, keep)
+
+(* ------------------------------------------------------------------ *)
+(* shared result recording                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  smutex : Mutex.t;
+  latencies : Summary.t;
+  mutable sent : int;
+  mutable ok : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable good : int;
+  mutable min_retry_after_s : int;  (* max_int = none seen *)
+}
+
+let stats_create () =
+  {
+    smutex = Mutex.create ();
+    latencies = Summary.create ();
+    sent = 0;
+    ok = 0;
+    rejected = 0;
+    errors = 0;
+    good = 0;
+    min_retry_after_s = max_int;
+  }
+
+let record st config ~latency_ns outcome =
+  Mutex.lock st.smutex;
+  st.sent <- st.sent + 1;
+  (match outcome with
+  | `Ok ->
+    st.ok <- st.ok + 1;
+    Summary.add st.latencies (float_of_int latency_ns);
+    if latency_ns <= config.slo_ns then st.good <- st.good + 1
+  | `Rejected retry_after_s ->
+    st.rejected <- st.rejected + 1;
+    if retry_after_s > 0 then
+      st.min_retry_after_s <- min st.min_retry_after_s retry_after_s
+  | `Error -> st.errors <- st.errors + 1);
+  Mutex.unlock st.smutex
+
+(* One request over a (possibly reused) connection. Returns the
+   connection to use next, or None when it must be re-opened. *)
+let issue config st ~latency_from conn ~path =
+  let fd = match conn with Some fd -> fd | None -> connect config in
+  try
+    write_all fd (request_bytes config ~path);
+    let status, retry_after, server_keep = read_response fd in
+    let latency = now_ns () - latency_from in
+    (match status with
+    | 200 -> record st config ~latency_ns:latency `Ok
+    | 429 -> record st config ~latency_ns:latency (`Rejected retry_after)
+    | _ -> record st config ~latency_ns:latency `Error);
+    if config.keep_alive && server_keep then Some fd
+    else begin
+      (try Unix.close fd with _ -> ());
+      None
+    end
+  with Transport _ ->
+    record st config ~latency_ns:(now_ns () - latency_from) `Error;
+    (try Unix.close fd with _ -> ());
+    None
+
+(* ------------------------------------------------------------------ *)
+(* open loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type job = { scheduled_ns : int; path : string }
+
+let run_open config st =
+  let jobs = Queue.create () in
+  let jmutex = Mutex.create () in
+  let jcond = Condition.create () in
+  let done_ = ref false in
+  let arrivals = ref 0 in
+  let max_backlog = ref 0 in
+  let worker () =
+    let conn = ref None in
+    let rec loop () =
+      Mutex.lock jmutex;
+      while Queue.is_empty jobs && not !done_ do
+        Condition.wait jcond jmutex
+      done;
+      if Queue.is_empty jobs then begin
+        Mutex.unlock jmutex;
+        match !conn with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ()
+      end
+      else begin
+        let job = Queue.pop jobs in
+        Mutex.unlock jmutex;
+        conn := issue config st ~latency_from:job.scheduled_ns !conn ~path:job.path;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let pool = List.init (max 1 config.connections) (fun _ -> Thread.create worker ()) in
+  (* Generator: release every arrival whose scheduled time has come.
+     Seeded exactly like Sim_load: one rng for gaps + classes, a split
+     for per-request variety. *)
+  let arrival_rng = Rng.create config.seed in
+  let detail_rng = Rng.split arrival_rng in
+  let start = now_ns () in
+  let horizon = start + config.duration_ns in
+  let next_at = ref (start + Sim_load.interarrival_ns arrival_rng config.rate_per_s) in
+  while !next_at <= horizon do
+    let now = now_ns () in
+    if !next_at > now then
+      Thread.delay (Float.min 0.002 (float_of_int (!next_at - now) /. 1e9))
+    else begin
+      let cls = Sim_load.draw_class arrival_rng in
+      let uid = config.uids.(Rng.int detail_rng (Array.length config.uids)) in
+      let job = { scheduled_ns = !next_at; path = path_of detail_rng cls uid } in
+      incr arrivals;
+      Mutex.lock jmutex;
+      Queue.push job jobs;
+      max_backlog := max !max_backlog (Queue.length jobs);
+      Condition.signal jcond;
+      Mutex.unlock jmutex;
+      next_at := !next_at + Sim_load.interarrival_ns arrival_rng config.rate_per_s
+    end
+  done;
+  Mutex.lock jmutex;
+  done_ := true;
+  Condition.broadcast jcond;
+  Mutex.unlock jmutex;
+  List.iter Thread.join pool;
+  (!arrivals, !max_backlog, now_ns () - start)
+
+(* ------------------------------------------------------------------ *)
+(* closed loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_closed config st =
+  let start = now_ns () in
+  let horizon = start + config.duration_ns in
+  let worker i =
+    let rng = Rng.create (config.seed + (i * 7919)) in
+    let conn = ref None in
+    while now_ns () < horizon do
+      let cls = Sim_load.draw_class rng in
+      let uid = config.uids.(Rng.int rng (Array.length config.uids)) in
+      let path = path_of rng cls uid in
+      conn := issue config st ~latency_from:(now_ns ()) !conn ~path
+    done;
+    match !conn with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ()
+  in
+  let pool = List.init (max 1 config.connections) (fun i -> Thread.create worker i) in
+  List.iter Thread.join pool;
+  let wall = now_ns () - start in
+  (st.sent, 0, wall)
+
+(* ------------------------------------------------------------------ *)
+
+let run config =
+  if Array.length config.uids = 0 then invalid_arg "Loadgen.run: uids is empty";
+  if config.mode = Open && config.rate_per_s <= 0. then
+    invalid_arg "Loadgen.run: rate_per_s";
+  let st = stats_create () in
+  let arrivals, max_backlog, wall_ns =
+    match config.mode with
+    | Open -> run_open config st
+    | Closed -> run_closed config st
+  in
+  let pct p =
+    if Summary.count st.latencies = 0 then 0
+    else int_of_float (Summary.percentile st.latencies p)
+  in
+  {
+    offered_per_s =
+      (match config.mode with
+      | Open -> config.rate_per_s
+      | Closed -> float_of_int st.sent /. (float_of_int (max 1 wall_ns) /. 1e9));
+    arrivals;
+    sent = st.sent;
+    ok = st.ok;
+    rejected = st.rejected;
+    errors = st.errors;
+    good = st.good;
+    goodput_per_s = float_of_int st.good /. (float_of_int (max 1 wall_ns) /. 1e9);
+    p50_ns = pct 50.;
+    p99_ns = pct 99.;
+    min_retry_after_s = (if st.min_retry_after_s = max_int then 0 else st.min_retry_after_s);
+    max_backlog;
+    wall_ns;
+  }

@@ -1,0 +1,268 @@
+(* The socket front door: a dependency-free HTTP/1.1 server over Unix
+   sockets with a fixed worker-thread pool.
+
+   Shape: one acceptor thread pushes connections onto a bounded queue;
+   [workers] threads pop connections and serve them to completion
+   (keep-alive: many requests per connection). A full queue sheds the
+   whole connection with a typed 503 + Retry-After — the socket-level
+   analogue of admission control, for when load outruns even the
+   accept path. Graceful shutdown stops accepting, serves every
+   request already buffered on live connections, then closes them;
+   workers notice the stop flag within one idle-poll interval, so
+   drain time is bounded.
+
+   Request-level parallelism note: workers overlap on socket I/O and
+   HTTP parsing; the engine behind [handler] serializes internally
+   (see App.handle). *)
+
+module Obs = Mgq_obs.Obs
+
+let m_connections = Obs.counter "server.connections"
+let m_shed_connections = Obs.counter "server.shed_connections"
+let m_bytes_in = Obs.counter "server.bytes_in"
+let m_bytes_out = Obs.counter "server.bytes_out"
+
+type config = {
+  host : string;
+  port : int;  (* 0 = ephemeral: read the bound port back with [port] *)
+  workers : int;
+  backlog : int;
+  queue_capacity : int;  (* accepted connections awaiting a worker *)
+  max_header_bytes : int;
+  max_body_bytes : int;
+  idle_poll_s : float;  (* socket read timeout; bounds shutdown drain *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    backlog = 64;
+    queue_capacity = 256;
+    max_header_bytes = Http.default_max_header_bytes;
+    max_body_bytes = Http.default_max_body_bytes;
+    idle_poll_s = 0.05;
+  }
+
+type job = Conn of Unix.file_descr | Stop
+
+type t = {
+  config : config;
+  handler : conn_id:int -> Http.request -> Http.response;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  queue : job Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  mutable next_conn_id : int;
+  mutable stopping : bool;
+  mutable acceptor : Thread.t option;
+  mutable pool : Thread.t list;
+  mutable served : int;  (* requests answered, all statuses *)
+}
+
+exception Bind_error of string
+
+let create ?(config = default_config) ~handler () =
+  let addr =
+    try Unix.inet_addr_of_string config.host
+    with _ -> raise (Bind_error (Printf.sprintf "bad host %S" config.host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, config.port));
+     Unix.listen fd config.backlog
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with _ -> ());
+     raise
+       (Bind_error
+          (Printf.sprintf "cannot bind %s:%d: %s" config.host config.port
+             (Unix.error_message err))));
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> config.port
+  in
+  (* Non-blocking accept behind a select poll: closing a listening
+     socket does NOT wake a thread blocked in accept(2), so a blocking
+     acceptor would hang [stop] forever. *)
+  Unix.set_nonblock fd;
+  {
+    config;
+    handler;
+    listen_fd = fd;
+    bound_port;
+    queue = Queue.create ();
+    qmutex = Mutex.create ();
+    qcond = Condition.create ();
+    next_conn_id = 0;
+    stopping = false;
+    acceptor = None;
+    pool = [];
+    served = 0;
+  }
+
+let port t = t.bound_port
+let requests_served t = t.served
+
+(* ------------------------------------------------------------------ *)
+(* raw socket I/O                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* connection serving                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send t fd ~keep_alive resp =
+  let out = Http.response_to_string ~keep_alive resp in
+  let n = write_all fd out in
+  Obs.Counter.incr m_bytes_out ~by:n;
+  t.served <- t.served + 1
+
+let handle_connection t fd conn_id =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_poll_s;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  let parser =
+    Http.parser ~max_header_bytes:t.config.max_header_bytes
+      ~max_body_bytes:t.config.max_body_bytes ()
+  in
+  let chunk = Bytes.create 8192 in
+  let closing = ref false in
+  (try
+     while not !closing do
+       (* Serve everything already buffered (keep-alive pipelining)
+          before reading more bytes. *)
+       match Http.next parser with
+       | Ok (Some req) ->
+         let resp = t.handler ~conn_id req in
+         (* During shutdown, answer but announce the close. *)
+         let keep = Http.wants_keep_alive req && not t.stopping in
+         send t fd ~keep_alive:keep resp;
+         if not keep then closing := true
+       | Error e ->
+         (* Typed protocol error: answer 400/413/431, then hang up —
+            the byte stream is unsynchronized. *)
+         send t fd ~keep_alive:false (Http.error_response e);
+         closing := true
+       | Ok None -> (
+         if t.stopping then closing := true (* nothing buffered: drained *)
+         else
+           match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> closing := true (* peer closed *)
+           | n ->
+             Obs.Counter.incr m_bytes_in ~by:n;
+             Http.feed parser (Bytes.sub_string chunk 0 n)
+           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+             () (* idle poll expired: loop re-checks the stop flag *)
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+     done
+   with _ -> (* connection-level I/O failure: drop the connection *) ());
+  try Unix.close fd with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* threads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.qmutex;
+    while Queue.is_empty t.queue do
+      Condition.wait t.qcond t.qmutex
+    done;
+    let job = Queue.pop t.queue in
+    let conn_id =
+      t.next_conn_id <- t.next_conn_id + 1;
+      t.next_conn_id
+    in
+    Mutex.unlock t.qmutex;
+    match job with
+    | Stop -> ()
+    | Conn fd ->
+      handle_connection t fd conn_id;
+      loop ()
+  in
+  loop ()
+
+(* Accept-queue overflow: shed the connection with a typed 503 before
+   any request is read — cheaper than parsing work we will drop. *)
+let shed_connection fd =
+  Obs.Counter.incr m_shed_connections;
+  let resp =
+    Http.json_response ~status:503
+      ~headers:[ ("Retry-After", "1") ]
+      (Mgq_util.Json.Obj
+         [
+           ("error", Mgq_util.Json.Str "server connection queue full");
+           ("status", Mgq_util.Json.Int 503);
+         ])
+  in
+  (try ignore (write_all fd (Http.response_to_string ~keep_alive:false resp)) with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let accept_loop t =
+  while not t.stopping do
+    match Unix.select [ t.listen_fd ] [] [] 0.05 with
+    | [], _, _ -> () (* poll expired: re-check the stop flag *)
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.clear_nonblock fd;
+        Obs.Counter.incr m_connections;
+        Mutex.lock t.qmutex;
+        if Queue.length t.queue >= t.config.queue_capacity then begin
+          Mutex.unlock t.qmutex;
+          shed_connection fd
+        end
+        else begin
+          Queue.push (Conn fd) t.queue;
+          Condition.signal t.qcond;
+          Mutex.unlock t.qmutex
+        end
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK ),
+              _,
+              _ ) ->
+        (* the ready connection aborted before we accepted it *)
+        ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start t =
+  if t.acceptor <> None then invalid_arg "Server.start: already started";
+  t.pool <- List.init (max 1 t.config.workers) (fun _ -> Thread.create worker_loop t);
+  t.acceptor <- Some (Thread.create accept_loop t)
+
+(* Graceful shutdown: stop accepting, drain buffered requests on live
+   connections (bounded by the idle poll), join every thread. *)
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* Join the acceptor before closing its fd: it wakes from the
+       select poll within [0.05 s] and checks the flag. *)
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    t.acceptor <- None;
+    (try Unix.close t.listen_fd with _ -> ());
+    Mutex.lock t.qmutex;
+    List.iter (fun _ -> Queue.push Stop t.queue) t.pool;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qmutex;
+    List.iter Thread.join t.pool;
+    t.pool <- []
+  end
+
+(* Convenience for tests and the CLI: create + start. *)
+let serve ?config ~handler () =
+  let t = create ?config ~handler () in
+  start t;
+  t

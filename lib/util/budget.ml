@@ -26,6 +26,16 @@ let charge ?(hits = 0) ?(ns = 0) t =
   t.ns <- t.ns + max 0 ns;
   check t
 
+(* A wall-clock deadline arriving at the network edge (X-Deadline-Ms)
+   becomes a nanosecond budget. Saturating in both directions: a zero
+   or negative deadline clamps to an already-empty budget (the first
+   positive charge trips it) rather than going negative, and a huge
+   one caps at max_int instead of overflowing into a tiny — or
+   negative — allowance. *)
+let of_deadline_ms ?max_hits ms =
+  let ns = if ms <= 0 then 0 else if ms > max_int / 1_000_000 then max_int else ms * 1_000_000 in
+  create ?max_hits ~max_ns:ns ()
+
 let hits t = t.hits
 let consumed_ns t = t.ns
 

@@ -28,6 +28,14 @@ val create : ?max_hits:int -> ?max_ns:int -> unit -> t
 (** A budget with the given ceilings; omitted ceilings are unlimited.
     At least one limit should be set for the budget to ever trip. *)
 
+val of_deadline_ms : ?max_hits:int -> int -> t
+(** A budget from a wall-clock deadline in milliseconds, as carried by
+    the [X-Deadline-Ms] request header. Saturating in both directions:
+    zero or negative deadlines become an already-empty budget (the
+    first positive charge trips it), and deadlines past
+    [max_int / 1_000_000] clamp to [max_int] nanoseconds instead of
+    overflowing. *)
+
 val charge : ?hits:int -> ?ns:int -> t -> unit
 (** Add consumption, then {!check}. Defaults are zero. Charging
     saturates: negative deltas (a simulated clock re-armed backwards)

@@ -1,0 +1,284 @@
+(* Minimal JSON codec for the network layer: an escape-correct encoder
+   and a small recursive-descent decoder sized for request bodies
+   (parameterised Cypher, navigation options). Deliberately not a
+   general-purpose library — no streaming, no number bignums — but the
+   encoder never emits invalid JSON and the decoder rejects anything
+   it does not fully consume. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* encode                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_to buf s;
+  Buffer.contents buf
+
+(* Floats keep a decimal point (or exponent) so they decode back as
+   floats: %.17g prints 1.0 as "1", which would round-trip as Int. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* JSON has no NaN/Infinity; null is the least-wrong encoding. *)
+    if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_to buf s;
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_to buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* decode                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+let eof cur = cur.pos >= String.length cur.s
+let peek cur = cur.s.[cur.pos]
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while (not (eof cur)) && (match peek cur with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    advance cur
+  done
+
+let expect cur c =
+  if eof cur || peek cur <> c then fail cur (Printf.sprintf "expected %c" c);
+  advance cur
+
+let literal cur word v =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.s && String.sub cur.s cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+(* \uXXXX: decode the BMP code point to UTF-8 bytes (surrogate pairs
+   outside scope — they decode as two replacement sequences, which is
+   lossy but never produces invalid output downstream). *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof cur then fail cur "unterminated string";
+    match peek cur with
+    | '"' -> advance cur
+    | '\\' ->
+      advance cur;
+      if eof cur then fail cur "unterminated escape";
+      (match peek cur with
+      | '"' -> Buffer.add_char buf '"'; advance cur
+      | '\\' -> Buffer.add_char buf '\\'; advance cur
+      | '/' -> Buffer.add_char buf '/'; advance cur
+      | 'n' -> Buffer.add_char buf '\n'; advance cur
+      | 'r' -> Buffer.add_char buf '\r'; advance cur
+      | 't' -> Buffer.add_char buf '\t'; advance cur
+      | 'b' -> Buffer.add_char buf '\b'; advance cur
+      | 'f' -> Buffer.add_char buf '\012'; advance cur
+      | 'u' ->
+        advance cur;
+        if cur.pos + 4 > String.length cur.s then fail cur "truncated \\u escape";
+        let hex = String.sub cur.s cur.pos 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code -> add_utf8 buf code
+        | None -> fail cur "bad \\u escape");
+        cur.pos <- cur.pos + 4
+      | c -> fail cur (Printf.sprintf "bad escape \\%c" c));
+      go ()
+    | c when Char.code c < 0x20 -> fail cur "unescaped control character"
+    | c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  if (not (eof cur)) && peek cur = '-' then advance cur;
+  let digits () =
+    let n = ref 0 in
+    while (not (eof cur)) && peek cur >= '0' && peek cur <= '9' do
+      advance cur;
+      incr n
+    done;
+    if !n = 0 then fail cur "expected digit"
+  in
+  digits ();
+  if (not (eof cur)) && peek cur = '.' then begin
+    is_float := true;
+    advance cur;
+    digits ()
+  end;
+  if (not (eof cur)) && (peek cur = 'e' || peek cur = 'E') then begin
+    is_float := true;
+    advance cur;
+    if (not (eof cur)) && (peek cur = '+' || peek cur = '-') then advance cur;
+    digits ()
+  end;
+  let text = String.sub cur.s start (cur.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text) (* out of int range: keep the value *)
+
+let rec parse_value depth cur =
+  if depth > 64 then fail cur "nesting too deep";
+  skip_ws cur;
+  if eof cur then fail cur "unexpected end of input";
+  match peek cur with
+  | 'n' -> literal cur "null" Null
+  | 't' -> literal cur "true" (Bool true)
+  | 'f' -> literal cur "false" (Bool false)
+  | '"' -> Str (parse_string cur)
+  | '[' ->
+    advance cur;
+    skip_ws cur;
+    if (not (eof cur)) && peek cur = ']' then begin
+      advance cur;
+      Arr []
+    end
+    else begin
+      let items = ref [ parse_value (depth + 1) cur ] in
+      skip_ws cur;
+      while (not (eof cur)) && peek cur = ',' do
+        advance cur;
+        items := parse_value (depth + 1) cur :: !items;
+        skip_ws cur
+      done;
+      expect cur ']';
+      Arr (List.rev !items)
+    end
+  | '{' ->
+    advance cur;
+    skip_ws cur;
+    if (not (eof cur)) && peek cur = '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value (depth + 1) cur in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws cur;
+      while (not (eof cur)) && peek cur = ',' do
+        advance cur;
+        fields := field () :: !fields;
+        skip_ws cur
+      done;
+      expect cur '}';
+      Obj (List.rev !fields)
+    end
+  | '-' | '0' .. '9' -> parse_number cur
+  | c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  match parse_value 0 cur with
+  | v ->
+    skip_ws cur;
+    if eof cur then Ok v else Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Arr x, Arr y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | _ -> false

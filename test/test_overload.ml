@@ -193,6 +193,36 @@ let test_admission_token_bucket () =
   | Admission.Admitted -> ()
   | Admission.Rejected _ -> Alcotest.fail "token not refilled"
 
+(* The HTTP Retry-After mapping: whole seconds, ceiling — a positive
+   nanosecond hint must never round down to "retry immediately". *)
+let test_retry_after_seconds () =
+  let cases =
+    [
+      (0, 0);
+      (-5, 0);
+      (1, 1);
+      (999_999_999, 1);
+      (1_000_000_000, 1);
+      (1_000_000_001, 2);
+      (2_500_000_000, 3);
+    ]
+  in
+  List.iter
+    (fun (ns, expect_s) ->
+      check Alcotest.int
+        (Printf.sprintf "retry_after_seconds %d" ns)
+        expect_s
+        (Admission.retry_after_seconds ns))
+    cases;
+  (* near-max_int hints saturate instead of overflowing in the ceil *)
+  check Alcotest.bool "saturates near max_int" true
+    (Admission.retry_after_seconds max_int > 0)
+
+let prop_retry_after_positive =
+  QCheck.Test.make ~count:500 ~name:"positive hint never maps to 0 s"
+    QCheck.(int_range 1 max_int)
+    (fun ns -> Admission.retry_after_seconds ns >= 1)
+
 let prop_admission_limit_stays_bounded =
   QCheck.Test.make ~count:100 ~name:"AIMD limit stays within [min, max]"
     QCheck.(pair small_int (list (pair bool small_int)))
@@ -404,6 +434,8 @@ let () =
             test_admission_sheds_expensive_first;
           Alcotest.test_case "AIMD latency gradient" `Quick test_admission_aimd_gradient;
           Alcotest.test_case "token bucket" `Quick test_admission_token_bucket;
+          Alcotest.test_case "retry_after_seconds ceils" `Quick test_retry_after_seconds;
+          QCheck_alcotest.to_alcotest prop_retry_after_positive;
           QCheck_alcotest.to_alcotest prop_admission_limit_stays_bounded;
         ] );
       ( "sim-load",

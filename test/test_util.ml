@@ -7,6 +7,7 @@ module Topn = Mgq_util.Topn
 module Stats = Mgq_util.Stats
 module Text_table = Mgq_util.Text_table
 module Tsv = Mgq_util.Tsv
+module Json = Mgq_util.Json
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -170,6 +171,129 @@ let prop_budget_consumed_monotonic =
             ok := false)
         charges;
       !ok)
+
+(* [Budget.t] is abstract, so [of_deadline_ms] is pinned behaviorally:
+   what remains, and when the first charge trips. *)
+let test_budget_of_deadline_ms () =
+  let b = Budget.create ~max_ns:(40 * 1_000_000) () in
+  let d = Budget.of_deadline_ms 40 in
+  check (Alcotest.option Alcotest.int) "40 ms = 40e6 ns" (Budget.remaining_ns b)
+    (Budget.remaining_ns d);
+  Budget.charge ~ns:(40 * 1_000_000) d;
+  check Alcotest.bool "exactly spent is not yet tripped" false (Budget.exhausted d);
+  (match Budget.charge ~ns:1 d with
+  | () -> Alcotest.fail "charge past the deadline did not trip"
+  | exception Budget.Exhausted { ns; max_ns; _ } ->
+    check Alcotest.int "consumed at trip" (40_000_000 + 1) ns;
+    check (Alcotest.option Alcotest.int) "ceiling reported" (Some 40_000_000) max_ns);
+  let hits_too = Budget.of_deadline_ms ~max_hits:3 1_000 in
+  check (Alcotest.option Alcotest.int) "hit ceiling carried" (Some 3)
+    (Budget.remaining_hits hits_too)
+
+let test_budget_of_deadline_ms_zero_and_negative () =
+  List.iter
+    (fun ms ->
+      let b = Budget.of_deadline_ms ms in
+      check (Alcotest.option Alcotest.int)
+        (Printf.sprintf "%d ms leaves nothing" ms)
+        (Some 0) (Budget.remaining_ns b);
+      check Alcotest.bool "zero charge does not trip" false
+        (match Budget.charge ~ns:0 b with () -> false | exception Budget.Exhausted _ -> true);
+      check Alcotest.bool
+        (Printf.sprintf "first positive charge trips at %d ms" ms)
+        true
+        (match Budget.charge ~ns:1 b with
+        | () -> false
+        | exception Budget.Exhausted _ -> true))
+    [ 0; -1; -1_000_000 ]
+
+let test_budget_of_deadline_ms_saturates () =
+  (* A deadline past max_int / 1e6 must clamp, not overflow into a
+     negative ceiling that trips immediately. *)
+  let huge = Budget.of_deadline_ms max_int in
+  check (Alcotest.option Alcotest.int) "clamped to max_int" (Some max_int)
+    (Budget.remaining_ns huge);
+  check Alcotest.bool "still affords work" true (Budget.affords_ns huge ~ns:1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_to_string_shapes () =
+  check Alcotest.string "null" "null" (Json.to_string Json.Null);
+  check Alcotest.string "bool" "true" (Json.to_string (Json.Bool true));
+  check Alcotest.string "int" "-42" (Json.to_string (Json.Int (-42)));
+  check Alcotest.string "integral float keeps a point" "1.0"
+    (Json.to_string (Json.Float 1.0));
+  check Alcotest.string "string escaped" "\"a\\\"b\\n\""
+    (Json.to_string (Json.Str "a\"b\n"));
+  check Alcotest.string "array" "[1,2]" (Json.to_string (Json.Arr [ Json.Int 1; Json.Int 2 ]));
+  check Alcotest.string "object" "{\"k\":\"v\"}"
+    (Json.to_string (Json.Obj [ ("k", Json.Str "v") ]))
+
+let test_json_of_string_errors () =
+  let err s = match Json.of_string s with Ok _ -> None | Error e -> Some e in
+  check Alcotest.bool "trailing garbage" true (err "1 2" <> None);
+  check Alcotest.bool "unterminated string" true (err "\"abc" <> None);
+  check Alcotest.bool "bare word" true (err "nope" <> None);
+  check Alcotest.bool "empty input" true (err "" <> None);
+  check Alcotest.bool "unclosed object" true (err "{\"k\": 1" <> None);
+  let deep = String.make 70 '[' ^ "1" ^ String.make 70 ']' in
+  check Alcotest.bool "nesting beyond 64 rejected" true (err deep <> None)
+
+let test_json_accessors () =
+  match Json.of_string "{\"a\": 1, \"b\": \"two\", \"c\": [true]}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+    check (Alcotest.option Alcotest.int) "int member" (Some 1)
+      (Option.bind (Json.member "a" j) Json.to_int_opt);
+    check (Alcotest.option Alcotest.string) "string member" (Some "two")
+      (Option.bind (Json.member "b" j) Json.to_string_opt);
+    check Alcotest.bool "missing member" true (Json.member "z" j = None);
+    check Alcotest.bool "wrong type" true
+      (Option.bind (Json.member "c" j) Json.to_int_opt = None)
+
+(* Generator over the float-free fragment: floats have their own repr
+   subtleties; everything else must round-trip exactly. *)
+let json_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) int;
+            map (fun s -> Json.Str s) string;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun l -> Json.Arr l) (list_size (int_bound 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4) (pair string (self (n / 2)))) );
+          ])
+
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"Json.of_string (to_string v) = v" ~count:300
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error _ -> false)
+
+let prop_json_string_escaping =
+  QCheck.Test.make ~name:"string escaping round-trips arbitrary bytes" ~count:500
+    QCheck.string
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> s = s'
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Sampler                                                             *)
@@ -488,7 +612,20 @@ let suite =
         Alcotest.test_case "remaining_ns / affords_ns" `Quick
           test_budget_remaining_and_affords;
         Alcotest.test_case "sub caps at remaining" `Quick test_budget_sub_caps_at_remaining;
+        Alcotest.test_case "of_deadline_ms" `Quick test_budget_of_deadline_ms;
+        Alcotest.test_case "of_deadline_ms at zero and negative" `Quick
+          test_budget_of_deadline_ms_zero_and_negative;
+        Alcotest.test_case "of_deadline_ms saturates" `Quick
+          test_budget_of_deadline_ms_saturates;
         qtest prop_budget_consumed_monotonic;
+      ] );
+    ( "json",
+      [
+        Alcotest.test_case "to_string shapes" `Quick test_json_to_string_shapes;
+        Alcotest.test_case "of_string error cases" `Quick test_json_of_string_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+        qtest prop_json_round_trip;
+        qtest prop_json_string_escaping;
       ] );
     ( "sampler",
       [
