@@ -61,6 +61,9 @@ let experiments =
     ( "consistency",
       ( "C4: isolation anomaly counts and versioning overhead",
         e Bench_consistency.run_consistency ) );
+    ( "chaos",
+      ( "N1-N2: chaos harness (slow-client defence, composed fault campaign)",
+        fun _env -> Bench_chaos.run_chaos () ) );
   ]
 
 let usage () =

@@ -882,8 +882,29 @@ let loadgen_cmd =
       & info [ "uids" ] ~docv:"N" ~doc:"Target user ids drawn uniformly from [0, N).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let retry_attempts =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Resilient-client mode: up to N attempts per request (reconnect on reset, \
+             decorrelated-jitter backoff, honour Retry-After). 0 disables retries.")
+  in
   let run host port rate duration_ms connections mode no_keep_alive slo_ms deadline_ms
-      uids seed =
+      uids seed retry_attempts =
+    let retry =
+      if retry_attempts <= 1 then None
+      else
+        Some
+          {
+            Loadgen.default_retry with
+            Loadgen.rpolicy =
+              {
+                Loadgen.default_retry.Loadgen.rpolicy with
+                Mgq_util.Retry.max_attempts = retry_attempts;
+              };
+          }
+    in
     let report =
       Loadgen.run
         {
@@ -898,6 +919,8 @@ let loadgen_cmd =
           slo_ns = slo_ms * 1_000_000;
           deadline_ms;
           uids = Array.init (max 1 uids) (fun i -> i);
+          net = None;
+          retry;
         }
     in
     let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6) in
@@ -926,7 +949,10 @@ let loadgen_cmd =
       ];
     if report.Loadgen.rejected > 0 then
       Printf.printf "shed: %d requests got 429 (smallest Retry-After %d s)\n"
-        report.Loadgen.rejected report.Loadgen.min_retry_after_s
+        report.Loadgen.rejected report.Loadgen.min_retry_after_s;
+    if report.Loadgen.resets + report.Loadgen.timeouts + report.Loadgen.retries > 0 then
+      Printf.printf "transport: %d resets, %d timeouts, %d retries\n"
+        report.Loadgen.resets report.Loadgen.timeouts report.Loadgen.retries
   in
   let info =
     Cmd.info "loadgen"
@@ -938,7 +964,83 @@ let loadgen_cmd =
   Cmd.v info
     Term.(
       const run $ host $ port $ rate $ duration_ms $ connections $ mode $ no_keep_alive
-      $ slo_ms $ deadline_ms $ uids $ seed)
+      $ slo_ms $ deadline_ms $ uids $ seed $ retry_attempts)
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let module Chaos = Mgq_server.Chaos in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let users =
+    Arg.(
+      value & opt (some int) None
+      & info [ "users" ] ~docv:"N" ~doc:"Dataset scale (generated users).")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"R" ~doc:"Offered load in requests/s during each phase.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI-sized campaign: shorter phases, smaller dataset.")
+  in
+  let no_failover =
+    Arg.(
+      value & flag
+      & info [ "no-failover" ] ~doc:"Skip the disk-crash + promotion fault.")
+  in
+  let report_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic campaign report here (identical across runs with \
+             one seed).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print wall-clock measurements (goodput, percentiles, injections).")
+  in
+  let run seed users rate smoke no_failover report_file verbose =
+    let base = if smoke then Chaos.smoke_config else Chaos.default_config in
+    let config =
+      {
+        base with
+        Chaos.seed;
+        users = Option.value ~default:base.Chaos.users users;
+        rate_per_s = Option.value ~default:base.Chaos.rate_per_s rate;
+        failover = base.Chaos.failover && not no_failover;
+      }
+    in
+    let report = Chaos.run config in
+    List.iter print_endline report.Chaos.lines;
+    if verbose then begin
+      print_endline "-- measurements (wall-clock, not part of the determinism contract)";
+      List.iter print_endline report.Chaos.measurements
+    end;
+    (match report_file with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      List.iter (fun l -> output_string oc (l ^ "\n")) report.Chaos.lines;
+      close_out oc;
+      Printf.printf "report written to %s\n" file);
+    if not report.Chaos.passed then exit 1
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Run the chaos campaign against an in-process serving stack: disk crash + \
+         failover, seeded network faults and slowloris attackers under open-loop \
+         load, judged by durability / drain / typed-outcome / goodput / eviction \
+         oracles. Exits non-zero if any oracle fails."
+  in
+  Cmd.v info
+    Term.(const run $ seed $ users $ rate $ smoke $ no_failover $ report_file $ verbose)
 
 (* ---------------- workload listing ---------------- *)
 
@@ -1189,6 +1291,7 @@ let main =
       script_cmd;
       serve_cmd;
       loadgen_cmd;
+      chaos_cmd;
       workload_cmd;
       cluster_cmd;
       overload_cmd;

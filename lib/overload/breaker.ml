@@ -17,6 +17,7 @@ let m_transition to_state =
   Obs.counter "breaker.transitions" ~labels:[ ("to", state_to_string to_state) ]
 
 let m_rejections = Obs.counter "breaker.rejections"
+let m_probe_failures = Obs.counter "breaker.probe_failures"
 
 type config = {
   failure_threshold : int;
@@ -128,4 +129,8 @@ let record_failure t ~now =
     t.consecutive_failures <- t.consecutive_failures + 1;
     if t.consecutive_failures >= t.config.failure_threshold then trip t ~now
   | Open -> ()
-  | Half_open -> trip t ~now (* a failed probe re-opens immediately *)
+  | Half_open ->
+    (* A failed probe re-opens immediately; counted separately so a
+       chaos run can tell "backend still sick" from ordinary trips. *)
+    Obs.Counter.incr m_probe_failures;
+    trip t ~now

@@ -141,6 +141,17 @@ let parser ?(max_header_bytes = default_max_header_bytes)
 
 let feed p s = Buffer.add_string p.buf s
 
+(* Where the parser stands between [next] calls — the server's
+   deadline logic keys off this: a connection sitting in [`Idle] is a
+   keep-alive client between requests (idle-poll territory), while
+   [`In_headers]/[`In_body] means a request is in flight and the
+   header/body deadlines apply. *)
+let phase p =
+  match p.state with
+  | Failed _ -> `Failed
+  | In_body _ -> `In_body
+  | In_headers -> if Buffer.length p.buf - p.consumed = 0 then `Idle else `In_headers
+
 (* Drop the consumed prefix once it dominates the buffer, so a long
    keep-alive connection does not grow its buffer without bound. *)
 let compact p =
@@ -333,6 +344,7 @@ let reason_phrase = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 413 -> "Content Too Large"
   | 429 -> "Too Many Requests"
   | 431 -> "Request Header Fields Too Large"

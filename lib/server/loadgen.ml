@@ -16,17 +16,48 @@
      vs. reconnect comparison where per-request overhead is the
      subject.
 
+   Resilience: the rig is also the reference *client*. Transport
+   failures are typed (reset / timeout / other), never a crashed run —
+   a mid-response ECONNRESET counts in the percentiles instead of
+   aborting the sweep. With a [retry] policy the client behaves the
+   way a production SDK should: reconnect on reset, back off with
+   decorrelated jitter, honour Retry-After on 429, and retry *only*
+   idempotent reads (every route the rig drives is a GET). Each
+   logical request terminates in exactly one typed outcome whatever
+   the network does to the attempts underneath it.
+
    Responses are read with a minimal client-side HTTP reader
    (status line + headers + Content-Length body). 200s count toward
    goodput when within the SLO; 429s are recorded as shed along with
    the smallest positive Retry-After seen. *)
 
 module Rng = Mgq_util.Rng
+module Retry = Mgq_util.Retry
 module Summary = Mgq_util.Stats.Summary
 module Workload = Mgq_queries.Workload
 module Sim_load = Mgq_overload.Sim_load
 
 type mode = Open | Closed
+
+type retry = {
+  rpolicy : Retry.policy;
+  honour_retry_after : bool;  (** sleep out a 429's Retry-After, then re-issue *)
+  max_retry_after_s : int;  (** give up instead of sleeping longer than this *)
+}
+
+let default_retry =
+  {
+    rpolicy =
+      {
+        Retry.default_policy with
+        Retry.max_attempts = 4;
+        base_delay_ns = 2_000_000;
+        max_delay_ns = 200_000_000;
+        jitter = Retry.Decorrelated;
+      };
+    honour_retry_after = true;
+    max_retry_after_s = 2;
+  }
 
 type config = {
   host : string;
@@ -40,6 +71,8 @@ type config = {
   slo_ns : int;
   deadline_ms : int option;  (** sent as [X-Deadline-Ms] when set *)
   uids : int array;  (** user ids to target; drawn uniformly *)
+  net : Sim_net.plan option;  (** client-side fault injection when set *)
+  retry : retry option;  (** resilient-client behaviour when set *)
 }
 
 let default_config =
@@ -55,6 +88,8 @@ let default_config =
     slo_ns = 50_000_000;
     deadline_ms = None;
     uids = [| 1 |];
+    net = None;
+    retry = None;
   }
 
 type report = {
@@ -63,7 +98,10 @@ type report = {
   sent : int;
   ok : int;  (** HTTP 200 *)
   rejected : int;  (** HTTP 429 *)
-  errors : int;  (** transport failures + non-200/429 statuses *)
+  resets : int;  (** connection reset/closed mid-exchange (typed) *)
+  timeouts : int;  (** client-side read timeout *)
+  errors : int;  (** other transport failures + non-200/429 statuses *)
+  retries : int;  (** extra attempts made underneath logical requests *)
   good : int;  (** 200s within the SLO *)
   goodput_per_s : float;
   p50_ns : int;
@@ -101,24 +139,23 @@ let request_bytes config ~path =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
-(* minimal HTTP client                                                *)
+(* minimal HTTP client with typed transport errors                    *)
 (* ------------------------------------------------------------------ *)
 
-exception Transport of string
+type transport_error = Reset | Timeout | Other of string
 
-let connect config =
-  let addr = Unix.inet_addr_of_string config.host in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.connect fd (Unix.ADDR_INET (addr, config.port));
-     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
-     (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
-   with Unix.Unix_error (err, _, _) ->
-     (try Unix.close fd with _ -> ());
-     raise (Transport (Unix.error_message err)));
-  fd
+exception Transport of transport_error
 
-let write_all fd s =
+let error_of_unix = function
+  | Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED | Unix.ESHUTDOWN -> Reset
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT -> Timeout
+  | err -> Other (Unix.error_message err)
+
+(* A connection plus its transport: plain fd I/O, or routed through a
+   [Sim_net] plan when the rig is the one injecting faults. *)
+type link = { fd : Unix.file_descr; send : string -> unit; recv : bytes -> int }
+
+let plain_send fd s =
   let n = String.length s in
   let off = ref 0 in
   try
@@ -127,21 +164,53 @@ let write_all fd s =
       | w -> off := !off + w
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
-  with Unix.Unix_error (err, _, _) -> raise (Transport (Unix.error_message err))
+  with Unix.Unix_error (err, _, _) -> raise (Transport (error_of_unix err))
+
+let plain_recv fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  | exception Unix.Unix_error (err, _, _) -> raise (Transport (error_of_unix err))
+
+let connect config =
+  Lazy.force Server.ignore_sigpipe;
+  let addr = Unix.inet_addr_of_string config.host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, config.port));
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+     (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with _ -> ());
+     raise (Transport (error_of_unix err)));
+  match config.net with
+  | None -> { fd; send = plain_send fd; recv = plain_recv fd }
+  | Some plan ->
+    let c = Sim_net.attach plan fd in
+    {
+      fd;
+      send =
+        (fun s ->
+          try Sim_net.send c s
+          with Unix.Unix_error (err, _, _) -> raise (Transport (error_of_unix err)));
+      recv =
+        (fun buf ->
+          try Sim_net.recv c buf with
+          | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+          | Unix.Unix_error (err, _, _) -> raise (Transport (error_of_unix err)));
+    }
 
 (* Read one response: status + headers + Content-Length body. Only one
    request is ever in flight per connection, so no inter-response
-   buffering is needed. *)
-let read_response fd =
+   buffering is needed. A peer close mid-response is a reset, not a
+   generic error: the server (or the fault plan) tore the exchange. *)
+let read_response link =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 4096 in
   let read_more () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> raise (Transport "connection closed mid-response")
+    match link.recv chunk with
+    | 0 -> raise (Transport Reset)
     | n -> Buffer.add_subbytes buf chunk 0 n
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (err, _, _) ->
-      raise (Transport (Unix.error_message err))
   in
   let header_end () =
     let s = Buffer.contents buf in
@@ -157,7 +226,8 @@ let read_response fd =
     match header_end () with
     | Some e -> e
     | None ->
-      if Buffer.length buf > 64 * 1024 then raise (Transport "response headers too large");
+      if Buffer.length buf > 64 * 1024 then
+        raise (Transport (Other "response headers too large"));
       read_more ();
       wait_headers ()
   in
@@ -170,9 +240,10 @@ let read_response fd =
     | first :: _ -> (
       (* "HTTP/1.1 200 OK" *)
       match String.split_on_char ' ' (String.trim first) with
-      | _ :: code :: _ -> ( try int_of_string code with _ -> raise (Transport "bad status"))
-      | _ -> raise (Transport "bad status line"))
-    | [] -> raise (Transport "empty response")
+      | _ :: code :: _ -> (
+        try int_of_string code with _ -> raise (Transport (Other "bad status")))
+      | _ -> raise (Transport (Other "bad status line")))
+    | [] -> raise (Transport (Other "empty response"))
   in
   let header name =
     let name = String.lowercase_ascii name in
@@ -189,7 +260,8 @@ let read_response fd =
   in
   let content_length =
     match header "content-length" with
-    | Some v -> ( try int_of_string v with _ -> raise (Transport "bad content-length"))
+    | Some v -> (
+      try int_of_string v with _ -> raise (Transport (Other "bad content-length")))
     | None -> 0
   in
   let want = hdr_end + content_length in
@@ -218,7 +290,10 @@ type stats = {
   mutable sent : int;
   mutable ok : int;
   mutable rejected : int;
+  mutable resets : int;
+  mutable timeouts : int;
   mutable errors : int;
+  mutable retries : int;
   mutable good : int;
   mutable min_retry_after_s : int;  (* max_int = none seen *)
 }
@@ -230,11 +305,16 @@ let stats_create () =
     sent = 0;
     ok = 0;
     rejected = 0;
+    resets = 0;
+    timeouts = 0;
     errors = 0;
+    retries = 0;
     good = 0;
     min_retry_after_s = max_int;
   }
 
+(* One logical request, one typed outcome — the client-side half of
+   the chaos oracle. *)
 let record st config ~latency_ns outcome =
   Mutex.lock st.smutex;
   st.sent <- st.sent + 1;
@@ -247,30 +327,97 @@ let record st config ~latency_ns outcome =
     st.rejected <- st.rejected + 1;
     if retry_after_s > 0 then
       st.min_retry_after_s <- min st.min_retry_after_s retry_after_s
+  | `Reset -> st.resets <- st.resets + 1
+  | `Timeout -> st.timeouts <- st.timeouts + 1
   | `Error -> st.errors <- st.errors + 1);
   Mutex.unlock st.smutex
 
-(* One request over a (possibly reused) connection. Returns the
-   connection to use next, or None when it must be re-opened. *)
-let issue config st ~latency_from conn ~path =
-  let fd = match conn with Some fd -> fd | None -> connect config in
-  try
-    write_all fd (request_bytes config ~path);
-    let status, retry_after, server_keep = read_response fd in
-    let latency = now_ns () - latency_from in
-    (match status with
-    | 200 -> record st config ~latency_ns:latency `Ok
-    | 429 -> record st config ~latency_ns:latency (`Rejected retry_after)
-    | _ -> record st config ~latency_ns:latency `Error);
-    if config.keep_alive && server_keep then Some fd
-    else begin
-      (try Unix.close fd with _ -> ());
-      None
-    end
-  with Transport _ ->
-    record st config ~latency_ns:(now_ns () - latency_from) `Error;
-    (try Unix.close fd with _ -> ());
-    None
+let record_retry st =
+  Mutex.lock st.smutex;
+  st.retries <- st.retries + 1;
+  Mutex.unlock st.smutex
+
+let close_link l = try Unix.close l.fd with _ -> ()
+
+(* One logical request over a (possibly reused) connection. Returns
+   the connection to use next, or None when it must be re-opened.
+
+   With [config.retry] this is the resilient client: a reset or
+   timeout reconnects and re-issues after a decorrelated-jitter
+   backoff; a 429 whose Retry-After fits the budget is slept out and
+   re-issued. Retrying is safe only because every request the rig
+   sends is an idempotent GET — a non-idempotent method must never
+   take this path. Whatever happens, exactly one outcome is recorded
+   per logical request. *)
+let issue config st ~rng ~latency_from conn ~path =
+  let max_attempts =
+    match config.retry with
+    | None -> 1
+    | Some r -> max 1 r.rpolicy.Retry.max_attempts
+  in
+  let transport_retryable = function Reset | Timeout -> true | Other _ -> false in
+  let rec go ~attempt ~prev_delay_ns conn =
+    let result =
+      match
+        let link = match conn with Some l -> l | None -> connect config in
+        (link, try Ok (link.send (request_bytes config ~path); read_response link)
+               with e -> Error e)
+      with
+      | link, Ok (status, retry_after, server_keep) ->
+        `Done (status, retry_after, server_keep, link)
+      | link, Error e ->
+        close_link link;
+        (match e with
+        | Transport te -> `Failed te
+        | Sim_net.Injected_reset _ -> `Failed Reset
+        | e -> raise e)
+      | exception Transport te -> `Failed te (* connect itself failed *)
+      | exception Sim_net.Injected_reset _ -> `Failed Reset
+    in
+    match result with
+    | `Done (status, retry_after, server_keep, link) -> (
+      let latency = now_ns () - latency_from in
+      let conn' =
+        if config.keep_alive && server_keep then Some link
+        else begin
+          close_link link;
+          None
+        end
+      in
+      match status with
+      | 200 ->
+        record st config ~latency_ns:latency `Ok;
+        conn'
+      | 429 -> (
+        match config.retry with
+        | Some r
+          when r.honour_retry_after && attempt < max_attempts && retry_after > 0
+               && retry_after <= r.max_retry_after_s ->
+          record_retry st;
+          Thread.delay (float_of_int retry_after);
+          go ~attempt:(attempt + 1) ~prev_delay_ns conn'
+        | _ ->
+          record st config ~latency_ns:latency (`Rejected retry_after);
+          conn')
+      | _ ->
+        record st config ~latency_ns:latency `Error;
+        conn')
+    | `Failed te ->
+      if attempt < max_attempts && transport_retryable te then begin
+        record_retry st;
+        let policy = (Option.get config.retry).rpolicy in
+        let d = Retry.delay_ns policy ~prev_ns:prev_delay_ns (Some rng) ~attempt in
+        Thread.delay (float_of_int d /. 1e9);
+        go ~attempt:(attempt + 1) ~prev_delay_ns:d None
+      end
+      else begin
+        let latency = now_ns () - latency_from in
+        record st config ~latency_ns:latency
+          (match te with Reset -> `Reset | Timeout -> `Timeout | Other _ -> `Error);
+        None
+      end
+  in
+  go ~attempt:1 ~prev_delay_ns:0 conn
 
 (* ------------------------------------------------------------------ *)
 (* open loop                                                          *)
@@ -285,7 +432,10 @@ let run_open config st =
   let done_ = ref false in
   let arrivals = ref 0 in
   let max_backlog = ref 0 in
-  let worker () =
+  let worker i =
+    (* Per-thread rng: backoff jitter draws must not contend or
+       correlate across client threads. *)
+    let rng = Rng.create (config.seed + 0x9e37 + (i * 7919)) in
     let conn = ref None in
     let rec loop () =
       Mutex.lock jmutex;
@@ -294,18 +444,18 @@ let run_open config st =
       done;
       if Queue.is_empty jobs then begin
         Mutex.unlock jmutex;
-        match !conn with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ()
+        match !conn with Some l -> close_link l | None -> ()
       end
       else begin
         let job = Queue.pop jobs in
         Mutex.unlock jmutex;
-        conn := issue config st ~latency_from:job.scheduled_ns !conn ~path:job.path;
+        conn := issue config st ~rng ~latency_from:job.scheduled_ns !conn ~path:job.path;
         loop ()
       end
     in
     loop ()
   in
-  let pool = List.init (max 1 config.connections) (fun _ -> Thread.create worker ()) in
+  let pool = List.init (max 1 config.connections) (fun i -> Thread.create worker i) in
   (* Generator: release every arrival whose scheduled time has come.
      Seeded exactly like Sim_load: one rng for gaps + classes, a split
      for per-request variety. *)
@@ -352,9 +502,9 @@ let run_closed config st =
       let cls = Sim_load.draw_class rng in
       let uid = config.uids.(Rng.int rng (Array.length config.uids)) in
       let path = path_of rng cls uid in
-      conn := issue config st ~latency_from:(now_ns ()) !conn ~path
+      conn := issue config st ~rng ~latency_from:(now_ns ()) !conn ~path
     done;
-    match !conn with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ()
+    match !conn with Some l -> close_link l | None -> ()
   in
   let pool = List.init (max 1 config.connections) (fun i -> Thread.create worker i) in
   List.iter Thread.join pool;
@@ -386,7 +536,10 @@ let run config =
     sent = st.sent;
     ok = st.ok;
     rejected = st.rejected;
+    resets = st.resets;
+    timeouts = st.timeouts;
     errors = st.errors;
+    retries = st.retries;
     good = st.good;
     goodput_per_s = float_of_int st.good /. (float_of_int (max 1 wall_ns) /. 1e9);
     p50_ns = pct 50.;

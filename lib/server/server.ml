@@ -22,6 +22,24 @@ let m_shed_connections = Obs.counter "server.shed_connections"
 let m_bytes_in = Obs.counter "server.bytes_in"
 let m_bytes_out = Obs.counter "server.bytes_out"
 
+(* Every connection ends in exactly one typed outcome — the chaos
+   oracle "no request vanishes without a verdict" reads these:
+     completed      served to the end (incl. graceful-shutdown drain)
+     timeout        slow client evicted with a 408
+     protocol_error answered 400/413/431, then hung up
+     aborted        peer FIN mid-request
+     reset          ECONNRESET/EPIPE mid-read or mid-write
+     shed           503 at the front door (queue overflow)
+     error          anything else (bug surface — should stay 0) *)
+let m_conn_outcome kind = Obs.counter "server.conn_outcome" ~labels:[ ("kind", kind) ]
+
+(* A write to a peer that already reset the connection raises SIGPIPE,
+   whose default action kills the process — EPIPE only surfaces once
+   the signal is ignored. Forced on server start and on the loadgen
+   client path. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
 type config = {
   host : string;
   port : int;  (* 0 = ephemeral: read the bound port back with [port] *)
@@ -31,6 +49,8 @@ type config = {
   max_header_bytes : int;
   max_body_bytes : int;
   idle_poll_s : float;  (* socket read timeout; bounds shutdown drain *)
+  header_deadline_s : float;  (* first byte of a request -> end of headers *)
+  body_deadline_s : float;  (* end of headers -> last body byte *)
 }
 
 let default_config =
@@ -43,6 +63,8 @@ let default_config =
     max_header_bytes = Http.default_max_header_bytes;
     max_body_bytes = Http.default_max_body_bytes;
     idle_poll_s = 0.05;
+    header_deadline_s = 5.0;
+    body_deadline_s = 10.0;
   }
 
 type job = Conn of Unix.file_descr | Stop
@@ -60,11 +82,13 @@ type t = {
   mutable acceptor : Thread.t option;
   mutable pool : Thread.t list;
   mutable served : int;  (* requests answered, all statuses *)
+  mutable active : int;  (* connections currently held by workers *)
 }
 
 exception Bind_error of string
 
 let create ?(config = default_config) ~handler () =
+  Lazy.force ignore_sigpipe;
   let addr =
     try Unix.inet_addr_of_string config.host
     with _ -> raise (Bind_error (Printf.sprintf "bad host %S" config.host))
@@ -100,10 +124,19 @@ let create ?(config = default_config) ~handler () =
     acceptor = None;
     pool = [];
     served = 0;
+    active = 0;
   }
 
 let port t = t.bound_port
 let requests_served t = t.served
+
+(* Leak oracle: after [stop] returns this must be 0 — every worker
+   joined, every connection released. *)
+let active_connections t =
+  Mutex.lock t.qmutex;
+  let n = t.active in
+  Mutex.unlock t.qmutex;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* raw socket I/O                                                     *)
@@ -129,6 +162,16 @@ let send t fd ~keep_alive resp =
   Obs.Counter.incr m_bytes_out ~by:n;
   t.served <- t.served + 1
 
+let timeout_response which =
+  Http.json_response ~status:408
+    (Mgq_util.Json.Obj
+       [
+         ("error", Mgq_util.Json.Str (Printf.sprintf "%s deadline exceeded" which));
+         ("status", Mgq_util.Json.Int 408);
+       ])
+
+let now_ns () = Int64.to_int (Mgq_util.Stats.Timing.now_ns ())
+
 let handle_connection t fd conn_id =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_poll_s;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
@@ -138,35 +181,77 @@ let handle_connection t fd conn_id =
   in
   let chunk = Bytes.create 8192 in
   let closing = ref false in
+  let outcome = ref "completed" in
+  (* SO_RCVTIMEO only bounds one read, and every received byte arms a
+     fresh one — a slowloris client dripping a byte per poll interval
+     holds a worker forever. The defence is an absolute deadline
+     measured from the first byte of each request, checked on every
+     loop turn no matter how much "progress" the peer fakes. *)
+  let request_started = ref None in
+  let deadline_state () =
+    match !request_started with
+    | None -> `Ok
+    | Some t0 -> (
+      let elapsed_s = float_of_int (now_ns () - t0) /. 1e9 in
+      match Http.phase parser with
+      | `In_headers when elapsed_s > t.config.header_deadline_s -> `Expired "header"
+      | `In_body when elapsed_s > t.config.header_deadline_s +. t.config.body_deadline_s
+        ->
+        `Expired "body"
+      | _ -> `Ok)
+  in
   (try
      while not !closing do
-       (* Serve everything already buffered (keep-alive pipelining)
-          before reading more bytes. *)
-       match Http.next parser with
-       | Ok (Some req) ->
-         let resp = t.handler ~conn_id req in
-         (* During shutdown, answer but announce the close. *)
-         let keep = Http.wants_keep_alive req && not t.stopping in
-         send t fd ~keep_alive:keep resp;
-         if not keep then closing := true
-       | Error e ->
-         (* Typed protocol error: answer 400/413/431, then hang up —
-            the byte stream is unsynchronized. *)
-         send t fd ~keep_alive:false (Http.error_response e);
+       (* Re-arm the per-request clock at each request boundary. *)
+       (match Http.phase parser with
+       | `Idle -> request_started := None
+       | _ -> if !request_started = None then request_started := Some (now_ns ()));
+       match deadline_state () with
+       | `Expired which ->
+         (* Typed slow-client eviction: 408 + Connection: close. *)
+         outcome := "timeout";
+         send t fd ~keep_alive:false (timeout_response which);
          closing := true
-       | Ok None -> (
-         if t.stopping then closing := true (* nothing buffered: drained *)
-         else
-           match Unix.read fd chunk 0 (Bytes.length chunk) with
-           | 0 -> closing := true (* peer closed *)
-           | n ->
-             Obs.Counter.incr m_bytes_in ~by:n;
-             Http.feed parser (Bytes.sub_string chunk 0 n)
-           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-             () (* idle poll expired: loop re-checks the stop flag *)
-           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+       | `Ok -> (
+         (* Serve everything already buffered (keep-alive pipelining)
+            before reading more bytes. *)
+         match Http.next parser with
+         | Ok (Some req) ->
+           let resp = t.handler ~conn_id req in
+           (* During shutdown, answer but announce the close. *)
+           let keep = Http.wants_keep_alive req && not t.stopping in
+           send t fd ~keep_alive:keep resp;
+           request_started := None;
+           if not keep then closing := true
+         | Error e ->
+           (* Typed protocol error: answer 400/413/431, then hang up —
+              the byte stream is unsynchronized. *)
+           outcome := "protocol_error";
+           send t fd ~keep_alive:false (Http.error_response e);
+           closing := true
+         | Ok None -> (
+           if t.stopping then closing := true (* nothing buffered: drained *)
+           else
+             match Unix.read fd chunk 0 (Bytes.length chunk) with
+             | 0 ->
+               (* FIN between requests is a normal keep-alive close;
+                  FIN mid-request is a typed abort. *)
+               if Http.phase parser <> `Idle then outcome := "aborted";
+               closing := true
+             | n ->
+               Obs.Counter.incr m_bytes_in ~by:n;
+               Http.feed parser (Bytes.sub_string chunk 0 n)
+             | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+               () (* idle poll expired: loop re-checks deadline + stop flag *)
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
      done
-   with _ -> (* connection-level I/O failure: drop the connection *) ());
+   with
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED), _, _) ->
+    (* The peer vanished mid-read or mid-write: a typed outcome, never
+       a dead worker. *)
+    outcome := "reset"
+  | _ -> outcome := "error");
+  Obs.Counter.incr (m_conn_outcome !outcome);
   try Unix.close fd with _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -184,11 +269,15 @@ let worker_loop t =
       t.next_conn_id <- t.next_conn_id + 1;
       t.next_conn_id
     in
+    (match job with Conn _ -> t.active <- t.active + 1 | Stop -> ());
     Mutex.unlock t.qmutex;
     match job with
     | Stop -> ()
     | Conn fd ->
       handle_connection t fd conn_id;
+      Mutex.lock t.qmutex;
+      t.active <- t.active - 1;
+      Mutex.unlock t.qmutex;
       loop ()
   in
   loop ()
@@ -197,6 +286,7 @@ let worker_loop t =
    any request is read — cheaper than parsing work we will drop. *)
 let shed_connection fd =
   Obs.Counter.incr m_shed_connections;
+  Obs.Counter.incr (m_conn_outcome "shed");
   let resp =
     Http.json_response ~status:503
       ~headers:[ ("Retry-After", "1") ]

@@ -1,18 +1,27 @@
+type jitter = Scaled | Decorrelated
+
 type policy = {
   max_attempts : int;
   base_delay_ns : int;
   multiplier : float;
   max_delay_ns : int;
+  jitter : jitter;
 }
 
 let default_policy =
-  { max_attempts = 5; base_delay_ns = 1_000_000; multiplier = 2.0; max_delay_ns = 50_000_000 }
+  {
+    max_attempts = 5;
+    base_delay_ns = 1_000_000;
+    multiplier = 2.0;
+    max_delay_ns = 50_000_000;
+    jitter = Scaled;
+  }
 
 type outcome = { attempts : int; backoff_ns : int }
 
 exception Attempts_exhausted of { attempts : int; backoff_ns : int; last : exn }
 
-let delay_ns policy rng ~attempt =
+let scaled_delay_ns policy rng ~attempt =
   (* attempt = 1 for the backoff after the first failure. *)
   let raw =
     float_of_int policy.base_delay_ns *. (policy.multiplier ** float_of_int (attempt - 1))
@@ -23,9 +32,31 @@ let delay_ns policy rng ~attempt =
      into a busy retry; every backoff waits at least 1 ns. *)
   max 1 (int_of_float (capped *. jitter))
 
+let decorrelated_delay_ns policy rng ~prev_ns =
+  (* AWS-style decorrelated jitter: uniform in [base, min (cap, 3*prev)].
+     Successive delays wander instead of marching in lockstep, so a
+     thundering herd of clients that failed together retries spread
+     out. The result always lands in [base, cap] (both clamped ≥ 1). *)
+  let lo = max 1 policy.base_delay_ns in
+  let hi = max lo policy.max_delay_ns in
+  let prev = min hi (max lo prev_ns) in
+  let upper = if prev > hi / 3 then hi else 3 * prev in
+  let upper = max lo upper in
+  match rng with
+  | Some rng -> Rng.int_in rng lo upper
+  | None -> upper
+
+let delay_ns policy ?(prev_ns = 0) rng ~attempt =
+  match policy.jitter with
+  | Scaled -> scaled_delay_ns policy rng ~attempt
+  | Decorrelated ->
+    let prev = if prev_ns <= 0 then max 1 policy.base_delay_ns else prev_ns in
+    decorrelated_delay_ns policy rng ~prev_ns:prev
+
 let run ?(policy = default_policy) ?rng ?(on_backoff = fun _ -> ()) ~retryable f =
   if policy.max_attempts < 1 then invalid_arg "Retry.run: max_attempts < 1";
   let backoff_total = ref 0 in
+  let last_delay = ref 0 in
   let rec attempt n =
     match f () with
     | result -> (result, { attempts = n; backoff_ns = !backoff_total })
@@ -33,7 +64,8 @@ let run ?(policy = default_policy) ?rng ?(on_backoff = fun _ -> ()) ~retryable f
       if n >= policy.max_attempts then
         raise (Attempts_exhausted { attempts = n; backoff_ns = !backoff_total; last = e })
       else begin
-        let d = delay_ns policy rng ~attempt:n in
+        let d = delay_ns policy ~prev_ns:!last_delay rng ~attempt:n in
+        last_delay := d;
         backoff_total := !backoff_total + d;
         on_backoff d;
         attempt (n + 1)

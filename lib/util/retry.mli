@@ -10,15 +10,24 @@
     from a caller-supplied {!Rng.t}, so the whole schedule is a pure
     function of the seed. *)
 
+type jitter =
+  | Scaled  (** capped exponential scaled by a factor in [0.5, 1.0) *)
+  | Decorrelated
+      (** AWS-style decorrelated jitter: each delay is uniform in
+          [base, min (cap, 3 * previous delay)], so retry storms from
+          clients that failed together spread out instead of marching
+          in lockstep. Always within [base, cap], never 0. *)
+
 type policy = {
   max_attempts : int;  (** total tries, including the first *)
   base_delay_ns : int;  (** backoff before the second attempt *)
-  multiplier : float;  (** exponential growth factor *)
+  multiplier : float;  (** exponential growth factor (Scaled only) *)
   max_delay_ns : int;  (** cap on a single backoff *)
+  jitter : jitter;  (** how randomness shapes the schedule *)
 }
 
 val default_policy : policy
-(** 5 attempts, 1 ms base, doubling, capped at 50 ms. *)
+(** 5 attempts, 1 ms base, doubling, capped at 50 ms, [Scaled]. *)
 
 type outcome = {
   attempts : int;  (** attempts actually made (1 = first try worked) *)
@@ -32,11 +41,16 @@ exception
     last : exn;  (** the final attempt's exception *)
   }
 
-val delay_ns : policy -> Rng.t option -> attempt:int -> int
-(** The backoff after failure number [attempt] (1-based): the capped
-    exponential, jitter-scaled when an rng is given, and clamped to at
-    least 1 ns so a tiny base delay can never truncate to a busy
-    retry. *)
+val delay_ns : policy -> ?prev_ns:int -> Rng.t option -> attempt:int -> int
+(** The backoff after failure number [attempt] (1-based). Under
+    [Scaled]: the capped exponential, jitter-scaled when an rng is
+    given, and clamped to at least 1 ns so a tiny base delay can never
+    truncate to a busy retry. Under [Decorrelated]: uniform in
+    [base, min (cap, 3 * prev_ns)] where [prev_ns] is the previous
+    backoff (≤ 0 or omitted means "first backoff", treated as base);
+    the result is always within [max 1 base, max base cap]. Without an
+    rng the decorrelated draw degrades to its deterministic upper
+    bound. *)
 
 val run :
   ?policy:policy ->

@@ -134,7 +134,13 @@ let test_retry_propagates_non_retryable () =
    now clamped to at least 1 ns. *)
 let test_retry_delay_never_truncates_to_zero () =
   let tiny =
-    { Retry.max_attempts = 5; base_delay_ns = 1; multiplier = 1.0; max_delay_ns = 10 }
+    {
+      Retry.max_attempts = 5;
+      base_delay_ns = 1;
+      multiplier = 1.0;
+      max_delay_ns = 10;
+      jitter = Retry.Scaled;
+    }
   in
   for seed = 0 to 49 do
     let rng = Rng.create seed in
@@ -147,6 +153,38 @@ let test_retry_delay_never_truncates_to_zero () =
   done;
   check Alcotest.int "deterministic floor without jitter" 1
     (Retry.delay_ns tiny None ~attempt:1)
+
+(* Decorrelated jitter: every delay lands in [base, cap] and never
+   truncates to 0, for arbitrary policies, seeds and previous delays. *)
+let prop_decorrelated_jitter_in_range =
+  QCheck.Test.make ~name:"decorrelated jitter stays within [base, cap], never 0"
+    ~count:500
+    QCheck.(
+      quad small_int (int_range 0 1_000_000) (int_range 0 10_000_000)
+        (int_range (-5) 50_000_000))
+    (fun (seed, base, cap, prev) ->
+      let policy =
+        {
+          Retry.default_policy with
+          Retry.base_delay_ns = base;
+          max_delay_ns = cap;
+          jitter = Retry.Decorrelated;
+        }
+      in
+      let rng = Rng.create seed in
+      let lo = max 1 base in
+      let hi = max lo cap in
+      let check_delay d = d >= lo && d <= hi && d > 0 in
+      check_delay (Retry.delay_ns policy ~prev_ns:prev (Some rng) ~attempt:1)
+      (* Chained: feed each delay back as prev, as Retry.run does. *)
+      && (let prev = ref 0 in
+          List.for_all
+            (fun attempt ->
+              let d = Retry.delay_ns policy ~prev_ns:!prev (Some rng) ~attempt in
+              prev := d;
+              check_delay d)
+            [ 1; 2; 3; 4; 5; 6 ])
+      && check_delay (Retry.delay_ns policy ~prev_ns:prev None ~attempt:1))
 
 (* ------------------------------------------------------------------ *)
 (* Fault plans                                                         *)
@@ -567,6 +605,7 @@ let () =
             test_retry_propagates_non_retryable;
           Alcotest.test_case "delay never truncates to zero" `Quick
             test_retry_delay_never_truncates_to_zero;
+          QCheck_alcotest.to_alcotest prop_decorrelated_jitter_in_range;
         ] );
       ( "fault-plans",
         [

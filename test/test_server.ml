@@ -8,13 +8,17 @@ module Http = Mgq_server.Http
 module App = Mgq_server.App
 module Server = Mgq_server.Server
 module Loadgen = Mgq_server.Loadgen
+module Sim_net = Mgq_server.Sim_net
+module Chaos = Mgq_server.Chaos
 module Admission = Mgq_overload.Admission
 module Router = Mgq_cluster.Router
 module Json = Mgq_util.Json
+module Obs = Mgq_obs.Obs
 module Generator = Mgq_twitter.Generator
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
+let now_ns () = Int64.to_int (Mgq_util.Stats.Timing.now_ns ())
 
 (* ------------------------------------------------------------------ *)
 (* parser: well-formed requests                                        *)
@@ -486,6 +490,349 @@ let test_e2e_loadgen_saturation () =
       check Alcotest.bool "Retry-After positive" true (report.Loadgen.min_retry_after_s >= 1);
       check Alcotest.int "no transport errors" 0 report.Loadgen.errors)
 
+(* ------------------------------------------------------------------ *)
+(* network fault injection (Sim_net) and slow-client defence          *)
+(* ------------------------------------------------------------------ *)
+
+(* A Content-Length: 0 request must complete immediately (no body
+   bytes to wait for) and hand the parser cleanly to a pipelined
+   follow-up already sitting in the buffer. *)
+let test_content_length_zero_pipelined () =
+  let p = Http.parser () in
+  check Alcotest.bool "starts idle" true (Http.phase p = `Idle);
+  Http.feed p
+    "POST /cypher HTTP/1.1\r\nHost: mgq\r\nContent-Length: 0\r\n\r\nGET /healthz \
+     HTTP/1.1\r\nHost: mgq\r\n\r\n";
+  (match Http.next p with
+  | Ok (Some r) ->
+    check Alcotest.string "first method" "POST" r.Http.meth;
+    check Alcotest.string "empty body" "" r.Http.body
+  | _ -> Alcotest.fail "first request did not parse");
+  (match Http.next p with
+  | Ok (Some r) ->
+    check Alcotest.string "pipelined method" "GET" r.Http.meth;
+    check Alcotest.string "pipelined path" "/healthz" r.Http.path
+  | _ -> Alcotest.fail "pipelined follow-up did not parse");
+  check Alcotest.bool "idle again" true (Http.phase p = `Idle)
+
+(* The parser phase is what the server's deadline logic keys off:
+   partial headers arm the header clock, a pending body arms the body
+   clock, a drained buffer disarms both. *)
+let test_parser_phase_transitions () =
+  let p = Http.parser () in
+  Http.feed p "GET /healthz HT";
+  check Alcotest.bool "mid-start-line" true
+    (Http.next p = Ok None && Http.phase p = `In_headers);
+  Http.feed p "TP/1.1\r\nContent-Length: 4\r\n\r\n";
+  check Alcotest.bool "headers done, body pending" true
+    (Http.next p = Ok None && Http.phase p = `In_body);
+  Http.feed p "ab";
+  check Alcotest.bool "body still short" true
+    (Http.next p = Ok None && Http.phase p = `In_body);
+  Http.feed p "cd";
+  (match Http.next p with
+  | Ok (Some r) -> check Alcotest.string "body" "abcd" r.Http.body
+  | _ -> Alcotest.fail "request did not complete");
+  check Alcotest.bool "idle after completion" true (Http.phase p = `Idle)
+
+(* Same seed, same injection schedule: the (reset?, cut point) pair of
+   every send is a pure function of the plan seed, independent of the
+   sockets underneath. *)
+let test_sim_net_deterministic_schedule () =
+  let schedule seed =
+    let plan = Sim_net.plan ~seed ~reset_send_p:0.4 () in
+    List.init 20 (fun _ ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let c = Sim_net.attach plan a in
+        let r =
+          match Sim_net.send c "hello, injected world" with
+          | () -> None
+          | exception Sim_net.Injected_reset { at; _ } -> Some at
+        in
+        (try Unix.close a with _ -> ());
+        (try Unix.close b with _ -> ());
+        r)
+  in
+  let s1 = schedule 7 and s2 = schedule 7 and s3 = schedule 8 in
+  check Alcotest.bool "same seed, same schedule" true (s1 = s2);
+  check Alcotest.bool "some resets fired" true (List.exists Option.is_some s1);
+  check Alcotest.bool "some sends survived" true (List.exists Option.is_none s1);
+  check Alcotest.bool "different seed, different schedule" true (s1 <> s3)
+
+(* Trickled sends still deliver every byte, and the stats ledger
+   accounts for them exactly. *)
+let test_sim_net_trickle_accounting () =
+  let plan = Sim_net.plan ~seed:1 ~chunk:1 ~first_byte_delay_ns:1_000 () in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let c = Sim_net.attach plan a in
+  let msg = "twelve bytes" in
+  Sim_net.send c msg;
+  Sim_net.send c msg;
+  let buf = Bytes.create 64 in
+  let got = Buffer.create 32 in
+  while Buffer.length got < 2 * String.length msg do
+    let n = Unix.read b buf 0 (Bytes.length buf) in
+    Buffer.add_subbytes got buf 0 n
+  done;
+  check Alcotest.string "all bytes arrive in order" (msg ^ msg) (Buffer.contents got);
+  let s = Sim_net.stats plan in
+  check Alcotest.int "bytes_sent" (2 * String.length msg) s.Sim_net.bytes_sent;
+  check Alcotest.int "sends" 2 s.Sim_net.sends;
+  check Alcotest.int "first-byte delay fires once per connection" 1
+    s.Sim_net.first_byte_delays;
+  (try Unix.close a with _ -> ());
+  try Unix.close b with _ -> ()
+
+(* Suspension stops faults from firing but keeps consuming the
+   stream, so the schedule does not shift underneath later draws. *)
+let test_sim_net_suspend_keeps_schedule () =
+  let run ~suspend_first =
+    let plan = Sim_net.plan ~seed:3 ~reset_send_p:1.0 () in
+    let attempt () =
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let c = Sim_net.attach plan a in
+      let r =
+        match Sim_net.send c "payload" with
+        | () -> None
+        | exception Sim_net.Injected_reset { at; _ } -> Some at
+      in
+      (try Unix.close a with _ -> ());
+      (try Unix.close b with _ -> ());
+      r
+    in
+    let first =
+      if suspend_first then Sim_net.with_suspended plan attempt else attempt ()
+    in
+    (first, attempt ())
+  in
+  let live_1, live_2 = run ~suspend_first:false in
+  let susp_1, susp_2 = run ~suspend_first:true in
+  check Alcotest.bool "p=1.0 fires when live" true (Option.is_some live_1);
+  check Alcotest.bool "suspended draw does not fire" true (susp_1 = None);
+  check Alcotest.bool "second draw unaffected by suspension" true (live_2 = susp_2)
+
+(* Obs deltas for one conn_outcome kind, polled: outcomes are recorded
+   by worker threads after the client side already moved on. *)
+let outcome_count kind =
+  Option.value ~default:0
+    (Obs.find_counter ~labels:[ ("kind", kind) ] (Obs.snapshot ()) "server.conn_outcome")
+
+let await ?(timeout_s = 5.0) cond =
+  let deadline = now_ns () + int_of_float (timeout_s *. 1e9) in
+  let rec go () =
+    if cond () then true
+    else if now_ns () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* Peer FIN mid-body: headers promise 10 bytes, the client sends 3 and
+   closes. The server must type the outcome as an abort and keep
+   serving other connections. *)
+let test_e2e_peer_close_mid_body () =
+  with_server (fun port _ ->
+      let before = outcome_count "aborted" in
+      let fd = connect port in
+      send_string fd "POST /cypher HTTP/1.1\r\nHost: mgq\r\nContent-Length: 10\r\n\r\nabc";
+      Unix.close fd;
+      check Alcotest.bool "abort typed as conn_outcome{aborted}" true
+        (await (fun () -> outcome_count "aborted" >= before + 1));
+      let s, _, _ = request port ~meth:"GET" ~target:"/healthz" () in
+      check Alcotest.int "server still serves after the abort" 200 s)
+
+(* A client that resets the connection instead of reading its response
+   (Sim_net injects a real RST on recv): the worker's write path must
+   surface it as a typed reset outcome, never a dead worker. *)
+let test_e2e_response_write_interrupted_by_reset () =
+  with_server (fun port _ ->
+      let before = outcome_count "reset" in
+      let plan = Sim_net.plan ~seed:5 ~reset_recv_p:1.0 () in
+      let fd = connect port in
+      let c = Sim_net.attach plan fd in
+      Sim_net.send c "GET /users/3/followers HTTP/1.1\r\nHost: mgq\r\n\r\n";
+      (match Sim_net.recv c (Bytes.create 4096) with
+      | _ -> Alcotest.fail "expected the plan to inject a reset"
+      | exception Sim_net.Injected_reset { op = Sim_net.Recv; _ } -> ());
+      check Alcotest.bool "reset typed as conn_outcome{reset}" true
+        (await (fun () -> outcome_count "reset" >= before + 1));
+      let s, _, _ = request port ~meth:"GET" ~target:"/healthz" () in
+      check Alcotest.int "worker survived the reset" 200 s)
+
+(* ------------------------------------------------------------------ *)
+(* slow-client defence                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_deadline_server ~header_deadline_s ~body_deadline_s f =
+  let app =
+    App.create
+      ~config:{ App.replicas = 1; policy = Router.Round_robin; admission = None; seed = 42 }
+      (Lazy.force dataset)
+  in
+  let server =
+    Server.serve
+      ~config:
+        {
+          Server.default_config with
+          Server.workers = 8;
+          header_deadline_s;
+          body_deadline_s;
+        }
+      ~handler:(App.handle app) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f (Server.port server) server)
+
+(* The acceptance test for the slowloris fix: a 1-byte-per-40ms
+   attacker is evicted with a typed 408 while concurrent well-behaved
+   requests keep their p99 within 3x the unsaturated baseline (with a
+   25 ms absolute floor — same CI-noise guard as the serving bench). *)
+let test_e2e_slowloris_evicted_408 () =
+  with_deadline_server ~header_deadline_s:0.25 ~body_deadline_s:0.25 (fun port _ ->
+      let before = outcome_count "timeout" in
+      let sample_p99 n =
+        let lat =
+          Array.init n (fun _ ->
+              let t0 = now_ns () in
+              let s, _, _ = request port ~meth:"GET" ~target:"/users/3/followers" () in
+              check Alcotest.int "well-behaved request served" 200 s;
+              now_ns () - t0)
+        in
+        Array.sort compare lat;
+        lat.(max 0 ((n * 99 / 100) - 1))
+      in
+      let unsaturated_p99 = sample_p99 30 in
+      let attackers = 3 in
+      let results = Array.make attackers `Still_connected in
+      let threads =
+        List.init attackers (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Chaos.slowloris ~host:"127.0.0.1" ~port ~gap_s:0.04 ~give_up_s:3.0)
+              ())
+      in
+      (* Sample while the attackers are mid-drip, holding workers. *)
+      Thread.delay 0.05;
+      let under_attack_p99 = sample_p99 30 in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          if r <> `Evicted_408 then Alcotest.failf "attacker %d was not evicted with a 408" i)
+        results;
+      check Alcotest.bool "server recorded the timeout evictions" true
+        (await (fun () -> outcome_count "timeout" >= before + attackers));
+      let bound = max (3 * max 1 unsaturated_p99) 25_000_000 in
+      if under_attack_p99 > bound then
+        Alcotest.failf
+          "p99 under attack %.2f ms above bound %.2f ms (3x unsaturated %.2f ms)"
+          (float_of_int under_attack_p99 /. 1e6)
+          (float_of_int bound /. 1e6)
+          (float_of_int unsaturated_p99 /. 1e6))
+
+(* A slow but finite body must also be evicted once the body deadline
+   lapses, with the 408 announcing Connection: close. *)
+let test_e2e_slow_body_408 () =
+  with_deadline_server ~header_deadline_s:0.2 ~body_deadline_s:0.2 (fun port _ ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          send_string fd
+            "POST /cypher HTTP/1.1\r\nHost: mgq\r\nContent-Length: 1000\r\n\r\n";
+          (* Drip a body byte every 100 ms: each read "makes progress",
+             only the absolute deadline can end this. *)
+          let status = ref 0 in
+          (try
+             for _ = 1 to 50 do
+               send_string fd "x";
+               match Unix.select [ fd ] [] [] 0.1 with
+               | [ _ ], _, _ ->
+                 let s, header, _ = read_response fd in
+                 status := s;
+                 (match header "connection" with
+                 | Some v ->
+                   check Alcotest.string "408 announces close" "close"
+                     (String.lowercase_ascii v)
+                 | None -> Alcotest.fail "408 carried no Connection header");
+                 raise Exit
+               | _ -> ()
+             done
+           with
+          | Exit -> ()
+          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            Alcotest.fail "connection reset before the 408 arrived");
+          check Alcotest.int "slow body evicted with 408" 408 !status))
+
+(* ------------------------------------------------------------------ *)
+(* resilient client                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Client-side injected resets surface as typed outcomes in the
+   report — percentile math keeps running, the sweep never aborts.
+   With retries enabled the same faults are mostly absorbed. *)
+let test_e2e_loadgen_typed_resets () =
+  with_server (fun port _ ->
+      let run retry =
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.port;
+            rate_per_s = 150.;
+            duration_ns = 500_000_000;
+            connections = 4;
+            uids = Array.init 50 (fun i -> i);
+            net = Some (Sim_net.plan ~seed:11 ~reset_send_p:0.15 ~reset_recv_p:0.15 ());
+            retry;
+          }
+      in
+      let bare = run None in
+      check Alcotest.bool "faults surfaced as typed resets" true
+        (bare.Loadgen.resets > 0);
+      check Alcotest.int "no untyped errors" 0 bare.Loadgen.errors;
+      check Alcotest.int "every request accounted" bare.Loadgen.sent
+        (bare.Loadgen.ok + bare.Loadgen.rejected + bare.Loadgen.resets
+       + bare.Loadgen.timeouts + bare.Loadgen.errors);
+      let resilient = run (Some Loadgen.default_retry) in
+      check Alcotest.bool "retries engaged" true (resilient.Loadgen.retries > 0);
+      check Alcotest.bool "retry client converts resets into answers" true
+        (resilient.Loadgen.ok > bare.Loadgen.ok
+        || resilient.Loadgen.resets < bare.Loadgen.resets);
+      check Alcotest.int "every request accounted (retry)" resilient.Loadgen.sent
+        (resilient.Loadgen.ok + resilient.Loadgen.rejected + resilient.Loadgen.resets
+       + resilient.Loadgen.timeouts + resilient.Loadgen.errors))
+
+(* ------------------------------------------------------------------ *)
+(* chaos campaign                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two tiny campaigns with one seed must agree line for line on the
+   deterministic report section, and every oracle must hold. *)
+let test_chaos_deterministic_and_passes () =
+  let config =
+    {
+      Chaos.smoke_config with
+      Chaos.seed = 9;
+      users = 60;
+      rate_per_s = 80.;
+      baseline_ms = 300;
+      fault_ms = 700;
+      recovery_ms = 300;
+      writes = 15;
+      attackers = 2;
+    }
+  in
+  let r1 = Chaos.run config in
+  let r2 = Chaos.run config in
+  check Alcotest.(list string) "deterministic report lines" r1.Chaos.lines r2.Chaos.lines;
+  List.iter
+    (fun (v : Chaos.verdict) ->
+      if not v.Chaos.passed then Alcotest.failf "oracle %s failed: %s" v.Chaos.name v.Chaos.detail)
+    (r1.Chaos.verdicts @ r2.Chaos.verdicts)
+
 let () =
   Alcotest.run "mgq_server"
     [
@@ -504,6 +851,18 @@ let () =
           Alcotest.test_case "protocol errors are sticky" `Quick test_error_is_sticky;
           Alcotest.test_case "percent decoding" `Quick test_percent_decode;
           Alcotest.test_case "response writer" `Quick test_response_writer;
+          Alcotest.test_case "Content-Length 0 with pipelined follow-up" `Quick
+            test_content_length_zero_pipelined;
+          Alcotest.test_case "parser phase transitions" `Quick test_parser_phase_transitions;
+        ] );
+      ( "sim-net",
+        [
+          Alcotest.test_case "same seed, same fault schedule" `Quick
+            test_sim_net_deterministic_schedule;
+          Alcotest.test_case "trickle delivers every byte" `Quick
+            test_sim_net_trickle_accounting;
+          Alcotest.test_case "suspension keeps the schedule stable" `Quick
+            test_sim_net_suspend_keeps_schedule;
         ] );
       ( "e2e",
         [
@@ -520,5 +879,19 @@ let () =
           Alcotest.test_case "graceful shutdown" `Quick test_e2e_graceful_shutdown;
           Alcotest.test_case "loadgen saturation sheds with Retry-After" `Quick
             test_e2e_loadgen_saturation;
+          Alcotest.test_case "peer close mid-body is a typed abort" `Quick
+            test_e2e_peer_close_mid_body;
+          Alcotest.test_case "response write interrupted by reset" `Quick
+            test_e2e_response_write_interrupted_by_reset;
+          Alcotest.test_case "slowloris evicted with 408" `Quick
+            test_e2e_slowloris_evicted_408;
+          Alcotest.test_case "slow body evicted with 408" `Quick test_e2e_slow_body_408;
+          Alcotest.test_case "loadgen types resets and retries them" `Quick
+            test_e2e_loadgen_typed_resets;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "tiny campaign is deterministic and passes" `Quick
+            test_chaos_deterministic_and_passes;
         ] );
     ]
