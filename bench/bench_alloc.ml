@@ -1,0 +1,191 @@
+(* A1': allocation profile of the Table-2 core-API mix — minor-heap
+   words allocated per db hit, before vs after the binary page/codec
+   representation.
+
+   "Before" is the boxed reference arm ([Db.set_boxed_reads]): every
+   field read boxes an int64, every record materialises as an array,
+   every traversal walks the mutable relationship chains building an
+   edge record per step. "After" is the packed arm: unboxed field
+   decoding, varint-packed CSR segments ([Db.build_adjacency_segments])
+   yielding endpoint ints without records. Same queries, same answers,
+   near-identical db-hit counts — only the allocation profile moves.
+   The oracle asserts the packed path allocates at least 2x fewer
+   words per hit over the whole mix, and (when the committed baseline
+   exists) that the current build has not regressed past 1.5x the
+   baseline. *)
+
+open Bench_support
+
+let baseline_path = "_repro/alloc_baseline.csv"
+
+(* Smaller than the shared bench env: the alloc ratio is per-hit, so
+   it is scale-stable, and the experiment imports its own instance
+   (the CSR build mutates the db in place). *)
+let alloc_users () = if !smoke then 400 else 1500
+
+(* The Table-2 argument selection, condensed from bench_tables. *)
+let pick_args (dataset : Dataset.t) (reference : Reference.t) scale =
+  let by_mentions = Params.users_by_mention_degree reference in
+  let uid = match List.rev by_mentions with (_, uid) :: _ -> uid | [] -> 0 in
+  let uid2 =
+    match reference.Reference.followees.(uid) with
+    | f :: _ -> (
+      match reference.Reference.followees.(f) with
+      | fof :: _ when fof <> uid -> fof
+      | _ -> f)
+    | [] -> (uid + 1) mod scale
+  in
+  let follower_of_author =
+    let authors =
+      Array.fold_left
+        (fun acc (tw : Dataset.tweet) -> tw.Dataset.author :: acc)
+        [] dataset.Dataset.tweets
+    in
+    let is_author u = List.mem u authors in
+    let rec find u =
+      if u >= scale then uid
+      else if List.exists is_author reference.Reference.followees.(u) then u
+      else find (u + 1)
+    in
+    find 0
+  in
+  let base =
+    {
+      Workload.uid;
+      uid2;
+      tag = "topic0";
+      n = 10;
+      threshold = scale / 100;
+      max_hops = 3;
+    }
+  in
+  fun (q : Workload.query) ->
+    if String.length q.Workload.id >= 2 && String.sub q.Workload.id 0 2 = "Q2" then
+      { base with Workload.uid = follower_of_author }
+    else base
+
+(* Minor words and db hits per run, averaged over [runs] identical
+   executions after one warm-up (plan caches, lazy structures). *)
+let profile cost ~runs f =
+  ignore (f ());
+  let h0 = (Cost_model.snapshot cost).Cost_model.db_hits in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to runs do
+    ignore (f ())
+  done;
+  let words = (Gc.minor_words () -. w0) /. float_of_int runs in
+  let hits =
+    ((Cost_model.snapshot cost).Cost_model.db_hits - h0) / runs
+  in
+  (words, hits)
+
+let read_baseline () =
+  if not (Sys.file_exists baseline_path) then None
+  else
+    let ic = open_in baseline_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec find () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+            match String.split_on_char ',' line with
+            | [ "total"; _; _; wph ] -> float_of_string_opt wph
+            | _ -> find ())
+        in
+        find ())
+
+let run_alloc () =
+  section "A1': minor-heap words per db hit (chain walk vs CSR segments)";
+  let scale = alloc_users () in
+  announce "# setup: generating + importing (n_users=%d)\n%!" scale;
+  let dataset = Generator.generate (Generator.scaled ~n_users:scale ()) in
+  let reference = Reference.build dataset in
+  let neo = Contexts.build_neo dataset in
+  let args_for = pick_args dataset reference scale in
+  let cost = Sim_disk.cost (Db.disk neo.Contexts.db) in
+  let runs = if !smoke then 2 else 5 in
+  let measure_mix () =
+    List.map
+      (fun (q : Workload.query) ->
+        let args = args_for q in
+        let words, hits =
+          profile cost ~runs (fun () -> q.Workload.run_neo_api neo args)
+        in
+        (q.Workload.id, words, hits))
+      Workload.all
+  in
+  Db.build_adjacency_segments neo.Contexts.db;
+  Db.set_boxed_reads neo.Contexts.db true;
+  let before = measure_mix () in
+  Db.set_boxed_reads neo.Contexts.db false;
+  let after = measure_mix () in
+  let fmt_wph words hits =
+    if hits = 0 then "-" else Printf.sprintf "%.1f" (words /. float_of_int hits)
+  in
+  let rows =
+    List.map2
+      (fun (id, bw, bh) (_, aw, ah) ->
+        [
+          id;
+          string_of_int bh;
+          fmt_wph bw bh;
+          string_of_int ah;
+          fmt_wph aw ah;
+          (if ah = 0 || aw = 0.0 then "-"
+           else Printf.sprintf "%.2f" (bw /. float_of_int bh /. (aw /. float_of_int ah)));
+        ])
+      before after
+  in
+  let total l = List.fold_left (fun (w, h) (_, dw, dh) -> (w +. dw, h + dh)) (0.0, 0) l in
+  let bw, bh = total before and aw, ah = total after in
+  let before_wph = bw /. float_of_int (max 1 bh) in
+  let after_wph = aw /. float_of_int (max 1 ah) in
+  let ratio = before_wph /. after_wph in
+  let rows =
+    rows
+    @ [
+        [
+          "total";
+          string_of_int bh;
+          Printf.sprintf "%.1f" before_wph;
+          string_of_int ah;
+          Printf.sprintf "%.1f" after_wph;
+          Printf.sprintf "%.2f" ratio;
+        ];
+      ]
+  in
+  table
+    ~aligns:[ Text_table.Left; Right; Right; Right; Right; Right ]
+    ~name:"alloc"
+    ~header:
+      [ "query"; "hits (boxed)"; "words/hit"; "hits (packed)"; "words/hit"; "ratio" ]
+    rows;
+  (* Always leave the artifact next to the binary too, so CI can pick
+     it up without MGQ_BENCH_CSV plumbing. *)
+  let oc = open_out "alloc_current.csv" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "query,hits,words,words_per_hit\n";
+      List.iter
+        (fun (id, w, h) ->
+          Printf.fprintf oc "%s,%d,%.1f,%s\n" id h w (fmt_wph w h))
+        after;
+      Printf.fprintf oc "total,%d,%.1f,%.1f\n" ah aw after_wph);
+  Printf.printf "(csv written: alloc_current.csv)\n";
+  if ratio < 2.0 then
+    record_failure "alloc: CSR path saves only %.2fx words/hit (expected >= 2x)" ratio
+  else Printf.printf "oracle ok: CSR segments allocate %.2fx fewer words per db hit\n" ratio;
+  (match read_baseline () with
+  | None ->
+    Printf.printf "note: no committed baseline at %s; regression check skipped\n"
+      baseline_path
+  | Some base_wph ->
+    if after_wph > base_wph *. 1.5 then
+      record_failure "alloc: %.1f words/hit regressed past 1.5x baseline %.1f" after_wph
+        base_wph
+    else
+      Printf.printf "oracle ok: %.1f words/hit within 1.5x of baseline %.1f\n" after_wph
+        base_wph)

@@ -556,3 +556,101 @@ let of_list xs =
   t
 
 let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+(* -------------------- binary codec -------------------- *)
+
+module Codec = Mgq_codec.Codec
+
+let words_per_bitset = bitset_bytes / 8
+
+let encode e t =
+  Codec.Enc.varint e t.n;
+  for i = 0 to t.n - 1 do
+    Codec.Enc.varint e t.keys.(i);
+    match t.conts.(i) with
+    | Arr a ->
+      Codec.Enc.u8 e 0;
+      Codec.Enc.varint e a.len;
+      (* Strictly-increasing values: gap-1 deltas, so consecutive runs
+         cost one byte each and the first value encodes as itself. *)
+      let prev = ref (-1) in
+      for j = 0 to a.len - 1 do
+        Codec.Enc.varint e (a.data.(j) - !prev - 1);
+        prev := a.data.(j)
+      done
+    | Bits b ->
+      Codec.Enc.u8 e 1;
+      Codec.Enc.varint e b.card;
+      (* Ship only up to the highest non-zero 64-bit word; the decoder
+         zero-fills the trailing partial tail. The boundary cases the
+         regression tests pin: a top bit at 63 keeps word 0, at 64
+         forces word 1, and clearing a whole trailing word must shrink
+         the shipped count. *)
+      let n_words = ref words_per_bitset in
+      while !n_words > 0 && Bytes.get_int64_le b.words ((!n_words - 1) * 8) = 0L do
+        decr n_words
+      done;
+      Codec.Enc.varint e !n_words;
+      for w = 0 to !n_words - 1 do
+        Codec.Enc.i64 e (Bytes.get_int64_le b.words (w * 8))
+      done
+  done
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Codec.Error msg)) fmt
+
+let decode d =
+  let n = Codec.Dec.varint d in
+  let t = create () in
+  let prev_key = ref (-1) in
+  for _ = 1 to n do
+    let key = Codec.Dec.varint d in
+    if key <= !prev_key then fail "Bitmap: chunk keys not strictly increasing";
+    prev_key := key;
+    let cont =
+      match Codec.Dec.u8 d with
+      | 0 ->
+        let len = Codec.Dec.varint d in
+        if len = 0 then fail "Bitmap: empty chunk";
+        if len > array_max then fail "Bitmap: sparse container over %d entries" array_max;
+        let data = Array.make len 0 in
+        let prev = ref (-1) in
+        for j = 0 to len - 1 do
+          let v = !prev + 1 + Codec.Dec.varint d in
+          if v > low_mask then fail "Bitmap: container value over %d" low_mask;
+          data.(j) <- v;
+          prev := v
+        done;
+        Arr { data; len }
+      | 1 ->
+        let card = Codec.Dec.varint d in
+        let n_words = Codec.Dec.varint d in
+        if n_words > words_per_bitset then fail "Bitmap: bitset over %d words" words_per_bitset;
+        let words = Bytes.make bitset_bytes '\000' in
+        for w = 0 to n_words - 1 do
+          Bytes.set_int64_le words (w * 8) (Codec.Dec.i64 d)
+        done;
+        let count = ref 0 in
+        for byte = 0 to bitset_bytes - 1 do
+          count := !count + popcount_byte.(Bytes.get_uint8 words byte)
+        done;
+        if !count <> card then fail "Bitmap: cardinality %d, %d bits set" card !count;
+        if !count = 0 then fail "Bitmap: empty chunk";
+        Bits { words; card }
+      | k -> fail "Bitmap: unknown container kind %d" k
+    in
+    (match find_key t key with
+    | Ok _ -> assert false (* keys strictly increasing *)
+    | Error pos -> insert_chunk t pos key cont)
+  done;
+  t
+
+let serialize t =
+  let e = Codec.Enc.create () in
+  encode e t;
+  Codec.Page.seal (Codec.Enc.contents e)
+
+let deserialize s =
+  let d = Codec.Dec.of_string (Codec.Page.payload s) in
+  let t = decode d in
+  Codec.Dec.expect_end d;
+  t

@@ -72,3 +72,21 @@ val inter_cardinality : t -> t -> int
 val memory_words : t -> int
 (** Approximate heap footprint in machine words; reported by the
     import benches the way the paper reports database size on disk. *)
+
+val encode : Mgq_codec.Codec.Enc.t -> t -> unit
+(** Append the bitmap's binary form: per chunk, a varint key and
+    either a delta-varint sparse container (gap-1 coding, so dense
+    runs cost a byte per member) or a dense bitset truncated at its
+    highest non-zero 64-bit word. *)
+
+val decode : Mgq_codec.Codec.Dec.t -> t
+(** Inverse of {!encode}; validates key order, container bounds and
+    the dense-container cardinality against its shipped words.
+    @raise Mgq_codec.Codec.Error on malformed input. *)
+
+val serialize : t -> string
+(** {!encode} sealed in a checksummed {!Mgq_codec.Codec.Page}. *)
+
+val deserialize : string -> t
+(** Inverse of {!serialize}; rejects trailing bytes.
+    @raise Mgq_codec.Codec.Error on corrupt input. *)

@@ -94,16 +94,17 @@ let session t sid =
 
 (* Ship the primary's WAL suffix past [r]'s receipt mark, frame by
    frame, stopping at the first dropped shipment (the rest is resent
-   on a later attempt — receipt is strictly in order). *)
+   on a later attempt — receipt is strictly in order). Frames travel
+   as their raw payload bytes; the replica decodes at apply time. *)
 let ship_to t r =
   match Db.wal t.primary with
   | None -> ()
   | Some w -> (
     try
       ignore
-        (Wal.fold_from w ~lsn:(Replica.received_lsn r)
-           (fun () ~lsn ops ->
-             if not (Replica.receive r ~now:t.now ~lsn ops) then raise Exit)
+        (Wal.fold_frames_from w ~lsn:(Replica.received_lsn r)
+           (fun () ~lsn payload ->
+             if not (Replica.receive r ~now:t.now ~lsn payload) then raise Exit)
            ())
     with Exit -> ())
 

@@ -4,8 +4,8 @@
 
     Writes commit on the primary exactly as on a single instance (the
     WAL append is the durability point); each committed frame is then
-    {e shipped} — streamed via {!Mgq_neo.Wal.fold_from} past every
-    replica's receipt mark. Commits are acknowledged
+    {e shipped} — streamed as raw frame payloads via
+    {!Mgq_neo.Wal.fold_frames_from} past every replica's receipt mark. Commits are acknowledged
     semi-synchronously: only once [sync_replicas] replicas have
     journaled the frame (dropped shipments resend, costing ticks), so
     an acknowledged commit survives primary failure as long as one

@@ -33,7 +33,7 @@ type t = {
   lag : lag;
   drop_p : float;
   rng : Rng.t;
-  inbox : (int * Wal.op list * int) Queue.t; (* lsn, ops, received at tick *)
+  inbox : (int * string * int) Queue.t; (* lsn, frame payload, received at tick *)
   mutable received_lsn : int;
   mutable applied_lsn : int;
   mutable frames_applied : int;
@@ -67,7 +67,7 @@ let apply_faults t = t.apply_faults
 let inbox_depth t = Queue.length t.inbox
 let lag_frames t ~head_lsn = head_lsn - t.applied_lsn
 
-let receive t ~now ~lsn ops =
+let receive t ~now ~lsn payload =
   if lsn <= t.received_lsn then true (* duplicate resend; already journaled *)
   else if lsn > t.received_lsn + 1 then false (* gap: sender must restart from received_lsn *)
   else if t.drop_p > 0.0 && Rng.chance t.rng t.drop_p then begin
@@ -75,7 +75,7 @@ let receive t ~now ~lsn ops =
     false
   end
   else begin
-    Queue.add (lsn, ops, now) t.inbox;
+    Queue.add (lsn, payload, now) t.inbox;
     t.received_lsn <- lsn;
     true
   end
@@ -91,10 +91,13 @@ let ready t ~now ~head_lsn =
     | Latency { ticks } -> received + ticks <= now)
 
 (* Apply the inbox head; pops only after the transaction committed, so
-   a transient fault leaves the frame queued for the next tick. *)
+   a transient fault leaves the frame queued for the next tick. The
+   payload is decoded here — receipt journals opaque (CRC-verified)
+   bytes, so shipping never pays for decoding frames a lag model may
+   hold for many ticks. *)
 let apply_head t =
-  let lsn, ops, _ = Queue.peek t.inbox in
-  Db.apply_redo t.db ops;
+  let lsn, payload, _ = Queue.peek t.inbox in
+  Db.apply_redo t.db (Wal.decode_ops payload);
   ignore (Queue.pop t.inbox);
   t.applied_lsn <- lsn;
   t.frames_applied <- t.frames_applied + 1

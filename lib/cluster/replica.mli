@@ -56,15 +56,18 @@ val lag_frames : t -> head_lsn:int -> int
 (** How many frames behind the primary's head this replica's applied
     state is. *)
 
-val receive : t -> now:int -> lsn:int -> Mgq_neo.Wal.op list -> bool
-(** Offer one frame. Returns [false] when the shipment is dropped
+val receive : t -> now:int -> lsn:int -> string -> bool
+(** Offer one frame as its raw (CRC-verified) payload bytes — the
+    blob {!Mgq_neo.Wal.fold_frames_from} yields; decoding is deferred
+    to apply time. Returns [false] when the shipment is dropped
     (seeded) or arrives with a gap; the sender resends from
     {!received_lsn}. Duplicates are acknowledged without re-journaling. *)
 
 val apply_ready : t -> now:int -> head_lsn:int -> int
-(** Apply every inbox frame eligible under the lag model; returns how
-    many were applied. A transient {!Mgq_storage.Fault.Io_error}
-    during an apply leaves that frame queued for the next tick. *)
+(** Apply every inbox frame eligible under the lag model (decoding
+    each payload on the way in); returns how many were applied. A
+    transient {!Mgq_storage.Fault.Io_error} during an apply leaves
+    that frame queued for the next tick. *)
 
 val catch_up : t -> int
 (** Apply the whole inbox regardless of lag — the promotion path

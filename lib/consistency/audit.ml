@@ -15,6 +15,7 @@ type arm = {
   arm_aborted : int;
   arm_durability_failures : int;
   arm_catalog_leaks : int;
+  arm_snapshot_failures : int;
   arm_crash_runs : int;
 }
 
@@ -86,6 +87,28 @@ let catalog_probe run =
   if before = after then None
   else Some "catalog drifted from rebuilt statistics (rolled-back txn leaked)"
 
+(* The binary checkpoint image must reproduce the live state: save
+   the run's database through the snapshot codec, load it back, and
+   compare every register against the live reading. *)
+let snapshot_probe run =
+  let path = Filename.temp_file "mgq_audit" ".neo" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Db.save run.Sched.db path;
+      let db' = Db.load path in
+      let reloaded =
+        List.mapi
+          (fun r node -> (r, Sched.as_int (Db.node_property db' node "v")))
+          (Array.to_list run.Sched.reg_nodes)
+      in
+      let live = Sched.final_state run in
+      if reloaded = live then None
+      else
+        Some
+          (Printf.sprintf "reloaded %s <> live %s" (state_to_string reloaded)
+             (state_to_string live)))
+
 let run_arm ~isolation ~seeds ~sessions ~txns_per_session ~ops_per_txn ~registers ~crashes
     ~probes out =
   let totals = Hashtbl.create 8 in
@@ -95,6 +118,7 @@ let run_arm ~isolation ~seeds ~sessions ~txns_per_session ~ops_per_txn ~register
   let forbidden = ref 0 in
   let committed = ref 0 and conflicts = ref 0 and aborted = ref 0 in
   let durability_failures = ref 0 and catalog_leaks = ref 0 and crash_runs = ref 0 in
+  let snapshot_failures = ref 0 in
   let line fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
   let one ~seed ~crash_at_commit =
     let cfg =
@@ -117,12 +141,18 @@ let run_arm ~isolation ~seeds ~sessions ~txns_per_session ~ops_per_txn ~register
       | Some msg ->
         incr durability_failures;
         failures := ("durability: " ^ msg) :: !failures);
-      if not run.Sched.crashed then
-        match catalog_probe run with
+      if not run.Sched.crashed then begin
+        (match catalog_probe run with
         | None -> ()
         | Some msg ->
           incr catalog_leaks;
-          failures := ("catalog: " ^ msg) :: !failures
+          failures := ("catalog: " ^ msg) :: !failures);
+        match snapshot_probe run with
+        | None -> ()
+        | Some msg ->
+          incr snapshot_failures;
+          failures := ("snapshot: " ^ msg) :: !failures
+      end
     end;
     line "  seed %3d%s: %d committed, %d conflicts, %d anomalies (%d forbidden)" seed
       (if crash_at_commit <> None then " [crash]" else "")
@@ -158,6 +188,7 @@ let run_arm ~isolation ~seeds ~sessions ~txns_per_session ~ops_per_txn ~register
     arm_aborted = !aborted;
     arm_durability_failures = !durability_failures;
     arm_catalog_leaks = !catalog_leaks;
+    arm_snapshot_failures = !snapshot_failures;
     arm_crash_runs = !crash_runs;
   }
 
@@ -242,6 +273,7 @@ let run ?(seeds = 32) ?(sessions = 4) ?(txns_per_session = 4) ?(ops_per_txn = 4)
     si.arm_forbidden = 0
     && si.arm_durability_failures = 0
     && si.arm_catalog_leaks = 0
+    && si.arm_snapshot_failures = 0
     && !lost = 0 && !fo_failures = 0 && baseline_ok
   in
   line "verdict: %s" (if passed then "PASS" else "FAIL");

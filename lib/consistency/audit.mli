@@ -9,7 +9,9 @@
       (everything but write skew) must be zero; every acked commit
       must survive recovery and no aborted effect may; the stats
       catalog must equal its from-scratch rebuild (no rolled-back
-      transaction leaked a delta).
+      transaction leaked a delta); and the binary snapshot codec must
+      round-trip the final state ({!Mgq_neo.Db.save} then
+      {!Mgq_neo.Db.load} reproduces every register).
     - {e baseline} ([Read_uncommitted]): the control and harness
       self-test — with isolation off the checker {e must} report
       forbidden anomalies (dirty reads / lost updates), or a green SI
@@ -35,6 +37,9 @@ type arm = {
   arm_aborted : int;
   arm_durability_failures : int;
   arm_catalog_leaks : int;
+  arm_snapshot_failures : int;
+      (** binary save/load round trips that failed to reproduce the
+          live register state *)
   arm_crash_runs : int;
 }
 

@@ -1,0 +1,55 @@
+(** Immutable CSR adjacency segments + mutable delta overlay.
+
+    Built by {!Db.build_adjacency_segments} at checkpoint time:
+    per-node varint-packed (edge, type, other-endpoint) runs, offsets
+    array indexed by node id. Post-freeze mutations go to the overlay
+    ({!on_insert}/{!on_remove}); {!Db}'s read paths merge overlay
+    chains over the frozen runs so results stay identical, edge for
+    edge and order for order, with the linked record chains. See
+    DESIGN.md §16. *)
+
+type t
+
+val make :
+  n:int ->
+  out_entries:(int -> (int * int * int) list) ->
+  in_entries:(int -> (int * int * int) list) ->
+  t
+(** Freeze [n] nodes' adjacency. [out_entries node] / [in_entries
+    node] list the node's (edge, type, other) triples in exact chain
+    enumeration order. *)
+
+val node_universe : t -> int
+
+val covers : t -> int -> bool
+(** The segments can answer for this node (inside the frozen universe
+    and not evicted). *)
+
+val evict : t -> int -> unit
+(** Permanently fall back to chains for one node (densification
+    reorders its chains wholesale). *)
+
+val on_insert : t -> edge:int -> tid:int -> src:int -> dst:int -> unit
+(** Mirror a physical edge insertion into the overlay. Safe for edges
+    whose id is frozen in a segment (delete+undo): the frozen copy
+    stays shadowed, the overlay copy yields at the chain head. *)
+
+val on_remove : t -> edge:int -> src:int -> dst:int -> unit
+(** Mirror a physical edge removal. *)
+
+val triples : t -> node:int -> out:bool -> on:(unit -> unit) -> (int * int * int) Seq.t
+(** Merged (edge, type, other) scan for one node and direction:
+    overlay chain first (newest-first), then the frozen run minus
+    deleted edges. [on] fires once per yielded entry — the caller's
+    per-edge db-hit charge. *)
+
+val others :
+  t -> node:int -> out:bool -> tid:int -> skip_self:bool -> on:(unit -> unit) -> int Seq.t
+(** Endpoint-only merged scan — the zero-record [neighbors] path.
+    [tid >= 0] filters by type {e after} [on] fires (a typed scan
+    still walks the whole mixed run, like the chains it mirrors);
+    [skip_self] drops entries whose endpoint is [node] itself. *)
+
+val memory_bytes : t -> int
+(** Packed segment footprint (offsets + bytes), for the alloc bench
+    report. *)

@@ -6,6 +6,7 @@ module Value = Mgq_core.Value
 module Property = Mgq_core.Property
 module Obs = Mgq_obs.Obs
 module Catalog = Mgq_catalog.Catalog
+module Codec = Mgq_codec.Codec
 
 let m_commits = Obs.counter "db.commits"
 let m_rollbacks = Obs.counter "db.rollbacks"
@@ -139,6 +140,10 @@ type t = {
   mutable node_count : int;
   mutable edge_count : int;
   mutable wal : Wal.t option;
+  (* Frozen CSR adjacency (built at checkpoint) + delta overlay; None
+     until the first checkpoint. Purely a read accelerator: the
+     record chains stay authoritative and fully maintained. *)
+  mutable csr : Csr.t option;
   catalog : Catalog.t;
   (* MVCC state. [versions] and [commit_marks] are transient: both are
      cleared whenever the last open transaction closes, so they are
@@ -151,6 +156,14 @@ type t = {
   commit_marks : (vkey, int) Hashtbl.t; (* key -> last commit ts *)
   mutable isolation : isolation;
   mutable track_reads : bool;
+  (* Reference arm for the allocation bench: read back through the
+     boxed pre-codec paths (get/get_record, int64 boxing, no CSR) so
+     the packed representation's saving is measurable in-process. *)
+  mutable boxed_reads : bool;
+  (* Scratch for the packed property-chain walk ([Record_store.
+     read_into]): one array reused across every step, so the walk
+     itself allocates nothing. *)
+  prop_scratch : int array;
 }
 
 let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 50)
@@ -183,6 +196,7 @@ let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 
       node_count = 0;
       edge_count = 0;
       wal = None;
+      csr = None;
       catalog = Catalog.create ();
       ts = 0;
       next_txn_id = 1;
@@ -192,6 +206,8 @@ let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 
       commit_marks = Hashtbl.create 64;
       isolation = Snapshot;
       track_reads = false;
+      boxed_reads = false;
+      prop_scratch = Array.make prop_fields 0;
     }
   in
   if wal then t.wal <- Some (Wal.create disk);
@@ -199,6 +215,7 @@ let create ?config ?pool_pages ?checkpoint_dirty_pages ?(dense_node_threshold = 
 
 let disk t = t.disk
 let cost t = Sim_disk.cost t.disk
+let set_boxed_reads t b = t.boxed_reads <- b
 let wal t = t.wal
 let last_lsn t = match t.wal with Some w -> Wal.last_lsn w | None -> 0
 
@@ -209,49 +226,11 @@ exception Corrupt_snapshot of string
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_snapshot msg)) fmt
 
 let save_magic = "MGQNEO2\n"
-let save_version = 5 (* v5: MVCC transaction state replaces the undo-list *)
+let save_version = 6 (* v6: codec-encoded logical image replaces Marshal *)
 
-let save t path =
-  if t.open_txns <> [] then raise (Tx_error "Db.save: transaction open");
-  assert (Hashtbl.length t.versions = 0) (* GC cleared: no closures marshalled *);
-  let payload = Marshal.to_string t [] in
-  let meta = Bytes.create 12 in
-  Bytes.set_int64_le meta 0 (Int64.of_int (String.length payload));
-  Bytes.set_int32_le meta 8 (Mgq_util.Crc32.digest payload);
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc save_magic;
-      output_byte oc save_version;
-      output_bytes oc meta;
-      output_string oc payload)
-
-let load path =
-  let ic =
-    try open_in_bin path with Sys_error msg -> failwith ("Db.load: " ^ msg)
-  in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let read_exactly what n =
-        try really_input_string ic n with End_of_file -> corrupt "truncated %s" what
-      in
-      let header = read_exactly "header" (String.length save_magic) in
-      if header <> save_magic then corrupt "not a record-store database file";
-      let version = try input_byte ic with End_of_file -> corrupt "truncated header" in
-      if version <> save_version then corrupt "unsupported snapshot version %d" version;
-      let meta = Bytes.of_string (read_exactly "header" 12) in
-      let len = Int64.to_int (Bytes.get_int64_le meta 0) in
-      if len < 0 || len > Sys.max_string_length then corrupt "implausible payload length";
-      let crc = Bytes.get_int32_le meta 8 in
-      let payload = read_exactly "payload" len in
-      if Mgq_util.Crc32.digest payload <> crc then corrupt "checksum mismatch";
-      let t = (Marshal.from_string payload 0 : t) in
-      (* The snapshot's own log records are already folded into its
-         pages; truncating makes the snapshot the replay base. *)
-      (match t.wal with Some w -> Wal.truncate w | None -> ());
-      t)
+(* [save] and [load] live below the write path: a v6 snapshot is a
+   logical image that loads by replaying creations through the
+   ordinary mutators. *)
 
 let labels t = Dict.names t.label_dict
 let edge_types t = Dict.names t.type_dict
@@ -593,18 +572,34 @@ let atomic t f = Sim_disk.with_transients_suspended t.disk f
    through the version chains. *)
 
 let raw_node_exists t id =
-  id >= 0 && id < Record_store.count t.nodes && Record_store.get t.nodes ~id ~field:n_in_use = 1
+  id >= 0
+  && id < Record_store.count t.nodes
+  && (if t.boxed_reads then Record_store.get t.nodes ~id ~field:n_in_use
+      else Record_store.read1 t.nodes ~id ~field:n_in_use)
+     = 1
 
 let raw_edge_exists t id =
-  id >= 0 && id < Record_store.count t.rels && Record_store.get t.rels ~id ~field:r_in_use = 1
+  id >= 0
+  && id < Record_store.count t.rels
+  && (if t.boxed_reads then Record_store.get t.rels ~id ~field:r_in_use
+      else Record_store.read1 t.rels ~id ~field:r_in_use)
+     = 1
 
 let existence = function B_absent -> false | B_present -> true | B_value _ -> false
 
+(* Outside any transaction, with no version chains live, reads need
+   neither tracking nor visibility resolution — the hot paths skip
+   the version-key and resolver-closure allocations entirely. *)
+let plain_reads t =
+  (match t.active with None -> true | Some _ -> false) && Hashtbl.length t.versions = 0
+
 let node_exists t id =
-  resolve t (K_node id) ~base:(fun () -> raw_node_exists t id) ~before:existence
+  if plain_reads t then raw_node_exists t id
+  else resolve t (K_node id) ~base:(fun () -> raw_node_exists t id) ~before:existence
 
 let edge_exists t id =
-  resolve t (K_edge id) ~base:(fun () -> raw_edge_exists t id) ~before:existence
+  if plain_reads t then raw_edge_exists t id
+  else resolve t (K_edge id) ~base:(fun () -> raw_edge_exists t id) ~before:existence
 
 let check_node t id = if not (node_exists t id) then raise (Node_not_found id)
 let check_edge t id = if not (edge_exists t id) then raise (Edge_not_found id)
@@ -627,26 +622,50 @@ let decode_value t ~tag ~payload =
   else failwith (Printf.sprintf "Db: corrupt property tag %d" tag)
 
 (* Find the property record for [key_id] in the chain starting at
-   [head]; None when absent. *)
+   [head]; None when absent. One packed read per chain record — same
+   db hits as the record-array read it replaces, without the array,
+   closure, and boxed-int64 allocations. *)
 let rec find_prop t head key_id =
   if head = nil then None
+  else if t.boxed_reads then begin
+    let r = Record_store.get_record t.props ~id:head in
+    if r.(p_key) = key_id then Some (head, r.(p_tag), r.(p_payload), r.(p_next))
+    else find_prop t r.(p_next) key_id
+  end
   else begin
-    let record = Record_store.get_record t.props ~id:head in
-    if record.(p_key) = key_id then Some (head, record)
-    else find_prop t record.(p_next) key_id
+    let key, tag, payload, next =
+      Record_store.read4 t.props ~id:head ~f0:p_key ~f1:p_tag ~f2:p_payload ~f3:p_next
+    in
+    if key = key_id then Some (head, tag, payload, next) else find_prop t next key_id
   end
 
 let read_prop_chain t head =
   let rec collect acc head =
     if head = nil then acc
     else begin
-      let record = Record_store.get_record t.props ~id:head in
-      let key = Dict.name t.key_dict record.(p_key) in
-      let value = decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload) in
-      collect ((key, value) :: acc) record.(p_next)
+      let key_id, tag, payload, next =
+        Record_store.read4 t.props ~id:head ~f0:p_key ~f1:p_tag ~f2:p_payload ~f3:p_next
+      in
+      let key = Dict.name t.key_dict key_id in
+      let value = decode_value t ~tag ~payload in
+      collect ((key, value) :: acc) next
     end
   in
   Property.of_list (collect [] head)
+
+(* Same walk keeping key ids and values — the snapshot writer's
+   view. *)
+let raw_prop_pairs t head =
+  let rec collect acc head =
+    if head = nil then List.rev acc
+    else begin
+      let key_id, tag, payload, next =
+        Record_store.read4 t.props ~id:head ~f0:p_key ~f1:p_tag ~f2:p_payload ~f3:p_next
+      in
+      collect ((key_id, decode_value t ~tag ~payload) :: acc) next
+    end
+  in
+  collect [] head
 
 (* Write [key -> value] into the chain whose head field lives at
    (store, owner, head_field). Returns an undo closure. *)
@@ -661,9 +680,8 @@ let write_prop t ~store ~owner ~head_field key value =
     Record_store.set_record t.props ~id:prop [| key_id; tag; payload; head |];
     Record_store.set store ~id:owner ~field:head_field prop;
     fun () -> Record_store.set store ~id:owner ~field:head_field head
-  | Some (prop, record), Value.Null ->
+  | Some (prop, _, _, next), Value.Null ->
     (* Unlink the record from the chain. *)
-    let next = record.(p_next) in
     if head = prop then Record_store.set store ~id:owner ~field:head_field next
     else begin
       let rec relink cursor =
@@ -678,8 +696,7 @@ let write_prop t ~store ~owner ~head_field key value =
       let current_head = Record_store.get store ~id:owner ~field:head_field in
       Record_store.set t.props ~id:prop ~field:p_next current_head;
       Record_store.set store ~id:owner ~field:head_field prop
-  | Some (prop, record), v ->
-    let old_tag = record.(p_tag) and old_payload = record.(p_payload) in
+  | Some (prop, old_tag, old_payload, _), v ->
     let tag, payload = encode_value t v in
     Record_store.set t.props ~id:prop ~field:p_tag tag;
     Record_store.set t.props ~id:prop ~field:p_payload payload;
@@ -754,12 +771,31 @@ let node_label t id =
   check_node t id;
   Dict.name t.label_dict (Record_store.get t.nodes ~id ~field:n_label)
 
-(* In-place (newest) value of one property slot. *)
+(* Scratch-array chain walk for the packed read path: no option, no
+   tuples, no closure (module-level recursion) — the only allocation
+   on a property hit is the returned [Value.t] itself. *)
+let rec prop_walk t key_id head =
+  if head = nil then Value.Null
+  else begin
+    let s = t.prop_scratch in
+    Record_store.read_into t.props ~id:head s;
+    if Array.unsafe_get s p_key = key_id then
+      decode_value t ~tag:(Array.unsafe_get s p_tag) ~payload:(Array.unsafe_get s p_payload)
+    else prop_walk t key_id (Array.unsafe_get s p_next)
+  end
+
+(* In-place (newest) value of one property slot. The head-field read
+   goes through the unboxed single-field path: same db hit, no
+   intermediate allocation. *)
 let raw_prop t ~store ~owner ~head_field key_id =
-  let head = Record_store.get store ~id:owner ~field:head_field in
-  match find_prop t head key_id with
-  | None -> Value.Null
-  | Some (_, record) -> decode_value t ~tag:record.(p_tag) ~payload:record.(p_payload)
+  if t.boxed_reads then begin
+    let head = Record_store.get store ~id:owner ~field:head_field in
+    match find_prop t head key_id with
+    | None -> Value.Null
+    | Some (_, tag, payload, _) -> decode_value t ~tag ~payload
+  end
+  else
+    prop_walk t key_id (Record_store.read1 store ~id:owner ~field:head_field)
 
 let prop_before = function B_value v -> v | B_absent | B_present -> Value.Null
 
@@ -768,11 +804,14 @@ let node_property t id key =
   match Dict.find t.key_dict key with
   | None -> Value.Null
   | Some key_id ->
-    let k = K_nprop (id, key_id) in
-    track_read t k;
-    resolve t k
-      ~base:(fun () -> raw_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key_id)
-      ~before:prop_before
+    if plain_reads t then raw_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key_id
+    else begin
+      let k = K_nprop (id, key_id) in
+      track_read t k;
+      resolve t k
+        ~base:(fun () -> raw_prop t ~store:t.nodes ~owner:id ~head_field:n_first_prop key_id)
+        ~before:prop_before
+    end
 
 (* Full property maps resolve each versioned slot individually on top
    of the in-place chain. *)
@@ -819,11 +858,14 @@ let edge_property t id key =
   match Dict.find t.key_dict key with
   | None -> Value.Null
   | Some key_id ->
-    let k = K_eprop (id, key_id) in
-    track_read t k;
-    resolve t k
-      ~base:(fun () -> raw_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key_id)
-      ~before:prop_before
+    if plain_reads t then raw_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key_id
+    else begin
+      let k = K_eprop (id, key_id) in
+      track_read t k;
+      resolve t k
+        ~base:(fun () -> raw_prop t ~store:t.rels ~owner:id ~head_field:r_first_prop key_id)
+        ~before:prop_before
+    end
 
 let edge_properties t id =
   check_edge t id;
@@ -928,6 +970,10 @@ let unlink_side t id ~node ~type_id ~out =
    chains apart into per-type group chains. This is the work the
    import tool's "computing the dense nodes" step performs up front. *)
 let densify t node =
+  (* Group conversion reorders the node's chains wholesale; the frozen
+     CSR runs can no longer mirror them, so the node falls back to
+     chain reads permanently. *)
+  (match t.csr with Some c -> Csr.evict c node | None -> ());
   let collect head next_field =
     let rec walk acc rel_id =
       if rel_id = nil then List.rev acc
@@ -984,12 +1030,52 @@ let chain_heads t node ?type_id ~out () =
   end
   else [ Record_store.get t.nodes ~id:node ~field:(if out then n_first_out else n_first_in) ]
 
+(* The frozen segments can serve this node's expansions only while no
+   version chains are live (the chain path applies MVCC visibility)
+   and the node was neither created after the freeze nor evicted by
+   densification. *)
+let csr_for t id =
+  match t.csr with
+  | Some c when (not t.boxed_reads) && (not (mvcc_read_needed t)) && Csr.covers c id -> Some c
+  | _ -> None
+
+(* Segment-backed expansion: one db hit for the run locate (the
+   chain-head read the linked form pays), one per scanned entry. *)
+let csr_edges t c id type_id dir =
+  let on () = Cost_model.record_db_hit (cost t) in
+  let keep tid = match type_id with None -> true | Some want -> tid = want in
+  let side ~out ~skip_self =
+    Cost_model.record_db_hit (cost t);
+    Seq.filter_map
+      (fun (eid, tid, other) ->
+        if keep tid && not (skip_self && other = id) then
+          Some
+            {
+              id = eid;
+              etype = Dict.name t.type_dict tid;
+              src = (if out then id else other);
+              dst = (if out then other else id);
+            }
+        else None)
+      (Csr.triples c ~node:id ~out ~on)
+  in
+  match dir with
+  | Out -> side ~out:true ~skip_self:false
+  | In -> side ~out:false ~skip_self:false
+  | Both ->
+    (* Self-loops live in both runs; report them once, from the out
+       side — same rule as the chain path. *)
+    Seq.append (side ~out:true ~skip_self:false) (side ~out:false ~skip_self:true)
+
 let edges_of t id ?etype dir =
   check_node t id;
   let type_id = Option.bind etype (Dict.find t.type_dict) in
   match (etype, type_id) with
   | Some _, None -> Seq.empty (* unknown type name *)
   | _ ->
+    (match csr_for t id with
+    | Some c -> csr_edges t c id type_id dir
+    | None ->
     let type_ok =
       match etype with
       | None -> fun _ -> true
@@ -1015,10 +1101,30 @@ let edges_of t id ?etype dir =
     (* Chains are physical: edges inserted by concurrent uncommitted
        transactions are linked in already, so snapshot expansion
        filters them out by visibility. *)
-    if mvcc_read_needed t then Seq.filter (fun (e : edge) -> edge_exists t e.id) seq else seq
+    if mvcc_read_needed t then Seq.filter (fun (e : edge) -> edge_exists t e.id) seq else seq)
 
 let neighbors t id ?etype dir =
-  Seq.map (fun e -> other_end e id) (edges_of t id ?etype dir)
+  match csr_for t id with
+  | Some c -> (
+    check_node t id;
+    let type_id = Option.bind etype (Dict.find t.type_dict) in
+    match (etype, type_id) with
+    | Some _, None -> Seq.empty (* unknown type name *)
+    | _ ->
+      (* Endpoint ids come straight off the packed segment: no edge
+         records, no tuples — the allocation win [bench alloc]
+         measures. Hit accounting mirrors [csr_edges]. *)
+      let on () = Cost_model.record_db_hit (cost t) in
+      let tid = match type_id with Some w -> w | None -> -1 in
+      let side ~out ~skip_self =
+        Cost_model.record_db_hit (cost t);
+        Csr.others c ~node:id ~out ~tid ~skip_self ~on
+      in
+      (match dir with
+      | Out -> side ~out:true ~skip_self:false
+      | In -> side ~out:false ~skip_self:false
+      | Both -> Seq.append (side ~out:true ~skip_self:false) (side ~out:false ~skip_self:true)))
+  | None -> Seq.map (fun e -> other_end e id) (edges_of t id ?etype dir)
 
 (* Cached degree fields count in-place chain membership, which under
    open concurrent transactions includes uncommitted insertions — so
@@ -1187,7 +1293,8 @@ let remove_edge_physically t id =
   Record_store.set t.rels ~id ~field:r_in_use 0;
   bump_degrees t ~src ~dst (-1);
   t.edge_count <- t.edge_count - 1;
-  bump_type_count t type_id (-1)
+  bump_type_count t type_id (-1);
+  match t.csr with Some c -> Csr.on_remove c ~edge:id ~src ~dst | None -> ()
 
 (* Logical (re-)insertion of an existing edge record into the current
    chains of its endpoints. *)
@@ -1199,7 +1306,8 @@ let insert_edge_physically t id =
   Record_store.set t.rels ~id ~field:r_in_use 1;
   bump_degrees t ~src ~dst 1;
   t.edge_count <- t.edge_count + 1;
-  bump_type_count t type_id 1
+  bump_type_count t type_id 1;
+  match t.csr with Some c -> Csr.on_insert c ~edge:id ~tid:type_id ~src ~dst | None -> ()
 
 let create_edge t ~etype ~src ~dst properties =
   check_node t src;
@@ -1369,6 +1477,221 @@ let analyze t =
   in
   Catalog.rebuild t.catalog ~nodes ~edges
 
+(* ---------------- snapshots (v6 codec image) ---------------- *)
+
+(* A snapshot is a logical image: dictionaries, then per-id node and
+   edge rows (tombstones included, so allocation order — and with it
+   every chain-layout decision — replays identically), then the index
+   schema. Loading replays the rows through the ordinary mutators
+   against a fresh disk, rebuilding chains, label scans, relationship
+   groups, indexes and the statistics catalog from first principles.
+   The container carries the same length + CRC-32 discipline as a WAL
+   frame; the payload is pure codec bytes, stable across compiler
+   versions (v5 and below marshalled the live heap structure). *)
+
+let encode_image t =
+  let e = Codec.Enc.create ~size:(64 * 1024) () in
+  let { Cost_model.record_access_ns; page_hit_ns; page_fault_ns; page_flush_ns; seek_penalty_ns }
+      =
+    t.settings.s_config
+  in
+  Codec.Enc.varint e record_access_ns;
+  Codec.Enc.varint e page_hit_ns;
+  Codec.Enc.varint e page_fault_ns;
+  Codec.Enc.varint e page_flush_ns;
+  Codec.Enc.varint e seek_penalty_ns;
+  Codec.Enc.option e Codec.Enc.varint t.settings.s_pool_pages;
+  Codec.Enc.option e Codec.Enc.varint t.settings.s_checkpoint_dirty_pages;
+  Codec.Enc.varint e t.settings.s_dense_node_threshold;
+  Codec.Enc.bool e t.settings.s_wal;
+  Codec.Enc.list e Codec.Enc.string (Dict.names t.label_dict);
+  Codec.Enc.list e Codec.Enc.string (Dict.names t.type_dict);
+  Codec.Enc.list e Codec.Enc.string (Dict.names t.key_dict);
+  Codec.Enc.varint e (last_lsn t);
+  let props head =
+    Codec.Enc.list e
+      (fun e (key_id, v) ->
+        Codec.Enc.varint e key_id;
+        Codec.Enc.value e v)
+      (raw_prop_pairs t head)
+  in
+  let n_nodes = Record_store.count t.nodes in
+  Codec.Enc.varint e n_nodes;
+  for id = 0 to n_nodes - 1 do
+    if Record_store.read1 t.nodes ~id ~field:n_in_use = 1 then begin
+      Codec.Enc.bool e true;
+      Codec.Enc.varint e (Record_store.read1 t.nodes ~id ~field:n_label);
+      Codec.Enc.bool e (Record_store.read1 t.nodes ~id ~field:n_dense = 1);
+      props (Record_store.read1 t.nodes ~id ~field:n_first_prop)
+    end
+    else Codec.Enc.bool e false
+  done;
+  let n_edges = Record_store.count t.rels in
+  Codec.Enc.varint e n_edges;
+  for id = 0 to n_edges - 1 do
+    if Record_store.read1 t.rels ~id ~field:r_in_use = 1 then begin
+      Codec.Enc.bool e true;
+      Codec.Enc.varint e (Record_store.read1 t.rels ~id ~field:r_type);
+      Codec.Enc.varint e (Record_store.read1 t.rels ~id ~field:r_src);
+      Codec.Enc.varint e (Record_store.read1 t.rels ~id ~field:r_dst);
+      props (Record_store.read1 t.rels ~id ~field:r_first_prop)
+    end
+    else Codec.Enc.bool e false
+  done;
+  let index_keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> (k.ilabel, k.ikey) :: acc) t.indexes [])
+  in
+  Codec.Enc.list e
+    (fun e (ilabel, ikey) ->
+      Codec.Enc.varint e ilabel;
+      Codec.Enc.varint e ikey)
+    index_keys;
+  Codec.Enc.contents e
+
+let save t path =
+  if t.open_txns <> [] then raise (Tx_error "Db.save: transaction open");
+  (* The snapshot file lives on the host, outside the simulated disk;
+     writing it is an out-of-band maintenance path, so the image reads
+     run with fault injection suspended — the marshalled form never
+     touched the disk at all. *)
+  let payload = Sim_disk.with_faults_suspended t.disk (fun () -> encode_image t) in
+  let meta = Bytes.create 12 in
+  Bytes.set_int64_le meta 0 (Int64.of_int (String.length payload));
+  Bytes.set_int32_le meta 8 (Mgq_util.Crc32.digest payload);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc save_magic;
+      output_byte oc save_version;
+      output_bytes oc meta;
+      output_string oc payload)
+
+let decode_image payload =
+  let d = Codec.Dec.of_string payload in
+  let record_access_ns = Codec.Dec.varint d in
+  let page_hit_ns = Codec.Dec.varint d in
+  let page_fault_ns = Codec.Dec.varint d in
+  let page_flush_ns = Codec.Dec.varint d in
+  let seek_penalty_ns = Codec.Dec.varint d in
+  let config =
+    { Cost_model.record_access_ns; page_hit_ns; page_fault_ns; page_flush_ns; seek_penalty_ns }
+  in
+  let pool_pages = Codec.Dec.option d Codec.Dec.varint in
+  let checkpoint_dirty_pages = Codec.Dec.option d Codec.Dec.varint in
+  let dense_node_threshold = Codec.Dec.varint d in
+  let wal = Codec.Dec.bool d in
+  let t = create ~config ?pool_pages ?checkpoint_dirty_pages ~dense_node_threshold ~wal () in
+  (* The rows replayed below must not re-log: the snapshot already is
+     the log's fold. The WAL comes back at the end, seeded with the
+     saved high-water mark so post-load appends continue the original
+     LSN sequence. *)
+  t.wal <- None;
+  let intern_all dict = List.iter (fun n -> ignore (Dict.intern dict n : int)) in
+  intern_all t.label_dict (Codec.Dec.list d Codec.Dec.string);
+  intern_all t.type_dict (Codec.Dec.list d Codec.Dec.string);
+  intern_all t.key_dict (Codec.Dec.list d Codec.Dec.string);
+  let saved_last_lsn = Codec.Dec.varint d in
+  let props () =
+    Property.of_list
+      (Codec.Dec.list d (fun d ->
+           let key = Dict.name t.key_dict (Codec.Dec.varint d) in
+           (key, Codec.Dec.value d)))
+  in
+  let dense_nodes = ref [] in
+  let n_nodes = Codec.Dec.varint d in
+  for id = 0 to n_nodes - 1 do
+    if Codec.Dec.bool d then begin
+      let label = Dict.name t.label_dict (Codec.Dec.varint d) in
+      if Codec.Dec.bool d then dense_nodes := id :: !dense_nodes;
+      let got = create_node t ~label (props ()) in
+      if got <> id then corrupt "node row %d allocated at %d" id got
+    end
+    else
+      (* Tombstone: consume the id so later rows land where the image
+         recorded them (and chain layouts replay byte-for-byte). *)
+      ignore (Record_store.allocate t.nodes : int)
+  done;
+  let n_edges = Codec.Dec.varint d in
+  for id = 0 to n_edges - 1 do
+    if Codec.Dec.bool d then begin
+      let etype = Dict.name t.type_dict (Codec.Dec.varint d) in
+      let src = Codec.Dec.varint d in
+      let dst = Codec.Dec.varint d in
+      let got = create_edge t ~etype ~src ~dst (props ()) in
+      if got <> id then corrupt "edge row %d allocated at %d" id got
+    end
+    else ignore (Record_store.allocate t.rels : int)
+  done;
+  (* Threshold densification re-fired during the replay above for most
+     flagged nodes; the rest (explicitly converted below threshold, or
+     thinned by deletions the image folded in) convert now. Replay can
+     never densify a node the original had sparse: it only ever sees a
+     subset of each node's historical degree. *)
+  List.iter (fun id -> if not (is_dense t id) then densify_node t id) (List.rev !dense_nodes);
+  List.iter
+    (fun (ilabel, ikey) ->
+      create_index t ~label:(Dict.name t.label_dict ilabel) ~property:(Dict.name t.key_dict ikey))
+    (Codec.Dec.list d (fun d ->
+         let ilabel = Codec.Dec.varint d in
+         (ilabel, Codec.Dec.varint d)));
+  Codec.Dec.expect_end d;
+  if wal then t.wal <- Some (Wal.create ~base_lsn:saved_last_lsn t.disk);
+  t
+
+let load path =
+  let ic = try open_in_bin path with Sys_error msg -> failwith ("Db.load: " ^ msg) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let read_exactly what n =
+        try really_input_string ic n with End_of_file -> corrupt "truncated %s" what
+      in
+      let header = read_exactly "header" (String.length save_magic) in
+      if header <> save_magic then corrupt "not a record-store database file";
+      let version = try input_byte ic with End_of_file -> corrupt "truncated header" in
+      if version <> save_version then corrupt "unsupported snapshot version %d" version;
+      let meta = Bytes.of_string (read_exactly "header" 12) in
+      let len = Int64.to_int (Bytes.get_int64_le meta 0) in
+      if len < 0 || len > Sys.max_string_length then corrupt "implausible payload length";
+      let crc = Bytes.get_int32_le meta 8 in
+      let payload = read_exactly "payload" len in
+      if Mgq_util.Crc32.digest payload <> crc then corrupt "checksum mismatch";
+      try decode_image payload with
+      | Codec.Error msg -> corrupt "snapshot payload: %s" msg
+      | Schema_error msg -> corrupt "snapshot payload: %s" msg
+      | Node_not_found id -> corrupt "snapshot edge references missing node %d" id)
+
+(* ---------------- CSR adjacency segments ---------------- *)
+
+let build_adjacency_segments t =
+  if t.open_txns <> [] then raise (Tx_error "Db.build_adjacency_segments: transaction open");
+  let n = Record_store.count t.nodes in
+  let collect node ~out next_field =
+    let walk head =
+      let rec go acc rel_id =
+        if rel_id = nil then List.rev acc
+        else begin
+          let r = Record_store.get_record t.rels ~id:rel_id in
+          let other = if out then r.(r_dst) else r.(r_src) in
+          go ((rel_id, r.(r_type), other) :: acc) r.(next_field)
+        end
+      in
+      go [] head
+    in
+    List.concat_map walk (chain_heads t node ~out ())
+  in
+  let live node = Record_store.read1 t.nodes ~id:node ~field:n_in_use = 1 in
+  t.csr <-
+    Some
+      (Csr.make ~n
+         ~out_entries:(fun node -> if live node then collect node ~out:true r_next_out else [])
+         ~in_entries:(fun node -> if live node then collect node ~out:false r_next_in else []))
+
+let drop_adjacency_segments t = t.csr <- None
+let has_adjacency_segments t = t.csr <> None
+let adjacency_segment_bytes t = match t.csr with Some c -> Csr.memory_bytes c | None -> 0
+
 (* ---------------- checkpoint & recovery ---------------- *)
 
 let checkpoint t path =
@@ -1378,7 +1701,11 @@ let checkpoint t path =
      previous snapshot + full log intact. *)
   Sim_disk.flush_all t.disk;
   save t path;
-  match t.wal with Some w -> Wal.truncate w | None -> ()
+  (match t.wal with Some w -> Wal.truncate w | None -> ());
+  (* Freeze the CSR adjacency segments off the just-snapshotted state.
+     In-memory only, so a crash from here on merely loses the
+     accelerator; suspended faults keep the freeze deterministic. *)
+  Sim_disk.with_faults_suspended t.disk (fun () -> build_adjacency_segments t)
 
 (* Creations replay under the ids the log recorded. Transactions that
    rolled back (or merely ran concurrently without committing first)

@@ -61,25 +61,57 @@ exception Corrupt_snapshot of string
     broken (or crashing) database. *)
 
 val save : t -> string -> unit
-(** Serialise the whole database — store pages, dictionaries, label
-    scans, indexes, counters — to a file. Format: an 8-byte magic, a
-    version byte, the payload length (int64 LE) and CRC-32 (int32 LE),
-    then the marshalled payload — portable across runs of the same
-    build, not across compiler versions.
+(** Serialise the database to a file as a v6 logical image: an 8-byte
+    magic, a version byte, the payload length (int64 LE) and CRC-32
+    (int32 LE), then a codec-encoded payload — settings, dictionaries,
+    per-id node and edge rows (tombstones included) and the index
+    schema, all varints and length-prefixed strings. Unlike the
+    marshalled v5 form, the bytes are stable across compiler versions.
     @raise Tx_error when a transaction is open. *)
 
 val load : string -> t
-(** Inverse of {!save}; validates magic, version, length and checksum
-    before touching [Marshal]. The loaded instance's write-ahead log
-    is truncated: the snapshot is its own replay base.
-    @raise Corrupt_snapshot on a foreign, truncated or corrupt file.
+(** Inverse of {!save}; validates magic, version, length and checksum,
+    then replays the image's rows through the ordinary mutators
+    against a fresh disk — chains, label scans, relationship groups,
+    indexes and statistics are rebuilt, not deserialised. The loaded
+    instance's write-ahead log starts empty with [base_lsn] at the
+    snapshot's high-water mark: the snapshot is its own replay base
+    and LSN numbering continues the original sequence.
+    @raise Corrupt_snapshot on a foreign, truncated or corrupt file
+    (malformed payload bytes included).
     @raise Failure when the file cannot be opened. *)
 
 val checkpoint : t -> string -> unit
-(** Flush every dirty page, {!save} a snapshot to [path], then
-    truncate the write-ahead log. Ordered so that a fault at any step
-    leaves the previous snapshot and the full log intact.
+(** Flush every dirty page, {!save} a snapshot to [path], truncate
+    the write-ahead log, then freeze fresh CSR adjacency segments
+    ({!build_adjacency_segments}). Ordered so that a fault at any
+    step leaves the previous snapshot and the full log intact.
     @raise Tx_error when a transaction is open. *)
+
+val build_adjacency_segments : t -> unit
+(** Freeze every node's relationship chains into immutable varint-
+    packed CSR segments (see [Csr]); until {!drop_adjacency_segments}
+    (or a reason to fall back: open snapshot versions, densification,
+    nodes created after the freeze), [edges_of]/[neighbors] answer
+    from the segments plus a mutation overlay — same results, same
+    db-hit accounting on sparse nodes, a fraction of the allocations.
+    @raise Tx_error when a transaction is open. *)
+
+val drop_adjacency_segments : t -> unit
+(** Discard the segments; every read goes back to the record chains. *)
+
+val set_boxed_reads : t -> bool -> unit
+(** [bench alloc]'s reference arm: when on, reads go through the
+    boxed pre-codec paths — [get]/[get_record] with per-field int64
+    boxing, record chains instead of CSR segments — so the packed
+    representation's allocation saving can be measured in the same
+    process. Results and db-hit accounting are unchanged; only the
+    allocation profile differs. Off by default. *)
+
+val has_adjacency_segments : t -> bool
+
+val adjacency_segment_bytes : t -> int
+(** Packed footprint of the current segments (0 when absent). *)
 
 val recover : ?snapshot:string -> t -> t
 (** Rebuild the database after a simulated crash (or at any point):

@@ -1,6 +1,7 @@
 module Sim_disk = Mgq_storage.Sim_disk
 module Crc32 = Mgq_util.Crc32
 module Obs = Mgq_obs.Obs
+module Codec = Mgq_codec.Codec
 
 let m_appends = Obs.counter "wal.appends"
 let m_append_bytes = Obs.counter "wal.append_bytes"
@@ -37,6 +38,109 @@ let stop_to_string = function
   | Lsn_mismatch { expected; found } ->
     Printf.sprintf "lsn mismatch (expected %d, found %d)" expected found
 
+(* Op payloads are codec-encoded (tag byte per op, zigzag ids,
+   length-prefixed strings) rather than marshalled: the byte format
+   is compiler-independent, byte-stable for fault injection, and
+   cheap to ship to replicas as an opaque blob. *)
+
+let encode_prop e (k, v) =
+  Codec.Enc.string e k;
+  Codec.Enc.value e v
+
+let encode_op e = function
+  | Create_node { id; label; props } ->
+    Codec.Enc.u8 e 0;
+    Codec.Enc.int e id;
+    Codec.Enc.string e label;
+    Codec.Enc.list e encode_prop props
+  | Create_edge { id; etype; src; dst; props } ->
+    Codec.Enc.u8 e 1;
+    Codec.Enc.int e id;
+    Codec.Enc.string e etype;
+    Codec.Enc.int e src;
+    Codec.Enc.int e dst;
+    Codec.Enc.list e encode_prop props
+  | Set_node_prop { node; key; value } ->
+    Codec.Enc.u8 e 2;
+    Codec.Enc.int e node;
+    Codec.Enc.string e key;
+    Codec.Enc.value e value
+  | Set_edge_prop { edge; key; value } ->
+    Codec.Enc.u8 e 3;
+    Codec.Enc.int e edge;
+    Codec.Enc.string e key;
+    Codec.Enc.value e value
+  | Delete_edge id ->
+    Codec.Enc.u8 e 4;
+    Codec.Enc.int e id
+  | Delete_node id ->
+    Codec.Enc.u8 e 5;
+    Codec.Enc.int e id
+  | Densify id ->
+    Codec.Enc.u8 e 6;
+    Codec.Enc.int e id
+  | Create_index { label; property } ->
+    Codec.Enc.u8 e 7;
+    Codec.Enc.string e label;
+    Codec.Enc.string e property
+  | Drop_index { label; property } ->
+    Codec.Enc.u8 e 8;
+    Codec.Enc.string e label;
+    Codec.Enc.string e property
+
+let encode_ops ops =
+  let e = Codec.Enc.create () in
+  Codec.Enc.list e encode_op ops;
+  Codec.Enc.contents e
+
+let decode_prop d =
+  let k = Codec.Dec.string d in
+  let v = Codec.Dec.value d in
+  (k, v)
+
+let decode_op d =
+  match Codec.Dec.u8 d with
+  | 0 ->
+    let id = Codec.Dec.int d in
+    let label = Codec.Dec.string d in
+    let props = Codec.Dec.list d decode_prop in
+    Create_node { id; label; props }
+  | 1 ->
+    let id = Codec.Dec.int d in
+    let etype = Codec.Dec.string d in
+    let src = Codec.Dec.int d in
+    let dst = Codec.Dec.int d in
+    let props = Codec.Dec.list d decode_prop in
+    Create_edge { id; etype; src; dst; props }
+  | 2 ->
+    let node = Codec.Dec.int d in
+    let key = Codec.Dec.string d in
+    let value = Codec.Dec.value d in
+    Set_node_prop { node; key; value }
+  | 3 ->
+    let edge = Codec.Dec.int d in
+    let key = Codec.Dec.string d in
+    let value = Codec.Dec.value d in
+    Set_edge_prop { edge; key; value }
+  | 4 -> Delete_edge (Codec.Dec.int d)
+  | 5 -> Delete_node (Codec.Dec.int d)
+  | 6 -> Densify (Codec.Dec.int d)
+  | 7 ->
+    let label = Codec.Dec.string d in
+    let property = Codec.Dec.string d in
+    Create_index { label; property }
+  | 8 ->
+    let label = Codec.Dec.string d in
+    let property = Codec.Dec.string d in
+    Drop_index { label; property }
+  | tag -> raise (Codec.Error (Printf.sprintf "Wal op: bad tag %d" tag))
+
+let decode_ops payload =
+  let d = Codec.Dec.of_string payload in
+  let ops = Codec.Dec.list d decode_op in
+  Codec.Dec.expect_end d;
+  ops
+
 type t = {
   disk : Sim_disk.t;
   mutable pages : int array; (* log page index -> disk page id *)
@@ -50,14 +154,14 @@ type t = {
 let magic = '\xA5'
 let header_bytes = 17 (* magic(1) + lsn(8 LE) + len(4 LE) + crc(4 LE) *)
 
-let create disk =
+let create ?(base_lsn = 0) disk =
   {
     disk;
     pages = Array.make 8 0;
     n_pages = 0;
     length = 0;
     records = 0;
-    base_lsn = 0;
+    base_lsn;
     offsets = Array.make 8 0;
   }
 
@@ -122,16 +226,20 @@ let push_offset t off =
   end;
   t.offsets.(t.records) <- off
 
-let append_ops t ops =
-  let payload = Marshal.to_string (ops : op list) [] in
+let frame_of ~lsn payload =
   let len = String.length payload in
-  let lsn = last_lsn t + 1 in
   let frame = Bytes.create (header_bytes + len) in
   Bytes.set frame 0 magic;
   Bytes.set_int64_le frame 1 (Int64.of_int lsn);
   Bytes.set_int32_le frame 9 (Int32.of_int len);
   Bytes.set_int32_le frame 13 (Crc32.digest payload);
   Bytes.blit_string payload 0 frame header_bytes len;
+  frame
+
+let append_ops t ops =
+  let payload = encode_ops ops in
+  let lsn = last_lsn t + 1 in
+  let frame = frame_of ~lsn payload in
   write_bytes t t.length frame;
   let tail = t.length + Bytes.length frame in
   zero_sentinel t tail;
@@ -161,17 +269,29 @@ let truncate t =
   if t.n_pages > 0 then
     Sim_disk.with_faults_suspended t.disk (fun () -> zero_sentinel t 0)
 
-(* Scan intact records starting at byte [from_off], whose first frame
-   must carry lsn [expected]; folds [f] and reports why the scan
-   stopped. Every frame is re-validated (magic, lsn continuity,
-   length, crc) so a torn tail or a corrupt shipment is distinguished
-   from a clean end of log. *)
-let scan t ~from_off ~expected f init =
-  let allocated = t.n_pages * Sim_disk.page_size t.disk in
+(* Scan intact frames from a byte window [from_off, limit) served by
+   [read], whose first frame must carry lsn [expected]; folds [f]
+   over each frame's raw payload and reports why the scan stopped.
+   Every frame is re-validated (magic, lsn continuity, length, crc)
+   so a torn tail or a corrupt shipment is distinguished from a clean
+   end of log.
+
+   The window is exact: when fewer than [header_bytes] remain, the
+   residual is still read and classified — only all-zero padding (or
+   zero residual, a frame ending exactly at a page boundary) is
+   [Clean]; non-zero residual bytes are a frame cut short at the
+   window edge and report [Torn_header]. An earlier version returned
+   [Clean] without looking, silently trusting whatever prefix
+   happened to parse. *)
+let scan_window ~read ~limit ~from_off ~expected f init =
   let rec step acc off expected =
-    if off + header_bytes > allocated then (acc, Clean)
+    if off >= limit then (acc, Clean)
+    else if off + header_bytes > limit then begin
+      let tail = read off (limit - off) in
+      (acc, if Bytes.for_all (fun c -> c = '\000') tail then Clean else Torn_header)
+    end
     else begin
-      let header = read_bytes t off header_bytes in
+      let header = read off header_bytes in
       if Bytes.get header 0 <> magic then
         (acc, if Bytes.for_all (fun c -> c = '\000') header then Clean else Torn_header)
       else begin
@@ -180,15 +300,12 @@ let scan t ~from_off ~expected f init =
         else begin
           let len = Int32.to_int (Bytes.get_int32_le header 9) in
           let crc = Bytes.get_int32_le header 13 in
-          if len < 0 || off + header_bytes + len > allocated then
+          if len < 0 || off + header_bytes + len > limit then
             (acc, Truncated_payload { lsn })
           else begin
-            let payload = Bytes.to_string (read_bytes t (off + header_bytes) len) in
+            let payload = Bytes.to_string (read (off + header_bytes) len) in
             if Crc32.digest payload <> crc then (acc, Crc_mismatch { lsn })
-            else begin
-              let ops : op list = Marshal.from_string payload 0 in
-              step (f acc ~lsn ops) (off + header_bytes + len) (expected + 1)
-            end
+            else step (f acc ~lsn payload) (off + header_bytes + len) (expected + 1)
           end
         end
       end
@@ -196,17 +313,35 @@ let scan t ~from_off ~expected f init =
   in
   step init from_off expected
 
-let fold_ops_stop t f init = scan t ~from_off:0 ~expected:(t.base_lsn + 1) f init
+let scan t ~from_off ~expected f init =
+  let limit = t.n_pages * Sim_disk.page_size t.disk in
+  scan_window ~read:(read_bytes t) ~limit ~from_off ~expected f init
+
+let decoding f = fun acc ~lsn payload -> f acc ~lsn (decode_ops payload)
+
+let scan_blob blob ~expected f init =
+  let read off len = Bytes.of_string (String.sub blob off len) in
+  scan_window ~read ~limit:(String.length blob) ~from_off:0 ~expected (decoding f) init
+
+let fold_ops_stop t f init = scan t ~from_off:0 ~expected:(t.base_lsn + 1) (decoding f) init
 
 let fold_ops t f init =
   fst (fold_ops_stop t (fun acc ~lsn:_ ops -> f acc ops) init)
 
-let fold_from t ~lsn f init =
+let from_index t ~lsn =
   if lsn < t.base_lsn then
     invalid_arg
       (Printf.sprintf "Wal.fold_from: lsn %d predates the log base %d (compacted)" lsn
          t.base_lsn);
-  let idx = lsn - t.base_lsn in
+  lsn - t.base_lsn
+
+let fold_from t ~lsn f init =
+  let idx = from_index t ~lsn in
+  if idx >= t.records then (init, Clean)
+  else scan t ~from_off:t.offsets.(idx) ~expected:(lsn + 1) (decoding f) init
+
+let fold_frames_from t ~lsn f init =
+  let idx = from_index t ~lsn in
   if idx >= t.records then (init, Clean)
   else scan t ~from_off:t.offsets.(idx) ~expected:(lsn + 1) f init
 

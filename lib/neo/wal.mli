@@ -65,10 +65,22 @@ type stop =
 
 val stop_to_string : stop -> string
 
+val encode_ops : op list -> string
+(** Codec-encoded op payload (the bytes a frame carries): tag byte
+    per op, zigzag varint ids, length-prefixed strings. Stable across
+    compiler versions, unlike [Marshal]. *)
+
+val decode_ops : string -> op list
+(** Inverse of {!encode_ops}; raises [Mgq_codec.Codec.Error] on
+    malformed input (trailing bytes included). *)
+
 type t
 
-val create : Mgq_storage.Sim_disk.t -> t
-(** An empty log allocating its pages from [disk]. *)
+val create : ?base_lsn:int -> Mgq_storage.Sim_disk.t -> t
+(** An empty log allocating its pages from [disk]. [base_lsn]
+    (default 0) seeds LSN numbering — a database rebuilt from a
+    snapshot passes the snapshot's high-water mark so replayed and
+    newly appended records continue the original sequence. *)
 
 val append_ops : t -> op list -> int
 (** Append one record (one committed transaction); returns its LSN.
@@ -89,6 +101,20 @@ val fold_from : t -> lsn:int -> ('a -> lsn:int -> op list -> 'a) -> 'a -> 'a * s
     (the caller's high-water mark): records [lsn+1 .. last_lsn t].
     Raises [Invalid_argument] when [lsn] predates {!base_lsn} (the
     records were compacted away by a checkpoint). *)
+
+val fold_frames_from : t -> lsn:int -> ('a -> lsn:int -> string -> 'a) -> 'a -> 'a * stop
+(** Like {!fold_from} but yields each record's raw (CRC-verified)
+    payload bytes without decoding — the byte-blob shipping primitive:
+    a replica enqueues the payload and defers {!decode_ops} to apply
+    time. *)
+
+val scan_blob : string -> expected:int -> ('a -> lsn:int -> op list -> 'a) -> 'a -> 'a * stop
+(** Scan a raw byte blob of concatenated frames (e.g. a shipped log
+    region), validating exactly as the on-disk scan does: the first
+    frame must carry lsn [expected], and a residual tail shorter than
+    a frame header classifies as [Clean] only when all-zero —
+    non-zero residue is a {!Torn_header}, not a silently accepted
+    prefix. *)
 
 val valid_records : t -> int
 (** Number of records {!fold_ops} would yield — a scan, charging

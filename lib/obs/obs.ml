@@ -7,6 +7,10 @@ module Counter = struct
 
   let create () = { v = 0 }
   let incr ?(by = 1) t = t.v <- t.v + by
+
+  (* Non-optional variant: [incr ~by:n] boxes the argument as [Some n]
+     at every call site, which hot counting paths cannot afford. *)
+  let add t n = t.v <- t.v + n
   let value t = t.v
   let reset t = t.v <- 0
 end

@@ -21,6 +21,11 @@ module Counter : sig
   type t
 
   val incr : ?by:int -> t -> unit
+
+  (** [add t n] is [incr ~by:n t] without the [Some n] boxing the
+      optional argument costs — for per-access hot paths. *)
+  val add : t -> int -> unit
+
   val value : t -> int
 end
 

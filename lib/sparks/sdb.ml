@@ -80,27 +80,6 @@ let create ?config ?(materialize_neighbors = false) () =
 let cost t = t.cost
 let materializes_neighbors t = t.materialize
 
-(* ---------------- persistence ---------------- *)
-
-let save_magic = "MGQSPK1\n"
-
-let save t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc save_magic;
-      Marshal.to_channel oc t [])
-
-let load path =
-  let ic = try open_in_bin path with Sys_error msg -> failwith ("Sdb.load: " ^ msg) in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = really_input_string ic (String.length save_magic) in
-      if header <> save_magic then failwith "Sdb.load: not a bitmap database file";
-      (Marshal.from_channel ic : t))
-
 let charge ?(n = 1) t = Cost_model.record_db_hit ~n t.cost
 
 let charge_scan t cardinality =
@@ -562,3 +541,202 @@ let memory_words t =
   !type_words + !attr_words + sum_table t.out_links + sum_table t.in_links
   + sum_table t.out_neighbors + sum_table t.in_neighbors
   + (4 * Hashtbl.length t.edges)
+
+(* ---------------- persistence (v2 codec snapshot) ---------------- *)
+
+(* The snapshot ships only primary state: schema, per-type object
+   bitmaps (delta/word-truncated via [Bitmap.encode]), attribute
+   values, and the node/edge tables. Everything derived — inverted
+   attribute indexes, link maps, materialised neighbor maps — is
+   rebuilt at load time, so a snapshot can never carry an index
+   inconsistent with its values. v1 marshalled the live heap. *)
+
+module Codec = Mgq_codec.Codec
+
+let save_magic = "MGQSPK2\n"
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Codec.Error msg)) fmt
+
+let sorted_entries tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let encode_image t =
+  let e = Codec.Enc.create ~size:(64 * 1024) () in
+  let { Cost_model.record_access_ns; page_hit_ns; page_fault_ns; page_flush_ns; seek_penalty_ns }
+      =
+    Cost_model.config t.cost
+  in
+  Codec.Enc.varint e record_access_ns;
+  Codec.Enc.varint e page_hit_ns;
+  Codec.Enc.varint e page_fault_ns;
+  Codec.Enc.varint e page_flush_ns;
+  Codec.Enc.varint e seek_penalty_ns;
+  Codec.Enc.bool e t.materialize;
+  Codec.Enc.varint e t.type_count;
+  for i = 0 to t.type_count - 1 do
+    let info = t.types.(i) in
+    Codec.Enc.string e info.tname;
+    Codec.Enc.u8 e (match info.kind with `Node -> 0 | `Edge -> 1);
+    Bitmap.encode e info.objects;
+    Codec.Enc.list e
+      (fun e (name, id) ->
+        Codec.Enc.string e name;
+        Codec.Enc.varint e id)
+      info.attrs
+  done;
+  Codec.Enc.varint e t.attr_count;
+  for i = 0 to t.attr_count - 1 do
+    let info = t.attributes.(i) in
+    Codec.Enc.string e info.aname;
+    Codec.Enc.varint e info.owner_type;
+    Codec.Enc.u8 e (match info.akind with Basic -> 0 | Indexed -> 1 | Unique -> 2);
+    Codec.Enc.u8 e
+      (match info.vtype with Type_int -> 0 | Type_float -> 1 | Type_bool -> 2 | Type_string -> 3);
+    Codec.Enc.list e
+      (fun e (oid, v) ->
+        Codec.Enc.varint e oid;
+        Codec.Enc.value e v)
+      (sorted_entries info.values)
+  done;
+  Codec.Enc.list e
+    (fun e (oid, tp) ->
+      Codec.Enc.varint e oid;
+      Codec.Enc.varint e tp)
+    (sorted_entries t.nodes);
+  Codec.Enc.list e
+    (fun e (oid, { etype; tail; head }) ->
+      Codec.Enc.varint e oid;
+      Codec.Enc.varint e etype;
+      Codec.Enc.varint e tail;
+      Codec.Enc.varint e head)
+    (sorted_entries t.edges);
+  Codec.Enc.varint e t.next_oid;
+  Codec.Enc.contents e
+
+let decode_image payload =
+  let d = Codec.Dec.of_string payload in
+  let record_access_ns = Codec.Dec.varint d in
+  let page_hit_ns = Codec.Dec.varint d in
+  let page_fault_ns = Codec.Dec.varint d in
+  let page_flush_ns = Codec.Dec.varint d in
+  let seek_penalty_ns = Codec.Dec.varint d in
+  let config =
+    { Cost_model.record_access_ns; page_hit_ns; page_fault_ns; page_flush_ns; seek_penalty_ns }
+  in
+  let materialize = Codec.Dec.bool d in
+  let t = create ~config ~materialize_neighbors:materialize () in
+  let type_count = Codec.Dec.varint d in
+  for _ = 1 to type_count do
+    let tname = Codec.Dec.string d in
+    let kind = match Codec.Dec.u8 d with 0 -> `Node | 1 -> `Edge | k -> fail "Sdb: type kind %d" k in
+    let objects = Bitmap.decode d in
+    let attrs =
+      Codec.Dec.list d (fun d ->
+          let name = Codec.Dec.string d in
+          (name, Codec.Dec.varint d))
+    in
+    let id = add_type t tname kind in
+    t.types.(id) <- { (t.types.(id)) with objects; attrs }
+  done;
+  let attr_count = Codec.Dec.varint d in
+  for _ = 1 to attr_count do
+    let aname = Codec.Dec.string d in
+    let owner_type = Codec.Dec.varint d in
+    if owner_type >= t.type_count then fail "Sdb: attribute %S on unknown type" aname;
+    let akind =
+      match Codec.Dec.u8 d with
+      | 0 -> Basic
+      | 1 -> Indexed
+      | 2 -> Unique
+      | k -> fail "Sdb: attribute kind %d" k
+    in
+    let vtype =
+      match Codec.Dec.u8 d with
+      | 0 -> Type_int
+      | 1 -> Type_float
+      | 2 -> Type_bool
+      | 3 -> Type_string
+      | k -> fail "Sdb: value type %d" k
+    in
+    let entries =
+      Codec.Dec.list d (fun d ->
+          let oid = Codec.Dec.varint d in
+          (oid, Codec.Dec.value d))
+    in
+    let values = Hashtbl.create (max 16 (List.length entries)) in
+    List.iter (fun (oid, v) -> Hashtbl.replace values oid v) entries;
+    let index =
+      match akind with
+      | Basic -> None
+      | Indexed | Unique ->
+        (* Derived state: rebuilt from the values, never shipped. *)
+        let idx = Hashtbl.create 1024 in
+        List.iter (fun (oid, v) -> link idx (Value.hash_fold v) oid) entries;
+        Some idx
+    in
+    if t.attr_count = Array.length t.attributes then begin
+      let bigger = Array.make (2 * t.attr_count) t.attributes.(0) in
+      Array.blit t.attributes 0 bigger 0 t.attr_count;
+      t.attributes <- bigger
+    end;
+    let id = t.attr_count in
+    t.attributes.(id) <- { aname; owner_type; akind; vtype; values; index };
+    t.attr_count <- id + 1
+  done;
+  List.iter
+    (fun (oid, tp) -> Hashtbl.replace t.nodes oid tp)
+    (Codec.Dec.list d (fun d ->
+         let oid = Codec.Dec.varint d in
+         (oid, Codec.Dec.varint d)));
+  List.iter
+    (fun (oid, e) ->
+      Hashtbl.replace t.edges oid e;
+      link t.out_links (e.etype, e.tail) oid;
+      link t.in_links (e.etype, e.head) oid;
+      if t.materialize then begin
+        link t.out_neighbors (e.etype, e.tail) e.head;
+        link t.in_neighbors (e.etype, e.head) e.tail
+      end)
+    (Codec.Dec.list d (fun d ->
+         let oid = Codec.Dec.varint d in
+         let etype = Codec.Dec.varint d in
+         let tail = Codec.Dec.varint d in
+         (oid, { etype; tail; head = Codec.Dec.varint d })));
+  t.next_oid <- Codec.Dec.varint d;
+  Codec.Dec.expect_end d;
+  t.node_count <- Hashtbl.length t.nodes;
+  t.edge_count <- Hashtbl.length t.edges;
+  t
+
+let save t path =
+  let payload = encode_image t in
+  let meta = Bytes.create 12 in
+  Bytes.set_int64_le meta 0 (Int64.of_int (String.length payload));
+  Bytes.set_int32_le meta 8 (Mgq_util.Crc32.digest payload);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc save_magic;
+      output_bytes oc meta;
+      output_string oc payload)
+
+let load path =
+  let ic = try open_in_bin path with Sys_error msg -> failwith ("Sdb.load: " ^ msg) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let read_exactly what n =
+        try really_input_string ic n
+        with End_of_file -> failwith ("Sdb.load: truncated " ^ what)
+      in
+      let header = read_exactly "header" (String.length save_magic) in
+      if header <> save_magic then failwith "Sdb.load: not a bitmap database file";
+      let meta = Bytes.of_string (read_exactly "header" 12) in
+      let len = Int64.to_int (Bytes.get_int64_le meta 0) in
+      if len < 0 || len > Sys.max_string_length then
+        failwith "Sdb.load: implausible payload length";
+      let payload = read_exactly "payload" len in
+      if Mgq_util.Crc32.digest payload <> Bytes.get_int32_le meta 8 then
+        failwith "Sdb.load: checksum mismatch";
+      try decode_image payload
+      with Codec.Error msg -> failwith ("Sdb.load: corrupt snapshot: " ^ msg))

@@ -38,11 +38,17 @@ val materializes_neighbors : t -> bool
 (** {1 Persistence} *)
 
 val save : t -> string -> unit
-(** Serialise the database (bitmaps, attribute maps, link maps) to a
-    file; same format caveats as {!Mgq_neo.Db.save}. *)
+(** Serialise the database to a file: magic, payload length and
+    CRC-32, then a codec-encoded image — schema, per-type object
+    bitmaps in their compressed binary form ({!Mgq_bitmap.Bitmap.encode}),
+    attribute values, and the node/edge tables. Derived structures
+    (inverted indexes, link maps, materialised neighbor maps) are not
+    shipped. *)
 
 val load : string -> t
-(** @raise Failure on a missing/foreign/corrupt file. *)
+(** Inverse of {!save}; validates the checksum, then rebuilds every
+    derived structure from the primary tables.
+    @raise Failure on a missing/foreign/corrupt file. *)
 
 (** {1 Schema} *)
 

@@ -55,15 +55,32 @@ let sub_counters a b =
 
 let simulated_ms c = float_of_int c.simulated_ns /. 1e6
 
+(* The accumulators are mutable scalars, not a [counters] value: the
+   counting paths run once per db hit / page access, and a functional
+   record update there allocates six words per hit — visible on every
+   query's profile (the [bench alloc] experiment counts them). *)
 type t = {
   cfg : config;
-  mutable acc : counters;
+  mutable acc_db_hits : int;
+  mutable acc_page_hits : int;
+  mutable acc_page_faults : int;
+  mutable acc_page_flushes : int;
+  mutable acc_simulated_ns : int;
   mutable budget : Mgq_util.Budget.t option;
   mutable faults : Fault.plan option;
 }
 
 let create ?(config = default_config) () =
-  { cfg = config; acc = zero_counters; budget = None; faults = None }
+  {
+    cfg = config;
+    acc_db_hits = 0;
+    acc_page_hits = 0;
+    acc_page_faults = 0;
+    acc_page_flushes = 0;
+    acc_simulated_ns = 0;
+    budget = None;
+    faults = None;
+  }
 
 let config t = t.cfg
 
@@ -94,23 +111,15 @@ let inject_db_hit t =
 
 let record_db_hit ?(n = 1) t =
   inject_db_hit t;
-  Obs.Counter.incr ~by:n m_db_hits;
-  t.acc <-
-    {
-      t.acc with
-      db_hits = t.acc.db_hits + n;
-      simulated_ns = t.acc.simulated_ns + (n * t.cfg.record_access_ns);
-    };
+  Obs.Counter.add m_db_hits n;
+  t.acc_db_hits <- t.acc_db_hits + n;
+  t.acc_simulated_ns <- t.acc_simulated_ns + (n * t.cfg.record_access_ns);
   charge_budget t ~hits:n ~ns:(n * t.cfg.record_access_ns)
 
 let record_page_hit t =
   Obs.Counter.incr m_page_hits;
-  t.acc <-
-    {
-      t.acc with
-      page_hits = t.acc.page_hits + 1;
-      simulated_ns = t.acc.simulated_ns + t.cfg.page_hit_ns;
-    };
+  t.acc_page_hits <- t.acc_page_hits + 1;
+  t.acc_simulated_ns <- t.acc_simulated_ns + t.cfg.page_hit_ns;
   charge_budget t ~hits:0 ~ns:t.cfg.page_hit_ns
 
 let record_page_fault t ~sequential =
@@ -118,26 +127,30 @@ let record_page_fault t ~sequential =
   let cost =
     t.cfg.page_fault_ns + if sequential then 0 else t.cfg.seek_penalty_ns
   in
-  t.acc <-
-    {
-      t.acc with
-      page_faults = t.acc.page_faults + 1;
-      simulated_ns = t.acc.simulated_ns + cost;
-    };
+  t.acc_page_faults <- t.acc_page_faults + 1;
+  t.acc_simulated_ns <- t.acc_simulated_ns + cost;
   charge_budget t ~hits:0 ~ns:cost
 
 let record_page_flush ?(n = 1) t =
-  Obs.Counter.incr ~by:n m_page_flushes;
-  t.acc <-
-    {
-      t.acc with
-      page_flushes = t.acc.page_flushes + n;
-      simulated_ns = t.acc.simulated_ns + (n * t.cfg.page_flush_ns);
-    };
+  Obs.Counter.add m_page_flushes n;
+  t.acc_page_flushes <- t.acc_page_flushes + n;
+  t.acc_simulated_ns <- t.acc_simulated_ns + (n * t.cfg.page_flush_ns);
   charge_budget t ~hits:0 ~ns:(n * t.cfg.page_flush_ns)
 
-let advance_ns t ns = t.acc <- { t.acc with simulated_ns = t.acc.simulated_ns + ns }
+let advance_ns t ns = t.acc_simulated_ns <- t.acc_simulated_ns + ns
 
-let snapshot t = t.acc
+let snapshot t =
+  {
+    db_hits = t.acc_db_hits;
+    page_hits = t.acc_page_hits;
+    page_faults = t.acc_page_faults;
+    page_flushes = t.acc_page_flushes;
+    simulated_ns = t.acc_simulated_ns;
+  }
 
-let reset t = t.acc <- zero_counters
+let reset t =
+  t.acc_db_hits <- 0;
+  t.acc_page_hits <- 0;
+  t.acc_page_faults <- 0;
+  t.acc_page_flushes <- 0;
+  t.acc_simulated_ns <- 0

@@ -19,6 +19,7 @@ type plan = {
   fail_hits : int list;
   crash_at_write : int;
   torn_crash : bool;
+  page_aligned_tear : bool;
   mutable reads : int;
   mutable writes : int;
   mutable flushes : int;
@@ -30,7 +31,8 @@ type plan = {
 }
 
 let plan ?(seed = 0) ?(read_fail_p = 0.0) ?(write_fail_p = 0.0) ?(flush_fail_p = 0.0)
-    ?(hit_fail_p = 0.0) ?(fail_hits = []) ?(crash_at_write = 0) ?(torn_crash = true) () =
+    ?(hit_fail_p = 0.0) ?(fail_hits = []) ?(crash_at_write = 0) ?(torn_crash = true)
+    ?(page_aligned_tear = false) () =
   {
     rng = Mgq_util.Rng.create seed;
     read_fail_p;
@@ -40,6 +42,7 @@ let plan ?(seed = 0) ?(read_fail_p = 0.0) ?(write_fail_p = 0.0) ?(flush_fail_p =
     fail_hits;
     crash_at_write;
     torn_crash;
+    page_aligned_tear;
     reads = 0;
     writes = 0;
     flushes = 0;
@@ -90,7 +93,9 @@ let on_page_write t ~page =
     Write_ok
   end
 
-let tear_offset t ~page_size = Mgq_util.Rng.int t.rng page_size
+let tear_offset t ~page_size =
+  let r = Mgq_util.Rng.int t.rng page_size in
+  if t.page_aligned_tear then if 2 * r < page_size then 0 else page_size else r
 
 let on_flush t =
   t.flushes <- t.flushes + 1;

@@ -50,6 +50,7 @@ val plan :
   ?fail_hits:int list ->
   ?crash_at_write:int ->
   ?torn_crash:bool ->
+  ?page_aligned_tear:bool ->
   unit ->
   plan
 (** [read_fail_p] / [write_fail_p] / [flush_fail_p] / [hit_fail_p]
@@ -58,7 +59,11 @@ val plan :
     ordinals (1-based) that fail — deterministic placement for tests.
     [crash_at_write] (default 0 = never): 1-based page-write ordinal
     at which the simulated machine dies. [torn_crash] (default true):
-    whether the dying write tears. *)
+    whether the dying write tears. [page_aligned_tear] (default
+    false): draw tear cut offsets at page multiples only — 0 (nothing
+    of the dying write persists) or [page_size] (all of it does) —
+    the sector-atomic disk model, which exercises frames cut exactly
+    at page boundaries. *)
 
 type stats = {
   reads : int;
@@ -102,8 +107,10 @@ val on_flush : plan -> unit
 val on_db_hit : plan -> unit
 
 val tear_offset : plan -> page_size:int -> int
-(** How many bytes of the crashing write persist (rng draw in
-    [0, page_size)). *)
+(** How many bytes of the crashing write persist: an rng draw in
+    [0, page_size), or one of {0, page_size} when the plan was built
+    with [page_aligned_tear]. Exactly one rng draw either way, so the
+    two modes share an injection schedule. *)
 
 val record_crash : plan -> unit
 (** Bump the crash counter (called by the disk when it executes a

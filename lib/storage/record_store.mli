@@ -31,6 +31,23 @@ val set : t -> id:int -> field:int -> int -> unit
 val get_record : t -> id:int -> int array
 (** Read all fields with a single db hit / page access. *)
 
+val read1 : t -> id:int -> field:int -> int
+(** {!get} without the boxed-int64 intermediate: zero heap
+    allocation, same single db hit. *)
+
+val read2 : t -> id:int -> f0:int -> f1:int -> int * int
+(** Two fields in one db hit / page access; allocates only the
+    result tuple (no array, no closure, no int64 boxes). *)
+
+val read4 : t -> id:int -> f0:int -> f1:int -> f2:int -> f3:int -> int * int * int * int
+(** Four fields in one db hit — the packed read the property-chain
+    walk uses (a property record is exactly four fields). *)
+
+val read_into : t -> id:int -> int array -> unit
+(** All fields decoded into a caller-owned scratch array (length at
+    least [field_count]): one db hit, zero allocation. The hot chain
+    walks reuse one scratch array across every step. *)
+
 val set_record : t -> id:int -> int array -> unit
 (** Write all fields with a single db hit / page access. The array
     length must equal [field_count]. *)

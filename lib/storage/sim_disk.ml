@@ -90,11 +90,17 @@ let push_front t node =
   (match t.lru_head with Some h -> h.prev <- Some node | None -> t.lru_tail <- Some node);
   t.lru_head <- Some node
 
+(* Move [node] to the front unless it already is the front: repeated
+   hits on the same page (a record chain within one page) then cost
+   no list surgery and no allocation. Comparing against a freshly
+   built [Some node] would both allocate and never be physically
+   equal, so the head test matches on the option's payload. *)
 let touch t node =
-  if t.lru_head != Some node then begin
+  match t.lru_head with
+  | Some h when h == node -> ()
+  | _ ->
     detach t node;
     push_front t node
-  end
 
 let evict_one t =
   match t.lru_tail with
@@ -115,8 +121,10 @@ let rec enforce_capacity t =
 
 (* Bring [page] into the pool, charging the appropriate event. *)
 let fetch t page ~dirty =
-  match Hashtbl.find_opt t.resident page with
-  | Some node ->
+  (* [find] + exception, not [find_opt]: the option box would be one
+     more allocation on every single page access. *)
+  match Hashtbl.find t.resident page with
+  | node ->
     Cost_model.record_page_hit t.cost;
     if dirty && not node.dirty then begin
       node.dirty <- true;
@@ -124,7 +132,7 @@ let fetch t page ~dirty =
     end;
     touch t node;
     node
-  | None ->
+  | exception Not_found ->
     let sequential = page = t.last_faulted_page + 1 || page = t.last_faulted_page in
     Cost_model.record_page_fault t.cost ~sequential;
     t.last_faulted_page <- page;
@@ -171,12 +179,14 @@ let allocate_page t =
   maybe_checkpoint t;
   id
 
-let with_page_read t page f =
+let read_page t page =
   assert (page >= 0 && page < t.page_count);
   check_alive t;
   (match t.faults with None -> () | Some plan -> Fault.on_page_read plan ~page);
   let _node = fetch t page ~dirty:false in
-  f t.pages.(page)
+  t.pages.(page)
+
+let with_page_read t page f = f (read_page t page)
 
 let with_page_write t page f =
   assert (page >= 0 && page < t.page_count);

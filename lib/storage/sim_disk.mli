@@ -47,6 +47,13 @@ val with_page_read : t -> int -> (Bytes.t -> 'a) -> 'a
 (** Access a page for reading; charges hit or fault. The callback must
     not retain the buffer. *)
 
+val read_page : t -> int -> Bytes.t
+(** Closure-free {!with_page_read}: same accounting and fault draws,
+    returns the page buffer directly. For hot read paths that must not
+    allocate; the caller must not retain the buffer across other disk
+    operations (eviction reuses nothing today, but the contract is the
+    same as {!with_page_read}'s). *)
+
 val with_page_write : t -> int -> (Bytes.t -> 'a) -> 'a
 (** Access a page for writing; charges hit or fault and marks the page
     dirty. *)

@@ -231,6 +231,105 @@ let prop_dense_ops =
       && bitmap_matches_set (Bitmap.inter b1 b2) (Iset.inter s1 s2)
       && bitmap_matches_set (Bitmap.diff b1 b2) (Iset.diff s1 s2))
 
+(* ------------------------------------------------------------------ *)
+(* Binary codec: word boundaries and trailing partial words            *)
+(* ------------------------------------------------------------------ *)
+
+module Codec = Mgq_codec.Codec
+
+let reload b = Bitmap.deserialize (Bitmap.serialize b)
+
+let check_reload name b =
+  let b' = reload b in
+  check Alcotest.(list int) name (Bitmap.to_list b) (Bitmap.to_list b');
+  check Alcotest.bool (name ^ " equal") true (Bitmap.equal b b')
+
+(* Bits 63/64/127 straddle the encoder's 64-bit word boundaries: a top
+   bit at 63 must keep word 0 as the last shipped word, at 64 force
+   word 1, at 127/128 the same one word over. Exercised in both the
+   sparse representation and (via a 5000-element filler) the dense
+   one. *)
+let test_codec_word_boundaries () =
+  let boundary_bits = [ 0; 1; 62; 63; 64; 65; 126; 127; 128; 65_534; 65_535 ] in
+  List.iter
+    (fun bit -> check_reload (Printf.sprintf "sparse bit %d" bit) (Bitmap.of_list [ bit ]))
+    boundary_bits;
+  List.iter
+    (fun bit ->
+      let b = Bitmap.create () in
+      for i = 0 to 4_999 do
+        Bitmap.add b (100_000 + i)
+      done;
+      (* Second chunk goes dense too, with only the boundary bit's word
+         region populated near the top. *)
+      let base = 0x20000 in
+      for i = 0 to 4_999 do
+        Bitmap.add b (base + 30_000 + i)
+      done;
+      Bitmap.add b (base + bit);
+      check_reload (Printf.sprintf "dense bit %d" bit) b)
+    boundary_bits
+
+(* Removing everything above a word boundary must shrink the shipped
+   word count (the trailing partial word is trimmed), and the reload
+   must still match element-for-element. *)
+let test_codec_trailing_word_truncation () =
+  let b = Bitmap.create () in
+  for i = 0 to 8_191 do
+    Bitmap.add b i
+  done;
+  let full_len = String.length (Bitmap.serialize b) in
+  (* Drop everything past bit 63: words 1.. are now all-zero and must
+     not be shipped. *)
+  for i = 64 to 8_191 do
+    Bitmap.remove b i
+  done;
+  let trimmed = Bitmap.serialize b in
+  check Alcotest.bool "trailing zero words trimmed" true
+    (String.length trimmed < full_len / 8);
+  check_reload "after trailing-word removal" b;
+  (* Same at an offset that leaves a partial last word (bit 100 lives
+     in word 1 at bit 36). *)
+  Bitmap.add b 100;
+  check_reload "partial last word" b
+
+let test_codec_empty_and_garbage () =
+  check_reload "empty bitmap" (Bitmap.create ());
+  let expect_error s =
+    match Bitmap.deserialize s with
+    | _ -> Alcotest.fail "expected Codec.Error"
+    | exception Codec.Error _ -> ()
+  in
+  expect_error "";
+  expect_error "garbage";
+  let good = Bitmap.serialize (Bitmap.of_list [ 1; 2; 3 ]) in
+  (* Flip one payload byte: the page checksum must catch it. *)
+  let bad = Bytes.of_string good in
+  Bytes.set bad (String.length good - 1) '\xff';
+  expect_error (Bytes.to_string bad);
+  expect_error (good ^ "\x00")
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"serialize/deserialize roundtrips" ~count:200
+    QCheck.(pair values_gen (list (int_range 0 300_000)))
+    (fun (xs, removals) ->
+      let b = Bitmap.of_list xs in
+      List.iter (Bitmap.remove b) removals;
+      Bitmap.equal b (reload b))
+
+(* Cross-boundary density: values packed straight across 63/64 and
+   127/128 inside a dense container. *)
+let prop_codec_boundary_runs =
+  QCheck.Test.make ~name:"boundary runs roundtrip dense and sparse" ~count:100
+    QCheck.(pair (int_range 0 200) (int_range 1 120))
+    (fun (start, len) ->
+      let sparse = Bitmap.of_list (List.init len (fun i -> start + i)) in
+      let dense = Bitmap.copy sparse in
+      for i = 0 to 4_999 do
+        Bitmap.add dense (10_000 + i)
+      done;
+      Bitmap.equal sparse (reload sparse) && Bitmap.equal dense (reload dense))
+
 let suite =
   [
     ( "bitmap-unit",
@@ -261,6 +360,15 @@ let suite =
         qtest prop_remove_model;
         qtest prop_fold_order;
         qtest prop_dense_ops;
+      ] );
+    ( "bitmap-codec",
+      [
+        Alcotest.test_case "word boundaries 63/64/127" `Quick test_codec_word_boundaries;
+        Alcotest.test_case "trailing partial words trimmed" `Quick
+          test_codec_trailing_word_truncation;
+        Alcotest.test_case "empty + garbage" `Quick test_codec_empty_and_garbage;
+        qtest prop_codec_roundtrip;
+        qtest prop_codec_boundary_runs;
       ] );
   ]
 

@@ -89,8 +89,17 @@ let test_lsn_survives_truncate () =
    prefix replays. *)
 let test_stop_reasons_on_torn_tail () =
   let reasons = ref [] in
+  (* Codec frames are dense; pad the payload so the seeded tear
+     offsets keep landing inside the frame, not just before it. *)
   let ops i =
-    [ Wal.Create_node { id = i - 1; label = "user"; props = [ ("uid", Value.Int i) ] } ]
+    [
+      Wal.Create_node
+        {
+          id = i - 1;
+          label = "user";
+          props = [ ("uid", Value.Int i); ("pad", Value.Str (String.make 200 'p')) ];
+        };
+    ]
   in
   for seed = 1 to 40 do
     let disk = Sim_disk.create () in

@@ -283,12 +283,13 @@ let total_writes =
      ignore (run_jobs db);
      (Fault.stats plan).Fault.writes)
 
-let test_crash_sweep () =
+let crash_sweep ~page_aligned_tear () =
   let oracle = Lazy.force oracle in
   let batches = Array.length oracle - 1 in
   for crash_at = 1 to Lazy.force total_writes do
     let db = fresh () in
-    Sim_disk.arm_faults (Db.disk db) (Fault.plan ~crash_at_write:crash_at ());
+    Sim_disk.arm_faults (Db.disk db)
+      (Fault.plan ~crash_at_write:crash_at ~page_aligned_tear ());
     let committed = run_jobs db in
     let recovered = Db.recover db in
     let replayed =
@@ -313,6 +314,14 @@ let test_crash_sweep () =
       check Alcotest.bool "final property present" true
         (Db.node_property recovered 3 "name" = Value.Str "ann")
   done
+
+let test_crash_sweep () = crash_sweep ~page_aligned_tear:false ()
+
+(* The same sweep with every tear cut at a page-multiple offset (0 or
+   page_size). A cut at exactly page_size persists the page in full —
+   the frame boundary coincides with the page boundary, the case that
+   used to read as silent truncation instead of a clean/torn tail. *)
+let test_crash_sweep_page_aligned () = crash_sweep ~page_aligned_tear:true ()
 
 let test_recover_without_crash () =
   let db = fresh () in
@@ -617,6 +626,8 @@ let () =
       ( "wal-recovery",
         [
           Alcotest.test_case "crash at every page write" `Slow test_crash_sweep;
+          Alcotest.test_case "crash at every page write, page-aligned tears" `Slow
+            test_crash_sweep_page_aligned;
           Alcotest.test_case "recover without crash" `Quick test_recover_without_crash;
           Alcotest.test_case "checkpoint then crash" `Quick
             test_checkpoint_then_crash_recovers_from_snapshot;
