@@ -1,0 +1,60 @@
+type row = {
+  sh_owned_nodes : int;
+  sh_ghost_nodes : int;
+  sh_replica_nodes : int;
+  sh_local_edges : int;
+  sh_cut_edges : int;
+}
+
+type t = { rows : row array }
+
+let create rows =
+  if Array.length rows = 0 then invalid_arg "Sharded.create: no shards";
+  { rows }
+
+let shards t = Array.length t.rows
+let row t i = t.rows.(i)
+
+let sum t f = Array.fold_left (fun acc r -> acc + f r) 0 t.rows
+let total_owned t = sum t (fun r -> r.sh_owned_nodes)
+let total_ghosts t = sum t (fun r -> r.sh_ghost_nodes)
+
+let cut_ratio t =
+  let cut = sum t (fun r -> r.sh_cut_edges) in
+  let total = sum t (fun r -> r.sh_local_edges) + cut in
+  if total = 0 then 0.0 else float_of_int cut /. float_of_int total
+
+let imbalance t =
+  let owned = Array.map (fun r -> r.sh_owned_nodes) t.rows in
+  let max_owned = Array.fold_left max 0 owned in
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 owned) /. float_of_int (Array.length owned)
+  in
+  if mean = 0.0 then 1.0 else float_of_int max_owned /. mean
+
+let to_table t =
+  let body =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           [
+             string_of_int i;
+             string_of_int r.sh_owned_nodes;
+             string_of_int r.sh_ghost_nodes;
+             string_of_int r.sh_replica_nodes;
+             string_of_int r.sh_local_edges;
+             string_of_int r.sh_cut_edges;
+           ])
+         t.rows)
+  in
+  let totals =
+    [
+      "total";
+      string_of_int (total_owned t);
+      string_of_int (total_ghosts t);
+      string_of_int (sum t (fun r -> r.sh_replica_nodes));
+      string_of_int (sum t (fun r -> r.sh_local_edges));
+      string_of_int (sum t (fun r -> r.sh_cut_edges));
+    ]
+  in
+  body @ [ totals ]

@@ -1,0 +1,39 @@
+(** Per-shard statistics — the catalog's view of a partitioned store.
+
+    Each shard already maintains its own incremental {!Catalog} (it is
+    an ordinary database instance); this module holds what only the
+    partitioning layer knows: how many records each shard {e owns}
+    versus hosts as ghosts, and how many of its edges cross the cut.
+    The cost planner prices cross-shard expansion from these numbers
+    ({!cut_ratio} — the probability a traversed edge leaves the shard)
+    and from {!imbalance} (how far the makespan shard is from the
+    average — 1.0 when placement is perfectly even). *)
+
+type row = {
+  sh_owned_nodes : int;  (** nodes this shard is the home of *)
+  sh_ghost_nodes : int;  (** stub records for remote endpoints *)
+  sh_replica_nodes : int;  (** fully replicated records (hashtags) *)
+  sh_local_edges : int;  (** edges with both endpoints owned here *)
+  sh_cut_edges : int;  (** edges stored here with a ghost endpoint *)
+}
+
+type t
+
+val create : row array -> t
+val shards : t -> int
+val row : t -> int -> row
+
+val total_owned : t -> int
+val total_ghosts : t -> int
+
+val cut_ratio : t -> float
+(** Cut edges over all stored edges, across shards — 0.0 when nothing
+    crosses (one shard), counting each cut edge's two half-records. *)
+
+val imbalance : t -> float
+(** Max owned nodes over mean owned nodes; 1.0 = perfectly balanced,
+    approaching [shards] when one shard owns everything. *)
+
+val to_table : t -> string list list
+(** One row per shard plus a totals row: shard, owned, ghosts,
+    replicas, local edges, cut edges. *)

@@ -1,27 +1,70 @@
+(* Domain discipline: one dictionary belongs to one database instance,
+   and every mutation of that instance happens on the domain that
+   drives it (each shard worker owns its shard's Db — see lib/shard).
+   [intern] enforces that single-writer rule with an assertion: the
+   first interning domain pins itself as the writer, and a later
+   intern from any other domain raises instead of silently racing.
+   [adopt_writer] re-pins explicitly when ownership is handed over
+   (e.g. a database built by a parallel-import domain and mutated by
+   the coordinator afterwards). Reads take the same mutex, so lookups
+   from non-owner domains (the scatter-gather read path) are safe
+   against a concurrent intern's Hashtbl resize. *)
+
 type t = {
   by_name : (string, int) Hashtbl.t;
   mutable by_id : string array;
   mutable count : int;
+  mutable writer : int;  (* Domain id of the pinned writer; -1 = unpinned *)
+  mu : Mutex.t;
 }
 
-let create () = { by_name = Hashtbl.create 16; by_id = Array.make 8 ""; count = 0 }
+let create () =
+  {
+    by_name = Hashtbl.create 16;
+    by_id = Array.make 8 "";
+    count = 0;
+    writer = -1;
+    mu = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let adopt_writer t =
+  locked t (fun () -> t.writer <- (Domain.self () :> int))
 
 let intern t name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some id -> id
-  | None ->
-    let id = t.count in
-    if id = Array.length t.by_id then begin
-      let bigger = Array.make (2 * id) "" in
-      Array.blit t.by_id 0 bigger 0 id;
-      t.by_id <- bigger
-    end;
-    t.by_id.(id) <- name;
-    t.count <- id + 1;
-    Hashtbl.replace t.by_name name id;
-    id
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some id -> id
+      | None ->
+        let self = (Domain.self () :> int) in
+        if t.writer = -1 then t.writer <- self
+        else if t.writer <> self then
+          invalid_arg
+            (Printf.sprintf
+               "Dict.intern: single-writer discipline violated (writer domain %d, \
+                intern of %S from domain %d; call adopt_writer to hand over)"
+               t.writer name self);
+        let id = t.count in
+        if id = Array.length t.by_id then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit t.by_id 0 bigger 0 id;
+          t.by_id <- bigger
+        end;
+        t.by_id.(id) <- name;
+        t.count <- id + 1;
+        Hashtbl.replace t.by_name name id;
+        id)
 
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name = locked t (fun () -> Hashtbl.find_opt t.by_name name)
 
 let find_exn t name =
   match find t name with
@@ -29,10 +72,11 @@ let find_exn t name =
   | None -> raise (Mgq_core.Types.Schema_error (Printf.sprintf "unknown name %S" name))
 
 let name t id =
-  if id < 0 || id >= t.count then
-    raise (Mgq_core.Types.Schema_error (Printf.sprintf "unknown token id %d" id))
-  else t.by_id.(id)
+  locked t (fun () ->
+      if id < 0 || id >= t.count then
+        raise (Mgq_core.Types.Schema_error (Printf.sprintf "unknown token id %d" id))
+      else t.by_id.(id))
 
-let count t = t.count
+let count t = locked t (fun () -> t.count)
 
-let names t = List.init t.count (fun i -> t.by_id.(i))
+let names t = locked t (fun () -> List.init t.count (fun i -> t.by_id.(i)))

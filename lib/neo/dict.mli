@@ -3,14 +3,30 @@
     Neo4j keeps labels, relationship types and property keys as small
     token stores cached in memory; records refer to them by id. One
     [Dict.t] serves one namespace. Ids are dense from 0 in creation
-    order. *)
+    order.
+
+    {b Concurrency}: lookups may come from any domain (the sharded
+    read path resolves tokens against databases owned by other
+    domains) and are mutex-guarded against a concurrent intern's
+    table resize. Mutation follows a single-writer discipline: the
+    first interning domain is pinned as the writer and interns from
+    any other domain raise [Invalid_argument] — use {!adopt_writer}
+    for an explicit ownership handover. *)
 
 type t
 
 val create : unit -> t
 
 val intern : t -> string -> int
-(** Id for the name, creating it when new. *)
+(** Id for the name, creating it when new.
+    @raise Invalid_argument when a new name is interned from a domain
+    other than the pinned writer (the first domain that ever
+    interned); lookups of existing names never raise. *)
+
+val adopt_writer : t -> unit
+(** Re-pin the single-writer assertion to the calling domain — the
+    explicit handover for databases built by one domain (parallel
+    import) and mutated by another afterwards. *)
 
 val find : t -> string -> int option
 (** Id for an existing name; [None] when never interned. *)

@@ -2,27 +2,52 @@ type labels = (string * string) list
 
 let canon (labels : labels) = List.sort compare labels
 
+(* Domain safety: shard execution (lib/shard) runs one domain per
+   graph shard, and every domain's storage layer reports into this
+   process-wide registry — store.db_hits is bumped on every record
+   access from every domain at once. Counters therefore use striped
+   atomics (a plain mutable int would drop increments under
+   concurrent read-modify-write), gauges and histograms take a
+   per-metric mutex (their updates touch several fields), and the
+   registry table itself is mutex-guarded so two domains registering
+   the same metric cannot corrupt the Hashtbl or observe two distinct
+   handles for one (name, labels). *)
+
 module Counter = struct
-  type t = { mutable v : int }
+  (* Striped to keep hot-path contention down: each domain picks a
+     stripe by its id, so concurrent [add]s from different shard
+     domains usually hit different atomics. [value] sums the stripes —
+     exact, since every increment lands in exactly one stripe. *)
+  let stripes = 8
 
-  let create () = { v = 0 }
-  let incr ?(by = 1) t = t.v <- t.v + by
+  type t = { cells : int Atomic.t array }
 
-  (* Non-optional variant: [incr ~by:n] boxes the argument as [Some n]
-     at every call site, which hot counting paths cannot afford. *)
-  let add t n = t.v <- t.v + n
-  let value t = t.v
-  let reset t = t.v <- 0
+  let create () = { cells = Array.init stripes (fun _ -> Atomic.make 0) }
+
+  let slot () = (Domain.self () :> int) land (stripes - 1)
+
+  let add t n = ignore (Atomic.fetch_and_add t.cells.(slot ()) n)
+  let incr ?(by = 1) t = add t by
+
+  let value t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+  let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells
 end
 
 module Gauge = struct
-  type t = { mutable g : float }
+  type t = { mutable g : float; mu : Mutex.t }
 
-  let create () = { g = 0. }
-  let set t v = t.g <- v
-  let add t v = t.g <- t.g +. v
-  let value t = t.g
-  let reset t = t.g <- 0.
+  let create () = { g = 0.; mu = Mutex.create () }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    let v = f () in
+    Mutex.unlock t.mu;
+    v
+
+  let set t v = locked t (fun () -> t.g <- v)
+  let add t v = locked t (fun () -> t.g <- t.g +. v)
+  let value t = locked t (fun () -> t.g)
+  let reset t = locked t (fun () -> t.g <- 0.)
 end
 
 module Histogram = struct
@@ -31,6 +56,7 @@ module Histogram = struct
     counts : int array; (* length bounds + 1: underflow, ranges, overflow *)
     mutable total : int;
     mutable total_sum : int;
+    mu : Mutex.t;
   }
 
   let default_bounds = [ 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536 ]
@@ -38,7 +64,13 @@ module Histogram = struct
   let create bounds_list =
     let bounds = Array.of_list (List.sort_uniq compare bounds_list) in
     if Array.length bounds = 0 then invalid_arg "Obs.Histogram: no bucket bounds";
-    { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0; total_sum = 0 }
+    {
+      bounds;
+      counts = Array.make (Array.length bounds + 1) 0;
+      total = 0;
+      total_sum = 0;
+      mu = Mutex.create ();
+    }
 
   (* Bucket index = number of bounds <= v; 0 is the underflow bucket. *)
   let index t v =
@@ -51,9 +83,11 @@ module Histogram = struct
 
   let observe t v =
     let i = index t v in
+    Mutex.lock t.mu;
     t.counts.(i) <- t.counts.(i) + 1;
     t.total <- t.total + 1;
-    t.total_sum <- t.total_sum + v
+    t.total_sum <- t.total_sum + v;
+    Mutex.unlock t.mu
 
   let count t = t.total
   let sum t = t.total_sum
@@ -64,12 +98,18 @@ module Histogram = struct
     else if i = n then Printf.sprintf "%d+" t.bounds.(n - 1)
     else Printf.sprintf "%d-%d" t.bounds.(i - 1) (t.bounds.(i) - 1)
 
-  let buckets t = List.init (Array.length t.counts) (fun i -> (label t i, t.counts.(i)))
+  let buckets t =
+    Mutex.lock t.mu;
+    let b = List.init (Array.length t.counts) (fun i -> (label t i, t.counts.(i))) in
+    Mutex.unlock t.mu;
+    b
 
   let reset t =
+    Mutex.lock t.mu;
     Array.fill t.counts 0 (Array.length t.counts) 0;
     t.total <- 0;
-    t.total_sum <- 0
+    t.total_sum <- 0;
+    Mutex.unlock t.mu
 end
 
 module Registry = struct
@@ -78,9 +118,9 @@ module Registry = struct
     | M_gauge of Gauge.t
     | M_histogram of Histogram.t
 
-  type t = { metrics : (string * labels, metric) Hashtbl.t }
+  type t = { metrics : (string * labels, metric) Hashtbl.t; mu : Mutex.t }
 
-  let create () = { metrics = Hashtbl.create 64 }
+  let create () = { metrics = Hashtbl.create 64; mu = Mutex.create () }
 
   let kind_name = function
     | M_counter _ -> "counter"
@@ -89,12 +129,17 @@ module Registry = struct
 
   let find_or_add t name labels make =
     let key = (name, canon labels) in
-    match Hashtbl.find_opt t.metrics key with
-    | Some m -> m
-    | None ->
-      let m = make () in
-      Hashtbl.replace t.metrics key m;
-      m
+    Mutex.lock t.mu;
+    let m =
+      match Hashtbl.find_opt t.metrics key with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace t.metrics key m;
+        m
+    in
+    Mutex.unlock t.mu;
+    m
 
   let mismatch name got want =
     invalid_arg
@@ -123,8 +168,11 @@ module Registry = struct
   type sample = { name : string; labels : labels; value : value }
 
   let snapshot t =
-    Hashtbl.fold
-      (fun (name, labels) metric acc ->
+    Mutex.lock t.mu;
+    let entries = Hashtbl.fold (fun key metric acc -> (key, metric) :: acc) t.metrics [] in
+    Mutex.unlock t.mu;
+    List.map
+      (fun ((name, labels), metric) ->
         let value =
           match metric with
           | M_counter c -> Counter_value (Counter.value c)
@@ -133,19 +181,22 @@ module Registry = struct
             Histogram_value
               { count = Histogram.count h; sum = Histogram.sum h; buckets = Histogram.buckets h }
         in
-        { name; labels; value } :: acc)
-      t.metrics []
+        { name; labels; value })
+      entries
     |> List.sort (fun a b ->
            match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
 
   let reset t =
-    Hashtbl.iter
-      (fun _ metric ->
+    Mutex.lock t.mu;
+    let metrics = Hashtbl.fold (fun _ m acc -> m :: acc) t.metrics [] in
+    Mutex.unlock t.mu;
+    List.iter
+      (fun metric ->
         match metric with
         | M_counter c -> Counter.reset c
         | M_gauge g -> Gauge.reset g
         | M_histogram h -> Histogram.reset h)
-      t.metrics
+      metrics
 end
 
 let default = Registry.create ()
@@ -207,7 +258,14 @@ module Trace = struct
     mutable o_attrs : labels;
   }
 
-  let on = ref false
+  (* The span stack models one logical request at a time; recording is
+     coordinator-side only (shard worker domains do not open spans —
+     they report through counters and task timings instead). [on] is
+     atomic so a worker's cheap enabled-check reads a coherent flag,
+     and the recording state below is guarded by [mu] so enabling
+     mid-flight from another thread cannot corrupt the stack. *)
+  let on = Atomic.make false
+  let mu = Mutex.create ()
   let tick = ref 0L
 
   let tick_clock () =
@@ -220,29 +278,38 @@ module Trace = struct
   let completed : span list ref = ref []
 
   let clear () =
+    Mutex.lock mu;
     stack := [];
     completed := [];
     next_id := 0;
-    tick := 0L
+    tick := 0L;
+    Mutex.unlock mu
 
   let enable ?(clock = tick_clock) () =
     clear ();
+    Mutex.lock mu;
     clock_fn := clock;
-    on := true
+    Mutex.unlock mu;
+    Atomic.set on true
 
-  let disable () = on := false
-  let enabled () = !on
+  let disable () = Atomic.set on false
+  let enabled () = Atomic.get on
 
   let note key v =
-    match !stack with
-    | [] -> ()
-    | top :: _ -> top.o_attrs <- top.o_attrs @ [ (key, v) ]
+    if Atomic.get on then begin
+      Mutex.lock mu;
+      (match !stack with
+      | [] -> ()
+      | top :: _ -> top.o_attrs <- top.o_attrs @ [ (key, v) ]);
+      Mutex.unlock mu
+    end
 
   let note_int key v = note key (string_of_int v)
 
   let with_span ?(attrs = []) name f =
-    if not !on then f ()
+    if not (Atomic.get on) then f ()
     else begin
+      Mutex.lock mu;
       let id = !next_id in
       incr next_id;
       let parent = match !stack with [] -> None | p :: _ -> Some p.o_id in
@@ -257,7 +324,9 @@ module Trace = struct
         }
       in
       stack := o :: !stack;
+      Mutex.unlock mu;
       let close () =
+        Mutex.lock mu;
         (match !stack with top :: rest when top.o_id = id -> stack := rest | _ -> ());
         completed :=
           {
@@ -269,7 +338,8 @@ module Trace = struct
             stop_ns = !clock_fn ();
             attrs = o.o_attrs;
           }
-          :: !completed
+          :: !completed;
+        Mutex.unlock mu
       in
       match f () with
       | v ->

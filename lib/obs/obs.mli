@@ -3,9 +3,18 @@
     The paper's entire method is introspection — PROFILE db-hit
     counters and the plan cache — so the repo needs one place where
     every layer (storage, engines, query layer, cluster, overload)
-    reports what it did. This module is dependency-free: values are
-    plain mutable cells, snapshots are deterministic (sorted), and the
-    trace clock is injectable so tests can run on a tick counter.
+    reports what it did. This module is dependency-free, snapshots
+    are deterministic (sorted), and the trace clock is injectable so
+    tests can run on a tick counter.
+
+    {b Domain safety}: the registry is shared by every domain in the
+    process (shard workers included — see [lib/shard]). Counters are
+    striped atomics, so concurrent [Counter.add] from many domains
+    loses no increments and [value] is exact once writers quiesce;
+    gauges and histograms take a per-metric mutex; registration and
+    snapshot/reset lock the registry table. A snapshot taken while
+    writers are active is weakly consistent (each metric is read
+    atomically; the set of metrics is not frozen at one instant).
 
     {b Metric naming scheme} (see DESIGN.md §11):
     [<layer>.<subject>] in lowercase dotted form, with dimensions as
@@ -23,7 +32,9 @@ module Counter : sig
   val incr : ?by:int -> t -> unit
 
   (** [add t n] is [incr ~by:n t] without the [Some n] boxing the
-      optional argument costs — for per-access hot paths. *)
+      optional argument costs — for per-access hot paths. Safe to call
+      concurrently from any domain: the increment lands on a
+      domain-striped atomic cell, never lost. *)
   val add : t -> int -> unit
 
   val value : t -> int

@@ -1,0 +1,51 @@
+type 'a t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+}
+
+exception Closed
+
+let create () =
+  { mu = Mutex.create (); cond = Condition.create (); q = Queue.create (); closed = false }
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let send t v =
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      Queue.push v t.q;
+      Condition.signal t.cond)
+
+let recv t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.cond t.mu;
+          wait ()
+        end
+      in
+      wait ())
+
+let try_recv t =
+  locked t (fun () -> if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.cond
+      end)
+
+let length t = locked t (fun () -> Queue.length t.q)

@@ -1,0 +1,29 @@
+(** A typed blocking channel between domains.
+
+    The scatter-gather protocol's transport: the coordinator submits
+    work to per-shard inboxes, workers send replies back on a collect
+    channel. Unbounded FIFO over a mutex and condition variable —
+    message counts here are small (one task and one reply per shard
+    per round), so simplicity beats a lock-free ring. *)
+
+type 'a t
+
+exception Closed
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** @raise Closed after {!close}. *)
+
+val recv : 'a t -> 'a option
+(** Block until a message arrives ([Some]) or the channel is closed
+    {e and} drained ([None]). *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking: [None] when empty right now (closed or not). *)
+
+val close : 'a t -> unit
+(** Wake every blocked receiver; pending messages still drain.
+    Idempotent. *)
+
+val length : 'a t -> int

@@ -1,0 +1,866 @@
+module Db = Mgq_neo.Db
+module Algo = Mgq_neo.Algo
+module Value = Mgq_core.Value
+module Schema = Mgq_twitter.Schema
+module Cost_model = Mgq_storage.Cost_model
+module Sim_disk = Mgq_storage.Sim_disk
+module Objects = Mgq_sparks.Objects
+module Results = Mgq_queries.Results
+module Workload = Mgq_queries.Workload
+module Obs = Mgq_obs.Obs
+open Mgq_core.Types
+
+let m_queries = Obs.counter "shard.queries"
+let m_rounds = Obs.counter "shard.rounds"
+let m_tasks = Obs.counter "shard.tasks"
+let m_steals = Obs.counter "shard.steals"
+let h_fanout = Obs.histogram "shard.scatter_fanout" ~buckets:[ 1; 2; 4; 8; 16 ]
+let h_merge = Obs.histogram "shard.merge_size"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: pinned inboxes + a stealable pool                        *)
+(* ------------------------------------------------------------------ *)
+
+type task = { t_home : int; t_run : unit -> unit }
+
+type sched = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  inbox : task Queue.t array;  (* submit: db-touching, affinity-pinned *)
+  pool : task Queue.t;  (* steal: CPU-only merge/canonicalise work *)
+  mutable stopped : bool;
+  mutable stolen : int;
+}
+
+let sched_create n =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    inbox = Array.init n (fun _ -> Queue.create ());
+    pool = Queue.create ();
+    stopped = false;
+    stolen = 0;
+  }
+
+let sched_submit s ~pinned task =
+  Mutex.lock s.mu;
+  if s.stopped then begin
+    Mutex.unlock s.mu;
+    invalid_arg "Exec: executor already shut down"
+  end;
+  if pinned then Queue.push task s.inbox.(task.t_home) else Queue.push task s.pool;
+  Condition.broadcast s.cond;
+  Mutex.unlock s.mu
+
+(* Next task for worker [i]: own inbox first, then anything stealable. *)
+let sched_next s i =
+  Mutex.lock s.mu;
+  let rec wait () =
+    if not (Queue.is_empty s.inbox.(i)) then Some (Queue.pop s.inbox.(i), false)
+    else if not (Queue.is_empty s.pool) then begin
+      let task = Queue.pop s.pool in
+      let stolen = task.t_home <> i in
+      if stolen then s.stolen <- s.stolen + 1;
+      Some (task, stolen)
+    end
+    else if s.stopped then None
+    else begin
+      Condition.wait s.cond s.mu;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock s.mu;
+  r
+
+let sched_stop s =
+  Mutex.lock s.mu;
+  s.stopped <- true;
+  Condition.broadcast s.cond;
+  Mutex.unlock s.mu
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_rounds : int;
+  st_tasks : int;
+  st_makespan_ns : int;
+  st_total_ns : int;
+  st_db_hits : int;
+  st_cut_hops : int;
+  st_max_fanout : int;
+}
+
+let zero_stats =
+  {
+    st_rounds = 0;
+    st_tasks = 0;
+    st_makespan_ns = 0;
+    st_total_ns = 0;
+    st_db_hits = 0;
+    st_cut_hops = 0;
+    st_max_fanout = 0;
+  }
+
+type t = {
+  shards : Shard.t array;
+  n : int;
+  e_spec : Partition.spec;
+  sched : sched;
+  mutable workers : unit Domain.t array;
+  jitter : int;
+  jitter_ctr : int Atomic.t;
+  mutable cur : stats;
+  mutable last : stats;
+  mutable live : bool;
+}
+
+type 'a reply = { r_idx : int; r_cost_ns : int; r_hits : int; r_payload : ('a, exn) result }
+
+(* Seeded stall before a reply: perturbs completion order without
+   touching results or simulated cost (the determinism property's
+   adversary). *)
+let jitter_delay t =
+  if t.jitter > 0 then begin
+    let k = Atomic.fetch_and_add t.jitter_ctr 1 in
+    let h = (k + t.jitter) * 0x1E3779B97F4A7C15 land max_int in
+    let iters = (h lsr 17) mod 4096 in
+    for _ = 1 to iters do
+      Domain.cpu_relax ()
+    done
+  end
+
+let worker t i () =
+  let rec loop () =
+    match sched_next t.sched i with
+    | None -> ()
+    | Some (task, stolen) ->
+      if stolen then Obs.Counter.incr m_steals;
+      task.t_run ();
+      loop ()
+  in
+  loop ()
+
+let create ?batch ?pool_pages ?checkpoint_dirty_pages ?(spec = Partition.Hash)
+    ?(jitter = 0) ~shards dataset =
+  let stores = Shard.build_all ?batch ?pool_pages ?checkpoint_dirty_pages ~spec ~shards dataset in
+  let sched = sched_create shards in
+  let t =
+    {
+      shards = stores;
+      n = shards;
+      e_spec = spec;
+      sched;
+      workers = [||];
+      jitter;
+      jitter_ctr = Atomic.make 0;
+      cur = zero_stats;
+      last = zero_stats;
+      live = true;
+    }
+  in
+  t.workers <- Array.init shards (fun i -> Domain.spawn (worker t i));
+  t
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    sched_stop t.sched;
+    Array.iter Domain.join t.workers
+  end
+
+let with_exec ?batch ?pool_pages ?checkpoint_dirty_pages ?spec ?jitter ~shards dataset f =
+  let t = create ?batch ?pool_pages ?checkpoint_dirty_pages ?spec ?jitter ~shards dataset in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let shard_count t = t.n
+let shards t = t.shards
+let spec t = t.e_spec
+let sharded_stats t = Shard.stats t.shards
+let reports t = Array.map (fun (s : Shard.t) -> s.Shard.report) t.shards
+let import_makespan_ms t = Shard.import_makespan_ms t.shards
+let import_total_ms t = Shard.import_total_ms t.shards
+let last_stats t = t.last
+
+let steals t =
+  Mutex.lock t.sched.mu;
+  let v = t.sched.stolen in
+  Mutex.unlock t.sched.mu;
+  v
+
+(* ---- rounds ---- *)
+
+(* One scatter round: run [f sh] on each listed shard's own worker,
+   collect the replies, account the round's makespan (max per-task sim
+   cost) and total db hits. Results come back in submission order
+   regardless of completion order. *)
+let round t ~label fs =
+  match fs with
+  | [] -> [||]
+  | _ ->
+    let k = List.length fs in
+    Obs.Counter.incr m_rounds;
+    Obs.Counter.add m_tasks k;
+    Obs.Histogram.observe h_fanout k;
+    Obs.Trace.with_span "shard.round"
+      ~attrs:[ ("label", label); ("fanout", string_of_int k) ]
+    @@ fun () ->
+    let replies = Chan.create () in
+    List.iteri
+      (fun idx (home, f) ->
+        sched_submit t.sched ~pinned:true
+          {
+            t_home = home;
+            t_run =
+              (fun () ->
+                let sh = t.shards.(home) in
+                let cost = Sim_disk.cost (Db.disk sh.Shard.db) in
+                let before = Cost_model.snapshot cost in
+                let payload = try Ok (f sh) with e -> Error e in
+                let after = Cost_model.snapshot cost in
+                let d = Cost_model.sub_counters after before in
+                jitter_delay t;
+                Chan.send replies
+                  {
+                    r_idx = idx;
+                    r_cost_ns = d.Cost_model.simulated_ns;
+                    r_hits = d.Cost_model.db_hits;
+                    r_payload = payload;
+                  });
+          })
+      fs;
+    let out = Array.make k None in
+    let max_ns = ref 0 and sum_ns = ref 0 and hits = ref 0 in
+    for _ = 1 to k do
+      match Chan.recv replies with
+      | Some r ->
+        out.(r.r_idx) <- Some r.r_payload;
+        if r.r_cost_ns > !max_ns then max_ns := r.r_cost_ns;
+        sum_ns := !sum_ns + r.r_cost_ns;
+        hits := !hits + r.r_hits
+      | None -> failwith "Exec.round: reply channel closed"
+    done;
+    t.cur <-
+      {
+        t.cur with
+        st_rounds = t.cur.st_rounds + 1;
+        st_tasks = t.cur.st_tasks + k;
+        st_makespan_ns = t.cur.st_makespan_ns + !max_ns;
+        st_total_ns = t.cur.st_total_ns + !sum_ns;
+        st_db_hits = t.cur.st_db_hits + !hits;
+        st_max_fanout = max t.cur.st_max_fanout k;
+      };
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      out
+
+(* CPU-only post-processing offloaded to the stealable pool: no store
+   access, so any worker may run it; costs no simulated time. *)
+let offload t ~label fs =
+  match fs with
+  | [] -> [||]
+  | _ ->
+    let k = List.length fs in
+    Obs.Counter.add m_tasks k;
+    ignore label;
+    let replies = Chan.create () in
+    List.iteri
+      (fun idx (home, f) ->
+        sched_submit t.sched ~pinned:false
+          {
+            t_home = home;
+            t_run =
+              (fun () ->
+                let payload = try Ok (f ()) with e -> Error e in
+                jitter_delay t;
+                Chan.send replies
+                  { r_idx = idx; r_cost_ns = 0; r_hits = 0; r_payload = payload });
+          })
+      fs;
+    let out = Array.make k None in
+    for _ = 1 to k do
+      match Chan.recv replies with
+      | Some r -> out.(r.r_idx) <- Some r.r_payload
+      | None -> failwith "Exec.offload: reply channel closed"
+    done;
+    t.cur <- { t.cur with st_tasks = t.cur.st_tasks + k };
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      out
+
+let with_query t name f =
+  Obs.Counter.incr m_queries;
+  t.cur <- zero_stats;
+  let cut0 = Obs.Counter.value (Obs.counter "shard.ghost_hops")
+             + Obs.Counter.value (Obs.counter "shard.remote_resolves")
+  in
+  Obs.Trace.with_span ("shard." ^ name) ~attrs:[ ("shards", string_of_int t.n) ]
+  @@ fun () ->
+  let r = f () in
+  let cut1 = Obs.Counter.value (Obs.counter "shard.ghost_hops")
+             + Obs.Counter.value (Obs.counter "shard.remote_resolves")
+  in
+  t.cur <- { t.cur with st_cut_hops = cut1 - cut0 };
+  Obs.Trace.note_int "rounds" t.cur.st_rounds;
+  Obs.Trace.note_int "makespan_ns" t.cur.st_makespan_ns;
+  Obs.Trace.note_int "db_hits" t.cur.st_db_hits;
+  t.last <- t.cur;
+  r
+
+(* ---- routing helpers ---- *)
+
+let home t uid = Partition.assign t.e_spec ~shards:t.n uid
+
+(* Index seek on the owner — the one shard whose (user, uid) index can
+   answer. *)
+let seek_user t uid =
+  let h = home t uid in
+  match (round t ~label:"seek" [ (h, fun sh -> Shard.node_of_uid sh uid) ]).(0) with
+  | Some node -> Some (h, node)
+  | None -> None
+
+let ghost_uid sh node =
+  match Shard.ghost_route sh node with
+  | _, Shard.U uid -> uid
+  | _, Shard.T _ -> invalid_arg "Exec: ghost tweet where a user was expected"
+
+(* ---- deterministic merges ---- *)
+
+(* Ids: per-part bitmap builds go to the stealable pool; the union is
+   commutative, to_list is sorted and deduplicated. *)
+let merge_ids t parts =
+  let objs =
+    offload t ~label:"merge:ids"
+      (List.map (fun (h, ids) -> (h, fun () -> Objects.of_list ids)) parts)
+  in
+  let acc = Objects.empty () in
+  Array.iter (fun o -> Objects.union_into acc o) objs;
+  Obs.Histogram.observe h_merge (Objects.count acc);
+  Results.Ids (Objects.to_list acc)
+
+(* Counts: summation is commutative; top-n ordering is canonical. *)
+let merge_counted t n parts =
+  let sorted =
+    offload t ~label:"merge:counts"
+      (List.map (fun (h, kvs) -> (h, fun () -> List.sort compare kvs)) parts)
+  in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (List.iter (fun (uid, c) ->
+         Hashtbl.replace counts uid (c + Option.value ~default:0 (Hashtbl.find_opt counts uid))))
+    sorted;
+  Obs.Histogram.observe h_merge (Hashtbl.length counts);
+  Results.Counted (Results.top_n_counted n counts)
+
+let merge_tag_counts n parts =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (tag, c) ->
+         Hashtbl.replace counts tag (c + Option.value ~default:0 (Hashtbl.find_opt counts tag))))
+    parts;
+  Obs.Histogram.observe h_merge (Hashtbl.length counts);
+  Results.Tag_counts (Results.top_n_tag_counts n counts)
+
+let counts_to_list counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let q1_select t ~threshold =
+  with_query t "q1.1" @@ fun () ->
+  let parts =
+    round t ~label:"scan"
+      (List.init t.n (fun s ->
+           ( s,
+             fun sh ->
+               List.of_seq
+                 (Seq.filter_map
+                    (fun node ->
+                      match Db.node_property sh.Shard.db node Schema.followers with
+                      | Value.Int c when c > threshold -> Some (Shard.uid_of sh node)
+                      | _ -> None)
+                    (Db.nodes_with_label sh.Shard.db Schema.user)) )))
+  in
+  merge_ids t (List.mapi (fun s ids -> (s, ids)) (Array.to_list parts))
+
+let q2_1 t ~uid =
+  with_query t "q2.1" @@ fun () ->
+  match seek_user t uid with
+  | None -> Results.Ids []
+  | Some (h, a) ->
+    let uids =
+      (round t ~label:"expand"
+         [
+           ( h,
+             fun sh ->
+               List.of_seq
+                 (Seq.map
+                    (fun f -> if Shard.is_ghost sh f then ghost_uid sh f else Shard.uid_of sh f)
+                    (Db.neighbors sh.Shard.db a ~etype:Schema.follows Out)) );
+         ]).(0)
+    in
+    merge_ids t [ (h, uids) ]
+
+(* The friend frontier of [a], split by owner: nodes that live on the
+   seek shard stay in node space; cut edges convert to uids and route.
+   At one shard the outbox is empty by construction. *)
+let partition_friends t ~h ~a ~etype ~dir =
+  (round t ~label:"frontier"
+     [
+       ( h,
+         fun sh ->
+           let locals = ref [] in
+           let outbox = Array.make t.n [] in
+           Seq.iter
+             (fun f ->
+               if Shard.is_ghost sh f then begin
+                 let hm, key = Shard.ghost_route sh f in
+                 match key with
+                 | Shard.U uid -> outbox.(hm) <- uid :: outbox.(hm)
+                 | Shard.T _ -> invalid_arg "Exec: tweet ghost on a follows edge"
+               end
+               else locals := f :: !locals)
+             (Db.neighbors sh.Shard.db a ~etype dir);
+           (List.rev !locals, Array.map List.rev outbox) );
+     ]).(0)
+
+(* Scatter plan for a routed frontier: the seek shard keeps its local
+   nodes, every other shard gets its shipped uids. *)
+let frontier_tasks t ~h ~locals ~outbox task =
+  List.concat
+    (List.init t.n (fun s ->
+         if s = h then if locals = [] && outbox.(s) = [] then [] else [ task s (Some locals) outbox.(s) ]
+         else if outbox.(s) = [] then []
+         else [ task s None outbox.(s) ]))
+
+let q2_2 t ~uid =
+  with_query t "q2.2" @@ fun () ->
+  match seek_user t uid with
+  | None -> Results.Ids []
+  | Some (h, a) ->
+    let locals, outbox = partition_friends t ~h ~a ~etype:Schema.follows ~dir:Out in
+    let tasks =
+      frontier_tasks t ~h ~locals ~outbox (fun s locals uids ->
+          ( s,
+            fun sh ->
+              let friends =
+                Option.value ~default:[] locals @ List.map (Shard.resolve_user sh) uids
+              in
+              ( s,
+                List.concat_map
+                  (fun f ->
+                    List.of_seq
+                      (Seq.map (Shard.tid_of sh)
+                         (Db.neighbors sh.Shard.db f ~etype:Schema.posts Out)))
+                  friends ) ))
+    in
+    merge_ids t (Array.to_list (round t ~label:"tweets" tasks))
+
+let q2_3 t ~uid =
+  with_query t "q2.3" @@ fun () ->
+  match seek_user t uid with
+  | None -> Results.Tags []
+  | Some (h, a) ->
+    let locals, outbox = partition_friends t ~h ~a ~etype:Schema.follows ~dir:Out in
+    let tasks =
+      frontier_tasks t ~h ~locals ~outbox (fun s locals uids ->
+          ( s,
+            fun sh ->
+              let friends =
+                Option.value ~default:[] locals @ List.map (Shard.resolve_user sh) uids
+              in
+              let tags = ref [] in
+              List.iter
+                (fun f ->
+                  Seq.iter
+                    (fun tw ->
+                      Seq.iter
+                        (fun hh -> tags := Shard.tag_of sh hh :: !tags)
+                        (Db.neighbors sh.Shard.db tw ~etype:Schema.tags Out))
+                    (Db.neighbors sh.Shard.db f ~etype:Schema.posts Out))
+                friends;
+              !tags ))
+    in
+    let parts = round t ~label:"tags" tasks in
+    let all = List.sort_uniq compare (List.concat (Array.to_list parts)) in
+    Obs.Histogram.observe h_merge (List.length all);
+    Results.Tags all
+
+let q3_1 t ~uid ~n =
+  with_query t "q3.1" @@ fun () ->
+  match seek_user t uid with
+  | None -> Results.Counted []
+  | Some (h, a) ->
+    let (counts_h, outbox) =
+      (round t ~label:"mentions"
+         [
+           ( h,
+             fun sh ->
+               let counts = Hashtbl.create 64 in
+               let outbox = Array.make t.n [] in
+               Seq.iter
+                 (fun tw ->
+                   if Shard.is_ghost sh tw then begin
+                     match Shard.ghost_route sh tw with
+                     | hm, Shard.T ti -> outbox.(hm) <- ti :: outbox.(hm)
+                     | _, Shard.U _ -> invalid_arg "Exec: user ghost on a mentions edge"
+                   end
+                   else
+                     Seq.iter
+                       (fun o ->
+                         if o <> a then
+                           if Shard.is_ghost sh o then Results.bump counts (ghost_uid sh o)
+                           else Results.bump counts (Shard.uid_of sh o))
+                       (Db.neighbors sh.Shard.db tw ~etype:Schema.mentions Out))
+                 (Db.neighbors sh.Shard.db a ~etype:Schema.mentions In);
+               (counts_to_list counts, Array.map List.rev outbox) );
+         ]).(0)
+    in
+    let tasks =
+      List.concat
+        (List.init t.n (fun s ->
+             if outbox.(s) = [] then []
+             else
+               [
+                 ( s,
+                   fun sh ->
+                     let counts = Hashtbl.create 64 in
+                     List.iter
+                       (fun ti ->
+                         let tw = Shard.resolve_tweet sh ti in
+                         Seq.iter
+                           (fun o ->
+                             let ouid =
+                               if Shard.is_ghost sh o then ghost_uid sh o
+                               else Shard.uid_of sh o
+                             in
+                             if ouid <> uid then Results.bump counts ouid)
+                           (Db.neighbors sh.Shard.db tw ~etype:Schema.mentions Out))
+                       outbox.(s);
+                     counts_to_list counts );
+               ]))
+    in
+    let remote = Array.to_list (round t ~label:"remote-mentions" tasks) in
+    merge_counted t n
+      ((h, counts_h) :: List.mapi (fun i kvs -> (i, kvs)) remote)
+
+let q3_2 t ~tag ~n =
+  with_query t "q3.2" @@ fun () ->
+  let parts =
+    round t ~label:"cooccur"
+      (List.init t.n (fun s ->
+           ( s,
+             fun sh ->
+               match Shard.node_of_tag sh tag with
+               | None -> []
+               | Some hnode ->
+                 let counts = Hashtbl.create 64 in
+                 Seq.iter
+                   (fun tw ->
+                     Seq.iter
+                       (fun o -> if o <> hnode then Results.bump counts (Shard.tag_of sh o))
+                       (Db.neighbors sh.Shard.db tw ~etype:Schema.tags Out))
+                   (Db.neighbors sh.Shard.db hnode ~etype:Schema.tags In);
+                 counts_to_list counts )))
+  in
+  merge_tag_counts n (Array.to_list parts)
+
+(* Q4.x: friends in round 1; each owning shard expands its friends in
+   round 2, counting local landings and routing cut landings by uid;
+   round 3 resolves the shipped occurrences against the owner's friend
+   set. Occurrence multiplicity is preserved end to end — counts are
+   per path, exactly as the serial query. *)
+let q4 t ~uid ~n ~dir query_name =
+  with_query t query_name @@ fun () ->
+  match seek_user t uid with
+  | None -> Results.Counted []
+  | Some (h, a) ->
+    let locals, outbox = partition_friends t ~h ~a ~etype:Schema.follows ~dir:Out in
+    let tasks =
+      frontier_tasks t ~h ~locals ~outbox (fun s locals uids ->
+          ( s,
+            fun sh ->
+              let friends =
+                Option.value ~default:[] locals @ List.map (Shard.resolve_user sh) uids
+              in
+              let fset = Hashtbl.create 64 in
+              List.iter (fun f -> Hashtbl.replace fset f ()) friends;
+              let a_node = if s = h then a else -1 in
+              let counts = Hashtbl.create 64 in
+              let outbox2 = Array.make t.n [] in
+              List.iter
+                (fun f ->
+                  Seq.iter
+                    (fun fof ->
+                      if Shard.is_ghost sh fof then begin
+                        let hm, key = Shard.ghost_route sh fof in
+                        match key with
+                        | Shard.U u -> outbox2.(hm) <- u :: outbox2.(hm)
+                        | Shard.T _ -> invalid_arg "Exec: tweet ghost on a follows edge"
+                      end
+                      else if fof <> a_node && not (Hashtbl.mem fset fof) then
+                        Results.bump counts (Shard.uid_of sh fof))
+                    (Db.neighbors sh.Shard.db f ~etype:Schema.follows dir))
+                friends;
+              (s, counts_to_list counts, Array.map List.rev outbox2, friends) ))
+    in
+    let parts = Array.to_list (round t ~label:"expand" tasks) in
+    (* Landings shipped to each owner, multiplicity preserved; the
+       owner re-applies the not-a-friend / not-the-seed filters in its
+       own node space. *)
+    let incoming = Array.make t.n [] in
+    List.iter
+      (fun (_, _, outbox2, _) ->
+        Array.iteri (fun s us -> incoming.(s) <- incoming.(s) @ us) outbox2)
+      parts;
+    let friend_nodes = Array.make t.n [] in
+    List.iter (fun (s, _, _, friends) -> friend_nodes.(s) <- friends) parts;
+    let resolve_tasks =
+      List.concat
+        (List.init t.n (fun s ->
+             if incoming.(s) = [] then []
+             else
+               [
+                 ( s,
+                   fun sh ->
+                     let fset = Hashtbl.create 64 in
+                     List.iter (fun f -> Hashtbl.replace fset f ()) friend_nodes.(s);
+                     let a_node = if s = h then a else -1 in
+                     let counts = Hashtbl.create 64 in
+                     List.iter
+                       (fun u ->
+                         let node = Shard.resolve_user sh u in
+                         if node <> a_node && not (Hashtbl.mem fset node) then
+                           Results.bump counts u)
+                       incoming.(s);
+                     counts_to_list counts );
+               ]))
+    in
+    let resolved = Array.to_list (round t ~label:"resolve" resolve_tasks) in
+    merge_counted t n
+      (List.map (fun (s, kvs, _, _) -> (s, kvs)) parts
+      @ List.mapi (fun i kvs -> (i, kvs)) resolved)
+
+let q4_1 t ~uid ~n = q4 t ~uid ~n ~dir:Out "q4.1"
+let q4_2 t ~uid ~n = q4 t ~uid ~n ~dir:In "q4.2"
+
+(* Q5.x: the follower set is built once and distributed to its owning
+   shards in node space (round 2), so the membership checks in rounds
+   3 and 4 are local hash probes, exactly as the serial prefetch. *)
+let q5 t ~uid ~n ~current query_name =
+  with_query t query_name @@ fun () ->
+  match seek_user t uid with
+  | None -> Results.Counted []
+  | Some (h, a) ->
+    let flocals, outbox = partition_friends t ~h ~a ~etype:Schema.follows ~dir:In in
+    let follower_nodes = Array.make t.n [] in
+    follower_nodes.(h) <- flocals;
+    let build_tasks =
+      List.concat
+        (List.init t.n (fun s ->
+             if outbox.(s) = [] then []
+             else [ (s, fun sh -> (s, List.map (Shard.resolve_user sh) outbox.(s))) ]))
+    in
+    Array.iter
+      (fun (s, nodes) -> follower_nodes.(s) <- nodes)
+      (round t ~label:"followers" build_tasks);
+    let (counts_h, outbox3) =
+      (round t ~label:"mentions"
+         [
+           ( h,
+             fun sh ->
+               let fset = Hashtbl.create 64 in
+               List.iter (fun u -> Hashtbl.replace fset u ()) follower_nodes.(h);
+               let counts = Hashtbl.create 64 in
+               let outbox3 = Array.make t.n [] in
+               Seq.iter
+                 (fun tw ->
+                   if Shard.is_ghost sh tw then begin
+                     match Shard.ghost_route sh tw with
+                     | hm, Shard.T ti -> outbox3.(hm) <- ti :: outbox3.(hm)
+                     | _, Shard.U _ -> invalid_arg "Exec: user ghost on a mentions edge"
+                   end
+                   else
+                     Seq.iter
+                       (fun u ->
+                         let keep =
+                           if current then Hashtbl.mem fset u
+                           else u <> a && not (Hashtbl.mem fset u)
+                         in
+                         if keep then Results.bump counts (Shard.uid_of sh u))
+                       (Db.neighbors sh.Shard.db tw ~etype:Schema.posts In))
+                 (Db.neighbors sh.Shard.db a ~etype:Schema.mentions In);
+               (counts_to_list counts, Array.map List.rev outbox3) );
+         ]).(0)
+    in
+    let author_tasks =
+      List.concat
+        (List.init t.n (fun s ->
+             if outbox3.(s) = [] then []
+             else
+               [
+                 ( s,
+                   fun sh ->
+                     let fset = Hashtbl.create 64 in
+                     List.iter (fun u -> Hashtbl.replace fset u ()) follower_nodes.(s);
+                     let counts = Hashtbl.create 64 in
+                     List.iter
+                       (fun ti ->
+                         let tw = Shard.resolve_tweet sh ti in
+                         Seq.iter
+                           (fun u ->
+                             (* the author is owned here while the seed
+                                lives on the seek shard, so u <> a holds
+                                by placement *)
+                             let keep =
+                               if current then Hashtbl.mem fset u
+                               else not (Hashtbl.mem fset u)
+                             in
+                             if keep then Results.bump counts (Shard.uid_of sh u))
+                           (Db.neighbors sh.Shard.db tw ~etype:Schema.posts In))
+                       outbox3.(s);
+                     counts_to_list counts );
+               ]))
+    in
+    let remote = Array.to_list (round t ~label:"authors" author_tasks) in
+    merge_counted t n ((h, counts_h) :: List.mapi (fun i kvs -> (i, kvs)) remote)
+
+let q5_1 t ~uid ~n = q5 t ~uid ~n ~current:true "q5.1"
+let q5_2 t ~uid ~n = q5 t ~uid ~n ~current:false "q5.2"
+
+(* Q6.1. One shard: the serial bidirectional search verbatim (hit
+   parity by construction). Sharded: level-synchronous BFS from the
+   source — each level expands locally (sub-round A), ships cut
+   landings as deduplicated uids (Objects — deterministic), and the
+   owners integrate them (sub-round B). *)
+let q6_1 t ~uid1 ~uid2 ~max_hops =
+  with_query t "q6.1" @@ fun () ->
+  if t.n = 1 then
+    (round t ~label:"path"
+       [
+         ( 0,
+           fun sh ->
+             match (Shard.node_of_uid sh uid1, Shard.node_of_uid sh uid2) with
+             | Some a, Some b ->
+               Results.Path_length
+                 (Algo.hop_distance sh.Shard.db ~etype:Schema.follows ~direction:Both
+                    ~src:a ~dst:b ~max_hops)
+             | _ -> Results.Path_length None );
+       ]).(0)
+  else begin
+    match (seek_user t uid1, seek_user t uid2) with
+    | Some (h1, a), Some (h2, b) ->
+      if max_hops < 0 then Results.Path_length None
+      else if h1 = h2 && a = b then Results.Path_length (Some 0)
+      else begin
+        let visited = Array.init t.n (fun _ -> Hashtbl.create 256) in
+        Hashtbl.replace visited.(h1) a ();
+        let frontier = Array.make t.n [] in
+        frontier.(h1) <- [ a ];
+        let result = ref None in
+        let depth = ref 0 in
+        while !result = None && !depth < max_hops do
+          incr depth;
+          let expand_tasks =
+            List.concat
+              (List.init t.n (fun s ->
+                   if frontier.(s) = [] then []
+                   else
+                     [
+                       ( s,
+                         fun sh ->
+                           let seen = visited.(s) in
+                           let locals = ref [] in
+                           let outbox = Array.make t.n [] in
+                           let found = ref false in
+                           List.iter
+                             (fun node ->
+                               Seq.iter
+                                 (fun nb ->
+                                   if Shard.is_ghost sh nb then begin
+                                     match Shard.ghost_route sh nb with
+                                     | hm, Shard.U u -> outbox.(hm) <- u :: outbox.(hm)
+                                     | _, Shard.T _ ->
+                                       invalid_arg "Exec: tweet ghost on a follows edge"
+                                   end
+                                   else if not (Hashtbl.mem seen nb) then begin
+                                     Hashtbl.replace seen nb ();
+                                     locals := nb :: !locals;
+                                     if s = h2 && nb = b then found := true
+                                   end)
+                                 (Db.neighbors sh.Shard.db node ~etype:Schema.follows Both))
+                             frontier.(s);
+                           (s, List.rev !locals, outbox, !found) );
+                     ]))
+          in
+          let parts = Array.to_list (round t ~label:"bfs-expand" expand_tasks) in
+          Array.fill frontier 0 t.n [];
+          let incoming = Array.init t.n (fun _ -> Objects.empty ()) in
+          List.iter
+            (fun (s, locals, outbox, found) ->
+              frontier.(s) <- locals;
+              if found then result := Some !depth;
+              Array.iteri
+                (fun d us -> List.iter (fun u -> Objects.add incoming.(d) u) us)
+                outbox)
+            parts;
+          let integrate_tasks =
+            List.concat
+              (List.init t.n (fun s ->
+                   if Objects.is_empty incoming.(s) then []
+                   else
+                     [
+                       ( s,
+                         fun sh ->
+                           let seen = visited.(s) in
+                           let news = ref [] in
+                           let found = ref false in
+                           Objects.iter
+                             (fun u ->
+                               let node = Shard.resolve_user sh u in
+                               if not (Hashtbl.mem seen node) then begin
+                                 Hashtbl.replace seen node ();
+                                 news := node :: !news;
+                                 if s = h2 && node = b then found := true
+                               end)
+                             incoming.(s);
+                           (s, List.rev !news, !found) );
+                     ]))
+          in
+          Array.iter
+            (fun (s, news, found) ->
+              frontier.(s) <- frontier.(s) @ news;
+              if found then result := Some !depth)
+            (round t ~label:"bfs-integrate" integrate_tasks)
+        done;
+        Results.Path_length !result
+      end
+    | _ -> Results.Path_length None
+  end
+
+let run t ~id (args : Workload.args) =
+  match id with
+  | "Q1.1" -> Some (q1_select t ~threshold:args.Workload.threshold)
+  | "Q2.1" -> Some (q2_1 t ~uid:args.Workload.uid)
+  | "Q2.2" -> Some (q2_2 t ~uid:args.Workload.uid)
+  | "Q2.3" -> Some (q2_3 t ~uid:args.Workload.uid)
+  | "Q3.1" -> Some (q3_1 t ~uid:args.Workload.uid ~n:args.Workload.n)
+  | "Q3.2" -> Some (q3_2 t ~tag:args.Workload.tag ~n:args.Workload.n)
+  | "Q4.1" -> Some (q4_1 t ~uid:args.Workload.uid ~n:args.Workload.n)
+  | "Q4.2" -> Some (q4_2 t ~uid:args.Workload.uid ~n:args.Workload.n)
+  | "Q5.1" -> Some (q5_1 t ~uid:args.Workload.uid ~n:args.Workload.n)
+  | "Q5.2" -> Some (q5_2 t ~uid:args.Workload.uid ~n:args.Workload.n)
+  | "Q6.1" ->
+    Some
+      (q6_1 t ~uid1:args.Workload.uid ~uid2:args.Workload.uid2
+         ~max_hops:args.Workload.max_hops)
+  | _ -> None

@@ -1,0 +1,111 @@
+(** The scatter-gather executor: Table-2 queries over sharded stores.
+
+    One worker domain per shard runs a submit/steal/collect protocol:
+    the coordinator {e submits} db-touching tasks to the owning
+    shard's inbox (data affinity is mandatory — buffer pool and cost
+    counters are single-domain), workers {e steal} CPU-only merge
+    work from a shared pool when their inbox is empty, and replies
+    flow back over a typed {!Chan} that the coordinator {e collects}.
+
+    A query runs as a sequence of {e rounds}. Each round fans a
+    frontier batch out to the shards owning its nodes; expansions stay
+    in local node-id space, and an edge ending in a ghost converts to
+    the remote dataset key (one db hit for the stub — see
+    {!Shard.ghost_route}) and routes to the owner, which resolves it
+    (one more hit) in the next round. Partial results merge
+    deterministically — int sets and id lists through the Objects
+    bitmap algebra, counts by commutative summation then canonical
+    top-n — so answers are independent of shard count and of the
+    order replies arrive in.
+
+    {b Cost accounting}: every task measures its shard's simulated
+    cost delta; a round's {e makespan} is the maximum over its tasks,
+    and a query's makespan sums its rounds — the deterministic
+    parallel wall-clock the speedup oracle compares across shard
+    counts (real wall time is reported informationally; CI machines
+    are too noisy to gate on).
+
+    At one shard there are no ghosts and every query follows exactly
+    the unsharded core-API read sequence, so results {e and} db-hit
+    counts match the single-store engine. Exception: Q6.1 — the
+    serial engine's bidirectional search stops mid-level, which no
+    parallel expansion reproduces, so one shard delegates to
+    [Algo.hop_distance] verbatim and N > 1 runs a level-synchronous
+    BFS (same answers, its own deterministic hit schedule).
+    Budgets/deadlines are not threaded through sharded execution. *)
+
+type t
+
+type stats = {
+  st_rounds : int;
+  st_tasks : int;
+  st_makespan_ns : int;  (** sum over rounds of the max per-shard sim cost *)
+  st_total_ns : int;  (** sum over tasks — the 1-worker-equivalent cost *)
+  st_db_hits : int;
+  st_cut_hops : int;  (** ghost-stub reads + remote key resolutions *)
+  st_max_fanout : int;
+}
+
+val create :
+  ?batch:int ->
+  ?pool_pages:int ->
+  ?checkpoint_dirty_pages:int ->
+  ?spec:Partition.spec ->
+  ?jitter:int ->
+  shards:int ->
+  Mgq_twitter.Dataset.t ->
+  t
+(** Import the shards in parallel ({!Shard.build_all}), then start one
+    worker domain per shard. [spec] defaults to {!Partition.Hash}.
+    [jitter > 0] makes workers stall pseudo-randomly (seeded by the
+    value) before replying — the determinism tests' lever for
+    scrambling completion order without touching results or simulated
+    cost. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent; the executor is unusable
+    afterwards. *)
+
+val with_exec :
+  ?batch:int ->
+  ?pool_pages:int ->
+  ?checkpoint_dirty_pages:int ->
+  ?spec:Partition.spec ->
+  ?jitter:int ->
+  shards:int ->
+  Mgq_twitter.Dataset.t ->
+  (t -> 'a) ->
+  'a
+(** [create] / run / [shutdown], worker cleanup guaranteed. *)
+
+val shard_count : t -> int
+val shards : t -> Shard.t array
+val spec : t -> Partition.spec
+val sharded_stats : t -> Mgq_catalog.Sharded.t
+val reports : t -> Mgq_twitter.Import_report.t array
+val import_makespan_ms : t -> float
+val import_total_ms : t -> float
+
+val last_stats : t -> stats
+(** Execution statistics of the most recent query. *)
+
+val steals : t -> int
+(** Pool tasks executed by a non-home worker since [create]. *)
+
+(** {1 The Table-2 read queries} *)
+
+val q1_select : t -> threshold:int -> Mgq_queries.Results.t
+val q2_1 : t -> uid:int -> Mgq_queries.Results.t
+val q2_2 : t -> uid:int -> Mgq_queries.Results.t
+val q2_3 : t -> uid:int -> Mgq_queries.Results.t
+val q3_1 : t -> uid:int -> n:int -> Mgq_queries.Results.t
+val q3_2 : t -> tag:string -> n:int -> Mgq_queries.Results.t
+val q4_1 : t -> uid:int -> n:int -> Mgq_queries.Results.t
+val q4_2 : t -> uid:int -> n:int -> Mgq_queries.Results.t
+val q5_1 : t -> uid:int -> n:int -> Mgq_queries.Results.t
+val q5_2 : t -> uid:int -> n:int -> Mgq_queries.Results.t
+val q6_1 : t -> uid1:int -> uid2:int -> max_hops:int -> Mgq_queries.Results.t
+
+val run : t -> id:string -> Mgq_queries.Workload.args -> Mgq_queries.Results.t option
+(** Dispatch by Table-2 query id ("Q1.1" ... "Q6.1"); [None] for ids
+    the sharded executor does not implement. *)

@@ -1,0 +1,48 @@
+module type S = sig
+  val name : string
+  val assign : shards:int -> int -> int
+end
+
+type spec =
+  | Hash
+  | Modulo
+  | Pinned of { hot : int list; target : int }
+
+(* Splitmix-style finaliser: uids are dense small ints straight from
+   the generator, so [uid mod shards] alone would alias any stride in
+   the dataset; a full avalanche mix decorrelates placement from id
+   order. Constants are the 64-bit splitmix64 ones truncated to
+   OCaml's 63-bit int — only dispersion matters here, not the exact
+   stream. *)
+let mix uid =
+  let h = uid * 0x1E3779B97F4A7C15 land max_int in
+  let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let h = (h lxor (h lsr 27)) * 0x14D049BB133111EB land max_int in
+  h lxor (h lsr 31)
+
+let assign spec ~shards uid =
+  if shards <= 0 then invalid_arg "Partition.assign: shards must be positive";
+  if shards = 1 then 0
+  else
+    match spec with
+    | Hash -> mix uid mod shards
+    | Modulo -> uid mod shards
+    | Pinned { hot; target } ->
+      if List.mem uid hot then target mod shards else mix uid mod shards
+
+let name = function
+  | Hash -> "hash"
+  | Modulo -> "modulo"
+  | Pinned { hot; target } ->
+    Printf.sprintf "pinned(%d->%d)" (List.length hot) target
+
+let make spec : (module S) =
+  (module struct
+    let name = name spec
+    let assign = assign spec
+  end)
+
+let of_string = function
+  | "hash" -> Ok Hash
+  | "modulo" -> Ok Modulo
+  | s -> Error (Printf.sprintf "unknown partitioner %S (expected hash or modulo)" s)

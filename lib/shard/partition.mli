@@ -1,0 +1,36 @@
+(** Graph partitioning: which shard owns a user id.
+
+    The partitioner sits behind a tiny signature so placement policies
+    can evolve independently of the executor — the "Demystifying Graph
+    Databases" taxonomy's hash / range / skew-aware axis. Everything
+    else in [lib/shard] derives placement from this one function:
+    tweets live with their author, hashtags are replicated everywhere,
+    and cut edges materialise as ghost records on the non-owning side
+    (see {!Shard}). *)
+
+module type S = sig
+  val name : string
+
+  val assign : shards:int -> int -> int
+  (** [assign ~shards uid] is the owning shard in [0, shards). Must be
+      pure: import and query routing both call it and have to agree. *)
+end
+
+(** First-class policy choice, serialisable for CLIs and benches. *)
+type spec =
+  | Hash  (** mixed (splitmix-style) hash of the uid — the default *)
+  | Modulo
+      (** [uid mod shards] — keeps generator locality, so dataset-order
+          scans stay contiguous; degenerates under id-correlated skew *)
+  | Pinned of { hot : int list; target : int }
+      (** the celebrity-skew arm: the listed hot uids all land on
+          [target], everyone else hashes — models the worst-case
+          placement LDBC SNB warns about *)
+
+val make : spec -> (module S)
+val assign : spec -> shards:int -> int -> int
+val name : spec -> string
+
+val of_string : string -> (spec, string) result
+(** ["hash"] | ["modulo"]; [Pinned] is built programmatically (the CLI
+    derives the hot set from the dataset). *)

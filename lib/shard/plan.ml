@@ -1,0 +1,69 @@
+module Db = Mgq_neo.Db
+module Catalog = Mgq_catalog.Catalog
+module Sharded = Mgq_catalog.Sharded
+module Schema = Mgq_twitter.Schema
+
+type est = {
+  e_hops : int;
+  e_frontier : float;
+  e_total_hits : float;
+  e_cut_hits : float;
+  e_makespan_hits : float;
+  e_speedup : float;
+}
+
+let khop ?seed_degree shards ~etype ~dir ~hops =
+  let n = Array.length shards in
+  let sharded = Shard.stats shards in
+  let cut = Sharded.cut_ratio sharded in
+  let imbalance = Sharded.imbalance sharded in
+  (* Aggregate expansion fan-out across the shard catalogs. Cut edges
+     are stored twice (once per side), which the edge total reflects;
+     sources likewise count ghosts — the ratio stays an estimate of
+     per-node fan-out, exactly what the serial planner would see. *)
+  let edges, sources =
+    Array.fold_left
+      (fun (e, s) (sh : Shard.t) ->
+        let ds =
+          Catalog.degree_summary (Db.stats sh.Shard.db)
+            ~src_label:(Some Schema.user) ~etype:(Some etype) ~dir
+        in
+        (e + ds.Catalog.ds_edges, s + ds.Catalog.ds_sources))
+      (0, 0) shards
+  in
+  let avg = if sources = 0 then 0.0 else float_of_int edges /. float_of_int sources in
+  let frontier = ref (match seed_degree with Some d -> float_of_int d | None -> avg) in
+  let total = ref 0.0 and cut_hits = ref 0.0 and makespan = ref 0.0 in
+  for hop = 1 to hops do
+    (* One hop: walk each frontier member's chain (one hit per edge),
+       read each landing (one hit), plus the cut tax — the stub read on
+       the sender and the key resolution on the owner. *)
+    let sources_this = if hop = 1 then 1.0 else !frontier in
+    let expansions = if hop = 1 then !frontier else !frontier *. avg in
+    let walk = expansions +. sources_this in
+    let crossing = expansions *. cut in
+    let tax = 2.0 *. crossing in
+    total := !total +. walk +. tax;
+    cut_hits := !cut_hits +. tax;
+    (* The round ends when the slowest shard finishes its share. *)
+    makespan := !makespan +. ((walk +. tax) /. float_of_int n *. imbalance);
+    frontier := expansions
+  done;
+  {
+    e_hops = hops;
+    e_frontier = !frontier;
+    e_total_hits = !total;
+    e_cut_hits = !cut_hits;
+    e_makespan_hits = !makespan;
+    e_speedup = (if !makespan = 0.0 then 1.0 else !total /. !makespan);
+  }
+
+let to_rows e =
+  [
+    ("hops", string_of_int e.e_hops);
+    ("est frontier", Printf.sprintf "%.1f" e.e_frontier);
+    ("est total hits", Printf.sprintf "%.1f" e.e_total_hits);
+    ("est cut hits", Printf.sprintf "%.1f" e.e_cut_hits);
+    ("est makespan hits", Printf.sprintf "%.1f" e.e_makespan_hits);
+    ("est speedup", Printf.sprintf "%.2f" e.e_speedup);
+  ]

@@ -1,0 +1,32 @@
+(** Pricing cross-shard k-hop expansion from catalog statistics.
+
+    Each shard's database keeps its ordinary incremental catalog; the
+    partition layer adds {!Mgq_catalog.Sharded} (ownership, ghosts,
+    cut edges). Combining the two prices a k-hop expansion the same
+    way the serial cost planner prices a traversal — expected frontier
+    growth from the degree histogram — plus the two sharding terms:
+    the {e cut tax} (two extra record touches per cut-crossing
+    landing) and the {e makespan share} (the slowest shard sets the
+    round time, scaled by the placement imbalance). The benches
+    report these estimates against measured executions. *)
+
+type est = {
+  e_hops : int;
+  e_frontier : float;  (** expected frontier size after the last hop *)
+  e_total_hits : float;  (** expected record touches, all shards summed *)
+  e_cut_hits : float;  (** portion paid to cross the cut *)
+  e_makespan_hits : float;  (** expected critical-path record touches *)
+  e_speedup : float;  (** [e_total_hits / e_makespan_hits] — what perfect
+                          overlap of this plan would yield *)
+}
+
+val khop :
+  ?seed_degree:int -> Shard.t array -> etype:string -> dir:Mgq_core.Types.direction ->
+  hops:int -> est
+(** Price a [hops]-step expansion along [etype] from one seed node.
+    [seed_degree] overrides the first hop's fan-out when the caller
+    has looked it up (the planner's runtime parameter); otherwise the
+    catalog average is used. *)
+
+val to_rows : est -> (string * string) list
+(** (metric, value) rows for tables and CSV. *)

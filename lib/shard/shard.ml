@@ -1,0 +1,463 @@
+module Db = Mgq_neo.Db
+module Value = Mgq_core.Value
+module Property = Mgq_core.Property
+module Schema = Mgq_twitter.Schema
+module Dataset = Mgq_twitter.Dataset
+module Import_neo = Mgq_twitter.Import_neo
+module Import_report = Mgq_twitter.Import_report
+module Sim_disk = Mgq_storage.Sim_disk
+module Timing = Mgq_util.Stats.Timing
+module Obs = Mgq_obs.Obs
+
+type entity = U of int | T of int
+
+type t = {
+  sid : int;
+  nshards : int;
+  spec : Partition.spec;
+  db : Db.t;
+  users : (int, int) Hashtbl.t;
+  tweets : (int, int) Hashtbl.t;
+  hashtags : int array;
+  ghosts : (int, int * entity) Hashtbl.t;
+  ghost_users : (int, int) Hashtbl.t;
+  ghost_tweets : (int, int) Hashtbl.t;
+  stats_row : Mgq_catalog.Sharded.row;
+  report : Import_report.t;
+}
+
+let ghost_user_label = "ghost:user"
+let ghost_tweet_label = "ghost:tweet"
+let home_key = "home"
+
+let m_ghost_hops = Obs.counter "shard.ghost_hops"
+let m_remote_resolves = Obs.counter "shard.remote_resolves"
+
+(* ------------------------------------------------------------------ *)
+(* Partition planning                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a shard will store, computed in one sequential pass over
+   the dataset so per-shard creation order is deterministic (and, at
+   one shard, exactly the batch importer's order). Lists accumulate
+   reversed and flip once at the end. *)
+type plan = {
+  mutable pl_users : int list;
+  mutable pl_tweets : int list;
+  mutable pl_gusers : int list;
+  mutable pl_gtweets : int list;
+  guser_set : (int, unit) Hashtbl.t;
+  gtweet_set : (int, unit) Hashtbl.t;
+  mutable pl_follows : (int * int) list;
+  mutable pl_posts : int list;
+  mutable pl_mentions : (int * int) list;
+  mutable pl_tags : (int * int) list;
+  mutable pl_retweets : (int * int) list;
+  deg : int array;  (* per-uid degree of locally stored user incidences *)
+  mutable local_edges : int;
+  mutable cut_edges : int;
+}
+
+let fresh_plan n_users =
+  {
+    pl_users = [];
+    pl_tweets = [];
+    pl_gusers = [];
+    pl_gtweets = [];
+    guser_set = Hashtbl.create 64;
+    gtweet_set = Hashtbl.create 64;
+    pl_follows = [];
+    pl_posts = [];
+    pl_mentions = [];
+    pl_tags = [];
+    pl_retweets = [];
+    deg = Array.make (max 1 n_users) 0;
+    local_edges = 0;
+    cut_edges = 0;
+  }
+
+let want_ghost_user pl uid =
+  if not (Hashtbl.mem pl.guser_set uid) then begin
+    Hashtbl.replace pl.guser_set uid ();
+    pl.pl_gusers <- uid :: pl.pl_gusers
+  end
+
+let want_ghost_tweet pl ti =
+  if not (Hashtbl.mem pl.gtweet_set ti) then begin
+    Hashtbl.replace pl.gtweet_set ti ();
+    pl.pl_gtweets <- ti :: pl.pl_gtweets
+  end
+
+let plan_shards spec ~shards (d : Dataset.t) =
+  let owner = Array.init d.Dataset.n_users (Partition.assign spec ~shards) in
+  let tweet_owner i = owner.(d.Dataset.tweets.(i).Dataset.author) in
+  let pls = Array.init shards (fun _ -> fresh_plan d.Dataset.n_users) in
+  for uid = 0 to d.Dataset.n_users - 1 do
+    let pl = pls.(owner.(uid)) in
+    pl.pl_users <- uid :: pl.pl_users
+  done;
+  Array.iteri
+    (fun i (tw : Dataset.tweet) ->
+      let pl = pls.(owner.(tw.Dataset.author)) in
+      pl.pl_tweets <- i :: pl.pl_tweets)
+    d.Dataset.tweets;
+  (* follows: stored on both endpoint shards when cut. The degree
+     count mirrors the batch importer's dense-node input — follows
+     endpoints, the posts incidence, mention targets; retweets are
+     excluded there too. *)
+  Array.iter
+    (fun (a, b) ->
+      let sa = owner.(a) and sb = owner.(b) in
+      let pa = pls.(sa) in
+      pa.pl_follows <- (a, b) :: pa.pl_follows;
+      pa.deg.(a) <- pa.deg.(a) + 1;
+      pa.deg.(b) <- pa.deg.(b) + 1;
+      if sa = sb then pa.local_edges <- pa.local_edges + 1
+      else begin
+        pa.cut_edges <- pa.cut_edges + 1;
+        want_ghost_user pa b;
+        let pb = pls.(sb) in
+        pb.pl_follows <- (a, b) :: pb.pl_follows;
+        pb.deg.(a) <- pb.deg.(a) + 1;
+        pb.deg.(b) <- pb.deg.(b) + 1;
+        pb.cut_edges <- pb.cut_edges + 1;
+        want_ghost_user pb a
+      end)
+    d.Dataset.follows;
+  Array.iteri
+    (fun i (tw : Dataset.tweet) ->
+      let sx = owner.(tw.Dataset.author) in
+      let px = pls.(sx) in
+      px.pl_posts <- i :: px.pl_posts;
+      px.deg.(tw.Dataset.author) <- px.deg.(tw.Dataset.author) + 1;
+      px.local_edges <- px.local_edges + 1;
+      List.iter
+        (fun u ->
+          let su = owner.(u) in
+          px.pl_mentions <- (i, u) :: px.pl_mentions;
+          px.deg.(u) <- px.deg.(u) + 1;
+          if su = sx then px.local_edges <- px.local_edges + 1
+          else begin
+            px.cut_edges <- px.cut_edges + 1;
+            want_ghost_user px u;
+            let pu = pls.(su) in
+            pu.pl_mentions <- (i, u) :: pu.pl_mentions;
+            pu.deg.(u) <- pu.deg.(u) + 1;
+            pu.cut_edges <- pu.cut_edges + 1;
+            want_ghost_tweet pu i
+          end)
+        tw.Dataset.mention_targets;
+      List.iter
+        (fun h ->
+          px.pl_tags <- (i, h) :: px.pl_tags;
+          px.local_edges <- px.local_edges + 1)
+        tw.Dataset.tag_targets)
+    d.Dataset.tweets;
+  Array.iter
+    (fun (u, ti) ->
+      let su = owner.(u) and st = tweet_owner ti in
+      let pu = pls.(su) in
+      pu.pl_retweets <- (u, ti) :: pu.pl_retweets;
+      if su = st then pu.local_edges <- pu.local_edges + 1
+      else begin
+        pu.cut_edges <- pu.cut_edges + 1;
+        want_ghost_tweet pu ti;
+        let pt = pls.(st) in
+        pt.pl_retweets <- (u, ti) :: pt.pl_retweets;
+        pt.cut_edges <- pt.cut_edges + 1;
+        want_ghost_user pt u
+      end)
+    d.Dataset.retweets;
+  Array.iter
+    (fun pl ->
+      pl.pl_users <- List.rev pl.pl_users;
+      pl.pl_tweets <- List.rev pl.pl_tweets;
+      pl.pl_gusers <- List.rev pl.pl_gusers;
+      pl.pl_gtweets <- List.rev pl.pl_gtweets;
+      pl.pl_follows <- List.rev pl.pl_follows;
+      pl.pl_posts <- List.rev pl.pl_posts;
+      pl.pl_mentions <- List.rev pl.pl_mentions;
+      pl.pl_tags <- List.rev pl.pl_tags;
+      pl.pl_retweets <- List.rev pl.pl_retweets)
+    pls;
+  (owner, pls)
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard import (runs inside the shard's domain)                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_one ~batch ?pool_pages ~checkpoint_dirty_pages ~spec ~shards ~sid (d : Dataset.t)
+    ~followers ~owner (pl : plan) =
+  let wall_start = Timing.now_ns () in
+  let db = Db.create ?pool_pages ~checkpoint_dirty_pages () in
+  let sim_start = Import_neo.sim_ms db in
+
+  (* ---- owned nodes, same phase order as the batch importer ---- *)
+  let users = Hashtbl.create 1024 in
+  let owned_users = Array.of_list pl.pl_users in
+  let users_series =
+    Import_neo.batched db ~label:Schema.user ~batch ~total:(Array.length owned_users)
+      (fun i ->
+        let uid = owned_users.(i) in
+        Hashtbl.replace users uid
+          (Db.create_node db ~label:Schema.user
+             (Property.of_list
+                [
+                  (Schema.uid, Value.Int uid);
+                  (Schema.name, Value.Str d.Dataset.user_names.(uid));
+                  (Schema.followers, Value.Int followers.(uid));
+                ])))
+  in
+  let tweets = Hashtbl.create 1024 in
+  let owned_tweets = Array.of_list pl.pl_tweets in
+  let tweets_series =
+    Import_neo.batched db ~label:Schema.tweet ~batch ~total:(Array.length owned_tweets)
+      (fun i ->
+        let ti = owned_tweets.(i) in
+        let tw = d.Dataset.tweets.(ti) in
+        Hashtbl.replace tweets ti
+          (Db.create_node db ~label:Schema.tweet
+             (Property.of_list
+                [ (Schema.tid, Value.Int tw.Dataset.tid); (Schema.text, Value.Str tw.Dataset.text) ])))
+  in
+  let hashtags = Array.make (max 1 (Array.length d.Dataset.hashtags)) (-1) in
+  let hashtags_series =
+    Import_neo.batched db ~label:Schema.hashtag ~batch ~total:(Array.length d.Dataset.hashtags)
+      (fun i ->
+        hashtags.(i) <-
+          Db.create_node db ~label:Schema.hashtag
+            (Property.of_list [ (Schema.tag, Value.Str d.Dataset.hashtags.(i)) ]))
+  in
+
+  (* ---- ghost stubs for the far ends of cut edges ---- *)
+  let ghosts = Hashtbl.create 256 in
+  let ghost_users = Hashtbl.create 256 in
+  let ghost_tweets = Hashtbl.create 256 in
+  let guser_arr = Array.of_list pl.pl_gusers in
+  let gusers_series =
+    Import_neo.batched db ~label:ghost_user_label ~batch ~total:(Array.length guser_arr)
+      (fun i ->
+        let uid = guser_arr.(i) in
+        let node =
+          Db.create_node db ~label:ghost_user_label
+            (Property.of_list
+               [ (Schema.uid, Value.Int uid); (home_key, Value.Int owner.(uid)) ])
+        in
+        Hashtbl.replace ghost_users uid node;
+        Hashtbl.replace ghosts node (owner.(uid), U uid))
+  in
+  let gtweet_arr = Array.of_list pl.pl_gtweets in
+  let gtweets_series =
+    Import_neo.batched db ~label:ghost_tweet_label ~batch ~total:(Array.length gtweet_arr)
+      (fun i ->
+        let ti = gtweet_arr.(i) in
+        let tw = d.Dataset.tweets.(ti) in
+        let home = owner.(tw.Dataset.author) in
+        let node =
+          Db.create_node db ~label:ghost_tweet_label
+            (Property.of_list [ (Schema.tid, Value.Int tw.Dataset.tid); (home_key, Value.Int home) ])
+        in
+        Hashtbl.replace ghost_tweets ti node;
+        Hashtbl.replace ghosts node (home, T ti))
+  in
+
+  (* ---- intermediate: computing the dense nodes ---- *)
+  let before_intermediate = Import_neo.sim_ms db in
+  Seq.iter (fun id -> ignore (Db.node_exists db id)) (Db.all_nodes db);
+  let threshold = Db.dense_node_threshold db in
+  for uid = 0 to d.Dataset.n_users - 1 do
+    if pl.deg.(uid) >= threshold then begin
+      match Hashtbl.find_opt users uid with
+      | Some node -> Db.densify_node db node
+      | None -> (
+        match Hashtbl.find_opt ghost_users uid with
+        | Some node -> Db.densify_node db node
+        | None -> ())
+    end
+  done;
+  Sim_disk.flush_all (Db.disk db);
+  let intermediate_sim_ms = Import_neo.sim_ms db -. before_intermediate in
+
+  (* ---- edges ---- *)
+  let user_node uid =
+    match Hashtbl.find_opt users uid with
+    | Some n -> n
+    | None -> Hashtbl.find ghost_users uid
+  in
+  let tweet_node ti =
+    match Hashtbl.find_opt tweets ti with
+    | Some n -> n
+    | None -> Hashtbl.find ghost_tweets ti
+  in
+  let follows_arr = Array.of_list pl.pl_follows in
+  let follows_series =
+    Import_neo.batched db ~label:Schema.follows ~batch ~total:(Array.length follows_arr)
+      (fun i ->
+        let a, b = follows_arr.(i) in
+        ignore
+          (Db.create_edge db ~etype:Schema.follows ~src:(user_node a) ~dst:(user_node b)
+             Property.empty))
+  in
+  let posts_arr = Array.of_list pl.pl_posts in
+  let posts_series =
+    Import_neo.batched db ~label:Schema.posts ~batch ~total:(Array.length posts_arr)
+      (fun i ->
+        let ti = posts_arr.(i) in
+        let tw = d.Dataset.tweets.(ti) in
+        ignore
+          (Db.create_edge db ~etype:Schema.posts ~src:(user_node tw.Dataset.author)
+             ~dst:(tweet_node ti) Property.empty))
+  in
+  let mentions_arr = Array.of_list pl.pl_mentions in
+  let mentions_series =
+    Import_neo.batched db ~label:Schema.mentions ~batch ~total:(Array.length mentions_arr)
+      (fun i ->
+        let ti, u = mentions_arr.(i) in
+        ignore
+          (Db.create_edge db ~etype:Schema.mentions ~src:(tweet_node ti) ~dst:(user_node u)
+             Property.empty))
+  in
+  let tags_arr = Array.of_list pl.pl_tags in
+  let tags_series =
+    Import_neo.batched db ~label:Schema.tags ~batch ~total:(Array.length tags_arr)
+      (fun i ->
+        let ti, h = tags_arr.(i) in
+        ignore
+          (Db.create_edge db ~etype:Schema.tags ~src:(tweet_node ti) ~dst:hashtags.(h)
+             Property.empty))
+  in
+  let retweets_arr = Array.of_list pl.pl_retweets in
+  let retweet_series =
+    if Array.length retweets_arr = 0 then []
+    else
+      [
+        Import_neo.batched db ~label:Schema.retweets ~batch ~total:(Array.length retweets_arr)
+          (fun i ->
+            let u, ti = retweets_arr.(i) in
+            ignore
+              (Db.create_edge db ~etype:Schema.retweets ~src:(user_node u)
+                 ~dst:(tweet_node ti) Property.empty));
+      ]
+  in
+
+  (* ---- indexes on the owned unique identifiers ---- *)
+  let before_index = Import_neo.sim_ms db in
+  Db.create_index db ~label:Schema.user ~property:Schema.uid;
+  Db.create_index db ~label:Schema.tweet ~property:Schema.tid;
+  Db.create_index db ~label:Schema.hashtag ~property:Schema.tag;
+  let index_sim_ms = Import_neo.sim_ms db -. before_index in
+
+  Sim_disk.flush_all (Db.disk db);
+  let ghost_series =
+    (if Array.length guser_arr = 0 then [] else [ gusers_series ])
+    @ if Array.length gtweet_arr = 0 then [] else [ gtweets_series ]
+  in
+  let report =
+    {
+      Import_report.node_series =
+        [ users_series; tweets_series; hashtags_series ] @ ghost_series;
+      edge_series =
+        [ follows_series; posts_series; mentions_series; tags_series ] @ retweet_series;
+      intermediate_sim_ms;
+      index_sim_ms;
+      total_sim_ms = Import_neo.sim_ms db -. sim_start;
+      total_wall_ms = Int64.to_float (Int64.sub (Timing.now_ns ()) wall_start) /. 1e6;
+      size_words = Sim_disk.disk_bytes (Db.disk db) / 8;
+    }
+  in
+  {
+    sid;
+    nshards = shards;
+    spec;
+    db;
+    users;
+    tweets;
+    hashtags;
+    ghosts;
+    ghost_users;
+    ghost_tweets;
+    stats_row =
+      {
+        Mgq_catalog.Sharded.sh_owned_nodes =
+          Array.length owned_users + Array.length owned_tweets;
+        sh_ghost_nodes = Array.length guser_arr + Array.length gtweet_arr;
+        sh_replica_nodes = Array.length d.Dataset.hashtags;
+        sh_local_edges = pl.local_edges;
+        sh_cut_edges = pl.cut_edges;
+      };
+    report;
+  }
+
+let build_all ?(batch = 2000) ?pool_pages
+    ?(checkpoint_dirty_pages = Import_neo.default_checkpoint_pages) ~spec ~shards
+    (d : Dataset.t) =
+  if shards <= 0 then invalid_arg "Shard.build_all: shards must be positive";
+  let followers = Dataset.follower_counts d in
+  let owner, pls = plan_shards spec ~shards d in
+  let domains =
+    Array.init shards (fun sid ->
+        Domain.spawn (fun () ->
+            build_one ~batch ?pool_pages ~checkpoint_dirty_pages ~spec ~shards ~sid d
+              ~followers ~owner pls.(sid)))
+  in
+  Array.map Domain.join domains
+
+let stats ts = Mgq_catalog.Sharded.create (Array.map (fun t -> t.stats_row) ts)
+
+let import_makespan_ms ts =
+  Array.fold_left (fun acc t -> Float.max acc t.report.Import_report.total_sim_ms) 0.0 ts
+
+let import_total_ms ts =
+  Array.fold_left (fun acc t -> acc +. t.report.Import_report.total_sim_ms) 0.0 ts
+
+(* ------------------------------------------------------------------ *)
+(* Read helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let node_of_uid t uid =
+  match Db.index_lookup t.db ~label:Schema.user ~property:Schema.uid (Value.Int uid) with
+  | [ node ] -> Some node
+  | [] -> None
+  | node :: _ -> Some node
+
+let node_of_tag t tag =
+  match Db.index_lookup t.db ~label:Schema.hashtag ~property:Schema.tag (Value.Str tag) with
+  | node :: _ -> Some node
+  | [] -> None
+
+let uid_of t node =
+  match Db.node_property t.db node Schema.uid with
+  | Value.Int uid -> uid
+  | _ -> invalid_arg "Shard.uid_of: not a user node"
+
+let tid_of t node =
+  match Db.node_property t.db node Schema.tid with
+  | Value.Int tid -> tid
+  | _ -> invalid_arg "Shard.tid_of: not a tweet node"
+
+let tag_of t node =
+  match Db.node_property t.db node Schema.tag with
+  | Value.Str tag -> tag
+  | _ -> invalid_arg "Shard.tag_of: not a hashtag node"
+
+let is_ghost t node = Hashtbl.mem t.ghosts node
+
+(* Crossing the cut is priced in record touches: reading the stub that
+   carries the remote key is one db hit on the sender ... *)
+let ghost_route t node =
+  ignore (Db.node_exists t.db node);
+  Obs.Counter.incr m_ghost_hops;
+  Hashtbl.find t.ghosts node
+
+(* ... and pinning the record the key addresses is one on the owner. *)
+let resolve_user t uid =
+  let node = Hashtbl.find t.users uid in
+  ignore (Db.node_exists t.db node);
+  Obs.Counter.incr m_remote_resolves;
+  node
+
+let resolve_tweet t ti =
+  let node = Hashtbl.find t.tweets ti in
+  ignore (Db.node_exists t.db node);
+  Obs.Counter.incr m_remote_resolves;
+  node

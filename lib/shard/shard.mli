@@ -1,0 +1,94 @@
+(** One graph shard: a full record-store database holding the
+    partition's sub-graph, built and queried on its own domain.
+
+    {b Placement} (derived entirely from {!Partition.assign} on user
+    ids): a user lives on its assigned shard; a tweet lives with its
+    author; hashtags are replicated on every shard (tiny, read-only,
+    and touched by every tag expansion). An edge is stored on the
+    shard(s) owning its endpoints — both sides when it crosses the
+    cut, so every node sees its complete adjacency locally.
+
+    {b Cut edges and ghosts}: the non-owning side of a cut edge points
+    at a {e ghost} — a stub record carrying the remote entity's
+    dataset key ([uid] / [tid]) and home shard, under a label of its
+    own ([ghost:user] / [ghost:tweet]) so label scans and the catalog
+    only see owned records. Reading a ghost's routing info charges one
+    db hit (the stub record), and resolving the shipped key on the
+    owner charges one more (pinning the addressed record) — the
+    deterministic price of crossing the cut. At one shard no ghost
+    exists, so the store and every traversal are hit-for-hit identical
+    to the unsharded importer's.
+
+    {b Domain discipline}: {!build_all} constructs each shard inside
+    its own domain (dictionary writers pin there — see
+    [Mgq_neo.Dict]); afterwards the store is read-only and any domain
+    may read it, but the executor keeps all db-touching work on the
+    shard's worker anyway (buffer pool and cost counters are not
+    synchronised). *)
+
+type entity =
+  | U of int  (** user, by uid *)
+  | T of int  (** tweet, by dataset tweet index *)
+
+type t = {
+  sid : int;
+  nshards : int;
+  spec : Partition.spec;
+  db : Mgq_neo.Db.t;
+  users : (int, int) Hashtbl.t;  (** uid -> node, owned users *)
+  tweets : (int, int) Hashtbl.t;  (** dataset index -> node, owned tweets *)
+  hashtags : int array;  (** dataset index -> node, replicated *)
+  ghosts : (int, int * entity) Hashtbl.t;  (** ghost node -> (home, key) *)
+  ghost_users : (int, int) Hashtbl.t;  (** uid -> ghost node *)
+  ghost_tweets : (int, int) Hashtbl.t;  (** dataset index -> ghost node *)
+  stats_row : Mgq_catalog.Sharded.row;
+  report : Mgq_twitter.Import_report.t;
+}
+
+val build_all :
+  ?batch:int ->
+  ?pool_pages:int ->
+  ?checkpoint_dirty_pages:int ->
+  spec:Partition.spec ->
+  shards:int ->
+  Mgq_twitter.Dataset.t ->
+  t array
+(** Plan the partition once, then import every shard in parallel (one
+    domain per shard), mirroring the batch importer's phase order —
+    nodes, ghosts, dense-node pass, edges, indexes — so each shard's
+    {!Mgq_twitter.Import_report} shows the same Figure 2/3 jumps at
+    its own scale. *)
+
+val stats : t array -> Mgq_catalog.Sharded.t
+
+val import_makespan_ms : t array -> float
+(** Max of the per-shard total simulated import cost — the parallel
+    import's critical path. *)
+
+val import_total_ms : t array -> float
+(** Sum across shards — the work a single store would have done, plus
+    replication/ghost overhead. *)
+
+(** {1 Read helpers} (call on the shard's own domain) *)
+
+val node_of_uid : t -> int -> int option
+(** Index seek on (user, uid) — owned users only. *)
+
+val node_of_tag : t -> string -> int option
+(** Index seek on the local hashtag replica. *)
+
+val uid_of : t -> int -> int
+val tid_of : t -> int -> int
+val tag_of : t -> int -> string
+
+val is_ghost : t -> int -> bool
+(** Routing-table lookup, no db hit. *)
+
+val ghost_route : t -> int -> int * entity
+(** (home shard, key) from the ghost stub — charges one db hit. *)
+
+val resolve_user : t -> int -> int
+(** Owned node for a shipped uid — charges one db hit.
+    @raise Not_found when this shard does not own the uid. *)
+
+val resolve_tweet : t -> int -> int
